@@ -1,0 +1,31 @@
+//! # provlight-baselines
+//!
+//! The state-of-the-art comparators the paper evaluates against
+//! (§III, Table VI): **ProvLake** and **DfAnalyzer** capture clients.
+//! Both are "HTTP 1.1 over TCP, request/response" systems; their
+//! differences, as modelled here from the paper's measurements:
+//!
+//! | | ProvLake | DfAnalyzer |
+//! |---|---|---|
+//! | connection | per-request (its grouping feature amortizes this) | keep-alive |
+//! | payload | verbose PROV-JSON envelope | compact JSON rows |
+//! | grouping | optional, N messages per request (Table III) | none |
+//! | per-request client CPU | high (≈49 ms on the A8) | medium (≈36 ms) |
+//!
+//! * [`provlake`] / [`dfanalyzer`] — **real** capture clients over
+//!   `http-lite`, usable against the [`server`] ingestion endpoint;
+//! * [`server`] — an HTTP ingestion server that decodes capture payloads
+//!   into the shared provenance store (the uWSGI role in Fig. 5);
+//! * [`sim`] — calibrated virtual-time drivers implementing
+//!   [`CaptureDriver`](provlight_workload::driver::CaptureDriver) for the
+//!   paper's experiments (Tables II, III, X; Fig. 6).
+
+pub mod dfanalyzer;
+pub mod provlake;
+pub mod server;
+pub mod sim;
+
+pub use dfanalyzer::DfAnalyzerClient;
+pub use provlake::ProvLakeClient;
+pub use server::IngestionServer;
+pub use sim::{SimDfAnalyzer, SimProvLake};

@@ -1,0 +1,24 @@
+//! §VII-A ablation: the contribution of each ProvLight design choice
+//! (binary model, compression, QoS level, grouping) at the 0.5 s /
+//! 100-attribute edge operating point.
+
+fn main() {
+    let reps = provlight_bench::reps();
+    let rows = provlight_continuum::tables::ablation(reps);
+    println!("== Ablation — ProvLight design choices (0.5 s tasks, 100 attrs, edge)");
+    println!(
+        "{:32}  {:>14}  {:>10}  {:>10}  {:>9}",
+        "variant", "overhead %", "cpu %", "net KB/s", "power W"
+    );
+    for (name, r) in rows {
+        println!(
+            "{:32}  {:>7.2} ±{:<4.2}  {:>10.2}  {:>10.2}  {:>9.3}",
+            name,
+            r.overhead_pct.mean(),
+            r.overhead_pct.ci95(),
+            r.cpu_pct.mean(),
+            r.net_kbs.mean(),
+            r.power_w.mean(),
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Fig. 6 (CPU / memory / network / power
+//! overhead of the three capture systems on the A8-M3 edge device).
+
+fn main() {
+    let reps = provlight_bench::reps();
+    for table in provlight_continuum::tables::fig6(reps) {
+        provlight_bench::print_table(&table);
+    }
+}

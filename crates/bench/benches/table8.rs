@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table VIII (see `provlight_continuum::tables`).
+
+fn main() {
+    let reps = provlight_bench::reps();
+    let table = provlight_continuum::tables::table8(reps);
+    provlight_bench::print_table(&table);
+}

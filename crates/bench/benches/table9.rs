@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table IX (see `provlight_continuum::tables`).
+
+fn main() {
+    let reps = provlight_bench::reps();
+    let table = provlight_continuum::tables::table9(reps);
+    provlight_bench::print_table(&table);
+}

@@ -1,0 +1,42 @@
+//! Shared helpers for the table-reproduction bench harness.
+
+use provlight_continuum::tables::TableResult;
+
+/// Repetitions per cell: the paper uses 10; override with `PROVLIGHT_REPS`
+/// for quick runs.
+pub fn reps() -> usize {
+    std::env::var("PROVLIGHT_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10)
+}
+
+/// Prints a reproduced table with a shape summary.
+pub fn print_table(table: &TableResult) {
+    println!("{}", table.render());
+    // Mean absolute log-ratio between paper and measurement — a single
+    // drift indicator per table.
+    let mut ratios = Vec::new();
+    for c in &table.cells {
+        if c.paper > 0.0 && c.measured.mean() > 0.0 {
+            ratios.push((c.measured.mean() / c.paper).ln().abs());
+        }
+    }
+    if !ratios.is_empty() {
+        let gmean = (ratios.iter().sum::<f64>() / ratios.len() as f64).exp();
+        println!(
+            "   shape drift: geometric mean paper-vs-measured factor = {:.2}x\n",
+            gmean
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reps_default_is_paper_count() {
+        if std::env::var("PROVLIGHT_REPS").is_err() {
+            assert_eq!(super::reps(), 10);
+        }
+    }
+}

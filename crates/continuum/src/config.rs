@@ -1,0 +1,300 @@
+//! E2Clab-style experiment configuration (paper Listing 2).
+//!
+//! Parses the `layers_services.yaml` subset the paper shows:
+//!
+//! ```yaml
+//! environment:
+//!   g5k: cluster: gros
+//!   iotlab: cluster: grenoble
+//!   provenance: ProvenanceManager
+//! layers:
+//! - name: cloud
+//!   services:
+//!   - name: Server, environment: g5k, qtd: 1
+//! - name: edge
+//!   services:
+//!   - name: Client, environment: iotlab, arch: a8, qtd: 64
+//! ```
+//!
+//! The parser handles exactly this indentation-based shape (two-level
+//! mappings, inline comma-separated service attributes) — enough to drive
+//! the deployments the paper describes, without a YAML dependency.
+
+use std::collections::BTreeMap;
+
+/// A service entry within a layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Service {
+    /// Service name (e.g. `Server`, `Client`).
+    pub name: String,
+    /// Target environment/testbed key (e.g. `g5k`, `iotlab`).
+    pub environment: Option<String>,
+    /// Device architecture (e.g. `a8`).
+    pub arch: Option<String>,
+    /// Instance count.
+    pub quantity: usize,
+}
+
+/// A deployment layer (cloud / fog / edge).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Layer {
+    /// Layer name.
+    pub name: String,
+    /// Services deployed on this layer.
+    pub services: Vec<Service>,
+}
+
+/// A parsed experiment configuration.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExperimentConfig {
+    /// Environment key/value entries (testbeds, clusters).
+    pub environment: BTreeMap<String, String>,
+    /// The provenance manager service, when enabled (Listing 2 line 4).
+    pub provenance: Option<String>,
+    /// Deployment layers in order.
+    pub layers: Vec<Layer>,
+}
+
+impl ExperimentConfig {
+    /// Finds a layer by name.
+    pub fn layer(&self, name: &str) -> Option<&Layer> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+
+    /// Total instances of a service across layers.
+    pub fn total_quantity(&self, service: &str) -> usize {
+        self.layers
+            .iter()
+            .flat_map(|l| &l.services)
+            .filter(|s| s.name == service)
+            .map(|s| s.quantity)
+            .sum()
+    }
+
+    /// Whether provenance capture is enabled.
+    pub fn provenance_enabled(&self) -> bool {
+        self.provenance.is_some()
+    }
+}
+
+/// Configuration parse errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses the Listing 2 configuration format.
+pub fn parse(text: &str) -> Result<ExperimentConfig, ConfigError> {
+    let mut config = ExperimentConfig::default();
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Environment,
+        Layers,
+    }
+    let mut section = Section::None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw);
+        if line.trim().is_empty() {
+            continue;
+        }
+        let indent = line.len() - line.trim_start().len();
+        let trimmed = line.trim();
+
+        // Top-level section headers sit at indent 0; list items (`- ...`)
+        // may also sit at indent 0 in the paper's listing, so only
+        // non-item lines switch sections.
+        if indent == 0 && !trimmed.starts_with('-') {
+            match trimmed.trim_end_matches(':') {
+                "environment" => section = Section::Environment,
+                "layers" => section = Section::Layers,
+                other => return Err(err(lineno, format!("unknown top-level key '{other}'"))),
+            }
+            continue;
+        }
+
+        match section {
+            Section::None => return Err(err(lineno, "content before any section")),
+            Section::Environment => {
+                let (key, value) = trimmed
+                    .split_once(':')
+                    .ok_or_else(|| err(lineno, "expected 'key: value'"))?;
+                let key = key.trim();
+                let value = value.trim();
+                if key == "provenance" {
+                    config.provenance = Some(value.to_owned());
+                } else {
+                    config.environment.insert(key.to_owned(), value.to_owned());
+                }
+            }
+            Section::Layers => {
+                if let Some(rest) = trimmed.strip_prefix("- name:") {
+                    // Could be a layer (followed by `services:`) or a
+                    // service item; disambiguate by inline attributes.
+                    if rest.contains(',') {
+                        let service = parse_service(rest, lineno)?;
+                        let layer = config
+                            .layers
+                            .last_mut()
+                            .ok_or_else(|| err(lineno, "service before any layer"))?;
+                        layer.services.push(service);
+                    } else {
+                        config.layers.push(Layer {
+                            name: rest.trim().to_owned(),
+                            services: Vec::new(),
+                        });
+                    }
+                } else if trimmed == "services:" {
+                    if config.layers.is_empty() {
+                        return Err(err(lineno, "services before any layer"));
+                    }
+                } else {
+                    return Err(err(lineno, format!("unexpected line '{trimmed}'")));
+                }
+            }
+        }
+    }
+    Ok(config)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_service(rest: &str, lineno: usize) -> Result<Service, ConfigError> {
+    let mut service = Service {
+        name: String::new(),
+        environment: None,
+        arch: None,
+        quantity: 1,
+    };
+    // First field is the name (before the first comma), remaining fields
+    // are `key: value` pairs.
+    let mut parts = rest.split(',');
+    service.name = parts
+        .next()
+        .ok_or_else(|| err(lineno, "missing service name"))?
+        .trim()
+        .to_owned();
+    for part in parts {
+        let (key, value) = part
+            .split_once(':')
+            .ok_or_else(|| err(lineno, format!("bad service attribute '{part}'")))?;
+        let value = value.trim();
+        match key.trim() {
+            "environment" => service.environment = Some(value.to_owned()),
+            "arch" => service.arch = Some(value.to_owned()),
+            "qtd" => {
+                service.quantity = value
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad qtd '{value}'")))?;
+            }
+            other => return Err(err(lineno, format!("unknown service key '{other}'"))),
+        }
+    }
+    if service.name.is_empty() {
+        return Err(err(lineno, "empty service name"));
+    }
+    Ok(service)
+}
+
+/// The paper's Listing 2 configuration verbatim (64 edge devices, one
+/// cloud server, provenance manager enabled).
+pub fn listing2() -> &'static str {
+    "\
+environment:
+  g5k: cluster: gros
+  iotlab: cluster: grenoble
+  provenance: ProvenanceManager
+layers:
+- name: cloud
+  services:
+  - name: Server, environment: g5k, qtd: 1
+- name: edge
+  services:
+  - name: Client, environment: iotlab, arch: a8, qtd: 64
+"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_listing2() {
+        let c = parse(listing2()).unwrap();
+        assert_eq!(c.provenance.as_deref(), Some("ProvenanceManager"));
+        assert!(c.provenance_enabled());
+        assert_eq!(c.layers.len(), 2);
+        let cloud = c.layer("cloud").unwrap();
+        assert_eq!(cloud.services[0].name, "Server");
+        assert_eq!(cloud.services[0].quantity, 1);
+        let edge = c.layer("edge").unwrap();
+        assert_eq!(edge.services[0].name, "Client");
+        assert_eq!(edge.services[0].arch.as_deref(), Some("a8"));
+        assert_eq!(edge.services[0].quantity, 64);
+        assert_eq!(c.total_quantity("Client"), 64);
+        assert_eq!(c.environment.get("g5k").map(String::as_str), Some("cluster: gros"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\
+environment:
+  provenance: ProvenanceManager  # enable capture
+
+layers:
+- name: edge
+  services:
+  - name: Client, qtd: 2
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.total_quantity("Client"), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("bogus:\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse("layers:\n  - name: Client, qtd: x\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse("layers:\n  - name: X, qtd: 1\n").unwrap_err();
+        assert!(e.message.contains("before any layer"));
+    }
+
+    #[test]
+    fn no_provenance_is_disabled() {
+        let c = parse("environment:\n  g5k: x\nlayers:\n- name: edge\n").unwrap();
+        assert!(!c.provenance_enabled());
+    }
+
+    #[test]
+    fn defaults_qtd_to_one() {
+        let c = parse("layers:\n- name: cloud\n  services:\n  - name: Server, environment: g5k\n")
+            .unwrap();
+        assert_eq!(c.layer("cloud").unwrap().services[0].quantity, 1);
+    }
+}

@@ -1,0 +1,348 @@
+//! Scenario definition and the measurement loop.
+//!
+//! One [`Scenario`] is a point in the paper's evaluation space: a capture
+//! system, a Table I workload, a network configuration, and a device
+//! profile. [`measure`] runs it the paper's way — 10 repetitions with
+//! per-repetition seeds (fresh random payloads + timing jitter) against a
+//! no-capture baseline — and reports the overhead mean ± 95 % CI plus the
+//! resource metrics of Fig. 6.
+
+use crate::stats::Sample;
+use edge_sim::calib;
+use edge_sim::device::DeviceProfile;
+use edge_sim::jitter::Jitter;
+use net_sim::link::LinkSpec;
+use provlight_baselines::sim::{SimDfAnalyzer, SimProvLake};
+use provlight_core::sim::{ProvLightSimConfig, SimProvLight};
+use provlight_workload::driver::{CaptureDriver, NullDriver};
+use provlight_workload::runner::{run_schedule, RunOutcome};
+use provlight_workload::schedule::generate;
+use provlight_workload::spec::WorkloadSpec;
+
+/// The capture system under test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum System {
+    /// No capture (baseline).
+    None,
+    /// ProvLight with a grouping count (0 = immediate).
+    ProvLight {
+        /// Messages grouped per transmission.
+        group: usize,
+    },
+    /// ProvLight with a full custom configuration (ablations).
+    ProvLightCustom(ProvLightSimConfig),
+    /// ProvLake with a grouping count (the Table III axis).
+    ProvLake {
+        /// Messages grouped per request.
+        group: usize,
+    },
+    /// DfAnalyzer (no grouping).
+    DfAnalyzer,
+}
+
+impl System {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            System::None => "no-capture",
+            System::ProvLight { .. } | System::ProvLightCustom(_) => "ProvLight",
+            System::ProvLake { .. } => "ProvLake",
+            System::DfAnalyzer => "DfAnalyzer",
+        }
+    }
+
+    fn footprint(&self) -> u64 {
+        match self {
+            System::None => 0,
+            System::ProvLight { .. } | System::ProvLightCustom(_) => calib::PROVLIGHT_FOOTPRINT,
+            System::ProvLake { .. } => calib::PROVLAKE_FOOTPRINT,
+            System::DfAnalyzer => calib::DFANALYZER_FOOTPRINT,
+        }
+    }
+
+    fn uses_tcp(&self) -> bool {
+        matches!(self, System::ProvLake { .. } | System::DfAnalyzer)
+    }
+}
+
+/// One evaluation point.
+#[derive(Clone, Copy, Debug)]
+pub struct Scenario {
+    /// System under test.
+    pub system: System,
+    /// Workload configuration.
+    pub spec: WorkloadSpec,
+    /// Uplink spec (UDP framing; TCP framing applied automatically for
+    /// the HTTP baselines).
+    pub uplink: LinkSpec,
+    /// Downlink spec.
+    pub downlink: LinkSpec,
+    /// Device profile.
+    pub profile: DeviceProfile,
+    /// Repetitions (the paper uses 10).
+    pub reps: usize,
+    /// Timing jitter fraction per repetition.
+    pub jitter_frac: f64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The paper's standard edge scenario at 1 Gbit.
+    pub fn edge(system: System, spec: WorkloadSpec) -> Scenario {
+        Scenario {
+            system,
+            spec,
+            uplink: LinkSpec::gigabit_23ms(),
+            downlink: LinkSpec::gigabit_23ms(),
+            profile: DeviceProfile::a8_m3(),
+            reps: 10,
+            jitter_frac: 0.03,
+            seed: 0x5eed,
+        }
+    }
+
+    /// The 25 Kbit variant (Tables III / VIII).
+    pub fn edge_25kbit(system: System, spec: WorkloadSpec) -> Scenario {
+        Scenario {
+            uplink: LinkSpec::kbit25_23ms(),
+            downlink: LinkSpec::kbit25_23ms(),
+            ..Self::edge(system, spec)
+        }
+    }
+
+    /// The cloud-server scenario (Table X): capture runs on the cloud
+    /// node, provenance service is cloud-local (sub-ms RTT).
+    pub fn cloud(system: System, spec: WorkloadSpec) -> Scenario {
+        let mut local = LinkSpec::gigabit_23ms();
+        local.propagation_delay = std::time::Duration::from_micros(250);
+        Scenario {
+            uplink: local,
+            downlink: local,
+            profile: DeviceProfile::cloud_server(),
+            ..Self::edge(system, spec)
+        }
+    }
+}
+
+/// A mean ± CI measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Underlying sample.
+    pub sample: Sample,
+}
+
+impl Measurement {
+    /// Mean value.
+    pub fn mean(&self) -> f64 {
+        self.sample.mean()
+    }
+
+    /// 95 % CI half width.
+    pub fn ci95(&self) -> f64 {
+        self.sample.ci95()
+    }
+}
+
+impl std::fmt::Display for Measurement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} ±{:.2}", self.mean(), self.ci95())
+    }
+}
+
+/// Everything measured for one scenario.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// Capture-time overhead (%), the headline metric.
+    pub overhead_pct: Measurement,
+    /// Capture CPU utilization (%), Fig. 6a.
+    pub cpu_pct: Measurement,
+    /// Peak capture memory (% of device RAM), Fig. 6b.
+    pub mem_pct: Measurement,
+    /// Uplink wire throughput (KB/s), Fig. 6c.
+    pub net_kbs: Measurement,
+    /// Average power (W), Fig. 6d.
+    pub power_w: Measurement,
+    /// Power overhead vs. idle baseline (%), Fig. 6d.
+    pub power_overhead_pct: Measurement,
+    /// Last repetition's raw outcome (for drill-down).
+    pub last: Option<RunOutcome>,
+}
+
+fn make_driver(system: System, seed: u64, jitter_frac: f64) -> Box<dyn CaptureDriver> {
+    match system {
+        System::None => Box::new(NullDriver),
+        System::ProvLight { group } => {
+            let mut d = SimProvLight::with_grouping(group);
+            d.set_jitter(Jitter::new(seed, jitter_frac));
+            Box::new(d)
+        }
+        System::ProvLightCustom(cfg) => {
+            let mut d = SimProvLight::new(cfg);
+            d.set_jitter(Jitter::new(seed, jitter_frac));
+            Box::new(d)
+        }
+        System::ProvLake { group } => {
+            Box::new(SimProvLake::with_jitter(group, Jitter::new(seed, jitter_frac)))
+        }
+        System::DfAnalyzer => Box::new(SimDfAnalyzer::with_jitter(Jitter::new(seed, jitter_frac))),
+    }
+}
+
+/// Runs a scenario: `reps` repetitions, each with its own workload seed
+/// and jitter stream, measured against the exact no-capture baseline.
+pub fn measure(scenario: &Scenario) -> ScenarioResult {
+    let mut overhead = Sample::new();
+    let mut cpu = Sample::new();
+    let mut mem = Sample::new();
+    let mut net = Sample::new();
+    let mut power = Sample::new();
+    let mut power_overhead = Sample::new();
+    let mut last = None;
+
+    let (uplink, downlink) = if scenario.system.uses_tcp() {
+        (
+            scenario.uplink.with_tcp_framing(),
+            scenario.downlink.with_tcp_framing(),
+        )
+    } else {
+        (scenario.uplink, scenario.downlink)
+    };
+
+    for rep in 0..scenario.reps.max(1) {
+        let seed = scenario.seed ^ (rep as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let schedule = generate(&scenario.spec, 1, seed);
+        let baseline = schedule.compute_total();
+        let mut driver = make_driver(scenario.system, seed, scenario.jitter_frac);
+        let outcome = run_schedule(
+            &schedule,
+            driver.as_mut(),
+            scenario.profile,
+            uplink,
+            downlink,
+            scenario.system.footprint(),
+        );
+        overhead.push(outcome.overhead_pct(baseline));
+        cpu.push(outcome.report.capture_cpu_pct);
+        mem.push(outcome.report.mem_peak_pct);
+        net.push(outcome.report.tx_kbs);
+        power.push(outcome.report.avg_power_w);
+        power_overhead.push(outcome.report.power_overhead_pct);
+        last = Some(outcome);
+    }
+
+    ScenarioResult {
+        overhead_pct: Measurement { sample: overhead },
+        cpu_pct: Measurement { sample: cpu },
+        mem_pct: Measurement { sample: mem },
+        net_kbs: Measurement { sample: net },
+        power_w: Measurement { sample: power },
+        power_overhead_pct: Measurement {
+            sample: power_overhead,
+        },
+        last,
+    }
+}
+
+/// Runs the Table IX scalability scenario: `devices` edge clients capture
+/// in parallel, each over its own radio link, publishing to the shared
+/// cloud broker. Devices are independent on the client side (asynchronous
+/// publish/subscribe); the broker's aggregate utilization is returned so
+/// saturation would be visible.
+pub fn measure_scalability(devices: usize, reps: usize) -> (Measurement, f64) {
+    let spec = WorkloadSpec::table1(100, 0.5);
+    let mut overhead = Sample::new();
+    let mut total_messages = 0u64;
+    let mut total_elapsed = 0.0f64;
+
+    for rep in 0..reps.max(1) {
+        for device in 0..devices {
+            let seed = (rep as u64) << 32 | device as u64;
+            let schedule = generate(&spec, device as u64 + 1, seed);
+            let baseline = schedule.compute_total();
+            let mut driver = SimProvLight::paper_default();
+            driver.set_jitter(Jitter::new(seed, 0.03));
+            let outcome = run_schedule(
+                &schedule,
+                &mut driver,
+                DeviceProfile::a8_m3(),
+                LinkSpec::gigabit_23ms(),
+                LinkSpec::gigabit_23ms(),
+                calib::PROVLIGHT_FOOTPRINT,
+            );
+            overhead.push(outcome.overhead_pct(baseline));
+            total_messages += driver.messages_sent;
+            total_elapsed = total_elapsed.max(outcome.elapsed.as_secs_f64());
+        }
+    }
+
+    // Broker utilization: aggregate packet arrival rate × per-packet
+    // service time on the cloud node (translators are parallelized per
+    // topic, Fig. 5, so the broker is the shared stage).
+    let service = DeviceProfile::cloud_server()
+        .scale(calib::BROKER_PACKET_CPU)
+        .as_secs_f64();
+    let rate = total_messages as f64 / reps.max(1) as f64 / total_elapsed.max(1e-9);
+    let utilization = rate * service;
+
+    (Measurement { sample: overhead }, utilization)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(system: System) -> ScenarioResult {
+        let mut s = Scenario::edge(system, WorkloadSpec::table1(100, 0.5));
+        s.reps = 3;
+        measure(&s)
+    }
+
+    #[test]
+    fn null_system_has_zero_overhead() {
+        let r = quick(System::None);
+        assert_eq!(r.overhead_pct.mean(), 0.0);
+        assert_eq!(r.cpu_pct.mean(), 0.0);
+    }
+
+    #[test]
+    fn ordering_matches_paper() {
+        let provlight = quick(System::ProvLight { group: 0 });
+        let dfanalyzer = quick(System::DfAnalyzer);
+        let provlake = quick(System::ProvLake { group: 0 });
+        assert!(provlight.overhead_pct.mean() < dfanalyzer.overhead_pct.mean());
+        assert!(dfanalyzer.overhead_pct.mean() < provlake.overhead_pct.mean());
+        // Fig. 6 orderings.
+        assert!(provlight.cpu_pct.mean() * 4.0 < provlake.cpu_pct.mean());
+        assert!(provlight.mem_pct.mean() * 1.5 < provlake.mem_pct.mean());
+        assert!(provlight.net_kbs.mean() * 1.5 < provlake.net_kbs.mean());
+        assert!(provlight.power_w.mean() < provlake.power_w.mean());
+    }
+
+    #[test]
+    fn repetitions_produce_confidence_intervals() {
+        let r = quick(System::ProvLake { group: 0 });
+        assert!(r.overhead_pct.ci95() > 0.0);
+        assert!(r.overhead_pct.ci95() < r.overhead_pct.mean() / 5.0);
+    }
+
+    #[test]
+    fn scalability_stays_flat_and_broker_unsaturated() {
+        let (m8, _) = measure_scalability(8, 1);
+        let (m64, util) = measure_scalability(64, 1);
+        // Paper Table IX: 1.54 % -> 1.57 % — flat within noise.
+        assert!((m8.mean() - m64.mean()).abs() < 0.3, "{} vs {}", m8.mean(), m64.mean());
+        assert!(util < 1.0, "broker saturated: {util}");
+    }
+
+    #[test]
+    fn cloud_scenario_shrinks_everything() {
+        let mut edge = Scenario::edge(System::DfAnalyzer, WorkloadSpec::table1(100, 0.5));
+        edge.reps = 2;
+        let mut cloud = Scenario::cloud(System::DfAnalyzer, WorkloadSpec::table1(100, 0.5));
+        cloud.reps = 2;
+        let edge_r = measure(&edge);
+        let cloud_r = measure(&cloud);
+        assert!(cloud_r.overhead_pct.mean() < edge_r.overhead_pct.mean() / 10.0);
+    }
+}

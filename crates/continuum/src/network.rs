@@ -1,0 +1,246 @@
+//! E2Clab network-constraint configuration.
+//!
+//! The paper's methodology defines Edge-to-Cloud network constraints in a
+//! `network.yaml` (feature (iv) of §II-C; Fig. 5 shows the instance used:
+//! "bandwidth: 1Gbit / 25Kbit, delay: 23ms"). This module parses that
+//! shape and converts each rule into a [`LinkSpec`] for the simulator.
+//!
+//! ```yaml
+//! networks:
+//! - src: edge, dst: cloud, rate: 1Gbit, delay: 23ms
+//! - src: cloud, dst: edge, rate: 1Gbit, delay: 23ms, loss: 0.01
+//! ```
+
+use net_sim::link::LinkSpec;
+use std::time::Duration;
+
+/// One directed network constraint between two layers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetworkRule {
+    /// Source layer name.
+    pub src: String,
+    /// Destination layer name.
+    pub dst: String,
+    /// Bandwidth in bits per second.
+    pub rate_bps: f64,
+    /// One-way delay.
+    pub delay: Duration,
+    /// Packet loss probability.
+    pub loss: f64,
+}
+
+impl NetworkRule {
+    /// Converts to a simulator link spec (UDP framing by default).
+    pub fn to_link_spec(&self) -> LinkSpec {
+        LinkSpec {
+            bandwidth_bps: self.rate_bps,
+            propagation_delay: self.delay,
+            ..LinkSpec::gigabit_23ms()
+        }
+    }
+}
+
+/// Parse errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetworkConfigError {
+    /// 1-based line.
+    pub line: usize,
+    /// Message.
+    pub message: String,
+}
+
+impl std::fmt::Display for NetworkConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "network config error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for NetworkConfigError {}
+
+fn err(line: usize, message: impl Into<String>) -> NetworkConfigError {
+    NetworkConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a rate like `1Gbit`, `25Kbit`, `100Mbit`, `9600bit` into bps.
+pub fn parse_rate(text: &str) -> Option<f64> {
+    let text = text.trim();
+    let lower = text.to_ascii_lowercase();
+    let (digits, factor) = if let Some(d) = lower.strip_suffix("gbit") {
+        (d, 1e9)
+    } else if let Some(d) = lower.strip_suffix("mbit") {
+        (d, 1e6)
+    } else if let Some(d) = lower.strip_suffix("kbit") {
+        (d, 1e3)
+    } else if let Some(d) = lower.strip_suffix("bit") {
+        (d, 1.0)
+    } else {
+        return None;
+    };
+    digits.trim().parse::<f64>().ok().map(|v| v * factor)
+}
+
+/// Parses a delay like `23ms`, `1.5s`, `250us`.
+pub fn parse_delay(text: &str) -> Option<Duration> {
+    let lower = text.trim().to_ascii_lowercase();
+    let (digits, scale) = if let Some(d) = lower.strip_suffix("ms") {
+        (d, 1e-3)
+    } else if let Some(d) = lower.strip_suffix("us") {
+        (d, 1e-6)
+    } else if let Some(d) = lower.strip_suffix('s') {
+        (d, 1.0)
+    } else {
+        return None;
+    };
+    digits
+        .trim()
+        .parse::<f64>()
+        .ok()
+        .filter(|v| *v >= 0.0)
+        .map(|v| Duration::from_secs_f64(v * scale))
+}
+
+/// Parses the `networks:` document.
+pub fn parse_networks(text: &str) -> Result<Vec<NetworkRule>, NetworkConfigError> {
+    let mut rules = Vec::new();
+    let mut in_section = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "networks:" {
+            in_section = true;
+            continue;
+        }
+        if !in_section {
+            return Err(err(lineno, "expected 'networks:' header"));
+        }
+        let Some(item) = trimmed.strip_prefix("- ") else {
+            return Err(err(lineno, format!("expected list item, got '{trimmed}'")));
+        };
+        let mut rule = NetworkRule {
+            src: String::new(),
+            dst: String::new(),
+            rate_bps: 0.0,
+            delay: Duration::ZERO,
+            loss: 0.0,
+        };
+        for field in item.split(',') {
+            let (key, value) = field
+                .split_once(':')
+                .ok_or_else(|| err(lineno, format!("bad field '{field}'")))?;
+            let value = value.trim();
+            match key.trim() {
+                "src" => rule.src = value.to_owned(),
+                "dst" => rule.dst = value.to_owned(),
+                "rate" => {
+                    rule.rate_bps = parse_rate(value)
+                        .ok_or_else(|| err(lineno, format!("bad rate '{value}'")))?;
+                }
+                "delay" => {
+                    rule.delay = parse_delay(value)
+                        .ok_or_else(|| err(lineno, format!("bad delay '{value}'")))?;
+                }
+                "loss" => {
+                    rule.loss = value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|v| (0.0..=1.0).contains(v))
+                        .ok_or_else(|| err(lineno, format!("bad loss '{value}'")))?;
+                }
+                other => return Err(err(lineno, format!("unknown key '{other}'"))),
+            }
+        }
+        if rule.src.is_empty() || rule.dst.is_empty() {
+            return Err(err(lineno, "rule needs src and dst"));
+        }
+        if rule.rate_bps <= 0.0 {
+            return Err(err(lineno, "rule needs a positive rate"));
+        }
+        rules.push(rule);
+    }
+    Ok(rules)
+}
+
+/// The paper's Fig. 5 network, fast variant.
+pub fn fig5_gigabit() -> &'static str {
+    "networks:\n\
+     - src: edge, dst: cloud, rate: 1Gbit, delay: 23ms\n\
+     - src: cloud, dst: edge, rate: 1Gbit, delay: 23ms\n"
+}
+
+/// The paper's Fig. 5 network, constrained variant.
+pub fn fig5_25kbit() -> &'static str {
+    "networks:\n\
+     - src: edge, dst: cloud, rate: 25Kbit, delay: 23ms\n\
+     - src: cloud, dst: edge, rate: 25Kbit, delay: 23ms\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig5_configs() {
+        let fast = parse_networks(fig5_gigabit()).unwrap();
+        assert_eq!(fast.len(), 2);
+        assert_eq!(fast[0].src, "edge");
+        assert_eq!(fast[0].rate_bps, 1e9);
+        assert_eq!(fast[0].delay, Duration::from_millis(23));
+
+        let slow = parse_networks(fig5_25kbit()).unwrap();
+        assert_eq!(slow[0].rate_bps, 25e3);
+        let spec = slow[0].to_link_spec();
+        assert_eq!(spec.bandwidth_bps, 25e3);
+        assert_eq!(spec.propagation_delay, Duration::from_millis(23));
+    }
+
+    #[test]
+    fn rate_units() {
+        assert_eq!(parse_rate("1Gbit"), Some(1e9));
+        assert_eq!(parse_rate("100Mbit"), Some(1e8));
+        assert_eq!(parse_rate("25Kbit"), Some(25e3));
+        assert_eq!(parse_rate("9600bit"), Some(9600.0));
+        assert_eq!(parse_rate("1.5Mbit"), Some(1.5e6));
+        assert_eq!(parse_rate("fast"), None);
+    }
+
+    #[test]
+    fn delay_units() {
+        assert_eq!(parse_delay("23ms"), Some(Duration::from_millis(23)));
+        assert_eq!(parse_delay("250us"), Some(Duration::from_micros(250)));
+        assert_eq!(parse_delay("2s"), Some(Duration::from_secs(2)));
+        assert_eq!(parse_delay("-1ms"), None);
+        assert_eq!(parse_delay("soon"), None);
+    }
+
+    #[test]
+    fn loss_field_and_validation() {
+        let rules =
+            parse_networks("networks:\n- src: a, dst: b, rate: 1Mbit, delay: 1ms, loss: 0.05\n")
+                .unwrap();
+        assert_eq!(rules[0].loss, 0.05);
+        assert!(parse_networks("networks:\n- src: a, dst: b, rate: 1Mbit, loss: 7\n").is_err());
+        assert!(parse_networks("networks:\n- dst: b, rate: 1Mbit\n").is_err());
+        assert!(parse_networks("networks:\n- src: a, dst: b\n").is_err());
+        assert!(parse_networks("- src: a\n").is_err());
+        assert!(parse_networks("networks:\nnonsense\n").is_err());
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let rules = parse_networks(
+            "networks:\n# emulated WAN\n- src: edge, dst: cloud, rate: 1Gbit, delay: 23ms # fast\n",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 1);
+    }
+}

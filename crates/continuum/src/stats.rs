@@ -1,0 +1,144 @@
+//! Repetition statistics.
+//!
+//! The paper reports every cell as "the mean followed by the 95 %
+//! confidence interval" over 10 repetitions. [`Sample`] implements exactly
+//! that: mean, sample standard deviation, and the t-distribution half
+//! width.
+
+/// A sample of repeated measurements.
+#[derive(Clone, Debug, Default)]
+pub struct Sample {
+    values: Vec<f64>,
+}
+
+/// Two-sided 97.5 % t quantiles for n-1 degrees of freedom (n = 2..=30);
+/// larger samples fall back to the normal 1.96.
+const T_975: [f64; 29] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045,
+];
+
+impl Sample {
+    /// Empty sample.
+    pub fn new() -> Self {
+        Sample::default()
+    }
+
+    /// From existing values.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        Sample { values }
+    }
+
+    /// Adds a measurement.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of measurements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Sample mean (0 for an empty sample).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Sample standard deviation (n-1 denominator).
+    pub fn stddev(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Half-width of the 95 % confidence interval on the mean.
+    pub fn ci95(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let t = if n - 2 < T_975.len() {
+            T_975[n - 2]
+        } else {
+            1.96
+        };
+        t * self.stddev() / (n as f64).sqrt()
+    }
+}
+
+impl std::fmt::Display for Sample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}% ±{:.2}", self.mean(), self.ci95())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        let s = Sample::from_values(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Known sample stddev of this set is ~2.138.
+        assert!((s.stddev() - 2.138).abs() < 0.01);
+    }
+
+    #[test]
+    fn ci_uses_t_distribution_for_small_n() {
+        // n = 10 -> t = 2.262 (the paper's repetition count).
+        let s = Sample::from_values(vec![1.0, 2.0, 1.5, 1.8, 2.2, 0.9, 1.4, 1.6, 2.0, 1.2]);
+        let expected = 2.262 * s.stddev() / 10f64.sqrt();
+        assert!((s.ci95() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_samples() {
+        assert_eq!(Sample::new().mean(), 0.0);
+        assert_eq!(Sample::from_values(vec![3.0]).ci95(), 0.0);
+        let constant = Sample::from_values(vec![2.5; 10]);
+        assert_eq!(constant.stddev(), 0.0);
+        assert_eq!(constant.ci95(), 0.0);
+    }
+
+    #[test]
+    fn push_accumulates() {
+        let mut s = Sample::new();
+        for i in 0..5 {
+            s.push(i as f64);
+        }
+        assert_eq!(s.len(), 5);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_n_falls_back_to_normal() {
+        let values: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let s = Sample::from_values(values);
+        let expected = 1.96 * s.stddev() / 10.0;
+        assert!((s.ci95() - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,336 @@
+//! The user-facing capture API (paper Listing 1).
+//!
+//! Applications instrument their workflow code like this:
+//!
+//! ```
+//! use provlight_core::api::{CaptureSession, VecSink};
+//! use prov_model::DataRecord;
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(VecSink::default());
+//! let session = CaptureSession::new(sink.clone());
+//!
+//! let workflow = session.workflow(1u64);
+//! workflow.begin().unwrap();
+//! let mut task = workflow.task(0u64, 0u64, &[]);
+//! let data_in = DataRecord::new("in1", 1u64).with_attr("lr", 0.1);
+//! task.begin(vec![data_in]).unwrap();
+//! // #### YOUR TASK RUNS HERE ####
+//! let data_out = DataRecord::new("out1", 1u64).derived_from("in1");
+//! task.end(vec![data_out]).unwrap();
+//! workflow.end().unwrap();
+//! assert_eq!(sink.records().len(), 4);
+//! ```
+//!
+//! The API is transport-agnostic: a [`RecordSink`] receives each record —
+//! the real client wires in the grouping + MQTT-SN transmitter, tests use
+//! [`VecSink`].
+
+use prov_model::{DataRecord, Id, Record, TaskRecord, TaskStatus};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Errors surfaced by the capture pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CaptureError {
+    /// The transmitter has shut down.
+    Closed,
+    /// A task lifecycle method was misused.
+    Lifecycle(&'static str),
+    /// Transport-level failure description.
+    Transport(String),
+}
+
+impl std::fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaptureError::Closed => f.write_str("capture pipeline closed"),
+            CaptureError::Lifecycle(m) => write!(f, "lifecycle error: {m}"),
+            CaptureError::Transport(m) => write!(f, "transport error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CaptureError {}
+
+/// Receives captured records (the boundary between the instrumentation API
+/// and the transport).
+pub trait RecordSink: Send + Sync {
+    /// Accepts one record.
+    fn submit(&self, record: Record) -> Result<(), CaptureError>;
+    /// Blocks until buffered records are durably handed to the transport.
+    fn flush(&self) -> Result<(), CaptureError> {
+        Ok(())
+    }
+}
+
+/// An in-memory sink for tests and examples.
+#[derive(Default)]
+pub struct VecSink {
+    records: parking_lot::Mutex<Vec<Record>>,
+}
+
+impl VecSink {
+    /// Snapshot of everything captured so far.
+    pub fn records(&self) -> Vec<Record> {
+        self.records.lock().clone()
+    }
+}
+
+impl RecordSink for VecSink {
+    fn submit(&self, record: Record) -> Result<(), CaptureError> {
+        self.records.lock().push(record);
+        Ok(())
+    }
+}
+
+/// A capture session: a sink plus a monotonic clock.
+#[derive(Clone)]
+pub struct CaptureSession {
+    sink: Arc<dyn RecordSink>,
+    epoch: Instant,
+    /// Logical time override for deterministic tests (ns); when set, used
+    /// instead of the wall clock.
+    logical_ns: Arc<AtomicU64>,
+    use_logical: bool,
+}
+
+impl CaptureSession {
+    /// Creates a session over a sink using the wall clock.
+    pub fn new(sink: Arc<dyn RecordSink>) -> Self {
+        CaptureSession {
+            sink,
+            epoch: Instant::now(),
+            logical_ns: Arc::new(AtomicU64::new(0)),
+            use_logical: false,
+        }
+    }
+
+    /// Creates a session with a logical clock advanced via
+    /// [`CaptureSession::advance_ns`] (deterministic timestamps).
+    pub fn with_logical_clock(sink: Arc<dyn RecordSink>) -> Self {
+        CaptureSession {
+            sink,
+            epoch: Instant::now(),
+            logical_ns: Arc::new(AtomicU64::new(0)),
+            use_logical: true,
+        }
+    }
+
+    /// Advances the logical clock.
+    pub fn advance_ns(&self, ns: u64) {
+        self.logical_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    fn now_ns(&self) -> u64 {
+        if self.use_logical {
+            self.logical_ns.load(Ordering::Relaxed)
+        } else {
+            self.epoch.elapsed().as_nanos() as u64
+        }
+    }
+
+    /// Starts describing a workflow (Listing 1: `Workflow(1)`).
+    pub fn workflow(&self, id: impl Into<Id>) -> Workflow {
+        Workflow {
+            session: self.clone(),
+            id: id.into(),
+        }
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&self) -> Result<(), CaptureError> {
+        self.sink.flush()
+    }
+}
+
+/// A workflow handle (PROV-DM Agent).
+pub struct Workflow {
+    session: CaptureSession,
+    id: Id,
+}
+
+impl Workflow {
+    /// The workflow id.
+    pub fn id(&self) -> &Id {
+        &self.id
+    }
+
+    /// Captures the workflow start (`workflow.begin()`).
+    pub fn begin(&self) -> Result<(), CaptureError> {
+        self.session.sink.submit(Record::WorkflowBegin {
+            workflow: self.id.clone(),
+            time_ns: self.session.now_ns(),
+        })
+    }
+
+    /// Captures the workflow end (`workflow.end()`), flushing buffers.
+    pub fn end(&self) -> Result<(), CaptureError> {
+        self.session.sink.submit(Record::WorkflowEnd {
+            workflow: self.id.clone(),
+            time_ns: self.session.now_ns(),
+        })?;
+        self.session.sink.flush()
+    }
+
+    /// Creates a task handle linked to this workflow (Listing 1:
+    /// `Task(id, workflow, transformation, dependencies=...)`).
+    pub fn task(
+        &self,
+        id: impl Into<Id>,
+        transformation: impl Into<Id>,
+        dependencies: &[Id],
+    ) -> Task {
+        Task {
+            session: self.session.clone(),
+            workflow: self.id.clone(),
+            id: id.into(),
+            transformation: transformation.into(),
+            dependencies: dependencies.to_vec(),
+            begun: false,
+            ended: false,
+        }
+    }
+}
+
+/// A task handle (PROV-DM Activity).
+pub struct Task {
+    session: CaptureSession,
+    workflow: Id,
+    id: Id,
+    transformation: Id,
+    dependencies: Vec<Id>,
+    begun: bool,
+    ended: bool,
+}
+
+impl Task {
+    /// The task id.
+    pub fn id(&self) -> &Id {
+        &self.id
+    }
+
+    fn record(&self, status: TaskStatus) -> TaskRecord {
+        TaskRecord {
+            id: self.id.clone(),
+            workflow: self.workflow.clone(),
+            transformation: self.transformation.clone(),
+            dependencies: self.dependencies.clone(),
+            time_ns: self.session.now_ns(),
+            status,
+        }
+    }
+
+    /// Captures the task start with its input data (`task.begin([data])`).
+    pub fn begin(&mut self, inputs: Vec<DataRecord>) -> Result<(), CaptureError> {
+        if self.begun {
+            return Err(CaptureError::Lifecycle("task.begin() called twice"));
+        }
+        self.begun = true;
+        self.session.sink.submit(Record::TaskBegin {
+            task: self.record(TaskStatus::Running),
+            inputs,
+        })
+    }
+
+    /// Captures the task end with its output data (`task.end([data])`).
+    pub fn end(&mut self, outputs: Vec<DataRecord>) -> Result<(), CaptureError> {
+        if !self.begun {
+            return Err(CaptureError::Lifecycle("task.end() before begin()"));
+        }
+        if self.ended {
+            return Err(CaptureError::Lifecycle("task.end() called twice"));
+        }
+        self.ended = true;
+        self.session.sink.submit(Record::TaskEnd {
+            task: self.record(TaskStatus::Finished),
+            outputs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> (Arc<VecSink>, CaptureSession) {
+        let sink = Arc::new(VecSink::default());
+        let session = CaptureSession::with_logical_clock(sink.clone());
+        (sink, session)
+    }
+
+    #[test]
+    fn listing1_flow_produces_expected_records() {
+        let (sink, session) = session();
+        let wf = session.workflow(1u64);
+        wf.begin().unwrap();
+        let mut prev: Vec<Id> = vec![];
+        for i in 0..3u64 {
+            session.advance_ns(1000);
+            let mut task = wf.task(i, 0u64, &prev);
+            task.begin(vec![DataRecord::new(format!("in{i}"), 1u64)])
+                .unwrap();
+            session.advance_ns(500_000);
+            task.end(vec![DataRecord::new(format!("out{i}"), 1u64)])
+                .unwrap();
+            prev = vec![Id::Num(i)];
+        }
+        wf.end().unwrap();
+        let records = sink.records();
+        assert_eq!(records.len(), 8);
+        assert!(matches!(records[0], Record::WorkflowBegin { .. }));
+        assert!(matches!(records[7], Record::WorkflowEnd { .. }));
+        // Dependencies chain.
+        match &records[3] {
+            Record::TaskBegin { task, .. } => {
+                assert_eq!(task.dependencies, vec![Id::Num(0)]);
+            }
+            r => panic!("unexpected {r:?}"),
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotone_with_logical_clock() {
+        let (sink, session) = session();
+        let wf = session.workflow(1u64);
+        wf.begin().unwrap();
+        session.advance_ns(5);
+        wf.end().unwrap();
+        let records = sink.records();
+        assert!(records[0].time_ns() < records[1].time_ns());
+    }
+
+    #[test]
+    fn lifecycle_misuse_is_rejected() {
+        let (_, session) = session();
+        let wf = session.workflow(1u64);
+        let mut t = wf.task(1u64, 0u64, &[]);
+        assert_eq!(
+            t.end(vec![]),
+            Err(CaptureError::Lifecycle("task.end() before begin()"))
+        );
+        t.begin(vec![]).unwrap();
+        assert_eq!(
+            t.begin(vec![]),
+            Err(CaptureError::Lifecycle("task.begin() called twice"))
+        );
+        t.end(vec![]).unwrap();
+        assert_eq!(
+            t.end(vec![]),
+            Err(CaptureError::Lifecycle("task.end() called twice"))
+        );
+    }
+
+    #[test]
+    fn wall_clock_session_timestamps_advance() {
+        let sink = Arc::new(VecSink::default());
+        let session = CaptureSession::new(sink.clone());
+        let wf = session.workflow("wf-real");
+        wf.begin().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        wf.end().unwrap();
+        let records = sink.records();
+        assert!(records[1].time_ns() > records[0].time_ns());
+    }
+}

@@ -1,0 +1,95 @@
+//! The real-mode ProvLight client: capture API + grouping + async
+//! MQTT-SN transmitter, wired together.
+
+use crate::api::{CaptureError, CaptureSession, RecordSink};
+use crate::config::CaptureConfig;
+use crate::grouping::Grouper;
+use crate::transmitter::Transmitter;
+use mqtt_sn::net::NetError;
+use parking_lot::Mutex;
+use prov_model::Record;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// A connected ProvLight capture client.
+///
+/// ```no_run
+/// use provlight_core::{CaptureConfig, ProvLightClient};
+///
+/// let client = ProvLightClient::connect(
+///     "127.0.0.1:1883".parse().unwrap(),
+///     "device-1",
+///     "provlight/wf1/device-1",
+///     CaptureConfig::default(),
+/// ).unwrap();
+/// let session = client.session();
+/// let wf = session.workflow(1u64);
+/// wf.begin().unwrap();
+/// // ... instrument tasks (Listing 1) ...
+/// wf.end().unwrap();
+/// client.shutdown();
+/// ```
+pub struct ProvLightClient {
+    sink: Arc<TransmitterSink>,
+}
+
+struct TransmitterSink {
+    grouper: Mutex<Grouper>,
+    transmitter: Transmitter,
+}
+
+impl RecordSink for TransmitterSink {
+    fn submit(&self, record: Record) -> Result<(), CaptureError> {
+        let batches = self.grouper.lock().push(record);
+        for batch in batches {
+            self.transmitter.publish(batch)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&self) -> Result<(), CaptureError> {
+        let remainder = self.grouper.lock().flush();
+        if let Some(batch) = remainder {
+            self.transmitter.publish(batch)?;
+        }
+        self.transmitter.flush()
+    }
+}
+
+impl ProvLightClient {
+    /// Connects to an MQTT-SN broker and prepares the capture pipeline.
+    ///
+    /// `topic` is this device's publish topic (the Fig. 5 deployment uses
+    /// one topic per device: `provlight/<workflow>/<device>`).
+    pub fn connect(
+        broker: SocketAddr,
+        client_id: &str,
+        topic: &str,
+        config: CaptureConfig,
+    ) -> Result<ProvLightClient, NetError> {
+        let transmitter =
+            Transmitter::start(broker, client_id.to_owned(), topic.to_owned(), config)?;
+        Ok(ProvLightClient {
+            sink: Arc::new(TransmitterSink {
+                grouper: Mutex::new(Grouper::new(config.group)),
+                transmitter,
+            }),
+        })
+    }
+
+    /// A capture session for instrumentation (Listing 1 API).
+    pub fn session(&self) -> CaptureSession {
+        CaptureSession::new(self.sink.clone())
+    }
+
+    /// Blocks until all captured data is published and acknowledged.
+    pub fn flush(&self) -> Result<(), CaptureError> {
+        self.sink.flush()
+    }
+
+    /// Flushes and stops the transmitter.
+    pub fn shutdown(self) {
+        let _ = self.sink.flush();
+        // Transmitter shut down in Drop.
+    }
+}

@@ -1,0 +1,154 @@
+//! Record grouping (paper §IV-C).
+
+use crate::config::GroupPolicy;
+use prov_model::Record;
+
+/// Buffers records according to a [`GroupPolicy`] and emits message
+/// batches.
+#[derive(Debug)]
+pub struct Grouper {
+    policy: GroupPolicy,
+    buffer: Vec<Record>,
+}
+
+impl Grouper {
+    /// Creates a grouper.
+    pub fn new(policy: GroupPolicy) -> Self {
+        Grouper {
+            policy,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Records currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Pushes a record; returns the message batches that became ready.
+    pub fn push(&mut self, record: Record) -> Vec<Vec<Record>> {
+        match self.policy {
+            GroupPolicy::Immediate => vec![vec![record]],
+            GroupPolicy::Grouped { size } => {
+                self.buffer.push(record);
+                if self.buffer.len() >= size.max(1) {
+                    vec![std::mem::take(&mut self.buffer)]
+                } else {
+                    vec![]
+                }
+            }
+            GroupPolicy::EndedOnly { size } => {
+                if record.is_end_event() {
+                    self.buffer.push(record);
+                    if self.buffer.len() >= size.max(1) {
+                        vec![std::mem::take(&mut self.buffer)]
+                    } else {
+                        vec![]
+                    }
+                } else {
+                    // Begin events bypass the buffer so runtime tracking of
+                    // started tasks still works.
+                    vec![vec![record]]
+                }
+            }
+        }
+    }
+
+    /// Flushes any partial group (workflow end).
+    pub fn flush(&mut self) -> Option<Vec<Record>> {
+        if self.buffer.is_empty() {
+            None
+        } else {
+            Some(std::mem::take(&mut self.buffer))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::{Id, TaskRecord, TaskStatus};
+
+    fn begin(i: u64) -> Record {
+        Record::TaskBegin {
+            task: TaskRecord {
+                id: Id::Num(i),
+                workflow: Id::Num(1),
+                transformation: Id::Num(0),
+                dependencies: vec![],
+                time_ns: 0,
+                status: TaskStatus::Running,
+            },
+            inputs: vec![],
+        }
+    }
+
+    fn end(i: u64) -> Record {
+        Record::TaskEnd {
+            task: TaskRecord {
+                id: Id::Num(i),
+                workflow: Id::Num(1),
+                transformation: Id::Num(0),
+                dependencies: vec![],
+                time_ns: 1,
+                status: TaskStatus::Finished,
+            },
+            outputs: vec![],
+        }
+    }
+
+    #[test]
+    fn immediate_passes_through() {
+        let mut g = Grouper::new(GroupPolicy::Immediate);
+        let out = g.push(begin(1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 1);
+        assert_eq!(g.flush(), None);
+    }
+
+    #[test]
+    fn grouped_batches_at_size() {
+        let mut g = Grouper::new(GroupPolicy::Grouped { size: 3 });
+        assert!(g.push(begin(1)).is_empty());
+        assert!(g.push(end(1)).is_empty());
+        let out = g.push(begin(2));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 3);
+        assert_eq!(g.buffered(), 0);
+    }
+
+    #[test]
+    fn flush_returns_partial_group() {
+        let mut g = Grouper::new(GroupPolicy::Grouped { size: 10 });
+        g.push(begin(1));
+        g.push(end(1));
+        let rest = g.flush().unwrap();
+        assert_eq!(rest.len(), 2);
+        assert_eq!(g.flush(), None);
+    }
+
+    #[test]
+    fn ended_only_sends_begins_immediately() {
+        let mut g = Grouper::new(GroupPolicy::EndedOnly { size: 2 });
+        // Begin bypasses.
+        let out = g.push(begin(1));
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0][0], Record::TaskBegin { .. }));
+        // First end buffers.
+        assert!(g.push(end(1)).is_empty());
+        // Second begin still bypasses while an end is buffered.
+        let out = g.push(begin(2));
+        assert_eq!(out.len(), 1);
+        // Second end flushes the group of ends.
+        let out = g.push(end(2));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 2);
+        assert!(out[0].iter().all(Record::is_end_event));
+    }
+
+    #[test]
+    fn zero_size_behaves_like_one() {
+        let mut g = Grouper::new(GroupPolicy::Grouped { size: 0 });
+        assert_eq!(g.push(begin(1)).len(), 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! The real-mode ProvLight server: MQTT-SN broker + provenance data
+//! translator (paper Fig. 3).
+
+use crate::translator::Translator;
+use mqtt_sn::net::{NetError, UdpBroker, UdpClient};
+use mqtt_sn::{BrokerConfig, ClientConfig, ClientEvent, QoS};
+use parking_lot::Mutex;
+use prov_codec::frame::Envelope;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running ProvLight server (broker + translator subscriptions).
+///
+/// A translator subscribes to a topic filter (e.g. `provlight/#`) and
+/// converts every decoded message with the provided [`Translator`]. For
+/// large fleets the paper parallelizes translators — one per device topic
+/// (Fig. 5, translator-1..64); [`ProvLightServer::start_parallel`] builds
+/// that layout.
+pub struct ProvLightServer {
+    broker: UdpBroker,
+    shutdown: Arc<AtomicBool>,
+    decode_errors: Arc<AtomicU64>,
+    translator_threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ProvLightServer {
+    /// Binds the broker and starts one translator loop.
+    pub fn start(
+        bind: &str,
+        topic_filter: &str,
+        translator: Arc<Mutex<dyn Translator>>,
+    ) -> Result<ProvLightServer, NetError> {
+        Self::start_parallel(bind, &[topic_filter.to_owned()], move |_| translator.clone())
+    }
+
+    /// Binds the broker and starts one translator per topic filter (the
+    /// Fig. 5 parallel-translator deployment). `factory(i)` supplies the
+    /// translator for `topics[i]`; factories may share a store-backed
+    /// translator or build independent ones.
+    pub fn start_parallel(
+        bind: &str,
+        topics: &[String],
+        factory: impl Fn(usize) -> Arc<Mutex<dyn Translator>>,
+    ) -> Result<ProvLightServer, NetError> {
+        let broker = UdpBroker::spawn(bind, BrokerConfig::default()).map_err(NetError::Io)?;
+        let addr = broker.local_addr();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let decode_errors = Arc::new(AtomicU64::new(0));
+
+        let mut translator_threads = Vec::with_capacity(topics.len());
+        for (i, topic) in topics.iter().enumerate() {
+            let mut sub = UdpClient::connect(
+                addr,
+                ClientConfig::new(format!("provlight-translator-{i}")),
+                Duration::from_secs(5),
+            )?;
+            sub.subscribe(topic, QoS::ExactlyOnce, Duration::from_secs(5))?;
+            let translator = factory(i);
+            let shutdown = Arc::clone(&shutdown);
+            let decode_errors = Arc::clone(&decode_errors);
+            translator_threads.push(std::thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    match sub.poll_event() {
+                        Ok(Some(ClientEvent::Message { payload, .. })) => {
+                            match Envelope::decode(&payload) {
+                                Ok(envelope) => {
+                                    translator.lock().on_records(envelope.records);
+                                }
+                                Err(_) => {
+                                    decode_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        Ok(_) => {}
+                        Err(_) => break,
+                    }
+                }
+                let _ = sub.disconnect();
+            }));
+        }
+
+        Ok(ProvLightServer {
+            broker,
+            shutdown,
+            decode_errors,
+            translator_threads,
+        })
+    }
+
+    /// Broker address for clients.
+    pub fn broker_addr(&self) -> SocketAddr {
+        self.broker.local_addr()
+    }
+
+    /// Messages that failed to decode (wire corruption or foreign
+    /// publishers on the topic).
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors.load(Ordering::Relaxed)
+    }
+
+    /// Broker routing statistics.
+    pub fn broker_stats(&self) -> mqtt_sn::broker::BrokerStats {
+        self.broker.stats()
+    }
+
+    /// Stops translators and broker.
+    pub fn shutdown(mut self) {
+        self.stop();
+        // Broker stops on drop.
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.translator_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ProvLightServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ProvLightClient;
+    use crate::config::{CaptureConfig, GroupPolicy};
+    use crate::translator::DfAnalyzerTranslator;
+    use prov_model::{DataRecord, Id};
+
+    fn wait_until(timeout: Duration, mut f: impl FnMut() -> bool) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if f() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        false
+    }
+
+    #[test]
+    fn end_to_end_capture_over_real_udp() {
+        let store = prov_store::store::shared();
+        let translator = Arc::new(Mutex::new(DfAnalyzerTranslator::new(store.clone())));
+        let server = ProvLightServer::start("127.0.0.1:0", "provlight/#", translator).unwrap();
+
+        let client = ProvLightClient::connect(
+            server.broker_addr(),
+            "device-1",
+            "provlight/wf1/device-1",
+            CaptureConfig::default(),
+        )
+        .unwrap();
+
+        let session = client.session();
+        let wf = session.workflow(1u64);
+        wf.begin().unwrap();
+        let mut task = wf.task(0u64, "train", &[]);
+        task.begin(vec![DataRecord::new("in1", 1u64).with_attr("lr", 0.1)])
+            .unwrap();
+        task.end(vec![DataRecord::new("out1", 1u64)
+            .with_attr("accuracy", 0.97)
+            .derived_from("in1")])
+            .unwrap();
+        wf.end().unwrap();
+        client.flush().unwrap();
+
+        assert!(
+            wait_until(Duration::from_secs(10), || store.read().stats().records >= 4),
+            "store never received the records; got {}",
+            store.read().stats().records
+        );
+        let guard = store.read();
+        let task_row = guard.task_by_id(&Id::Num(1), &Id::Num(0)).unwrap();
+        assert_eq!(task_row.transformation, Id::from("train"));
+        assert!(task_row.elapsed_s().is_some());
+        assert_eq!(server.decode_errors(), 0);
+        drop(guard);
+
+        client.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn parallel_translators_partition_by_topic() {
+        // Fig. 5: one translator per device topic, all feeding the same
+        // store; a per-topic message counter proves the partitioning.
+        let store = prov_store::store::shared();
+        let counters: Vec<Arc<Mutex<DfAnalyzerTranslator>>> = (0..3)
+            .map(|_| Arc::new(Mutex::new(DfAnalyzerTranslator::new(store.clone()))))
+            .collect();
+        let topics: Vec<String> = (0..3).map(|i| format!("provlight/wfp/dev{i}")).collect();
+        let c = counters.clone();
+        let server = ProvLightServer::start_parallel("127.0.0.1:0", &topics, move |i| {
+            c[i].clone() as Arc<Mutex<dyn crate::translator::Translator>>
+        })
+        .unwrap();
+
+        for dev in 0..3u64 {
+            let client = ProvLightClient::connect(
+                server.broker_addr(),
+                &format!("pdev{dev}"),
+                &format!("provlight/wfp/dev{dev}"),
+                CaptureConfig::default(),
+            )
+            .unwrap();
+            let session = client.session();
+            let wf = session.workflow(dev + 100);
+            wf.begin().unwrap();
+            wf.end().unwrap();
+            client.flush().unwrap();
+            client.shutdown();
+        }
+
+        assert!(
+            wait_until(Duration::from_secs(10), || store.read().stats().records >= 6),
+            "records: {}",
+            store.read().stats().records
+        );
+        // Each translator saw exactly its own device's two messages.
+        for (i, t) in counters.iter().enumerate() {
+            assert_eq!(t.lock().messages(), 2, "translator {i}");
+        }
+        assert_eq!(store.read().workflow_ids().len(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn grouped_capture_arrives_in_batches() {
+        let store = prov_store::store::shared();
+        let translator = Arc::new(Mutex::new(DfAnalyzerTranslator::new(store.clone())));
+        let server = ProvLightServer::start("127.0.0.1:0", "provlight/#", translator).unwrap();
+
+        let config = CaptureConfig {
+            group: GroupPolicy::Grouped { size: 4 },
+            ..CaptureConfig::default()
+        };
+        let client = ProvLightClient::connect(
+            server.broker_addr(),
+            "device-2",
+            "provlight/wf2/device-2",
+            config,
+        )
+        .unwrap();
+
+        let session = client.session();
+        let wf = session.workflow(2u64);
+        wf.begin().unwrap();
+        for i in 0..3u64 {
+            let mut t = wf.task(i, 0u64, &[]);
+            t.begin(vec![]).unwrap();
+            t.end(vec![]).unwrap();
+        }
+        wf.end().unwrap();
+        client.flush().unwrap();
+
+        assert!(
+            wait_until(Duration::from_secs(10), || store.read().stats().records >= 8),
+            "records missing: {}",
+            store.read().stats().records
+        );
+        // 8 records in groups of 4 → exactly 2 messages through the broker.
+        assert_eq!(server.broker_stats().publishes_in, 2);
+        client.shutdown();
+        server.shutdown();
+    }
+}

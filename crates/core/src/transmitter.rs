@@ -1,0 +1,168 @@
+//! The asynchronous transmitter (real mode).
+//!
+//! Capture calls must not block the workflow on network I/O — the paper's
+//! key design choice. The transmitter owns a background thread with an
+//! MQTT-SN client over UDP; the instrumentation thread only encodes
+//! records into a channel. The thread keeps the connection open across
+//! messages (connection reuse, §VII-A), publishes with the configured QoS,
+//! and drives retransmissions.
+
+use crate::api::CaptureError;
+use crate::config::CaptureConfig;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use mqtt_sn::net::{NetError, UdpClient};
+use mqtt_sn::{ClientConfig, QoS};
+use prov_codec::frame::Envelope;
+use prov_codec::json::{records_to_json, JsonStyle};
+use prov_model::Record;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+enum Cmd {
+    Publish(Vec<Record>),
+    Flush(Sender<()>),
+    Shutdown,
+}
+
+/// Handle to the background transmitter thread.
+pub struct Transmitter {
+    tx: Sender<Cmd>,
+    thread: Option<std::thread::JoinHandle<()>>,
+    /// Messages handed to the thread.
+    pub queue_capacity: usize,
+}
+
+impl Transmitter {
+    /// Connects to the broker, registers `topic`, and starts the thread.
+    pub fn start(
+        broker: SocketAddr,
+        client_id: String,
+        topic: String,
+        config: CaptureConfig,
+    ) -> Result<Transmitter, NetError> {
+        let timeout = Duration::from_secs(10);
+        let mut client = UdpClient::connect(broker, ClientConfig::new(client_id), timeout)?;
+        let topic_id = client.register(&topic, timeout)?;
+
+        // Bound the channel so a dead network eventually applies
+        // backpressure instead of exhausting memory (the send-buffer role
+        // of the simulation model).
+        let capacity = 1024;
+        let (tx, rx) = bounded::<Cmd>(capacity);
+        let thread = std::thread::spawn(move || {
+            transmitter_loop(client, topic_id, config, rx);
+        });
+        Ok(Transmitter {
+            tx,
+            thread: Some(thread),
+            queue_capacity: capacity,
+        })
+    }
+
+    /// Enqueues one message batch (non-blocking unless the channel is
+    /// full).
+    pub fn publish(&self, records: Vec<Record>) -> Result<(), CaptureError> {
+        self.tx
+            .send(Cmd::Publish(records))
+            .map_err(|_| CaptureError::Closed)
+    }
+
+    /// Blocks until everything enqueued so far is published and (for QoS
+    /// 1/2) acknowledged.
+    pub fn flush(&self) -> Result<(), CaptureError> {
+        let (ack_tx, ack_rx) = bounded(1);
+        self.tx
+            .send(Cmd::Flush(ack_tx))
+            .map_err(|_| CaptureError::Closed)?;
+        ack_rx
+            .recv_timeout(Duration::from_secs(30))
+            .map_err(|_| CaptureError::Transport("flush timed out".into()))
+    }
+
+    /// Stops the thread after a final flush.
+    pub fn shutdown(mut self) {
+        let _ = self.flush();
+        let _ = self.tx.send(Cmd::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Transmitter {
+    fn drop(&mut self) {
+        let _ = self.tx.send(Cmd::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn encode(records: &[Record], config: &CaptureConfig) -> Vec<u8> {
+    if config.binary {
+        Envelope::encode(records, config.compression)
+    } else {
+        records_to_json(records, JsonStyle::Compact).into_bytes()
+    }
+}
+
+fn drain_inflight(client: &mut UdpClient) {
+    // Pump until all QoS handshakes complete (bounded patience).
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    while client.inflight_len() > 0 && std::time::Instant::now() < deadline {
+        if client.pump().is_err() {
+            return;
+        }
+        let _ = client.poll_event();
+    }
+}
+
+fn transmitter_loop(
+    mut client: UdpClient,
+    topic_id: u16,
+    config: CaptureConfig,
+    rx: Receiver<Cmd>,
+) {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(Cmd::Publish(records)) => {
+                let payload = encode(&records, &config);
+                // Respect the in-flight window before adding more.
+                while client.inflight_len() >= config.max_inflight {
+                    if client.pump().is_err() {
+                        return;
+                    }
+                }
+                if client.publish_nowait(topic_id, payload, config.qos).is_err() {
+                    return;
+                }
+            }
+            Ok(Cmd::Flush(ack)) => {
+                drain_inflight(&mut client);
+                let _ = ack.send(());
+            }
+            Ok(Cmd::Shutdown) => {
+                drain_inflight(&mut client);
+                let _ = client.disconnect();
+                return;
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                // Idle: keep the connection serviced (retransmissions,
+                // keep-alive pings).
+                if client.pump().is_err() {
+                    return;
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                drain_inflight(&mut client);
+                let _ = client.disconnect();
+                return;
+            }
+        }
+    }
+}
+
+/// Exposes QoS selection for tests.
+pub fn qos_of(config: &CaptureConfig) -> QoS {
+    config.qos
+}

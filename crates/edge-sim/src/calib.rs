@@ -1,0 +1,258 @@
+//! Calibrated cost constants — the single source of truth for the
+//! simulation's absolute numbers.
+//!
+//! We do not have the authors' A8-M3 devices, so every constant below is
+//! **back-derived from the paper's own measurements**. The derivations are
+//! spelled out next to each constant; `EXPERIMENTS.md` reports how closely
+//! the resulting tables match. The *shape* of the results (who wins, by
+//! what factor, where the crossovers are) is insensitive to modest changes
+//! in these values — that robustness is exercised by the ablation bench.
+//!
+//! All CPU costs are expressed **on the reference device** (A8-M3,
+//! `cpu_speed = 1.0`) and scaled by `DeviceProfile::cpu_speed` elsewhere.
+
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Network path (paper Fig. 5)
+// ---------------------------------------------------------------------------
+
+/// One-way propagation delay of the emulated edge↔cloud path (Fig. 5:
+/// "delay: 23ms").
+pub const ONE_WAY_DELAY: Duration = Duration::from_millis(23);
+
+// ---------------------------------------------------------------------------
+// ProvLight client (paper Tables VII/VIII; §VII-A)
+// ---------------------------------------------------------------------------
+//
+// Table VII reports per-task capture overhead of 1.45 % (10 attrs) and
+// 1.54 % (100 attrs) for 0.5 s tasks. Each task captures twice (begin +
+// end), so the per-record client cost is ≈ 3.6–3.9 ms. §VII-A measures
+// compression alone at ≈1 ms for 100-attribute payloads. We split the
+// budget accordingly:
+
+/// Fixed cost of building one record (object graph walk, id handling).
+/// Charged per record regardless of grouping — which is why Table VIII
+/// shows only modest gains from ProvLight's grouping (1.54 % → 1.31 %).
+pub const PROVLIGHT_SERIALIZE_BASE: Duration = Duration::from_micros(2000);
+/// Additional serialization cost per attribute.
+pub const PROVLIGHT_SERIALIZE_PER_ATTR: Duration = Duration::from_micros(2);
+/// Fixed LZSS compression setup cost per record payload.
+pub const PROVLIGHT_COMPRESS_BASE: Duration = Duration::from_micros(500);
+/// Additional compression cost per attribute (≈1 ms total at 100 attrs,
+/// matching §VII-A's "around 0.001 s").
+pub const PROVLIGHT_COMPRESS_PER_ATTR: Duration = Duration::from_micros(5);
+/// MQTT-SN publish path on the client, charged **per message**: packet
+/// build, QoS 2 bookkeeping, socket write, over an already-open connection
+/// (§VII-A: the connection is kept open and reused). Grouping amortizes
+/// this cost.
+pub const PROVLIGHT_PUBLISH_CPU: Duration = Duration::from_micros(850);
+/// Background transmitter CPU per in-flight QoS 2 handshake completion
+/// (PUBREC/PUBREL/PUBCOMP processing).
+pub const PROVLIGHT_QOS2_BG_CPU: Duration = Duration::from_micros(500);
+/// Client send-buffer capacity. Publishing blocks only when this is full —
+/// the mechanism that keeps Table VIII flat at 25 Kbit while the 0.5 s /
+/// 100-attr workload transiently exceeds the link rate (the 51 s burst
+/// backlogs ≈60 KB, which this buffer absorbs; the transmitter drains it
+/// after the workflow ends).
+pub const PROVLIGHT_SEND_BUFFER: usize = 256 * 1024;
+/// ProvLight client library resident footprint (Python client + MQTT-SN
+/// stack on the A8; Fig. 6b shows <4 % of 256 MB ⇒ ≈7.5 MB).
+pub const PROVLIGHT_FOOTPRINT: u64 = 7_500_000;
+
+// ---------------------------------------------------------------------------
+// ProvLake baseline (paper Tables II/III; Fig. 6)
+// ---------------------------------------------------------------------------
+//
+// Fit from Table III's 1 Gbit column (100 attrs, 0.5 s tasks):
+//   group 0:  57.3 % ⇒ 286 ms/task = 2 × (connect RTT 46 + wait RTT 46 +
+//             per-request CPU + per-record CPU)
+//   group 50:  2.37 % ⇒ 11.9 ms/task ≈ 2 × per-record CPU + (2/50) × rest
+// Solving gives per-record ≈ 2.6 ms and per-request ≈ 49 ms — consistent
+// with a Python `requests` call per message on a 600 MHz in-order core.
+
+/// JSON serialization of one record: fixed part.
+pub const PROVLAKE_SERIALIZE_BASE: Duration = Duration::from_micros(1400);
+/// JSON serialization: per-attribute part (2.6 ms total at 100 attrs).
+pub const PROVLAKE_SERIALIZE_PER_ATTR: Duration = Duration::from_micros(12);
+/// Client-side cost of issuing one HTTP request (session setup, header
+/// assembly, TCP connect syscalls — the open-source client reconnects per
+/// request).
+pub const PROVLAKE_REQUEST_CPU: Duration = Duration::from_micros(49_400);
+/// Server think time per request (uWSGI + ingestion handler).
+pub const PROVLAKE_SERVER_THINK: Duration = Duration::from_millis(1);
+/// ProvLake opens a fresh TCP connection per request (observed open-source
+/// client behaviour; this is what its grouping feature amortizes).
+pub const PROVLAKE_KEEPALIVE: bool = false;
+/// ProvLake client library footprint (Fig. 6b: ≈2× ProvLight).
+pub const PROVLAKE_FOOTPRINT: u64 = 15_000_000;
+
+// ---------------------------------------------------------------------------
+// DfAnalyzer baseline (paper Table II; Fig. 6)
+// ---------------------------------------------------------------------------
+//
+// Jointly fit from Tables II and X: on the edge the per-message fixed
+// cost is ≈99 ms of which 46 ms is the keep-alive RTT; on the cloud the
+// whole exchange shrinks to ≈2.9 ms. The only split consistent with both
+// is that nearly all of the remaining ≈53 ms is *client CPU* (it scales
+// with the 30× faster cloud core) with sub-ms server think. This makes
+// our DfAnalyzer CPU utilization land slightly above ProvLake's, whereas
+// the paper's Fig. 6a has the baselines in the other order (7× vs 5×
+// ProvLight); the headline "ProvLight uses 5–7× less CPU" reproduces
+// either way — see EXPERIMENTS.md.
+
+/// Serialization of one record: fixed part.
+pub const DFANALYZER_SERIALIZE_BASE: Duration = Duration::from_micros(1200);
+/// Serialization: per-attribute part.
+pub const DFANALYZER_SERIALIZE_PER_ATTR: Duration = Duration::from_micros(10);
+/// Client-side cost of one HTTP request over the persistent connection.
+pub const DFANALYZER_REQUEST_CPU: Duration = Duration::from_micros(48_000);
+/// Server think time per request (dataflow registration + MonetDB insert).
+pub const DFANALYZER_SERVER_THINK: Duration = Duration::from_micros(500);
+/// DfAnalyzer reuses its connection (no per-message handshake).
+pub const DFANALYZER_KEEPALIVE: bool = true;
+/// DfAnalyzer client library footprint.
+pub const DFANALYZER_FOOTPRINT: u64 = 14_500_000;
+
+// ---------------------------------------------------------------------------
+// Server side (paper §VII-A)
+// ---------------------------------------------------------------------------
+
+/// Broker CPU per MQTT-SN packet, on the cloud profile's reference scale.
+pub const BROKER_PACKET_CPU: Duration = Duration::from_micros(200);
+/// Translator service time per message: decompress + translate ≈ 0.005 s
+/// (§VII-A, measured on the cloud server) — expressed on the *reference*
+/// device scale so cloud scaling applies uniformly: 5 ms × 30 = 150 ms.
+pub const TRANSLATOR_CPU: Duration = Duration::from_millis(150);
+
+// ---------------------------------------------------------------------------
+// HTTP message sizing
+// ---------------------------------------------------------------------------
+
+/// Bytes of HTTP/1.1 request line + headers the baseline clients send per
+/// request (host, content-type, content-length, accept, user-agent,
+/// connection...).
+pub const HTTP_REQUEST_OVERHEAD: usize = 350;
+/// Bytes of the HTTP response (status line + headers + short ack body).
+pub const HTTP_RESPONSE_BYTES: usize = 180;
+
+// ---------------------------------------------------------------------------
+// A8-M3 power model (paper Fig. 6d)
+// ---------------------------------------------------------------------------
+//
+// Fig. 6d reports average capture power of 1.43 / 1.47 / 1.49 W
+// (ProvLight / ProvLake / DfAnalyzer) with overheads of 2.58 / 5.46 /
+// 6.8 % over the no-capture baseline — i.e. a baseline near 1.39 W. With
+// capture CPU utilizations of ≈2 / 13 / 10 % and wire rates of ≈3.5 / 7 /
+// 8 KB/s, a least-squares fit gives:
+
+/// Idle draw of the A8-M3 with the network interface up.
+pub const A8_BASE_POWER_W: f64 = 1.39;
+/// Additional draw at 100 % CPU.
+pub const A8_CPU_ACTIVE_POWER_W: f64 = 0.30;
+/// Transmit-path energy per wire byte.
+pub const A8_JOULES_PER_WIRE_BYTE: f64 = 1.0e-5;
+/// A8-M3 battery capacity: 3.7 V × 650 mAh.
+pub const A8_BATTERY_WH: f64 = 2.405;
+
+/// Per-record CPU cost of the ProvLight client for a record with `attrs`
+/// attributes (serialize + compress; the per-message publish cost is
+/// [`PROVLIGHT_PUBLISH_CPU`]).
+pub fn provlight_record_cpu(attrs: usize, compression: bool) -> Duration {
+    let mut d = PROVLIGHT_SERIALIZE_BASE + PROVLIGHT_SERIALIZE_PER_ATTR * attrs as u32;
+    if compression {
+        d += PROVLIGHT_COMPRESS_BASE + PROVLIGHT_COMPRESS_PER_ATTR * attrs as u32;
+    }
+    d
+}
+
+/// Per-record serialization CPU of the ProvLake client.
+pub fn provlake_record_cpu(attrs: usize) -> Duration {
+    PROVLAKE_SERIALIZE_BASE + PROVLAKE_SERIALIZE_PER_ATTR * attrs as u32
+}
+
+/// Per-record serialization CPU of the DfAnalyzer client.
+pub fn dfanalyzer_record_cpu(attrs: usize) -> Duration {
+    DFANALYZER_SERIALIZE_BASE + DFANALYZER_SERIALIZE_PER_ATTR * attrs as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceProfile;
+
+    #[test]
+    fn provlight_per_task_cost_matches_table_vii_band() {
+        // Table VII: 0.5 s tasks show 1.45 % (10 attrs) / 1.54 % (100
+        // attrs) ⇒ 7.2–7.7 ms per task (2 records, each its own message
+        // when ungrouped).
+        let per_msg = PROVLIGHT_PUBLISH_CPU.as_secs_f64();
+        let t10 = (provlight_record_cpu(10, true).as_secs_f64() + per_msg) * 2.0;
+        let t100 = (provlight_record_cpu(100, true).as_secs_f64() + per_msg) * 2.0;
+        assert!((0.005..0.009).contains(&t10), "10 attrs: {t10}");
+        assert!((0.006..0.010).contains(&t100), "100 attrs: {t100}");
+        assert!(t100 > t10);
+    }
+
+    #[test]
+    fn provlake_fixed_cost_dominates_per_record_cost() {
+        // This asymmetry is why ProvLake's grouping helps at 1 Gbit
+        // (Table III) — the per-request cost amortizes.
+        let per_record = provlake_record_cpu(100);
+        assert!(PROVLAKE_REQUEST_CPU > per_record * 10);
+    }
+
+    #[test]
+    fn baseline_per_task_extra_matches_table_ii_band() {
+        // ProvLake, 0.5 s, 100 attrs at 1 Gbit: 2 × (46 connect + 46 RTT +
+        // request CPU + serialize + think) ≈ 0.28–0.30 s ⇒ 56–60 %.
+        let rtt = ONE_WAY_DELAY.as_secs_f64() * 2.0;
+        let per_msg = rtt + rtt
+            + PROVLAKE_REQUEST_CPU.as_secs_f64()
+            + provlake_record_cpu(100).as_secs_f64()
+            + PROVLAKE_SERVER_THINK.as_secs_f64();
+        let overhead_pct = 2.0 * per_msg / 0.5 * 100.0;
+        assert!((50.0..65.0).contains(&overhead_pct), "{overhead_pct}");
+
+        // DfAnalyzer: keep-alive ⇒ 2 × (46 RTT + CPU + think) ≈ 0.19 s ⇒
+        // ≈38–42 %.
+        let per_msg = rtt
+            + DFANALYZER_REQUEST_CPU.as_secs_f64()
+            + dfanalyzer_record_cpu(100).as_secs_f64()
+            + DFANALYZER_SERVER_THINK.as_secs_f64();
+        let overhead_pct = 2.0 * per_msg / 0.5 * 100.0;
+        assert!((35.0..45.0).contains(&overhead_pct), "{overhead_pct}");
+    }
+
+    #[test]
+    fn compression_cost_matches_paper_measurement() {
+        // §VII-A: compressing a 100-attribute payload costs ≈0.001 s on
+        // the edge device.
+        let c = (PROVLIGHT_COMPRESS_BASE + PROVLIGHT_COMPRESS_PER_ATTR * 100).as_secs_f64();
+        assert!((0.0008..0.0013).contains(&c), "{c}");
+    }
+
+    #[test]
+    fn translator_cost_matches_paper_on_cloud() {
+        // §VII-A: decompress + translate ≈ 0.005 s on the cloud server.
+        let cloud = DeviceProfile::cloud_server();
+        let t = cloud.scale(TRANSLATOR_CPU).as_secs_f64();
+        assert!((0.004..0.006).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn power_fit_reproduces_fig6d_ordering() {
+        use crate::energy::PowerModel;
+        use std::time::Duration;
+        let m = PowerModel::a8_m3();
+        let wall = Duration::from_secs(60);
+        let provlight = m.average_power_w(wall, wall.mul_f64(0.02), 3_500 * 60);
+        let provlake = m.average_power_w(wall, wall.mul_f64(0.13), 7_000 * 60);
+        let dfanalyzer = m.average_power_w(wall, wall.mul_f64(0.10), 8_000 * 60);
+        assert!(provlight < provlake && provlight < dfanalyzer);
+        // Paper: 1.43 / 1.47 / 1.49 W.
+        assert!((1.40..1.46).contains(&provlight), "{provlight}");
+        assert!((1.45..1.52).contains(&provlake), "{provlake}");
+        assert!((1.45..1.53).contains(&dfanalyzer), "{dfanalyzer}");
+    }
+}

@@ -1,0 +1,84 @@
+//! CPU busy-time accounting.
+
+use crate::device::DeviceProfile;
+use std::time::Duration;
+
+/// Accumulates CPU busy time attributed to provenance capture, separately
+/// from the workload's own compute, so the Fig. 6a "CPU overhead" metric
+/// (capture CPU time / wall time) falls out directly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CpuMeter {
+    capture_busy: Duration,
+    workload_busy: Duration,
+}
+
+impl CpuMeter {
+    /// Fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records capture-related CPU work already scaled to the device.
+    pub fn charge_capture(&mut self, busy: Duration) {
+        self.capture_busy += busy;
+    }
+
+    /// Records capture CPU work expressed on the reference device.
+    pub fn charge_capture_ref(&mut self, profile: &DeviceProfile, reference_cost: Duration) {
+        self.capture_busy += profile.scale(reference_cost);
+    }
+
+    /// Records workload compute time.
+    pub fn charge_workload(&mut self, busy: Duration) {
+        self.workload_busy += busy;
+    }
+
+    /// Capture CPU busy time.
+    pub fn capture_busy(&self) -> Duration {
+        self.capture_busy
+    }
+
+    /// Workload CPU busy time.
+    pub fn workload_busy(&self) -> Duration {
+        self.workload_busy
+    }
+
+    /// Capture CPU utilization over a wall-time window, in percent.
+    pub fn capture_util_pct(&self, wall: Duration) -> f64 {
+        if wall.is_zero() {
+            return 0.0;
+        }
+        self.capture_busy.as_secs_f64() / wall.as_secs_f64() * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_separates_categories() {
+        let mut m = CpuMeter::new();
+        m.charge_capture(Duration::from_millis(10));
+        m.charge_capture(Duration::from_millis(5));
+        m.charge_workload(Duration::from_millis(100));
+        assert_eq!(m.capture_busy(), Duration::from_millis(15));
+        assert_eq!(m.workload_busy(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn utilization_percentage() {
+        let mut m = CpuMeter::new();
+        m.charge_capture(Duration::from_millis(20));
+        assert!((m.capture_util_pct(Duration::from_secs(1)) - 2.0).abs() < 1e-9);
+        assert_eq!(m.capture_util_pct(Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn reference_costs_scale_by_profile() {
+        let cloud = DeviceProfile::cloud_server();
+        let mut m = CpuMeter::new();
+        m.charge_capture_ref(&cloud, Duration::from_millis(30));
+        assert!((m.capture_busy().as_secs_f64() - 0.001).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,75 @@
+//! Device profiles.
+
+use crate::energy::PowerModel;
+use std::time::Duration;
+
+/// Static description of a device class.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceProfile {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// CPU speed relative to the reference device (A8-M3 = 1.0). All
+    /// calibrated CPU costs are expressed on the reference device and
+    /// divided by this factor.
+    pub cpu_speed: f64,
+    /// Installed memory in bytes.
+    pub mem_total: u64,
+    /// Power model for this device.
+    pub power: PowerModel,
+}
+
+impl DeviceProfile {
+    /// FIT IoT LAB A8-M3 node: ARM Cortex-A8 @ 600 MHz, 256 MB RAM,
+    /// 3.7 V / 650 mAh LiPo (paper §III-A).
+    pub fn a8_m3() -> Self {
+        DeviceProfile {
+            name: "iotlab-a8-m3",
+            cpu_speed: 1.0,
+            mem_total: 256 << 20,
+            power: PowerModel::a8_m3(),
+        }
+    }
+
+    /// Grid'5000 `gros` node: Intel Xeon Gold 5220, 96 GB RAM (paper
+    /// §III-A). The 30× single-core factor vs. the 600 MHz in-order
+    /// Cortex-A8 is back-derived from the paper's Table X (see
+    /// [`crate::calib`]).
+    pub fn cloud_server() -> Self {
+        DeviceProfile {
+            name: "grid5000-gros",
+            cpu_speed: 30.0,
+            mem_total: 96 << 30,
+            power: PowerModel::server(),
+        }
+    }
+
+    /// Scales a reference-device CPU cost to this device.
+    pub fn scale(&self, reference_cost: Duration) -> Duration {
+        Duration::from_secs_f64(reference_cost.as_secs_f64() / self.cpu_speed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_expected_hardware() {
+        let edge = DeviceProfile::a8_m3();
+        assert_eq!(edge.cpu_speed, 1.0);
+        assert_eq!(edge.mem_total, 268_435_456);
+        let cloud = DeviceProfile::cloud_server();
+        assert!(cloud.cpu_speed > 10.0);
+        assert!(cloud.mem_total > edge.mem_total);
+    }
+
+    #[test]
+    fn cloud_scales_costs_down() {
+        let edge = DeviceProfile::a8_m3();
+        let cloud = DeviceProfile::cloud_server();
+        let cost = Duration::from_millis(30);
+        assert_eq!(edge.scale(cost), cost);
+        let scaled = cloud.scale(cost);
+        assert!((scaled.as_secs_f64() - 0.001).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,83 @@
+//! Multiplicative timing jitter for experiment repetitions.
+//!
+//! The paper reports each cell as a mean over 10 runs with a 95 %
+//! confidence interval. The simulator is deterministic, so repetitions
+//! apply a small seeded multiplicative jitter to CPU and service costs —
+//! modelling scheduler/DVFS noise on the real devices — to produce an
+//! honest spread. Tests that need exact numbers use [`Jitter::none`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// A seeded multiplicative jitter source.
+#[derive(Clone, Debug)]
+pub struct Jitter {
+    rng: Option<StdRng>,
+    frac: f64,
+}
+
+impl Jitter {
+    /// Jitter of ±`frac` (uniform) with a deterministic stream.
+    pub fn new(seed: u64, frac: f64) -> Self {
+        Jitter {
+            rng: Some(StdRng::seed_from_u64(seed)),
+            frac: frac.max(0.0),
+        }
+    }
+
+    /// No jitter (identity).
+    pub fn none() -> Self {
+        Jitter {
+            rng: None,
+            frac: 0.0,
+        }
+    }
+
+    /// Applies jitter to a duration.
+    pub fn apply(&mut self, d: Duration) -> Duration {
+        match &mut self.rng {
+            None => d,
+            Some(rng) => {
+                let factor = 1.0 + self.frac * (rng.gen::<f64>() * 2.0 - 1.0);
+                Duration::from_secs_f64(d.as_secs_f64() * factor)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_identity() {
+        let mut j = Jitter::none();
+        let d = Duration::from_millis(10);
+        assert_eq!(j.apply(d), d);
+    }
+
+    #[test]
+    fn jitter_bounded_and_centered() {
+        let mut j = Jitter::new(1, 0.05);
+        let d = Duration::from_millis(100);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let v = j.apply(d).as_secs_f64();
+            assert!((0.095..=0.105).contains(&v), "{v}");
+            sum += v;
+        }
+        let mean = sum / 1000.0;
+        assert!((mean - 0.1).abs() < 0.001, "{mean}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Jitter::new(7, 0.05);
+        let mut b = Jitter::new(7, 0.05);
+        let d = Duration::from_millis(5);
+        for _ in 0..10 {
+            assert_eq!(a.apply(d), b.apply(d));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # edge-sim
+//!
+//! Virtual-time models of the devices the paper measures on:
+//!
+//! * [`device`] — device profiles: the FIT IoT LAB **A8-M3** edge node
+//!   (ARM Cortex-A8 @ 600 MHz, 256 MB RAM, 3.7 V LiPo) and the Grid'5000
+//!   **cloud server** (Xeon Gold 5220);
+//! * [`cpu`] — a CPU meter that accumulates busy time from calibrated
+//!   operation costs, scaled by the device's relative speed;
+//! * [`memory`] — a memory accountant (library footprint + live buffers,
+//!   peak tracking) behind the paper's Fig. 6b;
+//! * [`energy`] — the power model behind Fig. 6d: base draw + CPU-active
+//!   draw + per-byte radio/NIC energy;
+//! * [`meter`] — a bundle of the three producing a [`meter::DeviceReport`];
+//! * [`calib`] — every calibrated constant in one place, each derived from
+//!   (and documented against) the paper's own tables.
+//!
+//! Nothing here reads wall-clock time; all measurements are functions of
+//! virtual time and explicit cost constants, so experiments are exactly
+//! reproducible.
+
+pub mod calib;
+pub mod cpu;
+pub mod device;
+pub mod energy;
+pub mod jitter;
+pub mod memory;
+pub mod meter;
+
+pub use cpu::CpuMeter;
+pub use device::DeviceProfile;
+pub use energy::PowerModel;
+pub use jitter::Jitter;
+pub use memory::MemoryMeter;
+pub use meter::{DeviceReport, ResourceMeter};

@@ -1,0 +1,93 @@
+//! Memory accounting.
+//!
+//! The paper's Fig. 6b compares the memory *overhead* of the capture
+//! libraries on a 256 MB device. We model it as a fixed library footprint
+//! (interpreter + library RSS delta, a calibrated constant per system; see
+//! [`crate::calib`]) plus the live bytes of queued/buffered capture data,
+//! which the drivers update as records are enqueued and drained.
+
+use crate::device::DeviceProfile;
+
+/// Tracks current and peak memory attributed to provenance capture.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemoryMeter {
+    footprint: u64,
+    live: u64,
+    peak: u64,
+}
+
+impl MemoryMeter {
+    /// Creates a meter with a fixed library footprint.
+    pub fn with_footprint(footprint: u64) -> Self {
+        MemoryMeter {
+            footprint,
+            live: 0,
+            peak: footprint,
+        }
+    }
+
+    /// Allocates `bytes` of live capture data (e.g. a queued record).
+    pub fn alloc(&mut self, bytes: u64) {
+        self.live += bytes;
+        self.peak = self.peak.max(self.footprint + self.live);
+    }
+
+    /// Frees `bytes` of live capture data (saturating).
+    pub fn free(&mut self, bytes: u64) {
+        self.live = self.live.saturating_sub(bytes);
+    }
+
+    /// Currently attributed memory.
+    pub fn current(&self) -> u64 {
+        self.footprint + self.live
+    }
+
+    /// Peak attributed memory.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Peak as a percentage of the device's installed memory (the Fig. 6b
+    /// metric).
+    pub fn peak_pct(&self, profile: &DeviceProfile) -> f64 {
+        self.peak as f64 / profile.mem_total as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_is_floor() {
+        let m = MemoryMeter::with_footprint(1000);
+        assert_eq!(m.current(), 1000);
+        assert_eq!(m.peak(), 1000);
+    }
+
+    #[test]
+    fn alloc_free_tracks_peak() {
+        let mut m = MemoryMeter::with_footprint(1000);
+        m.alloc(500);
+        m.alloc(300);
+        assert_eq!(m.current(), 1800);
+        m.free(600);
+        assert_eq!(m.current(), 1200);
+        assert_eq!(m.peak(), 1800);
+    }
+
+    #[test]
+    fn free_saturates() {
+        let mut m = MemoryMeter::with_footprint(10);
+        m.free(1_000_000);
+        assert_eq!(m.current(), 10);
+    }
+
+    #[test]
+    fn percentage_of_device_memory() {
+        let edge = DeviceProfile::a8_m3();
+        let mut m = MemoryMeter::with_footprint(0);
+        m.alloc(edge.mem_total / 10);
+        assert!((m.peak_pct(&edge) - 10.0).abs() < 1e-6);
+    }
+}

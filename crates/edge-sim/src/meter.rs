@@ -1,0 +1,111 @@
+//! Bundled per-device resource accounting and the end-of-run report.
+
+use crate::cpu::CpuMeter;
+use crate::device::DeviceProfile;
+use crate::memory::MemoryMeter;
+use std::time::Duration;
+
+/// All meters for one simulated device.
+#[derive(Clone, Debug)]
+pub struct ResourceMeter {
+    /// Device being metered.
+    pub profile: DeviceProfile,
+    /// CPU accounting.
+    pub cpu: CpuMeter,
+    /// Memory accounting.
+    pub memory: MemoryMeter,
+    /// Wire bytes sent by this device (uplink, incl. framing).
+    pub wire_bytes_tx: u64,
+    /// Wire bytes received by this device.
+    pub wire_bytes_rx: u64,
+}
+
+impl ResourceMeter {
+    /// Creates a meter for a device with a capture-library footprint.
+    pub fn new(profile: DeviceProfile, footprint: u64) -> Self {
+        ResourceMeter {
+            profile,
+            cpu: CpuMeter::new(),
+            memory: MemoryMeter::with_footprint(footprint),
+            wire_bytes_tx: 0,
+            wire_bytes_rx: 0,
+        }
+    }
+
+    /// Produces the end-of-run report for a run of `wall` virtual time.
+    pub fn report(&self, wall: Duration) -> DeviceReport {
+        let avg_power_w = self.profile.power.average_power_w(
+            wall,
+            self.cpu.capture_busy(),
+            self.wire_bytes_tx,
+        );
+        let baseline_power_w = self.profile.power.average_power_w(wall, Duration::ZERO, 0);
+        DeviceReport {
+            wall,
+            capture_cpu_pct: self.cpu.capture_util_pct(wall),
+            mem_peak_bytes: self.memory.peak(),
+            mem_peak_pct: self.memory.peak_pct(&self.profile),
+            tx_kbs: if wall.is_zero() {
+                0.0
+            } else {
+                self.wire_bytes_tx as f64 / 1e3 / wall.as_secs_f64()
+            },
+            wire_bytes_tx: self.wire_bytes_tx,
+            avg_power_w,
+            power_overhead_pct: (avg_power_w - baseline_power_w) / baseline_power_w * 100.0,
+            energy_j: avg_power_w * wall.as_secs_f64(),
+        }
+    }
+}
+
+/// The per-device metrics the paper reports in Fig. 6.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceReport {
+    /// Run duration (virtual wall time).
+    pub wall: Duration,
+    /// Capture CPU utilization, percent (Fig. 6a).
+    pub capture_cpu_pct: f64,
+    /// Peak capture-attributed memory, bytes.
+    pub mem_peak_bytes: u64,
+    /// Peak memory as % of installed RAM (Fig. 6b).
+    pub mem_peak_pct: f64,
+    /// Mean uplink wire throughput, KB/s (Fig. 6c).
+    pub tx_kbs: f64,
+    /// Total uplink wire bytes.
+    pub wire_bytes_tx: u64,
+    /// Average power during the run, watts (Fig. 6d).
+    pub avg_power_w: f64,
+    /// Power overhead vs. the idle (no-capture) baseline, percent.
+    pub power_overhead_pct: f64,
+    /// Total energy, joules.
+    pub energy_j: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_computes_all_metrics() {
+        let mut m = ResourceMeter::new(DeviceProfile::a8_m3(), 7_500_000);
+        m.cpu.charge_capture(Duration::from_secs(1));
+        m.cpu.charge_workload(Duration::from_secs(10));
+        m.memory.alloc(1_000_000);
+        m.wire_bytes_tx = 200_000;
+        let r = m.report(Duration::from_secs(50));
+        assert!((r.capture_cpu_pct - 2.0).abs() < 1e-9);
+        assert_eq!(r.mem_peak_bytes, 8_500_000);
+        assert!((r.tx_kbs - 4.0).abs() < 1e-9);
+        assert!(r.avg_power_w > 1.39);
+        assert!(r.power_overhead_pct > 0.0);
+        assert!(r.energy_j > 0.0);
+    }
+
+    #[test]
+    fn zero_wall_is_safe() {
+        let m = ResourceMeter::new(DeviceProfile::a8_m3(), 0);
+        let r = m.report(Duration::ZERO);
+        assert_eq!(r.capture_cpu_pct, 0.0);
+        assert_eq!(r.tx_kbs, 0.0);
+    }
+}

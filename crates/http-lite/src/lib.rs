@@ -1,0 +1,56 @@
+//! # http-lite
+//!
+//! A minimal HTTP/1.1 implementation, built as the substrate for the
+//! paper's baseline systems: ProvLake and DfAnalyzer both capture over
+//! "HTTP 1.1 / TCP / request-response" (paper Table VI).
+//!
+//! * [`message`] — request/response types with byte-exact serialization and
+//!   an incremental parser (enough of RFC 9112 for POST ingestion:
+//!   `Content-Length` bodies, `Connection: close`/`keep-alive`);
+//! * [`client`] — a blocking client over `std::net::TcpStream` with
+//!   optional keep-alive (DfAnalyzer style) or connection-per-request
+//!   (ProvLake open-source client style);
+//! * [`server`] — a small threaded server used by the baseline ingestion
+//!   endpoints in integration tests and examples;
+//! * [`sim`] — the analytic cost model of an HTTP exchange over simulated
+//!   links (TCP handshake, request/response serialization, server think
+//!   time), used by the experiment harness.
+
+pub mod client;
+pub mod message;
+pub mod server;
+pub mod sim;
+
+pub use client::HttpClient;
+pub use message::{parse_request, parse_response, Request, Response};
+pub use server::HttpServer;
+pub use sim::SimHttpClient;
+
+/// HTTP errors.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed message.
+    Malformed(&'static str),
+    /// Socket failure.
+    Io(std::io::Error),
+    /// Server closed the connection mid-exchange.
+    ConnectionClosed,
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(m) => write!(f, "malformed HTTP message: {m}"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::ConnectionClosed => f.write_str("connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}

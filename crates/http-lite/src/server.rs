@@ -1,0 +1,187 @@
+//! Threaded HTTP/1.1 server.
+//!
+//! One thread accepts; each connection gets a handler thread that serves
+//! sequential requests until the peer closes or sends `Connection: close`.
+//! This is the ingestion endpoint role uWSGI plays for the baselines in
+//! the paper's Fig. 5.
+
+use crate::message::{parse_request, Request, Response};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Request handler type.
+pub type Handler = Arc<dyn Fn(Request) -> Response + Send + Sync>;
+
+/// A running server.
+pub struct HttpServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    requests_served: Arc<AtomicU64>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds and starts serving. Use port 0 to pick a free port.
+    pub fn spawn(bind: impl ToSocketAddrs, handler: Handler) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(bind)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let requests_served = Arc::new(AtomicU64::new(0));
+
+        let accept_thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let requests_served = Arc::clone(&requests_served);
+            std::thread::spawn(move || {
+                let mut workers = Vec::new();
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let handler = Arc::clone(&handler);
+                            let shutdown = Arc::clone(&shutdown);
+                            let counter = Arc::clone(&requests_served);
+                            workers.push(std::thread::spawn(move || {
+                                serve_connection(stream, handler, shutdown, counter);
+                            }));
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                for w in workers {
+                    let _ = w.join();
+                }
+            })
+        };
+
+        Ok(HttpServer {
+            local_addr,
+            shutdown,
+            requests_served,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Total requests handled.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Stops the server.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    handler: Handler,
+    shutdown: Arc<AtomicBool>,
+    counter: Arc<AtomicU64>,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 8192];
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match parse_request(&buf) {
+            Ok(Some((req, consumed))) => {
+                buf.drain(..consumed);
+                let close = req
+                    .header("connection")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+                let resp = handler(req);
+                counter.fetch_add(1, Ordering::Relaxed);
+                if stream.write_all(&resp.encode()).is_err() {
+                    return;
+                }
+                if close {
+                    return;
+                }
+            }
+            Ok(None) => match stream.read(&mut chunk) {
+                Ok(0) => return,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(_) => return,
+            },
+            Err(_) => {
+                let _ = stream.write_all(&Response::new(400, Vec::new()).encode());
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+
+    #[test]
+    fn serves_concurrent_clients() {
+        let server = HttpServer::spawn(
+            "127.0.0.1:0",
+            Arc::new(|req: Request| Response::new(200, req.body)),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = HttpClient::new(addr, true);
+                    let resp = c
+                        .post("/t", "text/plain", format!("client{i}").into_bytes())
+                        .unwrap();
+                    assert_eq!(resp.body, format!("client{i}").into_bytes());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.requests_served(), 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let server = HttpServer::spawn(
+            "127.0.0.1:0",
+            Arc::new(|_req: Request| Response::new(200, Vec::new())),
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"GARBAGE\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        let _ = stream.read_to_end(&mut buf);
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 400"), "got: {text}");
+        server.shutdown();
+    }
+}

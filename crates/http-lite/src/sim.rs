@@ -1,0 +1,147 @@
+//! Analytic cost model of HTTP exchanges over simulated links.
+//!
+//! Used by the experiment harness to reproduce the baselines' capture path
+//! without real sockets: real header bytes (built with
+//! [`Request::post`]) ride the [`net_sim`] TCP model, so wire-byte
+//! accounting and timing come from the same message model the real client
+//! uses.
+
+use crate::message::{Request, Response};
+use net_sim::link::Link;
+use net_sim::tcp::TcpConnection;
+use net_sim::time::SimTime;
+use std::time::Duration;
+
+/// Outcome of one simulated HTTP exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimExchange {
+    /// When the response fully arrived at the client.
+    pub completed: SimTime,
+    /// Whether a new TCP connection was opened for this request.
+    pub opened_connection: bool,
+}
+
+/// A simulated HTTP client endpoint.
+#[derive(Debug)]
+pub struct SimHttpClient {
+    conn: TcpConnection,
+    keep_alive: bool,
+    host: String,
+    /// Connections opened so far.
+    pub connections_opened: u64,
+}
+
+impl SimHttpClient {
+    /// Creates a simulated client. `keep_alive = false` reconnects per
+    /// request, paying the handshake RTT every time.
+    pub fn new(host: impl Into<String>, keep_alive: bool) -> Self {
+        SimHttpClient {
+            conn: TcpConnection::new(),
+            keep_alive,
+            host: host.into(),
+            connections_opened: 0,
+        }
+    }
+
+    /// Performs a POST of `body_len` bytes at `now`, returning when the
+    /// response arrived. Header bytes are computed from the real message
+    /// model so wire accounting matches the real client.
+    pub fn post(
+        &mut self,
+        now: SimTime,
+        uplink: &mut Link,
+        downlink: &mut Link,
+        path: &str,
+        body_len: usize,
+        server_think: Duration,
+    ) -> SimExchange {
+        let request_bytes =
+            Request::post(path, &self.host, "application/json", vec![0; body_len]).encoded_len();
+        let response_bytes = Response::new(204, Vec::new()).encode().len();
+
+        let opened = !self.conn.is_established();
+        if opened {
+            self.connections_opened += 1;
+        }
+        let exchange = self.conn.request(
+            now,
+            uplink,
+            downlink,
+            request_bytes,
+            response_bytes,
+            server_think,
+        );
+        if !self.keep_alive {
+            self.conn.close(exchange.completed, uplink, downlink);
+        }
+        SimExchange {
+            completed: exchange.completed,
+            opened_connection: opened,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use net_sim::link::LinkSpec;
+
+    fn links() -> (Link, Link) {
+        let spec = LinkSpec::gigabit_23ms().with_tcp_framing();
+        (Link::new(spec), Link::new(spec))
+    }
+
+    #[test]
+    fn no_keepalive_pays_handshake_every_time() {
+        let (mut up, mut down) = links();
+        let mut c = SimHttpClient::new("cloud:5000", false);
+        let a = c.post(SimTime::ZERO, &mut up, &mut down, "/i", 500, Duration::ZERO);
+        let b = c.post(a.completed, &mut up, &mut down, "/i", 500, Duration::ZERO);
+        assert!(a.opened_connection && b.opened_connection);
+        assert_eq!(c.connections_opened, 2);
+        // Each exchange ≈ 46 (connect) + 46 (req+resp propagation) ms.
+        let d1 = a.completed.as_secs_f64();
+        let d2 = (b.completed - a.completed).as_secs_f64();
+        assert!((0.090..0.097).contains(&d1), "{d1}");
+        assert!((0.090..0.097).contains(&d2), "{d2}");
+    }
+
+    #[test]
+    fn keepalive_pays_handshake_once() {
+        let (mut up, mut down) = links();
+        let mut c = SimHttpClient::new("cloud:5000", true);
+        let a = c.post(SimTime::ZERO, &mut up, &mut down, "/i", 500, Duration::ZERO);
+        let b = c.post(a.completed, &mut up, &mut down, "/i", 500, Duration::ZERO);
+        assert!(a.opened_connection);
+        assert!(!b.opened_connection);
+        let d2 = (b.completed - a.completed).as_secs_f64();
+        assert!((0.045..0.050).contains(&d2), "keep-alive RTT {d2}");
+    }
+
+    #[test]
+    fn wire_bytes_match_real_message_model() {
+        let (mut up, mut down) = links();
+        let mut c = SimHttpClient::new("cloud:5000", true);
+        c.post(SimTime::ZERO, &mut up, &mut down, "/i", 1000, Duration::ZERO);
+        // Uplink must carry more than body (headers + TCP framing + SYN).
+        assert!(up.stats().payload_bytes > 1000);
+        assert!(down.stats().wire_bytes > 0);
+    }
+
+    #[test]
+    fn slow_link_dominated_by_serialization() {
+        let spec = LinkSpec::kbit25_23ms().with_tcp_framing();
+        let mut up = Link::new(spec);
+        let mut down = Link::new(spec);
+        let mut c = SimHttpClient::new("cloud:5000", false);
+        let x = c.post(
+            SimTime::ZERO,
+            &mut up,
+            &mut down,
+            "/ingest",
+            2000,
+            Duration::ZERO,
+        );
+        assert!(x.completed.as_secs_f64() > 0.7, "{}", x.completed);
+    }
+}

@@ -1,0 +1,1010 @@
+//! Sans-io MQTT-SN broker (the role Eclipse RSMB plays in the paper's
+//! Fig. 3 architecture).
+//!
+//! The broker is generic over the peer address type `A` (a `SocketAddr`
+//! for the real-UDP binding, a small actor id in the simulator). It keeps
+//! per-client sessions, a shared topic registry, subscription state, and
+//! QoS state machines in both directions:
+//!
+//! * **inbound QoS 2** (publisher → broker): the message is forwarded to
+//!   subscribers on *first* receipt and duplicate PUBLISHes are suppressed
+//!   until the PUBREL clears the message id — exactly-once semantics;
+//! * **outbound QoS 1/2** (broker → subscriber): per-subscriber message-id
+//!   allocation, retransmission with DUP on [`Broker::on_tick`], and the
+//!   4-way handshake for QoS 2 subscribers.
+
+use crate::client::Nanos;
+use crate::packet::{Packet, QoS, ReturnCode, TopicRef};
+use crate::topic::{filter_is_valid, topic_matches, TopicRegistry};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::time::Duration;
+
+/// Broker configuration.
+#[derive(Clone, Debug)]
+pub struct BrokerConfig {
+    /// Gateway id used in ADVERTISE/GWINFO.
+    pub gw_id: u8,
+    /// Retransmission timeout for broker→subscriber QoS traffic.
+    pub retry_timeout: Duration,
+    /// Maximum retransmissions before dropping an outbound message.
+    pub max_retries: u32,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            gw_id: 1,
+            retry_timeout: Duration::from_secs(10),
+            max_retries: 5,
+        }
+    }
+}
+
+/// Routing statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// PUBLISH packets received from publishers.
+    pub publishes_in: u64,
+    /// PUBLISH packets sent to subscribers.
+    pub publishes_out: u64,
+    /// Duplicate QoS 2 publishes suppressed.
+    pub duplicates_suppressed: u64,
+    /// Retransmissions performed.
+    pub retransmissions: u64,
+    /// Outbound messages dropped after retry exhaustion.
+    pub drops: u64,
+}
+
+#[derive(Clone, Debug)]
+enum OutPhase {
+    AwaitPuback,
+    AwaitPubrec,
+    AwaitPubcomp,
+}
+
+#[derive(Clone, Debug)]
+struct Outbound {
+    topic_id: u16,
+    payload: Vec<u8>,
+    qos: QoS,
+    phase: OutPhase,
+    last_sent: Nanos,
+    retries: u32,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SessionState {
+    Active,
+    /// DISCONNECT with a duration: the device sleeps; publishes are
+    /// buffered and flushed on its next PINGREQ (spec §6.14 — the
+    /// feature that lets battery-powered devices duty-cycle their radio).
+    Asleep,
+    Disconnected,
+}
+
+#[derive(Clone, Debug)]
+struct Session {
+    client_id: String,
+    state: SessionState,
+    /// Messages buffered while asleep: (topic id, payload, qos).
+    buffered: Vec<(u16, Vec<u8>, QoS)>,
+    subscriptions: Vec<(String, QoS)>,
+    next_msg_id: u16,
+    outbound: HashMap<u16, Outbound>,
+    /// Publisher-side QoS 2 ids already forwarded, awaiting PUBREL.
+    inbound_qos2: HashMap<u16, ()>,
+    last_seen: Nanos,
+}
+
+impl Session {
+    fn new(client_id: String, now: Nanos) -> Self {
+        Session {
+            client_id,
+            state: SessionState::Active,
+            buffered: Vec::new(),
+            subscriptions: Vec::new(),
+            next_msg_id: 1,
+            outbound: HashMap::new(),
+            inbound_qos2: HashMap::new(),
+            last_seen: now,
+        }
+    }
+
+    fn alloc_msg_id(&mut self) -> u16 {
+        loop {
+            let id = self.next_msg_id;
+            self.next_msg_id = self.next_msg_id.wrapping_add(1);
+            if self.next_msg_id == 0 {
+                self.next_msg_id = 1;
+            }
+            if id != 0 && !self.outbound.contains_key(&id) {
+                return id;
+            }
+        }
+    }
+}
+
+/// The broker state machine.
+#[derive(Debug)]
+pub struct Broker<A: Clone + Eq + Hash> {
+    config: BrokerConfig,
+    registry: TopicRegistry,
+    sessions: HashMap<A, Session>,
+    /// Insertion order of sessions, for deterministic fan-out.
+    order: Vec<A>,
+    stats: BrokerStats,
+}
+
+impl<A: Clone + Eq + Hash> Broker<A> {
+    /// Creates an empty broker.
+    pub fn new(config: BrokerConfig) -> Self {
+        Broker {
+            config,
+            registry: TopicRegistry::new(),
+            sessions: HashMap::new(),
+            order: Vec::new(),
+            stats: BrokerStats::default(),
+        }
+    }
+
+    /// Routing statistics.
+    pub fn stats(&self) -> &BrokerStats {
+        &self.stats
+    }
+
+    /// Access to the topic registry (e.g. to seed predefined topics).
+    pub fn registry_mut(&mut self) -> &mut TopicRegistry {
+        &mut self.registry
+    }
+
+    /// Number of active (awake) sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions
+            .values()
+            .filter(|s| s.state == SessionState::Active)
+            .count()
+    }
+
+    /// Number of sleeping sessions.
+    pub fn sleeping_count(&self) -> usize {
+        self.sessions
+            .values()
+            .filter(|s| s.state == SessionState::Asleep)
+            .count()
+    }
+
+    /// Handles one decoded packet from `from`, returning packets to send.
+    pub fn on_packet(&mut self, now: Nanos, from: A, packet: Packet) -> Vec<(A, Packet)> {
+        if let Some(s) = self.sessions.get_mut(&from) {
+            s.last_seen = now;
+        }
+        match packet {
+            Packet::SearchGw { .. } => vec![(
+                from,
+                Packet::GwInfo {
+                    gw_id: self.config.gw_id,
+                },
+            )],
+            Packet::Connect {
+                clean_session,
+                client_id,
+                ..
+            } => {
+                match self.sessions.get_mut(&from) {
+                    Some(existing) if !clean_session => {
+                        existing.state = SessionState::Active;
+                        existing.client_id = client_id;
+                    }
+                    _ => {
+                        if !self.sessions.contains_key(&from) {
+                            self.order.push(from.clone());
+                        }
+                        self.sessions
+                            .insert(from.clone(), Session::new(client_id, now));
+                    }
+                }
+                vec![(
+                    from,
+                    Packet::ConnAck {
+                        code: ReturnCode::Accepted,
+                    },
+                )]
+            }
+            Packet::Register {
+                msg_id, topic_name, ..
+            } => {
+                let (topic_id, code) = match self.registry.register(&topic_name) {
+                    Some(id) => (id, ReturnCode::Accepted),
+                    None => (0, ReturnCode::NotSupported),
+                };
+                vec![(
+                    from,
+                    Packet::RegAck {
+                        topic_id,
+                        msg_id,
+                        code,
+                    },
+                )]
+            }
+            Packet::Subscribe {
+                qos, msg_id, topic, ..
+            } => self.handle_subscribe(from, qos, msg_id, topic),
+            Packet::Unsubscribe { msg_id, topic } => {
+                if let Some(session) = self.sessions.get_mut(&from) {
+                    let name = match &topic {
+                        TopicRef::Name(n) => Some(n.clone()),
+                        TopicRef::Id(id) | TopicRef::Predefined(id) => {
+                            self.registry.name_of(*id).map(str::to_owned)
+                        }
+                    };
+                    if let Some(name) = name {
+                        session.subscriptions.retain(|(f, _)| f != &name);
+                    }
+                }
+                vec![(from, Packet::UnsubAck { msg_id })]
+            }
+            Packet::Publish {
+                dup: _,
+                qos,
+                topic,
+                msg_id,
+                payload,
+                ..
+            } => self.handle_publish(now, from, qos, topic, msg_id, payload),
+            Packet::PubRel { msg_id } => {
+                if let Some(s) = self.sessions.get_mut(&from) {
+                    s.inbound_qos2.remove(&msg_id);
+                }
+                vec![(from, Packet::PubComp { msg_id })]
+            }
+            Packet::PubAck { msg_id, .. } => {
+                if let Some(s) = self.sessions.get_mut(&from) {
+                    if matches!(
+                        s.outbound.get(&msg_id).map(|o| &o.phase),
+                        Some(OutPhase::AwaitPuback)
+                    ) {
+                        s.outbound.remove(&msg_id);
+                    }
+                }
+                vec![]
+            }
+            Packet::PubRec { msg_id } => {
+                if let Some(s) = self.sessions.get_mut(&from) {
+                    if let Some(o) = s.outbound.get_mut(&msg_id) {
+                        o.phase = OutPhase::AwaitPubcomp;
+                        o.last_sent = now;
+                        o.retries = 0;
+                    }
+                }
+                vec![(from, Packet::PubRel { msg_id })]
+            }
+            Packet::PubComp { msg_id } => {
+                if let Some(s) = self.sessions.get_mut(&from) {
+                    s.outbound.remove(&msg_id);
+                }
+                vec![]
+            }
+            Packet::PingReq => {
+                // A sleeping client's PINGREQ triggers delivery of
+                // everything buffered while it slept, then the PINGRESP.
+                let mut out = Vec::new();
+                let buffered = match self.sessions.get_mut(&from) {
+                    Some(s) if s.state == SessionState::Asleep => std::mem::take(&mut s.buffered),
+                    _ => Vec::new(),
+                };
+                for (topic_id, payload, qos) in buffered {
+                    let session = self.sessions.get_mut(&from).expect("session exists");
+                    let msg_id = if qos == QoS::AtMostOnce {
+                        0
+                    } else {
+                        session.alloc_msg_id()
+                    };
+                    if qos != QoS::AtMostOnce {
+                        session.outbound.insert(
+                            msg_id,
+                            Outbound {
+                                topic_id,
+                                payload: payload.clone(),
+                                qos,
+                                phase: if qos == QoS::AtLeastOnce {
+                                    OutPhase::AwaitPuback
+                                } else {
+                                    OutPhase::AwaitPubrec
+                                },
+                                last_sent: now,
+                                retries: 0,
+                            },
+                        );
+                    }
+                    self.stats.publishes_out += 1;
+                    out.push((
+                        from.clone(),
+                        Packet::Publish {
+                            dup: false,
+                            qos,
+                            retain: false,
+                            topic: TopicRef::Id(topic_id),
+                            msg_id,
+                            payload,
+                        },
+                    ));
+                }
+                out.push((from, Packet::PingResp));
+                out
+            }
+            Packet::Disconnect { duration } => {
+                if let Some(s) = self.sessions.get_mut(&from) {
+                    s.state = if duration.is_some() {
+                        SessionState::Asleep
+                    } else {
+                        SessionState::Disconnected
+                    };
+                }
+                vec![(from, Packet::Disconnect { duration: None })]
+            }
+            _ => vec![],
+        }
+    }
+
+    fn handle_subscribe(
+        &mut self,
+        from: A,
+        qos: QoS,
+        msg_id: u16,
+        topic: TopicRef,
+    ) -> Vec<(A, Packet)> {
+        let Some(session) = self.sessions.get_mut(&from) else {
+            return vec![(
+                from,
+                Packet::SubAck {
+                    qos,
+                    topic_id: 0,
+                    msg_id,
+                    code: ReturnCode::NotSupported,
+                },
+            )];
+        };
+        let (filter, topic_id, code) = match &topic {
+            TopicRef::Name(name) => {
+                if !filter_is_valid(name) {
+                    (None, 0, ReturnCode::NotSupported)
+                } else if name.contains('+') || name.contains('#') {
+                    (Some(name.clone()), 0, ReturnCode::Accepted)
+                } else {
+                    // Concrete names get a topic id assigned in the SUBACK.
+                    match self.registry.register(name) {
+                        Some(id) => (Some(name.clone()), id, ReturnCode::Accepted),
+                        None => (None, 0, ReturnCode::NotSupported),
+                    }
+                }
+            }
+            TopicRef::Id(id) | TopicRef::Predefined(id) => match self.registry.name_of(*id) {
+                Some(name) => (Some(name.to_owned()), *id, ReturnCode::Accepted),
+                None => (None, 0, ReturnCode::InvalidTopicId),
+            },
+        };
+        if let Some(filter) = filter {
+            session.subscriptions.retain(|(f, _)| f != &filter);
+            session.subscriptions.push((filter, qos));
+        }
+        vec![(
+            from,
+            Packet::SubAck {
+                qos,
+                topic_id,
+                msg_id,
+                code,
+            },
+        )]
+    }
+
+    fn handle_publish(
+        &mut self,
+        now: Nanos,
+        from: A,
+        qos: QoS,
+        topic: TopicRef,
+        msg_id: u16,
+        payload: Vec<u8>,
+    ) -> Vec<(A, Packet)> {
+        self.stats.publishes_in += 1;
+        let mut out = Vec::new();
+
+        let topic_id = match topic {
+            TopicRef::Id(id) | TopicRef::Predefined(id) => id,
+            TopicRef::Name(_) => {
+                out.push((
+                    from,
+                    Packet::PubAck {
+                        topic_id: 0,
+                        msg_id,
+                        code: ReturnCode::NotSupported,
+                    },
+                ));
+                return out;
+            }
+        };
+        let Some(topic_name) = self.registry.name_of(topic_id).map(str::to_owned) else {
+            out.push((
+                from,
+                Packet::PubAck {
+                    topic_id,
+                    msg_id,
+                    code: ReturnCode::InvalidTopicId,
+                },
+            ));
+            return out;
+        };
+
+        // QoS-level acknowledgments toward the publisher, with QoS 2
+        // exactly-once forwarding.
+        let mut forward = true;
+        match qos {
+            QoS::AtMostOnce => {}
+            QoS::AtLeastOnce => {
+                out.push((
+                    from.clone(),
+                    Packet::PubAck {
+                        topic_id,
+                        msg_id,
+                        code: ReturnCode::Accepted,
+                    },
+                ));
+            }
+            QoS::ExactlyOnce => {
+                let session = self
+                    .sessions
+                    .entry(from.clone())
+                    .or_insert_with(|| Session::new(String::new(), now));
+                if let std::collections::hash_map::Entry::Vacant(e) = session.inbound_qos2.entry(msg_id) {
+                    e.insert(());
+                } else {
+                    forward = false;
+                    self.stats.duplicates_suppressed += 1;
+                }
+                out.push((from.clone(), Packet::PubRec { msg_id }));
+            }
+        }
+        if !forward {
+            return out;
+        }
+
+        // Fan out to matching subscribers in deterministic session order.
+        let targets: Vec<(A, QoS, bool)> = self
+            .order
+            .iter()
+            .filter_map(|addr| {
+                let s = self.sessions.get(addr)?;
+                if s.state == SessionState::Disconnected {
+                    return None;
+                }
+                let best = s
+                    .subscriptions
+                    .iter()
+                    .filter(|(f, _)| topic_matches(f, &topic_name))
+                    .map(|(_, q)| *q)
+                    .max()?;
+                Some((addr.clone(), best.min(qos), s.state == SessionState::Asleep))
+            })
+            .collect();
+
+        for (addr, sub_qos, asleep) in targets {
+            let session = self.sessions.get_mut(&addr).expect("session exists");
+            if asleep {
+                session.buffered.push((topic_id, payload.clone(), sub_qos));
+                continue;
+            }
+            let fwd_msg_id = if sub_qos == QoS::AtMostOnce {
+                0
+            } else {
+                session.alloc_msg_id()
+            };
+            let packet = Packet::Publish {
+                dup: false,
+                qos: sub_qos,
+                retain: false,
+                topic: TopicRef::Id(topic_id),
+                msg_id: fwd_msg_id,
+                payload: payload.clone(),
+            };
+            if sub_qos != QoS::AtMostOnce {
+                session.outbound.insert(
+                    fwd_msg_id,
+                    Outbound {
+                        topic_id,
+                        payload: payload.clone(),
+                        qos: sub_qos,
+                        phase: if sub_qos == QoS::AtLeastOnce {
+                            OutPhase::AwaitPuback
+                        } else {
+                            OutPhase::AwaitPubrec
+                        },
+                        last_sent: now,
+                        retries: 0,
+                    },
+                );
+            }
+            self.stats.publishes_out += 1;
+            out.push((addr, packet));
+        }
+        out
+    }
+
+    /// Drives outbound retransmissions. Call periodically.
+    pub fn on_tick(&mut self, now: Nanos) -> Vec<(A, Packet)> {
+        let retry_ns = self.config.retry_timeout.as_nanos() as u64;
+        let max_retries = self.config.max_retries;
+        let mut out = Vec::new();
+        for addr in self.order.clone() {
+            let Some(session) = self.sessions.get_mut(&addr) else {
+                continue;
+            };
+            let mut ids: Vec<u16> = session.outbound.keys().copied().collect();
+            ids.sort_unstable();
+            for id in ids {
+                let o = session.outbound.get_mut(&id).expect("present");
+                if now.saturating_sub(o.last_sent) < retry_ns {
+                    continue;
+                }
+                if o.retries >= max_retries {
+                    session.outbound.remove(&id);
+                    self.stats.drops += 1;
+                    continue;
+                }
+                o.retries += 1;
+                o.last_sent = now;
+                self.stats.retransmissions += 1;
+                let packet = match o.phase {
+                    OutPhase::AwaitPuback | OutPhase::AwaitPubrec => Packet::Publish {
+                        dup: true,
+                        qos: o.qos,
+                        retain: false,
+                        topic: TopicRef::Id(o.topic_id),
+                        msg_id: id,
+                        payload: o.payload.clone(),
+                    },
+                    OutPhase::AwaitPubcomp => Packet::PubRel { msg_id: id },
+                };
+                out.push((addr.clone(), packet));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Addr = u32;
+
+    fn broker() -> Broker<Addr> {
+        Broker::new(BrokerConfig::default())
+    }
+
+    fn connect(b: &mut Broker<Addr>, addr: Addr, id: &str) {
+        let out = b.on_packet(
+            0,
+            addr,
+            Packet::Connect {
+                clean_session: true,
+                duration: 60,
+                client_id: id.into(),
+            },
+        );
+        assert!(matches!(
+            out[0].1,
+            Packet::ConnAck {
+                code: ReturnCode::Accepted
+            }
+        ));
+    }
+
+    fn register(b: &mut Broker<Addr>, addr: Addr, name: &str) -> u16 {
+        let out = b.on_packet(
+            0,
+            addr,
+            Packet::Register {
+                topic_id: 0,
+                msg_id: 1,
+                topic_name: name.into(),
+            },
+        );
+        match out[0].1 {
+            Packet::RegAck {
+                topic_id,
+                code: ReturnCode::Accepted,
+                ..
+            } => topic_id,
+            ref p => panic!("unexpected {p:?}"),
+        }
+    }
+
+    fn subscribe(b: &mut Broker<Addr>, addr: Addr, filter: &str, qos: QoS) {
+        let out = b.on_packet(
+            0,
+            addr,
+            Packet::Subscribe {
+                dup: false,
+                qos,
+                msg_id: 2,
+                topic: TopicRef::Name(filter.into()),
+            },
+        );
+        assert!(matches!(
+            out[0].1,
+            Packet::SubAck {
+                code: ReturnCode::Accepted,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn qos0_pub_sub_roundtrip() {
+        let mut b = broker();
+        connect(&mut b, 1, "pub");
+        connect(&mut b, 2, "sub");
+        let tid = register(&mut b, 1, "t/x");
+        subscribe(&mut b, 2, "t/x", QoS::AtMostOnce);
+        let out = b.on_packet(
+            0,
+            1,
+            Packet::Publish {
+                dup: false,
+                qos: QoS::AtMostOnce,
+                retain: false,
+                topic: TopicRef::Id(tid),
+                msg_id: 0,
+                payload: vec![7],
+            },
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 2);
+        assert!(matches!(&out[0].1, Packet::Publish { payload, .. } if payload == &vec![7]));
+        assert_eq!(b.stats().publishes_out, 1);
+    }
+
+    #[test]
+    fn wildcard_subscription_receives() {
+        let mut b = broker();
+        connect(&mut b, 1, "pub");
+        connect(&mut b, 2, "sub");
+        let tid = register(&mut b, 1, "provlight/wf1/dev1");
+        subscribe(&mut b, 2, "provlight/#", QoS::AtMostOnce);
+        let out = b.on_packet(
+            0,
+            1,
+            Packet::Publish {
+                dup: false,
+                qos: QoS::AtMostOnce,
+                retain: false,
+                topic: TopicRef::Id(tid),
+                msg_id: 0,
+                payload: vec![1],
+            },
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 2);
+    }
+
+    #[test]
+    fn qos2_publisher_handshake_and_dedup() {
+        let mut b = broker();
+        connect(&mut b, 1, "pub");
+        connect(&mut b, 2, "sub");
+        let tid = register(&mut b, 1, "t");
+        subscribe(&mut b, 2, "t", QoS::AtMostOnce);
+
+        let publish = Packet::Publish {
+            dup: false,
+            qos: QoS::ExactlyOnce,
+            retain: false,
+            topic: TopicRef::Id(tid),
+            msg_id: 10,
+            payload: vec![1],
+        };
+        let out = b.on_packet(0, 1, publish.clone());
+        // PUBREC to publisher + forward to subscriber (downgraded to its
+        // subscription QoS 0).
+        assert!(out
+            .iter()
+            .any(|(a, p)| *a == 1 && matches!(p, Packet::PubRec { msg_id: 10 })));
+        assert!(out
+            .iter()
+            .any(|(a, p)| *a == 2 && matches!(p, Packet::Publish { qos: QoS::AtMostOnce, .. })));
+
+        // DUP retransmission before PUBREL: PUBREC again, no re-forward.
+        let out = b.on_packet(1, 1, publish);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].1, Packet::PubRec { msg_id: 10 }));
+        assert_eq!(b.stats().duplicates_suppressed, 1);
+        assert_eq!(b.stats().publishes_out, 1);
+
+        // PUBREL completes the exchange.
+        let out = b.on_packet(2, 1, Packet::PubRel { msg_id: 10 });
+        assert!(matches!(out[0].1, Packet::PubComp { msg_id: 10 }));
+    }
+
+    #[test]
+    fn qos2_subscriber_receives_via_four_way() {
+        let mut b = broker();
+        connect(&mut b, 1, "pub");
+        connect(&mut b, 2, "sub");
+        let tid = register(&mut b, 1, "t");
+        subscribe(&mut b, 2, "t", QoS::ExactlyOnce);
+        let out = b.on_packet(
+            0,
+            1,
+            Packet::Publish {
+                dup: false,
+                qos: QoS::ExactlyOnce,
+                retain: false,
+                topic: TopicRef::Id(tid),
+                msg_id: 5,
+                payload: vec![1],
+            },
+        );
+        let fwd_id = out
+            .iter()
+            .find_map(|(a, p)| match p {
+                Packet::Publish {
+                    qos: QoS::ExactlyOnce,
+                    msg_id,
+                    ..
+                } if *a == 2 => Some(*msg_id),
+                _ => None,
+            })
+            .expect("forwarded at QoS 2");
+        // Subscriber answers PUBREC -> broker sends PUBREL.
+        let out = b.on_packet(1, 2, Packet::PubRec { msg_id: fwd_id });
+        assert!(matches!(out[0].1, Packet::PubRel { .. }));
+        // Subscriber PUBCOMP clears broker state; tick produces nothing.
+        b.on_packet(2, 2, Packet::PubComp { msg_id: fwd_id });
+        assert!(b.on_tick(u64::MAX / 2).is_empty());
+    }
+
+    #[test]
+    fn broker_retransmits_unacked_qos1_then_drops() {
+        let cfg = BrokerConfig {
+            retry_timeout: Duration::from_secs(1),
+            max_retries: 1,
+            ..BrokerConfig::default()
+        };
+        let mut b: Broker<Addr> = Broker::new(cfg);
+        connect(&mut b, 1, "pub");
+        connect(&mut b, 2, "sub");
+        let tid = register(&mut b, 1, "t");
+        subscribe(&mut b, 2, "t", QoS::AtLeastOnce);
+        b.on_packet(
+            0,
+            1,
+            Packet::Publish {
+                dup: false,
+                qos: QoS::AtLeastOnce,
+                retain: false,
+                topic: TopicRef::Id(tid),
+                msg_id: 3,
+                payload: vec![1],
+            },
+        );
+        let s = 1_000_000_000u64;
+        let out = b.on_tick(2 * s);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].1, Packet::Publish { dup: true, .. }));
+        assert_eq!(b.stats().retransmissions, 1);
+        // Exhausted on the next tick.
+        let out = b.on_tick(4 * s);
+        assert!(out.is_empty());
+        assert_eq!(b.stats().drops, 1);
+    }
+
+    #[test]
+    fn publish_to_unknown_topic_rejected() {
+        let mut b = broker();
+        connect(&mut b, 1, "pub");
+        let out = b.on_packet(
+            0,
+            1,
+            Packet::Publish {
+                dup: false,
+                qos: QoS::AtLeastOnce,
+                retain: false,
+                topic: TopicRef::Id(999),
+                msg_id: 1,
+                payload: vec![],
+            },
+        );
+        assert!(matches!(
+            out[0].1,
+            Packet::PubAck {
+                code: ReturnCode::InvalidTopicId,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn disconnect_stops_delivery() {
+        let mut b = broker();
+        connect(&mut b, 1, "pub");
+        connect(&mut b, 2, "sub");
+        let tid = register(&mut b, 1, "t");
+        subscribe(&mut b, 2, "t", QoS::AtMostOnce);
+        b.on_packet(0, 2, Packet::Disconnect { duration: None });
+        assert_eq!(b.session_count(), 1);
+        let out = b.on_packet(
+            0,
+            1,
+            Packet::Publish {
+                dup: false,
+                qos: QoS::AtMostOnce,
+                retain: false,
+                topic: TopicRef::Id(tid),
+                msg_id: 0,
+                payload: vec![],
+            },
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn per_device_topics_route_independently() {
+        // The Fig. 5 deployment: 64 devices each publishing to their own
+        // topic, one translator subscription per topic.
+        let mut b = broker();
+        for dev in 0..8u32 {
+            connect(&mut b, dev, &format!("dev{dev}"));
+        }
+        let translator = 100;
+        connect(&mut b, translator, "translator");
+        let mut tids = Vec::new();
+        for dev in 0..8u32 {
+            let tid = register(&mut b, dev, &format!("provlight/wf/dev{dev}"));
+            tids.push(tid);
+        }
+        for dev in 0..8u32 {
+            subscribe(&mut b, translator, &format!("provlight/wf/dev{dev}"), QoS::AtMostOnce);
+        }
+        for (dev, tid) in tids.iter().enumerate() {
+            let out = b.on_packet(
+                0,
+                dev as u32,
+                Packet::Publish {
+                    dup: false,
+                    qos: QoS::AtMostOnce,
+                    retain: false,
+                    topic: TopicRef::Id(*tid),
+                    msg_id: 0,
+                    payload: vec![dev as u8],
+                },
+            );
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].0, translator);
+        }
+        assert_eq!(b.stats().publishes_out, 8);
+    }
+
+    #[test]
+    fn searchgw_answered() {
+        let mut b = broker();
+        let out = b.on_packet(0, 9, Packet::SearchGw { radius: 1 });
+        assert!(matches!(out[0].1, Packet::GwInfo { gw_id: 1 }));
+    }
+
+    #[test]
+    fn sleeping_client_buffers_until_ping() {
+        let mut b = broker();
+        connect(&mut b, 1, "pub");
+        connect(&mut b, 2, "sleeper");
+        let tid = register(&mut b, 1, "t");
+        subscribe(&mut b, 2, "t", QoS::AtMostOnce);
+
+        // Client 2 goes to sleep (DISCONNECT with duration).
+        let out = b.on_packet(0, 2, Packet::Disconnect { duration: Some(300) });
+        assert!(matches!(out[0].1, Packet::Disconnect { .. }));
+        assert_eq!(b.session_count(), 1);
+        assert_eq!(b.sleeping_count(), 1);
+
+        // Publishes while asleep are buffered, not sent.
+        for i in 0..3u8 {
+            let out = b.on_packet(
+                1,
+                1,
+                Packet::Publish {
+                    dup: false,
+                    qos: QoS::AtMostOnce,
+                    retain: false,
+                    topic: TopicRef::Id(tid),
+                    msg_id: 0,
+                    payload: vec![i],
+                },
+            );
+            assert!(out.is_empty(), "asleep client must not receive directly");
+        }
+
+        // PINGREQ flushes the buffer then answers PINGRESP, in order.
+        let out = b.on_packet(2, 2, Packet::PingReq);
+        assert_eq!(out.len(), 4);
+        for (i, (to, p)) in out[..3].iter().enumerate() {
+            assert_eq!(*to, 2);
+            assert!(
+                matches!(p, Packet::Publish { payload, .. } if payload == &vec![i as u8]),
+                "unexpected {p:?}"
+            );
+        }
+        assert!(matches!(out[3].1, Packet::PingResp));
+
+        // Buffer is drained: next ping is just a pong.
+        let out = b.on_packet(3, 2, Packet::PingReq);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn sleeping_qos1_buffered_delivery_uses_outbound_state() {
+        let cfg = BrokerConfig {
+            retry_timeout: Duration::from_secs(1),
+            ..BrokerConfig::default()
+        };
+        let mut b: Broker<Addr> = Broker::new(cfg);
+        connect(&mut b, 1, "pub");
+        connect(&mut b, 2, "sleeper");
+        let tid = register(&mut b, 1, "t");
+        subscribe(&mut b, 2, "t", QoS::AtLeastOnce);
+        b.on_packet(0, 2, Packet::Disconnect { duration: Some(60) });
+        b.on_packet(
+            0,
+            1,
+            Packet::Publish {
+                dup: false,
+                qos: QoS::AtLeastOnce,
+                retain: false,
+                topic: TopicRef::Id(tid),
+                msg_id: 9,
+                payload: vec![7],
+            },
+        );
+        let out = b.on_packet(1, 2, Packet::PingReq);
+        let msg_id = out
+            .iter()
+            .find_map(|(_, p)| match p {
+                Packet::Publish { msg_id, .. } => Some(*msg_id),
+                _ => None,
+            })
+            .expect("buffered publish delivered");
+        // Unacked buffered delivery retransmits like any outbound QoS 1.
+        let s = 1_000_000_000u64;
+        let out = b.on_tick(3 * s);
+        assert!(matches!(out[0].1, Packet::Publish { dup: true, .. }));
+        // Ack clears it.
+        b.on_packet(4 * s, 2, Packet::PubAck { topic_id: tid, msg_id, code: ReturnCode::Accepted });
+        assert!(b.on_tick(10 * s).is_empty());
+    }
+
+    #[test]
+    fn subscribe_to_registered_id() {
+        let mut b = broker();
+        connect(&mut b, 1, "pub");
+        connect(&mut b, 2, "sub");
+        let tid = register(&mut b, 1, "t/id");
+        let out = b.on_packet(
+            0,
+            2,
+            Packet::Subscribe {
+                dup: false,
+                qos: QoS::AtMostOnce,
+                msg_id: 9,
+                topic: TopicRef::Id(tid),
+            },
+        );
+        assert!(matches!(
+            out[0].1,
+            Packet::SubAck {
+                code: ReturnCode::Accepted,
+                topic_id,
+                ..
+            } if topic_id == tid
+        ));
+    }
+}

@@ -1,0 +1,968 @@
+//! Sans-io MQTT-SN client state machine.
+//!
+//! The client never touches a socket or a clock: callers feed it inbound
+//! packets ([`Client::on_packet`]) and time ([`Client::on_tick`]), and it
+//! returns packets to send plus events to surface. The same machine backs
+//! the real-UDP binding in [`crate::net`] and the discrete-event simulator
+//! used for the paper's experiments.
+//!
+//! Retransmission follows the spec's `Tretry`/`Nretry` scheme: QoS 1/2
+//! messages are re-sent with the DUP flag until acknowledged or the retry
+//! budget is exhausted.
+
+use crate::packet::{Packet, QoS, ReturnCode, TopicRef};
+use crate::Error;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Monotonic virtual or real time in nanoseconds.
+pub type Nanos = u64;
+
+/// Client configuration.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Client identifier (1..=23 bytes per spec).
+    pub client_id: String,
+    /// Keep-alive period; a PINGREQ is sent after this much idle time.
+    pub keep_alive: Duration,
+    /// Request a clean session on connect.
+    pub clean_session: bool,
+    /// Retransmission timeout (spec `Tretry`, typically 10–15 s; shorter
+    /// in tests).
+    pub retry_timeout: Duration,
+    /// Maximum retransmissions (spec `Nretry`).
+    pub max_retries: u32,
+    /// Maximum unacknowledged QoS 1/2 publishes in flight.
+    pub max_inflight: usize,
+}
+
+impl ClientConfig {
+    /// Reasonable defaults for an edge device.
+    pub fn new(client_id: impl Into<String>) -> Self {
+        ClientConfig {
+            client_id: client_id.into(),
+            keep_alive: Duration::from_secs(60),
+            clean_session: true,
+            retry_timeout: Duration::from_secs(10),
+            max_retries: 5,
+            max_inflight: 64,
+        }
+    }
+}
+
+/// Connection state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientState {
+    /// Not connected.
+    Disconnected,
+    /// CONNECT sent, awaiting CONNACK.
+    Connecting,
+    /// Session established.
+    Connected,
+}
+
+/// Events surfaced to the application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientEvent {
+    /// CONNACK accepted.
+    Connected,
+    /// CONNACK rejected.
+    ConnectFailed(ReturnCode),
+    /// REGACK received for a topic registration.
+    Registered {
+        /// The registered topic name.
+        topic_name: String,
+        /// The broker-assigned id.
+        topic_id: u16,
+    },
+    /// SUBACK received.
+    Subscribed {
+        /// Transaction id of the SUBSCRIBE.
+        msg_id: u16,
+        /// Assigned topic id (0 for wildcard filters).
+        topic_id: u16,
+        /// Granted QoS.
+        qos: QoS,
+    },
+    /// UNSUBACK received.
+    Unsubscribed {
+        /// Transaction id.
+        msg_id: u16,
+    },
+    /// A QoS 1 publish was acknowledged or a QoS 2 publish completed its
+    /// 4-way handshake.
+    PublishDone {
+        /// The publish's message id.
+        msg_id: u16,
+    },
+    /// Retries exhausted for an in-flight message.
+    PublishFailed {
+        /// The publish's message id.
+        msg_id: u16,
+    },
+    /// An application message arrived (QoS 2 duplicates already filtered).
+    Message {
+        /// Topic reference it was published to.
+        topic: TopicRef,
+        /// Payload bytes.
+        payload: Vec<u8>,
+    },
+    /// The broker stopped answering keep-alive pings.
+    PingTimeout,
+    /// Broker confirmed disconnect.
+    Disconnected,
+}
+
+/// What the state machine wants the caller to do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Output {
+    /// Transmit this packet to the broker.
+    Send(Packet),
+    /// Surface this event to the application.
+    Event(ClientEvent),
+}
+
+#[derive(Clone, Debug)]
+enum OutPhase {
+    AwaitPuback,
+    AwaitPubrec,
+    AwaitPubcomp,
+}
+
+#[derive(Clone, Debug)]
+struct PendingControl {
+    packet: Packet,
+    last_sent: Nanos,
+    retries: u32,
+}
+
+#[derive(Clone, Debug)]
+struct InFlight {
+    topic: TopicRef,
+    payload: Vec<u8>,
+    qos: QoS,
+    retain: bool,
+    phase: OutPhase,
+    last_sent: Nanos,
+    retries: u32,
+}
+
+/// The client state machine.
+#[derive(Debug)]
+pub struct Client {
+    config: ClientConfig,
+    state: ClientState,
+    next_msg_id: u16,
+    connect_sent_at: Option<Nanos>,
+    pending_register: HashMap<u16, String>,
+    /// Control packets awaiting replies (CONNECT / REGISTER / SUBSCRIBE /
+    /// UNSUBSCRIBE), retransmitted on `Tretry` per spec §6.13.
+    pending_control: HashMap<u16, PendingControl>,
+    inflight: HashMap<u16, InFlight>,
+    /// Inbound QoS 2 message ids between PUBLISH and PUBREL (dedup set).
+    inbound_qos2: HashMap<u16, ()>,
+    last_tx: Nanos,
+    ping_outstanding_since: Option<Nanos>,
+}
+
+impl Client {
+    /// Creates a disconnected client.
+    pub fn new(config: ClientConfig) -> Self {
+        Client {
+            config,
+            state: ClientState::Disconnected,
+            next_msg_id: 1,
+            connect_sent_at: None,
+            pending_register: HashMap::new(),
+            pending_control: HashMap::new(),
+            inflight: HashMap::new(),
+            inbound_qos2: HashMap::new(),
+            last_tx: 0,
+            ping_outstanding_since: None,
+        }
+    }
+
+    /// Current connection state.
+    pub fn state(&self) -> ClientState {
+        self.state
+    }
+
+    /// Number of unacknowledged QoS 1/2 publishes.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether another QoS 1/2 publish can be started.
+    pub fn can_publish(&self) -> bool {
+        self.inflight.len() < self.config.max_inflight
+    }
+
+    fn alloc_msg_id(&mut self) -> u16 {
+        loop {
+            let id = self.next_msg_id;
+            self.next_msg_id = self.next_msg_id.wrapping_add(1);
+            if self.next_msg_id == 0 {
+                self.next_msg_id = 1;
+            }
+            if id != 0 && !self.inflight.contains_key(&id) && !self.pending_register.contains_key(&id)
+            {
+                return id;
+            }
+        }
+    }
+
+    /// Initiates the connection handshake. The CONNECT is retransmitted
+    /// on `Tretry` until the CONNACK arrives or retries are exhausted.
+    pub fn connect(&mut self, now: Nanos) -> Vec<Output> {
+        self.state = ClientState::Connecting;
+        self.connect_sent_at = Some(now);
+        self.last_tx = now;
+        let packet = Packet::Connect {
+            clean_session: self.config.clean_session,
+            duration: self.config.keep_alive.as_secs().min(u16::MAX as u64) as u16,
+            client_id: self.config.client_id.clone(),
+        };
+        self.pending_control.insert(
+            0,
+            PendingControl {
+                packet: packet.clone(),
+                last_sent: now,
+                retries: 0,
+            },
+        );
+        vec![Output::Send(packet)]
+    }
+
+    /// Requests a topic-id for `topic_name`. The id arrives via
+    /// [`ClientEvent::Registered`].
+    pub fn register(&mut self, topic_name: &str, now: Nanos) -> Result<(u16, Vec<Output>), Error> {
+        if self.state != ClientState::Connected {
+            return Err(Error::BadState("register before connected"));
+        }
+        let msg_id = self.alloc_msg_id();
+        self.pending_register.insert(msg_id, topic_name.to_owned());
+        self.last_tx = now;
+        let packet = Packet::Register {
+            topic_id: 0,
+            msg_id,
+            topic_name: topic_name.to_owned(),
+        };
+        self.pending_control.insert(
+            msg_id,
+            PendingControl {
+                packet: packet.clone(),
+                last_sent: now,
+                retries: 0,
+            },
+        );
+        Ok((msg_id, vec![Output::Send(packet)]))
+    }
+
+    /// Publishes a payload to a registered topic id.
+    ///
+    /// Returns the message id (0 for QoS 0) and the packets to send. QoS
+    /// 1/2 completion is signalled by [`ClientEvent::PublishDone`].
+    pub fn publish(
+        &mut self,
+        topic: TopicRef,
+        payload: Vec<u8>,
+        qos: QoS,
+        now: Nanos,
+    ) -> Result<(u16, Vec<Output>), Error> {
+        if self.state != ClientState::Connected {
+            return Err(Error::BadState("publish before connected"));
+        }
+        if matches!(topic, TopicRef::Name(_)) {
+            return Err(Error::BadState("PUBLISH requires a topic id"));
+        }
+        self.last_tx = now;
+        match qos {
+            QoS::AtMostOnce => Ok((
+                0,
+                vec![Output::Send(Packet::Publish {
+                    dup: false,
+                    qos,
+                    retain: false,
+                    topic,
+                    msg_id: 0,
+                    payload,
+                })],
+            )),
+            QoS::AtLeastOnce | QoS::ExactlyOnce => {
+                if !self.can_publish() {
+                    return Err(Error::InflightFull);
+                }
+                let msg_id = self.alloc_msg_id();
+                let packet = Packet::Publish {
+                    dup: false,
+                    qos,
+                    retain: false,
+                    topic: topic.clone(),
+                    msg_id,
+                    payload: payload.clone(),
+                };
+                self.inflight.insert(
+                    msg_id,
+                    InFlight {
+                        topic,
+                        payload,
+                        qos,
+                        retain: false,
+                        phase: if qos == QoS::AtLeastOnce {
+                            OutPhase::AwaitPuback
+                        } else {
+                            OutPhase::AwaitPubrec
+                        },
+                        last_sent: now,
+                        retries: 0,
+                    },
+                );
+                Ok((msg_id, vec![Output::Send(packet)]))
+            }
+        }
+    }
+
+    /// Subscribes to a topic filter.
+    pub fn subscribe(
+        &mut self,
+        filter: &str,
+        qos: QoS,
+        now: Nanos,
+    ) -> Result<(u16, Vec<Output>), Error> {
+        if self.state != ClientState::Connected {
+            return Err(Error::BadState("subscribe before connected"));
+        }
+        if !crate::topic::filter_is_valid(filter) {
+            return Err(Error::BadState("invalid topic filter"));
+        }
+        let msg_id = self.alloc_msg_id();
+        self.last_tx = now;
+        let packet = Packet::Subscribe {
+            dup: false,
+            qos,
+            msg_id,
+            topic: TopicRef::Name(filter.to_owned()),
+        };
+        self.pending_control.insert(
+            msg_id,
+            PendingControl {
+                packet: packet.clone(),
+                last_sent: now,
+                retries: 0,
+            },
+        );
+        Ok((msg_id, vec![Output::Send(packet)]))
+    }
+
+    /// Starts a graceful disconnect.
+    pub fn disconnect(&mut self, now: Nanos) -> Vec<Output> {
+        self.last_tx = now;
+        vec![Output::Send(Packet::Disconnect { duration: None })]
+    }
+
+    /// Feeds one inbound packet.
+    pub fn on_packet(&mut self, packet: Packet, now: Nanos) -> Vec<Output> {
+        let mut out = Vec::new();
+        match packet {
+            Packet::ConnAck { code } => {
+                self.pending_control.remove(&0);
+                if code == ReturnCode::Accepted {
+                    self.state = ClientState::Connected;
+                    out.push(Output::Event(ClientEvent::Connected));
+                } else {
+                    self.state = ClientState::Disconnected;
+                    out.push(Output::Event(ClientEvent::ConnectFailed(code)));
+                }
+            }
+            Packet::RegAck {
+                topic_id,
+                msg_id,
+                code,
+            } => {
+                self.pending_control.remove(&msg_id);
+                if let Some(topic_name) = self.pending_register.remove(&msg_id) {
+                    if code == ReturnCode::Accepted {
+                        out.push(Output::Event(ClientEvent::Registered {
+                            topic_name,
+                            topic_id,
+                        }));
+                    }
+                }
+            }
+            Packet::SubAck {
+                qos,
+                topic_id,
+                msg_id,
+                code,
+            } => {
+                self.pending_control.remove(&msg_id);
+                if code == ReturnCode::Accepted {
+                    out.push(Output::Event(ClientEvent::Subscribed {
+                        msg_id,
+                        topic_id,
+                        qos,
+                    }));
+                }
+            }
+            Packet::UnsubAck { msg_id } => {
+                self.pending_control.remove(&msg_id);
+                out.push(Output::Event(ClientEvent::Unsubscribed { msg_id }));
+            }
+            Packet::PubAck { msg_id, .. } => {
+                if let Some(f) = self.inflight.get(&msg_id) {
+                    if matches!(f.phase, OutPhase::AwaitPuback) {
+                        self.inflight.remove(&msg_id);
+                        out.push(Output::Event(ClientEvent::PublishDone { msg_id }));
+                    }
+                }
+            }
+            Packet::PubRec { msg_id } => {
+                if let Some(f) = self.inflight.get_mut(&msg_id) {
+                    f.phase = OutPhase::AwaitPubcomp;
+                    f.last_sent = now;
+                    f.retries = 0;
+                }
+                // Always answer PUBREC (idempotent PUBREL).
+                self.last_tx = now;
+                out.push(Output::Send(Packet::PubRel { msg_id }));
+            }
+            Packet::PubComp { msg_id }
+                if self.inflight.remove(&msg_id).is_some() => {
+                    out.push(Output::Event(ClientEvent::PublishDone { msg_id }));
+                }
+            Packet::Publish {
+                qos,
+                topic,
+                msg_id,
+                payload,
+                ..
+            } => match qos {
+                QoS::AtMostOnce => {
+                    out.push(Output::Event(ClientEvent::Message { topic, payload }));
+                }
+                QoS::AtLeastOnce => {
+                    out.push(Output::Event(ClientEvent::Message {
+                        topic: topic.clone(),
+                        payload,
+                    }));
+                    self.last_tx = now;
+                    let topic_id = match topic {
+                        TopicRef::Id(id) | TopicRef::Predefined(id) => id,
+                        TopicRef::Name(_) => 0,
+                    };
+                    out.push(Output::Send(Packet::PubAck {
+                        topic_id,
+                        msg_id,
+                        code: ReturnCode::Accepted,
+                    }));
+                }
+                QoS::ExactlyOnce => {
+                    // Deliver on first receipt; suppress DUP re-deliveries
+                    // until the PUBREL clears the id.
+                    if let std::collections::hash_map::Entry::Vacant(e) = self.inbound_qos2.entry(msg_id) {
+                        e.insert(());
+                        out.push(Output::Event(ClientEvent::Message { topic, payload }));
+                    }
+                    self.last_tx = now;
+                    out.push(Output::Send(Packet::PubRec { msg_id }));
+                }
+            },
+            Packet::PubRel { msg_id } => {
+                self.inbound_qos2.remove(&msg_id);
+                self.last_tx = now;
+                out.push(Output::Send(Packet::PubComp { msg_id }));
+            }
+            Packet::PingResp => {
+                self.ping_outstanding_since = None;
+            }
+            Packet::PingReq => {
+                self.last_tx = now;
+                out.push(Output::Send(Packet::PingResp));
+            }
+            Packet::Disconnect { .. } => {
+                self.state = ClientState::Disconnected;
+                out.push(Output::Event(ClientEvent::Disconnected));
+            }
+            // Broker-originated REGISTER (topic id assignment for
+            // wildcard subscribers): acknowledge.
+            Packet::Register {
+                topic_id, msg_id, ..
+            } => {
+                self.last_tx = now;
+                out.push(Output::Send(Packet::RegAck {
+                    topic_id,
+                    msg_id,
+                    code: ReturnCode::Accepted,
+                }));
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// Drives timers: retransmissions and keep-alive. Call at least every
+    /// `retry_timeout / 2`.
+    pub fn on_tick(&mut self, now: Nanos) -> Vec<Output> {
+        let mut out = Vec::new();
+        let retry_ns = self.config.retry_timeout.as_nanos() as u64;
+
+        // Control-packet retransmission (spec: retransmit any message
+        // awaiting a reply on Tretry, up to Nretry times). Runs in the
+        // Connecting state too, so lost CONNECTs self-heal.
+        let mut control_ids: Vec<u16> = self.pending_control.keys().copied().collect();
+        control_ids.sort_unstable();
+        for id in control_ids {
+            let c = self.pending_control.get_mut(&id).expect("present");
+            if now.saturating_sub(c.last_sent) < retry_ns {
+                continue;
+            }
+            if c.retries >= self.config.max_retries {
+                self.pending_control.remove(&id);
+                if id == 0 {
+                    self.state = ClientState::Disconnected;
+                    out.push(Output::Event(ClientEvent::ConnectFailed(
+                        ReturnCode::Congestion,
+                    )));
+                }
+                continue;
+            }
+            c.retries += 1;
+            c.last_sent = now;
+            let mut packet = c.packet.clone();
+            if let Packet::Subscribe { dup, .. } = &mut packet {
+                *dup = true;
+            }
+            self.last_tx = now;
+            out.push(Output::Send(packet));
+        }
+
+        if self.state != ClientState::Connected {
+            return out;
+        }
+
+        let mut failed = Vec::new();
+        let mut ids: Vec<u16> = self.inflight.keys().copied().collect();
+        ids.sort_unstable(); // deterministic retransmission order
+        for id in ids {
+            let f = self.inflight.get_mut(&id).expect("present");
+            if now.saturating_sub(f.last_sent) < retry_ns {
+                continue;
+            }
+            if f.retries >= self.config.max_retries {
+                failed.push(id);
+                continue;
+            }
+            f.retries += 1;
+            f.last_sent = now;
+            let packet = match f.phase {
+                OutPhase::AwaitPuback | OutPhase::AwaitPubrec => Packet::Publish {
+                    dup: true,
+                    qos: f.qos,
+                    retain: f.retain,
+                    topic: f.topic.clone(),
+                    msg_id: id,
+                    payload: f.payload.clone(),
+                },
+                OutPhase::AwaitPubcomp => Packet::PubRel { msg_id: id },
+            };
+            self.last_tx = now;
+            out.push(Output::Send(packet));
+        }
+        for id in failed {
+            self.inflight.remove(&id);
+            out.push(Output::Event(ClientEvent::PublishFailed { msg_id: id }));
+        }
+
+        // Keep-alive.
+        let ka_ns = self.config.keep_alive.as_nanos() as u64;
+        if ka_ns > 0 {
+            match self.ping_outstanding_since {
+                Some(since) if now.saturating_sub(since) > retry_ns => {
+                    self.ping_outstanding_since = None;
+                    out.push(Output::Event(ClientEvent::PingTimeout));
+                }
+                None if now.saturating_sub(self.last_tx) >= ka_ns => {
+                    self.ping_outstanding_since = Some(now);
+                    self.last_tx = now;
+                    out.push(Output::Send(Packet::PingReq));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn connected_client() -> Client {
+        let mut c = Client::new(ClientConfig::new("dev1"));
+        c.connect(0);
+        c.on_packet(
+            Packet::ConnAck {
+                code: ReturnCode::Accepted,
+            },
+            0,
+        );
+        assert_eq!(c.state(), ClientState::Connected);
+        c
+    }
+
+    fn sends(outputs: &[Output]) -> Vec<&Packet> {
+        outputs
+            .iter()
+            .filter_map(|o| match o {
+                Output::Send(p) => Some(p),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn events(outputs: &[Output]) -> Vec<&ClientEvent> {
+        outputs
+            .iter()
+            .filter_map(|o| match o {
+                Output::Event(e) => Some(e),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn connect_handshake() {
+        let mut c = Client::new(ClientConfig::new("dev1"));
+        let out = c.connect(0);
+        assert!(matches!(out[0], Output::Send(Packet::Connect { .. })));
+        assert_eq!(c.state(), ClientState::Connecting);
+        let out = c.on_packet(
+            Packet::ConnAck {
+                code: ReturnCode::Accepted,
+            },
+            1,
+        );
+        assert_eq!(events(&out), vec![&ClientEvent::Connected]);
+    }
+
+    #[test]
+    fn connect_rejection_reported() {
+        let mut c = Client::new(ClientConfig::new("dev1"));
+        c.connect(0);
+        let out = c.on_packet(
+            Packet::ConnAck {
+                code: ReturnCode::Congestion,
+            },
+            1,
+        );
+        assert_eq!(
+            events(&out),
+            vec![&ClientEvent::ConnectFailed(ReturnCode::Congestion)]
+        );
+        assert_eq!(c.state(), ClientState::Disconnected);
+    }
+
+    #[test]
+    fn register_roundtrip() {
+        let mut c = connected_client();
+        let (msg_id, out) = c.register("provlight/wf1/dev1", 10).unwrap();
+        assert!(matches!(
+            sends(&out)[0],
+            Packet::Register { topic_id: 0, .. }
+        ));
+        let out = c.on_packet(
+            Packet::RegAck {
+                topic_id: 42,
+                msg_id,
+                code: ReturnCode::Accepted,
+            },
+            20,
+        );
+        assert_eq!(
+            events(&out),
+            vec![&ClientEvent::Registered {
+                topic_name: "provlight/wf1/dev1".into(),
+                topic_id: 42
+            }]
+        );
+    }
+
+    #[test]
+    fn qos0_publish_has_no_state() {
+        let mut c = connected_client();
+        let (id, out) = c
+            .publish(TopicRef::Id(1), vec![1, 2], QoS::AtMostOnce, 5)
+            .unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(sends(&out).len(), 1);
+        assert_eq!(c.inflight_len(), 0);
+    }
+
+    #[test]
+    fn qos1_publish_completes_on_puback() {
+        let mut c = connected_client();
+        let (id, _) = c
+            .publish(TopicRef::Id(1), vec![1], QoS::AtLeastOnce, 5)
+            .unwrap();
+        assert_eq!(c.inflight_len(), 1);
+        let out = c.on_packet(
+            Packet::PubAck {
+                topic_id: 1,
+                msg_id: id,
+                code: ReturnCode::Accepted,
+            },
+            6,
+        );
+        assert_eq!(events(&out), vec![&ClientEvent::PublishDone { msg_id: id }]);
+        assert_eq!(c.inflight_len(), 0);
+    }
+
+    #[test]
+    fn qos2_four_way_handshake() {
+        let mut c = connected_client();
+        let (id, _) = c
+            .publish(TopicRef::Id(1), vec![9], QoS::ExactlyOnce, 5)
+            .unwrap();
+        // PUBREC -> client answers PUBREL.
+        let out = c.on_packet(Packet::PubRec { msg_id: id }, 6);
+        assert_eq!(sends(&out), vec![&Packet::PubRel { msg_id: id }]);
+        assert_eq!(c.inflight_len(), 1);
+        // PUBCOMP -> done.
+        let out = c.on_packet(Packet::PubComp { msg_id: id }, 7);
+        assert_eq!(events(&out), vec![&ClientEvent::PublishDone { msg_id: id }]);
+        assert_eq!(c.inflight_len(), 0);
+    }
+
+    #[test]
+    fn publish_retransmits_with_dup_then_fails() {
+        let mut cfg = ClientConfig::new("dev1");
+        cfg.retry_timeout = Duration::from_secs(1);
+        cfg.max_retries = 2;
+        let mut c = Client::new(cfg);
+        c.connect(0);
+        c.on_packet(
+            Packet::ConnAck {
+                code: ReturnCode::Accepted,
+            },
+            0,
+        );
+        let (id, _) = c
+            .publish(TopicRef::Id(1), vec![1], QoS::ExactlyOnce, 0)
+            .unwrap();
+        let s = 1_000_000_000u64;
+        // First retry.
+        let out = c.on_tick(s + 1);
+        match sends(&out)[0] {
+            Packet::Publish { dup, msg_id, .. } => {
+                assert!(*dup);
+                assert_eq!(*msg_id, id);
+            }
+            p => panic!("unexpected {p:?}"),
+        }
+        // Second retry.
+        assert_eq!(sends(&c.on_tick(2 * s + 2)).len(), 1);
+        // Exhausted.
+        let out = c.on_tick(3 * s + 3);
+        assert_eq!(
+            events(&out),
+            vec![&ClientEvent::PublishFailed { msg_id: id }]
+        );
+        assert_eq!(c.inflight_len(), 0);
+    }
+
+    #[test]
+    fn inflight_window_enforced() {
+        let mut cfg = ClientConfig::new("dev1");
+        cfg.max_inflight = 2;
+        let mut c = Client::new(cfg);
+        c.connect(0);
+        c.on_packet(
+            Packet::ConnAck {
+                code: ReturnCode::Accepted,
+            },
+            0,
+        );
+        c.publish(TopicRef::Id(1), vec![], QoS::ExactlyOnce, 0)
+            .unwrap();
+        c.publish(TopicRef::Id(1), vec![], QoS::ExactlyOnce, 0)
+            .unwrap();
+        assert!(!c.can_publish());
+        let err = c
+            .publish(TopicRef::Id(1), vec![], QoS::ExactlyOnce, 0)
+            .unwrap_err();
+        assert_eq!(err, Error::InflightFull);
+    }
+
+    #[test]
+    fn inbound_qos2_delivers_exactly_once() {
+        let mut c = connected_client();
+        let publish = Packet::Publish {
+            dup: false,
+            qos: QoS::ExactlyOnce,
+            retain: false,
+            topic: TopicRef::Id(3),
+            msg_id: 77,
+            payload: vec![5],
+        };
+        let out = c.on_packet(publish.clone(), 1);
+        assert_eq!(events(&out).len(), 1);
+        assert_eq!(sends(&out), vec![&Packet::PubRec { msg_id: 77 }]);
+        // DUP redelivery before PUBREL: no second Message event.
+        let out = c.on_packet(publish, 2);
+        assert_eq!(events(&out).len(), 0);
+        assert_eq!(sends(&out), vec![&Packet::PubRec { msg_id: 77 }]);
+        // PUBREL clears the id and is answered with PUBCOMP.
+        let out = c.on_packet(Packet::PubRel { msg_id: 77 }, 3);
+        assert_eq!(sends(&out), vec![&Packet::PubComp { msg_id: 77 }]);
+    }
+
+    #[test]
+    fn keepalive_ping_and_timeout() {
+        let mut cfg = ClientConfig::new("dev1");
+        cfg.keep_alive = Duration::from_secs(10);
+        cfg.retry_timeout = Duration::from_secs(2);
+        let mut c = Client::new(cfg);
+        c.connect(0);
+        c.on_packet(
+            Packet::ConnAck {
+                code: ReturnCode::Accepted,
+            },
+            0,
+        );
+        let s = 1_000_000_000u64;
+        let out = c.on_tick(10 * s);
+        assert_eq!(sends(&out), vec![&Packet::PingReq]);
+        // PINGRESP clears it.
+        c.on_packet(Packet::PingResp, 10 * s + 1);
+        assert!(events(&c.on_tick(11 * s)).is_empty());
+        // Next ping unanswered long enough -> timeout event.
+        let out = c.on_tick(21 * s);
+        assert_eq!(sends(&out), vec![&Packet::PingReq]);
+        let out = c.on_tick(24 * s);
+        assert_eq!(events(&out), vec![&ClientEvent::PingTimeout]);
+    }
+
+    #[test]
+    fn operations_require_connection() {
+        let mut c = Client::new(ClientConfig::new("dev1"));
+        assert!(c.register("t", 0).is_err());
+        assert!(c
+            .publish(TopicRef::Id(1), vec![], QoS::AtMostOnce, 0)
+            .is_err());
+        assert!(c.subscribe("t/#", QoS::AtMostOnce, 0).is_err());
+    }
+
+    #[test]
+    fn subscribe_validates_filter() {
+        let mut c = connected_client();
+        assert!(c.subscribe("a/#/b", QoS::AtMostOnce, 0).is_err());
+        let (_, out) = c.subscribe("a/+/b", QoS::ExactlyOnce, 0).unwrap();
+        assert!(matches!(sends(&out)[0], Packet::Subscribe { .. }));
+    }
+
+    #[test]
+    fn connect_retransmits_until_connack() {
+        let mut cfg = ClientConfig::new("dev1");
+        cfg.retry_timeout = Duration::from_secs(1);
+        cfg.max_retries = 3;
+        let mut c = Client::new(cfg);
+        c.connect(0);
+        let s = 1_000_000_000u64;
+        // Lost CONNACK: the client re-sends CONNECT on each Tretry.
+        let out = c.on_tick(s + 1);
+        assert!(matches!(sends(&out)[0], Packet::Connect { .. }));
+        assert_eq!(c.state(), ClientState::Connecting);
+        // CONNACK finally arrives; retransmission stops.
+        c.on_packet(
+            Packet::ConnAck {
+                code: ReturnCode::Accepted,
+            },
+            s + 2,
+        );
+        assert!(sends(&c.on_tick(3 * s)).iter().all(|p| !matches!(p, Packet::Connect { .. })));
+    }
+
+    #[test]
+    fn connect_gives_up_after_retries() {
+        let mut cfg = ClientConfig::new("dev1");
+        cfg.retry_timeout = Duration::from_secs(1);
+        cfg.max_retries = 2;
+        let mut c = Client::new(cfg);
+        c.connect(0);
+        let s = 1_000_000_000u64;
+        assert_eq!(sends(&c.on_tick(s + 1)).len(), 1);
+        assert_eq!(sends(&c.on_tick(2 * s + 2)).len(), 1);
+        let out = c.on_tick(3 * s + 3);
+        assert!(matches!(
+            events(&out)[0],
+            ClientEvent::ConnectFailed(_)
+        ));
+        assert_eq!(c.state(), ClientState::Disconnected);
+    }
+
+    #[test]
+    fn register_and_subscribe_retransmit() {
+        let mut cfg = ClientConfig::new("dev1");
+        cfg.retry_timeout = Duration::from_secs(1);
+        let mut c = Client::new(cfg);
+        c.connect(0);
+        c.on_packet(
+            Packet::ConnAck {
+                code: ReturnCode::Accepted,
+            },
+            0,
+        );
+        let (reg_id, _) = c.register("topic/a", 0).unwrap();
+        let (sub_id, _) = c.subscribe("topic/#", QoS::AtLeastOnce, 0).unwrap();
+        let s = 1_000_000_000u64;
+        let out = c.on_tick(s + 1);
+        let resent = sends(&out);
+        assert!(resent.iter().any(|p| matches!(p, Packet::Register { msg_id, .. } if *msg_id == reg_id)));
+        assert!(resent.iter().any(
+            |p| matches!(p, Packet::Subscribe { msg_id, dup: true, .. } if *msg_id == sub_id)
+        ));
+        // Acks stop the retransmission.
+        c.on_packet(
+            Packet::RegAck {
+                topic_id: 5,
+                msg_id: reg_id,
+                code: ReturnCode::Accepted,
+            },
+            s + 2,
+        );
+        c.on_packet(
+            Packet::SubAck {
+                qos: QoS::AtLeastOnce,
+                topic_id: 0,
+                msg_id: sub_id,
+                code: ReturnCode::Accepted,
+            },
+            s + 2,
+        );
+        let out = c.on_tick(3 * s);
+        assert!(sends(&out)
+            .iter()
+            .all(|p| !matches!(p, Packet::Register { .. } | Packet::Subscribe { .. })));
+    }
+
+    #[test]
+    fn broker_register_is_acked() {
+        let mut c = connected_client();
+        let out = c.on_packet(
+            Packet::Register {
+                topic_id: 9,
+                msg_id: 4,
+                topic_name: "t".into(),
+            },
+            0,
+        );
+        assert_eq!(
+            sends(&out),
+            vec![&Packet::RegAck {
+                topic_id: 9,
+                msg_id: 4,
+                code: ReturnCode::Accepted
+            }]
+        );
+    }
+}

@@ -1,0 +1,425 @@
+//! Real-socket bindings of the sans-io cores.
+//!
+//! [`UdpBroker`] runs the [`broker::Broker`](crate::broker::Broker) on a background
+//! thread over a `std::net::UdpSocket`; [`UdpClient`] is a blocking client
+//! suitable for driving from an application or a transmitter thread. These
+//! make the library usable outside the simulator — the integration tests
+//! exercise full QoS 2 capture over loopback UDP.
+
+use crate::broker::{Broker, BrokerConfig, BrokerStats};
+use crate::client::{Client, ClientConfig, ClientEvent, Nanos, Output};
+use crate::packet::{Packet, QoS, TopicRef};
+use crate::Error;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A broker bound to a UDP socket, served by a background thread.
+pub struct UdpBroker {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    broker: Arc<Mutex<Broker<SocketAddr>>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl UdpBroker {
+    /// Binds and starts serving. Use `"127.0.0.1:0"` to pick a free port.
+    pub fn spawn(bind: impl ToSocketAddrs, config: BrokerConfig) -> io::Result<UdpBroker> {
+        let socket = UdpSocket::bind(bind)?;
+        socket.set_read_timeout(Some(Duration::from_millis(10)))?;
+        let local_addr = socket.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let broker = Arc::new(Mutex::new(Broker::new(config)));
+
+        let thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let broker = Arc::clone(&broker);
+            std::thread::spawn(move || {
+                let start = Instant::now();
+                let mut buf = [0u8; 64 * 1024];
+                let mut last_tick = Instant::now();
+                loop {
+                    if shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let now_ns = start.elapsed().as_nanos() as Nanos;
+                    match socket.recv_from(&mut buf) {
+                        Ok((n, from)) => {
+                            if let Ok(packet) = Packet::decode(&buf[..n]) {
+                                let outputs = broker.lock().on_packet(now_ns, from, packet);
+                                for (to, p) in outputs {
+                                    let _ = socket.send_to(&p.encode(), to);
+                                }
+                            }
+                        }
+                        Err(e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut => {}
+                        Err(_) => return,
+                    }
+                    if last_tick.elapsed() >= Duration::from_millis(100) {
+                        last_tick = Instant::now();
+                        let outputs = broker.lock().on_tick(start.elapsed().as_nanos() as Nanos);
+                        for (to, p) in outputs {
+                            let _ = socket.send_to(&p.encode(), to);
+                        }
+                    }
+                }
+            })
+        };
+
+        Ok(UdpBroker {
+            local_addr,
+            shutdown,
+            broker,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (to hand to clients).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of routing statistics.
+    pub fn stats(&self) -> BrokerStats {
+        *self.broker.lock().stats()
+    }
+
+    /// Stops the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for UdpBroker {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Errors from the blocking client.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Protocol-level failure.
+    Protocol(Error),
+    /// The expected response did not arrive in time.
+    Timeout(&'static str),
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+impl From<Error> for NetError {
+    fn from(e: Error) -> Self {
+        NetError::Protocol(e)
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Protocol(e) => write!(f, "protocol error: {e}"),
+            NetError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// A blocking MQTT-SN client over UDP.
+pub struct UdpClient {
+    socket: UdpSocket,
+    client: Client,
+    start: Instant,
+    events: VecDeque<ClientEvent>,
+}
+
+impl UdpClient {
+    /// Connects to a broker, completing the CONNECT handshake.
+    pub fn connect(
+        broker: SocketAddr,
+        config: ClientConfig,
+        timeout: Duration,
+    ) -> Result<UdpClient, NetError> {
+        let socket = UdpSocket::bind("0.0.0.0:0")?;
+        socket.connect(broker)?;
+        socket.set_read_timeout(Some(Duration::from_millis(10)))?;
+        let mut c = UdpClient {
+            socket,
+            client: Client::new(config),
+            start: Instant::now(),
+            events: VecDeque::new(),
+        };
+        let outputs = c.client.connect(c.now());
+        c.dispatch(outputs)?;
+        c.wait_for(timeout, "CONNACK", |e| {
+            matches!(e, ClientEvent::Connected | ClientEvent::ConnectFailed(_))
+        })
+        .and_then(|e| match e {
+            ClientEvent::Connected => Ok(()),
+            ClientEvent::ConnectFailed(code) => Err(NetError::Protocol(Error::Rejected(code))),
+            _ => unreachable!(),
+        })?;
+        Ok(c)
+    }
+
+    fn now(&self) -> Nanos {
+        self.start.elapsed().as_nanos() as Nanos
+    }
+
+    fn dispatch(&mut self, outputs: Vec<Output>) -> Result<(), NetError> {
+        for o in outputs {
+            match o {
+                Output::Send(p) => {
+                    self.socket.send(&p.encode())?;
+                }
+                Output::Event(e) => self.events.push_back(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Pumps the socket once (bounded by the socket read timeout) and runs
+    /// timers. Surfaced events accumulate in the internal queue.
+    pub fn pump(&mut self) -> Result<(), NetError> {
+        let mut buf = [0u8; 64 * 1024];
+        match self.socket.recv(&mut buf) {
+            Ok(n) => {
+                if let Ok(packet) = Packet::decode(&buf[..n]) {
+                    let now = self.now();
+                    let outputs = self.client.on_packet(packet, now);
+                    self.dispatch(outputs)?;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(NetError::Io(e)),
+        }
+        let now = self.now();
+        let outputs = self.client.on_tick(now);
+        self.dispatch(outputs)?;
+        Ok(())
+    }
+
+    /// Pops a queued event, pumping once if none is queued.
+    pub fn poll_event(&mut self) -> Result<Option<ClientEvent>, NetError> {
+        if let Some(e) = self.events.pop_front() {
+            return Ok(Some(e));
+        }
+        self.pump()?;
+        Ok(self.events.pop_front())
+    }
+
+    fn wait_for<F>(
+        &mut self,
+        timeout: Duration,
+        what: &'static str,
+        predicate: F,
+    ) -> Result<ClientEvent, NetError>
+    where
+        F: Fn(&ClientEvent) -> bool,
+    {
+        let deadline = Instant::now() + timeout;
+        let mut stash = VecDeque::new();
+        loop {
+            while let Some(e) = self.events.pop_front() {
+                if predicate(&e) {
+                    // Preserve unrelated events for later polls.
+                    while let Some(s) = stash.pop_front() {
+                        self.events.push_back(s);
+                    }
+                    return Ok(e);
+                }
+                stash.push_back(e);
+            }
+            if Instant::now() >= deadline {
+                while let Some(s) = stash.pop_front() {
+                    self.events.push_back(s);
+                }
+                return Err(NetError::Timeout(what));
+            }
+            self.pump()?;
+        }
+    }
+
+    /// Registers a topic name, returning its broker-assigned id.
+    pub fn register(&mut self, topic: &str, timeout: Duration) -> Result<u16, NetError> {
+        let now = self.now();
+        let (_, outputs) = self.client.register(topic, now)?;
+        self.dispatch(outputs)?;
+        let topic_owned = topic.to_owned();
+        let e = self.wait_for(timeout, "REGACK", |e| {
+            matches!(e, ClientEvent::Registered { topic_name, .. } if *topic_name == topic_owned)
+        })?;
+        match e {
+            ClientEvent::Registered { topic_id, .. } => Ok(topic_id),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Subscribes to a filter; returns the assigned topic id (0 for
+    /// wildcard filters).
+    pub fn subscribe(&mut self, filter: &str, qos: QoS, timeout: Duration) -> Result<u16, NetError> {
+        let now = self.now();
+        let (msg_id, outputs) = self.client.subscribe(filter, qos, now)?;
+        self.dispatch(outputs)?;
+        let e = self.wait_for(timeout, "SUBACK", |e| {
+            matches!(e, ClientEvent::Subscribed { msg_id: m, .. } if *m == msg_id)
+        })?;
+        match e {
+            ClientEvent::Subscribed { topic_id, .. } => Ok(topic_id),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Publishes without waiting for QoS completion. Returns the message id
+    /// (0 for QoS 0); completion surfaces later as
+    /// [`ClientEvent::PublishDone`].
+    pub fn publish_nowait(
+        &mut self,
+        topic_id: u16,
+        payload: Vec<u8>,
+        qos: QoS,
+    ) -> Result<u16, NetError> {
+        let now = self.now();
+        let (msg_id, outputs) = self.client.publish(TopicRef::Id(topic_id), payload, qos, now)?;
+        self.dispatch(outputs)?;
+        Ok(msg_id)
+    }
+
+    /// Publishes and, for QoS 1/2, blocks until the handshake completes.
+    pub fn publish(
+        &mut self,
+        topic_id: u16,
+        payload: Vec<u8>,
+        qos: QoS,
+        timeout: Duration,
+    ) -> Result<(), NetError> {
+        let msg_id = self.publish_nowait(topic_id, payload, qos)?;
+        if qos == QoS::AtMostOnce {
+            return Ok(());
+        }
+        self.wait_for(timeout, "publish completion", |e| {
+            matches!(e, ClientEvent::PublishDone { msg_id: m } if *m == msg_id)
+                || matches!(e, ClientEvent::PublishFailed { msg_id: m } if *m == msg_id)
+        })
+        .and_then(|e| match e {
+            ClientEvent::PublishDone { .. } => Ok(()),
+            _ => Err(NetError::Timeout("publish acknowledged")),
+        })
+    }
+
+    /// Waits for the next inbound application message.
+    pub fn recv_message(&mut self, timeout: Duration) -> Result<(TopicRef, Vec<u8>), NetError> {
+        let e = self.wait_for(timeout, "message", |e| matches!(e, ClientEvent::Message { .. }))?;
+        match e {
+            ClientEvent::Message { topic, payload } => Ok((topic, payload)),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Number of QoS 1/2 publishes still in flight.
+    pub fn inflight_len(&self) -> usize {
+        self.client.inflight_len()
+    }
+
+    /// Graceful disconnect (best effort).
+    pub fn disconnect(&mut self) -> Result<(), NetError> {
+        let now = self.now();
+        let outputs = self.client.disconnect(now);
+        self.dispatch(outputs)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timeout() -> Duration {
+        Duration::from_secs(5)
+    }
+
+    #[test]
+    fn end_to_end_qos2_over_loopback() {
+        let broker = UdpBroker::spawn("127.0.0.1:0", BrokerConfig::default()).unwrap();
+        let addr = broker.local_addr();
+
+        let mut sub =
+            UdpClient::connect(addr, ClientConfig::new("subscriber"), timeout()).unwrap();
+        sub.subscribe("prov/#", QoS::ExactlyOnce, timeout()).unwrap();
+
+        let mut publisher =
+            UdpClient::connect(addr, ClientConfig::new("publisher"), timeout()).unwrap();
+        let tid = publisher.register("prov/dev1", timeout()).unwrap();
+        publisher
+            .publish(tid, b"hello provenance".to_vec(), QoS::ExactlyOnce, timeout())
+            .unwrap();
+
+        let (topic, payload) = sub.recv_message(timeout()).unwrap();
+        assert_eq!(payload, b"hello provenance");
+        assert!(matches!(topic, TopicRef::Id(_)));
+        assert_eq!(publisher.inflight_len(), 0);
+
+        let stats = broker.stats();
+        assert_eq!(stats.publishes_in, 1);
+        assert_eq!(stats.publishes_out, 1);
+        broker.shutdown();
+    }
+
+    #[test]
+    fn multiple_publishers_fan_into_one_subscriber() {
+        let broker = UdpBroker::spawn("127.0.0.1:0", BrokerConfig::default()).unwrap();
+        let addr = broker.local_addr();
+        let mut sub = UdpClient::connect(addr, ClientConfig::new("sub"), timeout()).unwrap();
+        sub.subscribe("wf/+", QoS::AtLeastOnce, timeout()).unwrap();
+
+        for i in 0..3 {
+            let mut p =
+                UdpClient::connect(addr, ClientConfig::new(format!("pub{i}")), timeout()).unwrap();
+            let tid = p.register(&format!("wf/dev{i}"), timeout()).unwrap();
+            p.publish(tid, vec![i as u8], QoS::AtLeastOnce, timeout())
+                .unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            let (_, payload) = sub.recv_message(timeout()).unwrap();
+            got.push(payload[0]);
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn connect_to_dead_broker_times_out() {
+        // Bind a socket and drop it so nothing answers.
+        let dead = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let addr = dead.local_addr().unwrap();
+        drop(dead);
+        let err = UdpClient::connect(
+            addr,
+            ClientConfig::new("nobody"),
+            Duration::from_millis(200),
+        )
+        .err()
+        .expect("must fail");
+        assert!(matches!(err, NetError::Timeout(_) | NetError::Io(_)));
+    }
+}

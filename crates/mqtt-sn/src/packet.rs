@@ -1,0 +1,811 @@
+//! MQTT-SN v1.2 wire format.
+//!
+//! Every message starts with a length (1 byte, or `0x01` + 2 bytes for
+//! larger messages) and a message-type byte. The tiny fixed header —
+//! 7 bytes for a PUBLISH against HTTP's hundreds — is a key ingredient in
+//! the paper's network-usage numbers (Fig. 6c).
+
+use crate::Error;
+
+/// Quality-of-service level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QoS {
+    /// Fire and forget.
+    #[default]
+    AtMostOnce,
+    /// Acknowledged delivery (PUBACK), at-least-once.
+    AtLeastOnce,
+    /// Assured delivery (PUBREC/PUBREL/PUBCOMP), exactly-once. The level
+    /// ProvLight uses (paper Table VI).
+    ExactlyOnce,
+}
+
+impl QoS {
+    fn bits(self) -> u8 {
+        match self {
+            QoS::AtMostOnce => 0b00,
+            QoS::AtLeastOnce => 0b01,
+            QoS::ExactlyOnce => 0b10,
+        }
+    }
+
+    fn from_bits(bits: u8) -> Result<QoS, Error> {
+        match bits & 0b11 {
+            0b00 => Ok(QoS::AtMostOnce),
+            0b01 => Ok(QoS::AtLeastOnce),
+            0b10 => Ok(QoS::ExactlyOnce),
+            _ => Err(Error::Malformed("QoS -1 not supported")),
+        }
+    }
+}
+
+/// CONNACK / REGACK / PUBACK / SUBACK return codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReturnCode {
+    /// Accepted.
+    Accepted,
+    /// Rejected: congestion.
+    Congestion,
+    /// Rejected: invalid topic id.
+    InvalidTopicId,
+    /// Rejected: not supported.
+    NotSupported,
+}
+
+impl ReturnCode {
+    fn byte(self) -> u8 {
+        match self {
+            ReturnCode::Accepted => 0x00,
+            ReturnCode::Congestion => 0x01,
+            ReturnCode::InvalidTopicId => 0x02,
+            ReturnCode::NotSupported => 0x03,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, Error> {
+        match b {
+            0x00 => Ok(ReturnCode::Accepted),
+            0x01 => Ok(ReturnCode::Congestion),
+            0x02 => Ok(ReturnCode::InvalidTopicId),
+            0x03 => Ok(ReturnCode::NotSupported),
+            _ => Err(Error::Malformed("unknown return code")),
+        }
+    }
+}
+
+/// How a PUBLISH / SUBSCRIBE refers to its topic.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TopicRef {
+    /// A previously REGISTERed (or SUBACK-assigned) 16-bit id.
+    Id(u16),
+    /// A predefined id agreed out of band.
+    Predefined(u16),
+    /// A full topic name (SUBSCRIBE only; PUBLISH always uses ids).
+    Name(String),
+}
+
+impl TopicRef {
+    fn type_bits(&self) -> u8 {
+        match self {
+            TopicRef::Id(_) => 0b00,
+            TopicRef::Predefined(_) => 0b01,
+            TopicRef::Name(_) => 0b10, // "short" slot reused for names in SUBSCRIBE
+        }
+    }
+}
+
+/// Message-type bytes (MQTT-SN v1.2 §5.2.2).
+mod msg_type {
+    pub const ADVERTISE: u8 = 0x00;
+    pub const SEARCHGW: u8 = 0x01;
+    pub const GWINFO: u8 = 0x02;
+    pub const CONNECT: u8 = 0x04;
+    pub const CONNACK: u8 = 0x05;
+    pub const REGISTER: u8 = 0x0A;
+    pub const REGACK: u8 = 0x0B;
+    pub const PUBLISH: u8 = 0x0C;
+    pub const PUBACK: u8 = 0x0D;
+    pub const PUBCOMP: u8 = 0x0E;
+    pub const PUBREC: u8 = 0x0F;
+    pub const PUBREL: u8 = 0x10;
+    pub const SUBSCRIBE: u8 = 0x12;
+    pub const SUBACK: u8 = 0x13;
+    pub const UNSUBSCRIBE: u8 = 0x14;
+    pub const UNSUBACK: u8 = 0x15;
+    pub const PINGREQ: u8 = 0x16;
+    pub const PINGRESP: u8 = 0x17;
+    pub const DISCONNECT: u8 = 0x18;
+}
+
+mod flag {
+    pub const DUP: u8 = 0x80;
+    pub const QOS_SHIFT: u8 = 5;
+    pub const QOS_MASK: u8 = 0x60;
+    pub const RETAIN: u8 = 0x10;
+    pub const CLEAN_SESSION: u8 = 0x04;
+    pub const TOPIC_TYPE_MASK: u8 = 0x03;
+}
+
+/// A decoded MQTT-SN message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Packet {
+    /// Gateway advertisement broadcast.
+    Advertise {
+        /// Gateway id.
+        gw_id: u8,
+        /// Seconds until the next ADVERTISE.
+        duration: u16,
+    },
+    /// Gateway discovery probe.
+    SearchGw {
+        /// Broadcast radius.
+        radius: u8,
+    },
+    /// Gateway discovery answer.
+    GwInfo {
+        /// Gateway id.
+        gw_id: u8,
+    },
+    /// Client connection request.
+    Connect {
+        /// Start a clean session.
+        clean_session: bool,
+        /// Keep-alive period, seconds.
+        duration: u16,
+        /// Client identifier (1..=23 bytes per spec).
+        client_id: String,
+    },
+    /// Connection response.
+    ConnAck {
+        /// Result.
+        code: ReturnCode,
+    },
+    /// Topic-name registration (client→broker or broker→client).
+    Register {
+        /// Assigned id (0 when client-initiated).
+        topic_id: u16,
+        /// Transaction id.
+        msg_id: u16,
+        /// Topic name.
+        topic_name: String,
+    },
+    /// Registration response.
+    RegAck {
+        /// Assigned topic id.
+        topic_id: u16,
+        /// Transaction id.
+        msg_id: u16,
+        /// Result.
+        code: ReturnCode,
+    },
+    /// Application message.
+    Publish {
+        /// Retransmission flag.
+        dup: bool,
+        /// Delivery QoS.
+        qos: QoS,
+        /// Retain flag.
+        retain: bool,
+        /// Topic reference (id or predefined id).
+        topic: TopicRef,
+        /// Message id (0 for QoS 0).
+        msg_id: u16,
+        /// Application payload.
+        payload: Vec<u8>,
+    },
+    /// QoS 1 acknowledgment.
+    PubAck {
+        /// Topic id being acknowledged.
+        topic_id: u16,
+        /// Message id.
+        msg_id: u16,
+        /// Result.
+        code: ReturnCode,
+    },
+    /// QoS 2 step 1 (receiver got the message).
+    PubRec {
+        /// Message id.
+        msg_id: u16,
+    },
+    /// QoS 2 step 2 (sender releases the message).
+    PubRel {
+        /// Message id.
+        msg_id: u16,
+    },
+    /// QoS 2 step 3 (receiver completed).
+    PubComp {
+        /// Message id.
+        msg_id: u16,
+    },
+    /// Subscription request.
+    Subscribe {
+        /// Retransmission flag.
+        dup: bool,
+        /// Requested QoS.
+        qos: QoS,
+        /// Transaction id.
+        msg_id: u16,
+        /// Topic (name with optional wildcards, or id).
+        topic: TopicRef,
+    },
+    /// Subscription response.
+    SubAck {
+        /// Granted QoS.
+        qos: QoS,
+        /// Assigned topic id (0 for wildcard filters).
+        topic_id: u16,
+        /// Transaction id.
+        msg_id: u16,
+        /// Result.
+        code: ReturnCode,
+    },
+    /// Unsubscribe request.
+    Unsubscribe {
+        /// Transaction id.
+        msg_id: u16,
+        /// Topic (name or id).
+        topic: TopicRef,
+    },
+    /// Unsubscribe response.
+    UnsubAck {
+        /// Transaction id.
+        msg_id: u16,
+    },
+    /// Keep-alive probe.
+    PingReq,
+    /// Keep-alive response.
+    PingResp,
+    /// Disconnect notification (optionally entering sleep for `duration`).
+    Disconnect {
+        /// Sleep duration in seconds, if going to sleep.
+        duration: Option<u16>,
+    },
+}
+
+fn push_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn finish(body: Vec<u8>) -> Vec<u8> {
+    // Prepend the length field: 1 byte if total <= 255, else 0x01 + u16.
+    let total_short = body.len() + 1;
+    if total_short <= 255 {
+        let mut out = Vec::with_capacity(total_short);
+        out.push(total_short as u8);
+        out.extend_from_slice(&body);
+        out
+    } else {
+        let total = body.len() + 3;
+        let mut out = Vec::with_capacity(total);
+        out.push(0x01);
+        out.extend_from_slice(&(total as u16).to_be_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+}
+
+impl Packet {
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(16);
+        match self {
+            Packet::Advertise { gw_id, duration } => {
+                b.push(msg_type::ADVERTISE);
+                b.push(*gw_id);
+                push_u16(&mut b, *duration);
+            }
+            Packet::SearchGw { radius } => {
+                b.push(msg_type::SEARCHGW);
+                b.push(*radius);
+            }
+            Packet::GwInfo { gw_id } => {
+                b.push(msg_type::GWINFO);
+                b.push(*gw_id);
+            }
+            Packet::Connect {
+                clean_session,
+                duration,
+                client_id,
+            } => {
+                b.push(msg_type::CONNECT);
+                let mut flags = 0;
+                if *clean_session {
+                    flags |= flag::CLEAN_SESSION;
+                }
+                b.push(flags);
+                b.push(0x01); // protocol id
+                push_u16(&mut b, *duration);
+                b.extend_from_slice(client_id.as_bytes());
+            }
+            Packet::ConnAck { code } => {
+                b.push(msg_type::CONNACK);
+                b.push(code.byte());
+            }
+            Packet::Register {
+                topic_id,
+                msg_id,
+                topic_name,
+            } => {
+                b.push(msg_type::REGISTER);
+                push_u16(&mut b, *topic_id);
+                push_u16(&mut b, *msg_id);
+                b.extend_from_slice(topic_name.as_bytes());
+            }
+            Packet::RegAck {
+                topic_id,
+                msg_id,
+                code,
+            } => {
+                b.push(msg_type::REGACK);
+                push_u16(&mut b, *topic_id);
+                push_u16(&mut b, *msg_id);
+                b.push(code.byte());
+            }
+            Packet::Publish {
+                dup,
+                qos,
+                retain,
+                topic,
+                msg_id,
+                payload,
+            } => {
+                b.push(msg_type::PUBLISH);
+                let mut flags = (qos.bits() << flag::QOS_SHIFT) | topic.type_bits();
+                if *dup {
+                    flags |= flag::DUP;
+                }
+                if *retain {
+                    flags |= flag::RETAIN;
+                }
+                b.push(flags);
+                match topic {
+                    TopicRef::Id(id) | TopicRef::Predefined(id) => push_u16(&mut b, *id),
+                    TopicRef::Name(_) => push_u16(&mut b, 0),
+                }
+                push_u16(&mut b, *msg_id);
+                b.extend_from_slice(payload);
+            }
+            Packet::PubAck {
+                topic_id,
+                msg_id,
+                code,
+            } => {
+                b.push(msg_type::PUBACK);
+                push_u16(&mut b, *topic_id);
+                push_u16(&mut b, *msg_id);
+                b.push(code.byte());
+            }
+            Packet::PubRec { msg_id } => {
+                b.push(msg_type::PUBREC);
+                push_u16(&mut b, *msg_id);
+            }
+            Packet::PubRel { msg_id } => {
+                b.push(msg_type::PUBREL);
+                push_u16(&mut b, *msg_id);
+            }
+            Packet::PubComp { msg_id } => {
+                b.push(msg_type::PUBCOMP);
+                push_u16(&mut b, *msg_id);
+            }
+            Packet::Subscribe {
+                dup,
+                qos,
+                msg_id,
+                topic,
+            } => {
+                b.push(msg_type::SUBSCRIBE);
+                let mut flags = (qos.bits() << flag::QOS_SHIFT) | topic.type_bits();
+                if *dup {
+                    flags |= flag::DUP;
+                }
+                b.push(flags);
+                push_u16(&mut b, *msg_id);
+                match topic {
+                    TopicRef::Id(id) | TopicRef::Predefined(id) => push_u16(&mut b, *id),
+                    TopicRef::Name(name) => b.extend_from_slice(name.as_bytes()),
+                }
+            }
+            Packet::SubAck {
+                qos,
+                topic_id,
+                msg_id,
+                code,
+            } => {
+                b.push(msg_type::SUBACK);
+                b.push(qos.bits() << flag::QOS_SHIFT);
+                push_u16(&mut b, *topic_id);
+                push_u16(&mut b, *msg_id);
+                b.push(code.byte());
+            }
+            Packet::Unsubscribe { msg_id, topic } => {
+                b.push(msg_type::UNSUBSCRIBE);
+                b.push(topic.type_bits());
+                push_u16(&mut b, *msg_id);
+                match topic {
+                    TopicRef::Id(id) | TopicRef::Predefined(id) => push_u16(&mut b, *id),
+                    TopicRef::Name(name) => b.extend_from_slice(name.as_bytes()),
+                }
+            }
+            Packet::UnsubAck { msg_id } => {
+                b.push(msg_type::UNSUBACK);
+                push_u16(&mut b, *msg_id);
+            }
+            Packet::PingReq => b.push(msg_type::PINGREQ),
+            Packet::PingResp => b.push(msg_type::PINGRESP),
+            Packet::Disconnect { duration } => {
+                b.push(msg_type::DISCONNECT);
+                if let Some(d) = duration {
+                    push_u16(&mut b, *d);
+                }
+            }
+        }
+        finish(b)
+    }
+
+    /// Encoded length without allocating the buffer.
+    pub fn encoded_len(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Parses one message from wire bytes. The buffer must contain exactly
+    /// one datagram.
+    pub fn decode(buf: &[u8]) -> Result<Packet, Error> {
+        if buf.is_empty() {
+            return Err(Error::Malformed("empty datagram"));
+        }
+        let (declared, header) = if buf[0] == 0x01 {
+            if buf.len() < 3 {
+                return Err(Error::Malformed("truncated long length"));
+            }
+            (u16::from_be_bytes([buf[1], buf[2]]) as usize, 3)
+        } else {
+            (buf[0] as usize, 1)
+        };
+        if declared != buf.len() {
+            return Err(Error::Malformed("length mismatch"));
+        }
+        let body = &buf[header..];
+        if body.is_empty() {
+            return Err(Error::Malformed("missing message type"));
+        }
+        let ty = body[0];
+        let rest = &body[1..];
+        let need = |n: usize| -> Result<(), Error> {
+            if rest.len() < n {
+                Err(Error::Malformed("truncated body"))
+            } else {
+                Ok(())
+            }
+        };
+        let u16_at = |i: usize| u16::from_be_bytes([rest[i], rest[i + 1]]);
+        let str_from = |bytes: &[u8]| -> Result<String, Error> {
+            std::str::from_utf8(bytes)
+                .map(str::to_owned)
+                .map_err(|_| Error::Malformed("invalid UTF-8"))
+        };
+
+        match ty {
+            msg_type::ADVERTISE => {
+                need(3)?;
+                Ok(Packet::Advertise {
+                    gw_id: rest[0],
+                    duration: u16_at(1),
+                })
+            }
+            msg_type::SEARCHGW => {
+                need(1)?;
+                Ok(Packet::SearchGw { radius: rest[0] })
+            }
+            msg_type::GWINFO => {
+                need(1)?;
+                Ok(Packet::GwInfo { gw_id: rest[0] })
+            }
+            msg_type::CONNECT => {
+                need(4)?;
+                let flags = rest[0];
+                if rest[1] != 0x01 {
+                    return Err(Error::Malformed("bad protocol id"));
+                }
+                Ok(Packet::Connect {
+                    clean_session: flags & flag::CLEAN_SESSION != 0,
+                    duration: u16_at(2),
+                    client_id: str_from(&rest[4..])?,
+                })
+            }
+            msg_type::CONNACK => {
+                need(1)?;
+                Ok(Packet::ConnAck {
+                    code: ReturnCode::from_byte(rest[0])?,
+                })
+            }
+            msg_type::REGISTER => {
+                need(4)?;
+                Ok(Packet::Register {
+                    topic_id: u16_at(0),
+                    msg_id: u16_at(2),
+                    topic_name: str_from(&rest[4..])?,
+                })
+            }
+            msg_type::REGACK => {
+                need(5)?;
+                Ok(Packet::RegAck {
+                    topic_id: u16_at(0),
+                    msg_id: u16_at(2),
+                    code: ReturnCode::from_byte(rest[4])?,
+                })
+            }
+            msg_type::PUBLISH => {
+                need(5)?;
+                let flags = rest[0];
+                let qos = QoS::from_bits((flags & flag::QOS_MASK) >> flag::QOS_SHIFT)?;
+                let topic_id = u16_at(1);
+                let topic = match flags & flag::TOPIC_TYPE_MASK {
+                    0b00 => TopicRef::Id(topic_id),
+                    0b01 => TopicRef::Predefined(topic_id),
+                    _ => return Err(Error::Malformed("short topics not supported in PUBLISH")),
+                };
+                Ok(Packet::Publish {
+                    dup: flags & flag::DUP != 0,
+                    qos,
+                    retain: flags & flag::RETAIN != 0,
+                    topic,
+                    msg_id: u16_at(3),
+                    payload: rest[5..].to_vec(),
+                })
+            }
+            msg_type::PUBACK => {
+                need(5)?;
+                Ok(Packet::PubAck {
+                    topic_id: u16_at(0),
+                    msg_id: u16_at(2),
+                    code: ReturnCode::from_byte(rest[4])?,
+                })
+            }
+            msg_type::PUBREC => {
+                need(2)?;
+                Ok(Packet::PubRec { msg_id: u16_at(0) })
+            }
+            msg_type::PUBREL => {
+                need(2)?;
+                Ok(Packet::PubRel { msg_id: u16_at(0) })
+            }
+            msg_type::PUBCOMP => {
+                need(2)?;
+                Ok(Packet::PubComp { msg_id: u16_at(0) })
+            }
+            msg_type::SUBSCRIBE => {
+                need(3)?;
+                let flags = rest[0];
+                let qos = QoS::from_bits((flags & flag::QOS_MASK) >> flag::QOS_SHIFT)?;
+                let msg_id = u16_at(1);
+                let topic = match flags & flag::TOPIC_TYPE_MASK {
+                    0b00 | 0b10 => TopicRef::Name(str_from(&rest[3..])?),
+                    0b01 => {
+                        need(5)?;
+                        TopicRef::Predefined(u16_at(3))
+                    }
+                    _ => return Err(Error::Malformed("bad topic type")),
+                };
+                Ok(Packet::Subscribe {
+                    dup: flags & flag::DUP != 0,
+                    qos,
+                    msg_id,
+                    topic,
+                })
+            }
+            msg_type::SUBACK => {
+                need(6)?;
+                let qos = QoS::from_bits((rest[0] & flag::QOS_MASK) >> flag::QOS_SHIFT)?;
+                Ok(Packet::SubAck {
+                    qos,
+                    topic_id: u16_at(1),
+                    msg_id: u16_at(3),
+                    code: ReturnCode::from_byte(rest[5])?,
+                })
+            }
+            msg_type::UNSUBSCRIBE => {
+                need(3)?;
+                let flags = rest[0];
+                let msg_id = u16_at(1);
+                let topic = match flags & flag::TOPIC_TYPE_MASK {
+                    0b00 | 0b10 => TopicRef::Name(str_from(&rest[3..])?),
+                    0b01 => {
+                        need(5)?;
+                        TopicRef::Predefined(u16_at(3))
+                    }
+                    _ => return Err(Error::Malformed("bad topic type")),
+                };
+                Ok(Packet::Unsubscribe { msg_id, topic })
+            }
+            msg_type::UNSUBACK => {
+                need(2)?;
+                Ok(Packet::UnsubAck { msg_id: u16_at(0) })
+            }
+            msg_type::PINGREQ => Ok(Packet::PingReq),
+            msg_type::PINGRESP => Ok(Packet::PingResp),
+            msg_type::DISCONNECT => {
+                if rest.len() >= 2 {
+                    Ok(Packet::Disconnect {
+                        duration: Some(u16_at(0)),
+                    })
+                } else {
+                    Ok(Packet::Disconnect { duration: None })
+                }
+            }
+            _ => Err(Error::Malformed("unknown message type")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(p: Packet) {
+        let wire = p.encode();
+        assert_eq!(Packet::decode(&wire).unwrap(), p, "wire: {wire:02x?}");
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        roundtrip(Packet::Advertise {
+            gw_id: 1,
+            duration: 900,
+        });
+        roundtrip(Packet::SearchGw { radius: 2 });
+        roundtrip(Packet::GwInfo { gw_id: 1 });
+        roundtrip(Packet::Connect {
+            clean_session: true,
+            duration: 60,
+            client_id: "edge-device-17".into(),
+        });
+        roundtrip(Packet::ConnAck {
+            code: ReturnCode::Accepted,
+        });
+        roundtrip(Packet::Register {
+            topic_id: 0,
+            msg_id: 7,
+            topic_name: "provlight/wf1/device3".into(),
+        });
+        roundtrip(Packet::RegAck {
+            topic_id: 12,
+            msg_id: 7,
+            code: ReturnCode::Accepted,
+        });
+        roundtrip(Packet::Publish {
+            dup: false,
+            qos: QoS::ExactlyOnce,
+            retain: false,
+            topic: TopicRef::Id(12),
+            msg_id: 99,
+            payload: vec![1, 2, 3, 4],
+        });
+        roundtrip(Packet::PubAck {
+            topic_id: 12,
+            msg_id: 99,
+            code: ReturnCode::Accepted,
+        });
+        roundtrip(Packet::PubRec { msg_id: 99 });
+        roundtrip(Packet::PubRel { msg_id: 99 });
+        roundtrip(Packet::PubComp { msg_id: 99 });
+        roundtrip(Packet::Subscribe {
+            dup: false,
+            qos: QoS::AtLeastOnce,
+            msg_id: 3,
+            topic: TopicRef::Name("provlight/+/device1".into()),
+        });
+        roundtrip(Packet::SubAck {
+            qos: QoS::AtLeastOnce,
+            topic_id: 0,
+            msg_id: 3,
+            code: ReturnCode::Accepted,
+        });
+        roundtrip(Packet::Unsubscribe {
+            msg_id: 4,
+            topic: TopicRef::Name("provlight/#".into()),
+        });
+        roundtrip(Packet::UnsubAck { msg_id: 4 });
+        roundtrip(Packet::PingReq);
+        roundtrip(Packet::PingResp);
+        roundtrip(Packet::Disconnect { duration: None });
+        roundtrip(Packet::Disconnect {
+            duration: Some(300),
+        });
+    }
+
+    #[test]
+    fn publish_header_is_seven_bytes() {
+        // The paper's Table VI contrast: MQTT-SN adds 7 bytes to a QoS 0/2
+        // publish, vs. hundreds for HTTP.
+        let p = Packet::Publish {
+            dup: false,
+            qos: QoS::ExactlyOnce,
+            retain: false,
+            topic: TopicRef::Id(1),
+            msg_id: 1,
+            payload: vec![0u8; 100],
+        };
+        assert_eq!(p.encoded_len(), 107);
+    }
+
+    #[test]
+    fn long_payload_uses_extended_length() {
+        let p = Packet::Publish {
+            dup: false,
+            qos: QoS::AtMostOnce,
+            retain: false,
+            topic: TopicRef::Id(1),
+            msg_id: 0,
+            payload: vec![0xaa; 1000],
+        };
+        let wire = p.encode();
+        assert_eq!(wire[0], 0x01);
+        assert_eq!(wire.len(), 1000 + 9);
+        assert_eq!(Packet::decode(&wire).unwrap(), p);
+    }
+
+    #[test]
+    fn decode_rejects_bad_input() {
+        assert!(Packet::decode(&[]).is_err());
+        assert!(Packet::decode(&[3, 0xff, 0]).is_err()); // unknown type
+        assert!(Packet::decode(&[5, 0x0c, 0]).is_err()); // declared 5, got 3
+        assert!(Packet::decode(&[2, 0x05]).is_err()); // CONNACK missing code
+        // QoS bits 0b11 (QoS -1) rejected.
+        let bad_pub = [8u8, 0x0c, 0x60, 0, 1, 0, 1, 0];
+        assert!(Packet::decode(&bad_pub).is_err());
+    }
+
+    #[test]
+    fn dup_and_retain_flags_roundtrip() {
+        let p = Packet::Publish {
+            dup: true,
+            qos: QoS::AtLeastOnce,
+            retain: true,
+            topic: TopicRef::Predefined(5),
+            msg_id: 2,
+            payload: vec![],
+        };
+        roundtrip(p);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn prop_publish_roundtrip(
+            dup: bool,
+            retain: bool,
+            id: u16,
+            msg_id: u16,
+            payload in proptest::collection::vec(any::<u8>(), 0..2048),
+            qos_sel in 0u8..3,
+        ) {
+            let qos = match qos_sel {
+                0 => QoS::AtMostOnce,
+                1 => QoS::AtLeastOnce,
+                _ => QoS::ExactlyOnce,
+            };
+            let p = Packet::Publish {
+                dup, qos, retain,
+                topic: TopicRef::Id(id),
+                msg_id,
+                payload,
+            };
+            let wire = p.encode();
+            prop_assert_eq!(Packet::decode(&wire).unwrap(), p);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = Packet::decode(&bytes);
+        }
+
+        #[test]
+        fn prop_connect_roundtrip(clean: bool, duration: u16, id in "[a-zA-Z0-9_-]{1,23}") {
+            let p = Packet::Connect { clean_session: clean, duration, client_id: id };
+            let wire = p.encode();
+            prop_assert_eq!(Packet::decode(&wire).unwrap(), p);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # net-sim
+//!
+//! A small deterministic discrete-event network simulator.
+//!
+//! The paper evaluates provenance capture across an emulated Edge-to-Cloud
+//! network (Fig. 5: 1 Gbit / 25 Kbit bandwidth, 23 ms delay). This crate
+//! provides the substrate for reproducing those experiments without the FIT
+//! IoT LAB / Grid'5000 testbeds:
+//!
+//! * [`time`] — nanosecond-resolution virtual time ([`SimTime`]);
+//! * [`engine`] — a generic event queue with deterministic tie-breaking;
+//! * [`link`] — point-to-point link models: bandwidth serialization,
+//!   propagation delay, per-packet framing overhead, MTU segmentation, and
+//!   byte/packet accounting (feeding the paper's Fig. 6c network metric);
+//! * [`tcp`] — an analytic TCP connection cost model (handshake RTT,
+//!   segment overheads) used by the HTTP/1.1 baselines;
+//! * [`loss`] — deterministic pseudo-random packet-loss injection for
+//!   exercising the MQTT-SN QoS retransmission machinery.
+//!
+//! Everything is single-threaded and bit-reproducible: given the same seed,
+//! an experiment produces byte-identical results.
+
+pub mod engine;
+pub mod link;
+pub mod loss;
+pub mod tcp;
+pub mod time;
+
+pub use engine::EventQueue;
+pub use link::{Link, LinkSpec, LinkStats, Transmission};
+pub use loss::LossModel;
+pub use tcp::TcpConnection;
+pub use time::SimTime;

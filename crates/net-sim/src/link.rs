@@ -1,0 +1,261 @@
+//! Point-to-point link model.
+//!
+//! A [`Link`] serializes payloads at a configured bandwidth, segments them
+//! into MTU-sized packets with per-packet framing overhead, applies a
+//! propagation delay, and keeps the byte/packet accounting the paper's
+//! Fig. 6c ("network usage, KB/s") is computed from.
+//!
+//! Transmissions queue FIFO behind each other (`next_free`), which is what
+//! creates the 25 Kbit backlog dynamics of Tables III and VIII.
+
+use crate::time::SimTime;
+use std::time::Duration;
+
+/// Static link parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkSpec {
+    /// Serialization bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation delay.
+    pub propagation_delay: Duration,
+    /// Framing overhead added per packet (L2+L3+L4 headers), in bytes.
+    pub per_packet_overhead: usize,
+    /// Maximum payload bytes per packet.
+    pub mtu: usize,
+}
+
+impl LinkSpec {
+    /// The paper's fast configuration: 1 Gbit, 23 ms delay (Fig. 5), UDP
+    /// framing (8 B UDP + 20 B IP + 14 B Ethernet = 42 B).
+    pub fn gigabit_23ms() -> Self {
+        LinkSpec {
+            bandwidth_bps: 1e9,
+            propagation_delay: Duration::from_millis(23),
+            per_packet_overhead: 42,
+            mtu: 1472,
+        }
+    }
+
+    /// The paper's constrained configuration: 25 Kbit, 23 ms delay.
+    pub fn kbit25_23ms() -> Self {
+        LinkSpec {
+            bandwidth_bps: 25e3,
+            ..Self::gigabit_23ms()
+        }
+    }
+
+    /// TCP framing variant of the same spec (20 B TCP header instead of
+    /// 8 B UDP; MSS 1448).
+    pub fn with_tcp_framing(mut self) -> Self {
+        self.per_packet_overhead = 54;
+        self.mtu = 1448;
+        self
+    }
+
+    /// Time to serialize `bytes` onto the wire (payload + framing).
+    pub fn tx_time(&self, payload: usize) -> Duration {
+        let packets = packets_for(payload, self.mtu);
+        let wire_bytes = payload + packets * self.per_packet_overhead;
+        Duration::from_secs_f64(wire_bytes as f64 * 8.0 / self.bandwidth_bps)
+    }
+}
+
+fn packets_for(payload: usize, mtu: usize) -> usize {
+    if payload == 0 {
+        1
+    } else {
+        payload.div_ceil(mtu)
+    }
+}
+
+/// Accounting for a link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Application payload bytes carried.
+    pub payload_bytes: u64,
+    /// Total bytes on the wire including framing.
+    pub wire_bytes: u64,
+    /// Packets sent.
+    pub packets: u64,
+    /// Cumulative serialization (busy) time, ns.
+    pub busy_ns: u64,
+}
+
+impl LinkStats {
+    /// Mean wire throughput over a window, in KB/s.
+    pub fn throughput_kbs(&self, window: Duration) -> f64 {
+        if window.is_zero() {
+            return 0.0;
+        }
+        self.wire_bytes as f64 / 1e3 / window.as_secs_f64()
+    }
+}
+
+/// The result of handing a payload to a link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transmission {
+    /// When serialization began (after queueing behind earlier traffic).
+    pub started: SimTime,
+    /// When the last bit left the sender.
+    pub serialized: SimTime,
+    /// When the payload fully arrives at the receiver.
+    pub arrival: SimTime,
+    /// Bytes on the wire (payload + framing).
+    pub wire_bytes: usize,
+}
+
+/// A unidirectional link with FIFO queueing.
+#[derive(Clone, Debug)]
+pub struct Link {
+    spec: LinkSpec,
+    next_free: SimTime,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Creates an idle link.
+    pub fn new(spec: LinkSpec) -> Self {
+        Link {
+            spec,
+            next_free: SimTime::ZERO,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Link parameters.
+    pub fn spec(&self) -> &LinkSpec {
+        &self.spec
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> &LinkStats {
+        &self.stats
+    }
+
+    /// Earliest time a new transmission could start.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
+    /// Queue depth ahead of a transmission issued at `now`, as a duration.
+    pub fn backlog(&self, now: SimTime) -> Duration {
+        self.next_free.saturating_since(now)
+    }
+
+    /// Enqueues `payload` bytes at `now`. The transmission starts when the
+    /// link frees up, serializes at link bandwidth, and arrives one
+    /// propagation delay after serialization completes.
+    pub fn transmit(&mut self, now: SimTime, payload: usize) -> Transmission {
+        let started = self.next_free.max(now);
+        let tx = self.spec.tx_time(payload);
+        let serialized = started + tx;
+        self.next_free = serialized;
+
+        let packets = packets_for(payload, self.spec.mtu);
+        let wire_bytes = payload + packets * self.spec.per_packet_overhead;
+        self.stats.payload_bytes += payload as u64;
+        self.stats.wire_bytes += wire_bytes as u64;
+        self.stats.packets += packets as u64;
+        self.stats.busy_ns += tx.as_nanos() as u64;
+
+        Transmission {
+            started,
+            serialized,
+            arrival: serialized + self.spec.propagation_delay,
+            wire_bytes,
+        }
+    }
+
+    /// Resets queueing state and statistics (for experiment repetitions).
+    pub fn reset(&mut self) {
+        self.next_free = SimTime::ZERO;
+        self.stats = LinkStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_packet_timing() {
+        // 1250 bytes payload + 42 framing = 1292 B = 10336 bits at 1 Mbit/s
+        // = 10.336 ms serialization + 23 ms propagation.
+        let spec = LinkSpec {
+            bandwidth_bps: 1e6,
+            propagation_delay: Duration::from_millis(23),
+            per_packet_overhead: 42,
+            mtu: 1472,
+        };
+        let mut link = Link::new(spec);
+        let t = link.transmit(SimTime::ZERO, 1250);
+        assert_eq!(t.wire_bytes, 1292);
+        assert!((t.serialized.as_secs_f64() - 0.010336).abs() < 1e-9);
+        assert!((t.arrival.as_secs_f64() - 0.033336).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segmentation_adds_per_packet_overhead() {
+        let spec = LinkSpec::gigabit_23ms();
+        let mut link = Link::new(spec);
+        let t = link.transmit(SimTime::ZERO, 3000); // 3 packets (1472 MTU)
+        assert_eq!(t.wire_bytes, 3000 + 3 * 42);
+        assert_eq!(link.stats().packets, 3);
+    }
+
+    #[test]
+    fn empty_payload_still_costs_one_packet() {
+        let mut link = Link::new(LinkSpec::gigabit_23ms());
+        let t = link.transmit(SimTime::ZERO, 0);
+        assert_eq!(t.wire_bytes, 42);
+        assert_eq!(link.stats().packets, 1);
+    }
+
+    #[test]
+    fn fifo_queueing_delays_later_transmissions() {
+        let mut link = Link::new(LinkSpec::kbit25_23ms());
+        let a = link.transmit(SimTime::ZERO, 1000);
+        let b = link.transmit(SimTime::ZERO, 1000);
+        assert_eq!(b.started, a.serialized);
+        assert!(b.arrival > a.arrival);
+        assert!(link.backlog(SimTime::ZERO) > Duration::ZERO);
+    }
+
+    #[test]
+    fn transmission_after_idle_starts_immediately() {
+        let mut link = Link::new(LinkSpec::gigabit_23ms());
+        link.transmit(SimTime::ZERO, 100);
+        let later = SimTime::from_secs(5);
+        let t = link.transmit(later, 100);
+        assert_eq!(t.started, later);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut link = Link::new(LinkSpec::gigabit_23ms());
+        link.transmit(SimTime::ZERO, 500);
+        link.transmit(SimTime::ZERO, 500);
+        assert_eq!(link.stats().payload_bytes, 1000);
+        assert!(link.stats().busy_ns > 0);
+        let kbs = link.stats().throughput_kbs(Duration::from_secs(1));
+        assert!(kbs > 1.0);
+        link.reset();
+        assert_eq!(link.stats(), &LinkStats::default());
+        assert_eq!(link.next_free(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn kbit25_serializes_slowly() {
+        // ~1 KB at 25 Kbit/s ≈ 0.33 s — the Table III bottleneck.
+        let spec = LinkSpec::kbit25_23ms();
+        let tx = spec.tx_time(1000);
+        assert!(tx.as_secs_f64() > 0.3, "tx = {tx:?}");
+    }
+
+    #[test]
+    fn tcp_framing_variant() {
+        let spec = LinkSpec::gigabit_23ms().with_tcp_framing();
+        assert_eq!(spec.per_packet_overhead, 54);
+        assert_eq!(spec.mtu, 1448);
+    }
+}

@@ -1,0 +1,107 @@
+//! Deterministic packet-loss injection.
+//!
+//! MQTT-SN rides on UDP (paper Table VI), so its QoS 1/2 state machines
+//! must survive datagram loss. The simulator injects Bernoulli loss from a
+//! seeded PRNG so retransmission behaviour is testable and reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Bernoulli packet-loss model with a deterministic stream.
+#[derive(Clone, Debug)]
+pub struct LossModel {
+    probability: f64,
+    rng: StdRng,
+    dropped: u64,
+    passed: u64,
+}
+
+impl LossModel {
+    /// Creates a loss model. `probability` is clamped into `[0, 1]`.
+    pub fn new(probability: f64, seed: u64) -> Self {
+        LossModel {
+            probability: probability.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+            dropped: 0,
+            passed: 0,
+        }
+    }
+
+    /// A lossless model (never drops, never consumes randomness).
+    pub fn none() -> Self {
+        Self::new(0.0, 0)
+    }
+
+    /// Decides the fate of one packet. Returns `true` if it should be
+    /// dropped.
+    pub fn should_drop(&mut self) -> bool {
+        if self.probability <= 0.0 {
+            self.passed += 1;
+            return false;
+        }
+        let drop = self.rng.gen_bool(self.probability);
+        if drop {
+            self.dropped += 1;
+        } else {
+            self.passed += 1;
+        }
+        drop
+    }
+
+    /// Packets dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Packets passed so far.
+    pub fn passed(&self) -> u64 {
+        self.passed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probability_never_drops() {
+        let mut m = LossModel::none();
+        assert!((0..1000).all(|_| !m.should_drop()));
+        assert_eq!(m.dropped(), 0);
+        assert_eq!(m.passed(), 1000);
+    }
+
+    #[test]
+    fn one_probability_always_drops() {
+        let mut m = LossModel::new(1.0, 42);
+        assert!((0..100).all(|_| m.should_drop()));
+        assert_eq!(m.dropped(), 100);
+    }
+
+    #[test]
+    fn rate_approximates_probability() {
+        let mut m = LossModel::new(0.2, 7);
+        for _ in 0..10_000 {
+            m.should_drop();
+        }
+        let rate = m.dropped() as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = LossModel::new(0.5, 99);
+        let mut b = LossModel::new(0.5, 99);
+        let sa: Vec<bool> = (0..64).map(|_| a.should_drop()).collect();
+        let sb: Vec<bool> = (0..64).map(|_| b.should_drop()).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn probability_is_clamped() {
+        let mut m = LossModel::new(7.0, 1);
+        assert!(m.should_drop());
+        let mut m = LossModel::new(-3.0, 1);
+        assert!(!m.should_drop());
+    }
+}

@@ -1,0 +1,228 @@
+//! Analytic TCP connection cost model.
+//!
+//! The HTTP/1.1 baselines (ProvLake, DfAnalyzer — paper Table VI) ride on
+//! TCP. We model the pieces that dominate their capture overhead on a
+//! high-latency edge uplink:
+//!
+//! * **connection establishment** — the SYN / SYN-ACK exchange costs one
+//!   RTT before the first byte of the request can be sent (the client's
+//!   ACK piggybacks on the request);
+//! * **request/response exchange** — request serialization on the uplink,
+//!   server think time, response serialization on the downlink, plus one
+//!   propagation delay each way;
+//! * **ACK traffic** — pure-ACK packets (~54 B) flowing on the reverse
+//!   path, roughly one per two data segments (delayed ACKs);
+//! * **connection teardown** — FIN/ACK accounted as bytes but not waited
+//!   on (clients close asynchronously).
+//!
+//! This is deliberately not a full TCP implementation (no congestion
+//! control): at 1 Gbit the flows never leave slow-start territory for these
+//! tiny payloads, and at 25 Kbit the link serialization dominates — the two
+//! regimes the paper evaluates.
+
+use crate::link::Link;
+use crate::time::SimTime;
+use std::time::Duration;
+
+const SYN_BYTES: usize = 60; // SYN with options
+const ACK_BYTES: usize = 54;
+const FIN_BYTES: usize = 54;
+
+/// Outcome of a request/response exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exchange {
+    /// When the full response arrived back at the client.
+    pub completed: SimTime,
+    /// Wire bytes sent on the uplink for this exchange.
+    pub uplink_bytes: usize,
+    /// Wire bytes sent on the downlink.
+    pub downlink_bytes: usize,
+}
+
+/// One TCP connection between an edge client and a cloud server, using a
+/// pair of unidirectional [`Link`]s.
+#[derive(Debug)]
+pub struct TcpConnection {
+    established: Option<SimTime>,
+    /// Total exchanges performed (for keep-alive accounting/tests).
+    pub exchanges: u64,
+}
+
+impl Default for TcpConnection {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TcpConnection {
+    /// Creates a closed connection.
+    pub fn new() -> Self {
+        TcpConnection {
+            established: None,
+            exchanges: 0,
+        }
+    }
+
+    /// Whether the connection is currently open.
+    pub fn is_established(&self) -> bool {
+        self.established.is_some()
+    }
+
+    /// Performs the SYN / SYN-ACK handshake starting at `now`.
+    /// Returns the time the connection becomes usable.
+    pub fn connect(&mut self, now: SimTime, uplink: &mut Link, downlink: &mut Link) -> SimTime {
+        let syn = uplink.transmit(now, SYN_BYTES - uplink.spec().per_packet_overhead);
+        let syn_ack = downlink.transmit(
+            syn.arrival,
+            SYN_BYTES - downlink.spec().per_packet_overhead,
+        );
+        let established = syn_ack.arrival;
+        self.established = Some(established);
+        established
+    }
+
+    /// Performs one synchronous request/response exchange starting at
+    /// `now`, connecting first if needed.
+    ///
+    /// `server_think` is how long the server takes between receiving the
+    /// last request byte and emitting the first response byte.
+    pub fn request(
+        &mut self,
+        now: SimTime,
+        uplink: &mut Link,
+        downlink: &mut Link,
+        request_bytes: usize,
+        response_bytes: usize,
+        server_think: Duration,
+    ) -> Exchange {
+        let up0 = uplink.stats().wire_bytes;
+        let down0 = downlink.stats().wire_bytes;
+
+        let start = match self.established {
+            Some(t) => now.max(t),
+            None => self.connect(now, uplink, downlink),
+        };
+
+        let req = uplink.transmit(start, request_bytes);
+        // Delayed ACKs from the server: one pure ACK per two data segments.
+        let req_segments = request_bytes.div_ceil(uplink.spec().mtu.max(1)).max(1);
+        for _ in 0..req_segments / 2 {
+            downlink.transmit(req.arrival, ACK_BYTES - downlink.spec().per_packet_overhead);
+        }
+
+        let resp_start = req.arrival + server_think;
+        let resp = downlink.transmit(resp_start, response_bytes);
+        let resp_segments = response_bytes.div_ceil(downlink.spec().mtu.max(1)).max(1);
+        for _ in 0..resp_segments / 2 {
+            uplink.transmit(resp.arrival, ACK_BYTES - uplink.spec().per_packet_overhead);
+        }
+
+        self.exchanges += 1;
+        Exchange {
+            completed: resp.arrival,
+            uplink_bytes: (uplink.stats().wire_bytes - up0) as usize,
+            downlink_bytes: (downlink.stats().wire_bytes - down0) as usize,
+        }
+    }
+
+    /// Closes the connection, accounting FIN/ACK bytes (not waited on).
+    pub fn close(&mut self, now: SimTime, uplink: &mut Link, downlink: &mut Link) {
+        if self.established.take().is_some() {
+            uplink.transmit(now, FIN_BYTES - uplink.spec().per_packet_overhead);
+            downlink.transmit(now, ACK_BYTES - downlink.spec().per_packet_overhead);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+
+    fn links() -> (Link, Link) {
+        let spec = LinkSpec::gigabit_23ms().with_tcp_framing();
+        (Link::new(spec), Link::new(spec))
+    }
+
+    #[test]
+    fn handshake_costs_one_rtt() {
+        let (mut up, mut down) = links();
+        let mut conn = TcpConnection::new();
+        let established = conn.connect(SimTime::ZERO, &mut up, &mut down);
+        // One RTT = 46 ms plus negligible serialization at 1 Gbit.
+        let secs = established.as_secs_f64();
+        assert!((0.046..0.047).contains(&secs), "handshake took {secs}");
+        assert!(conn.is_established());
+    }
+
+    #[test]
+    fn fresh_request_pays_connect_plus_rtt() {
+        let (mut up, mut down) = links();
+        let mut conn = TcpConnection::new();
+        let ex = conn.request(
+            SimTime::ZERO,
+            &mut up,
+            &mut down,
+            1000,
+            200,
+            Duration::from_millis(1),
+        );
+        // connect (46 ms) + request propagation (23) + think (1) + response
+        // propagation (23) ≈ 93 ms.
+        let secs = ex.completed.as_secs_f64();
+        assert!((0.093..0.095).contains(&secs), "exchange took {secs}");
+    }
+
+    #[test]
+    fn keepalive_request_skips_handshake() {
+        let (mut up, mut down) = links();
+        let mut conn = TcpConnection::new();
+        let first = conn.request(SimTime::ZERO, &mut up, &mut down, 1000, 200, Duration::ZERO);
+        let second = conn.request(first.completed, &mut up, &mut down, 1000, 200, Duration::ZERO);
+        let delta = (second.completed - first.completed).as_secs_f64();
+        assert!((0.046..0.048).contains(&delta), "keep-alive RTT {delta}");
+        assert_eq!(conn.exchanges, 2);
+    }
+
+    #[test]
+    fn bandwidth_dominates_on_slow_links() {
+        let spec = LinkSpec::kbit25_23ms().with_tcp_framing();
+        let mut up = Link::new(spec);
+        let mut down = Link::new(spec);
+        let mut conn = TcpConnection::new();
+        let ex = conn.request(SimTime::ZERO, &mut up, &mut down, 2500, 100, Duration::ZERO);
+        // 2500 B + framing ≈ 2608 B ≈ 0.835 s at 25 Kbit — far above RTT.
+        assert!(ex.completed.as_secs_f64() > 0.8, "{}", ex.completed);
+    }
+
+    #[test]
+    fn byte_accounting_includes_acks_and_framing() {
+        let (mut up, mut down) = links();
+        let mut conn = TcpConnection::new();
+        let ex = conn.request(
+            SimTime::ZERO,
+            &mut up,
+            &mut down,
+            4000, // 3 segments -> 1 delayed ACK from server
+            100,
+            Duration::ZERO,
+        );
+        assert!(ex.uplink_bytes > 4000);
+        assert!(ex.downlink_bytes >= 100 + 54);
+    }
+
+    #[test]
+    fn close_accounts_fin_and_resets_state() {
+        let (mut up, mut down) = links();
+        let mut conn = TcpConnection::new();
+        conn.connect(SimTime::ZERO, &mut up, &mut down);
+        let before = up.stats().wire_bytes;
+        conn.close(SimTime::ZERO, &mut up, &mut down);
+        assert!(!conn.is_established());
+        assert!(up.stats().wire_bytes > before);
+        // Double close is a no-op.
+        let after = up.stats().wire_bytes;
+        conn.close(SimTime::ZERO, &mut up, &mut down);
+        assert_eq!(up.stats().wire_bytes, after);
+    }
+}

@@ -1,0 +1,132 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An instant on the simulation clock, in nanoseconds since experiment
+/// start. Wraps at ~584 years of virtual time, which is plenty.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The experiment epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds a time from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Builds a time from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Builds a time from fractional seconds (saturating at zero for
+    /// negative input).
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds as f64 (lossy beyond 2^53 ns ≈ 104 days; fine here).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration since an earlier instant; panics if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.checked_sub(earlier.0).expect("time went backwards"))
+    }
+
+    /// Saturating difference.
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.as_nanos() as u64)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_nanos() as u64;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// Converts fractional seconds to a `Duration` (clamping negatives to zero).
+pub fn secs(s: f64) -> Duration {
+    Duration::from_secs_f64(s.max(0.0))
+}
+
+/// Converts fractional milliseconds to a `Duration`.
+pub fn millis(ms: f64) -> Duration {
+    secs(ms / 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_secs_f64(0.5).as_secs_f64(), 0.5);
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(1) + Duration::from_millis(500);
+        assert_eq!(t.as_secs_f64(), 1.5);
+        assert_eq!(t - SimTime::from_secs(1), Duration::from_millis(500));
+        assert_eq!(t.max(SimTime::from_secs(3)), SimTime::from_secs(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn negative_difference_panics() {
+        let _ = SimTime::from_secs(1).since(SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn saturating_difference() {
+        assert_eq!(
+            SimTime::from_secs(1).saturating_since(SimTime::from_secs(2)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(millis(23.0), Duration::from_millis(23));
+        assert_eq!(secs(-5.0), Duration::ZERO);
+    }
+}

@@ -1,0 +1,508 @@
+//! Compact binary encoding of capture records.
+//!
+//! Layout (all integers LEB128 varints unless noted):
+//!
+//! ```text
+//! batch      := count, strtab, record*
+//! strtab     := nstrings, (len, utf8bytes)*
+//! record     := tag:u8, body
+//! body(wf)   := id, time
+//! body(task) := taskrec, ndata, datarec*
+//! taskrec    := id, workflow, transformation, ndeps, id*, time, status:u8
+//! datarec    := id, workflow, nderiv, id*, nattrs, (strref, value)*
+//! id         := 0x00, varint | 0x01, strref
+//! value      := tag:u8, payload   (ints zigzagged, floats as LE bits)
+//! ```
+//!
+//! Strings are deduplicated per batch through the string table, which is why
+//! grouping several records into one batch compounds with compression — the
+//! attribute names of 100-attribute tasks appear once per batch instead of
+//! once per record.
+
+use crate::varint::{write_i64, write_u64, Reader};
+use crate::CodecError;
+use prov_model::{AttrValue, DataRecord, Id, Record, TaskRecord, TaskStatus};
+use std::collections::HashMap;
+
+const TAG_WF_BEGIN: u8 = 0;
+const TAG_WF_END: u8 = 1;
+const TAG_TASK_BEGIN: u8 = 2;
+const TAG_TASK_END: u8 = 3;
+
+/// String table builder used while encoding.
+#[derive(Default)]
+struct StrTab {
+    strings: Vec<String>,
+    index: HashMap<String, u64>,
+}
+
+impl StrTab {
+    fn intern(&mut self, s: &str) -> u64 {
+        if let Some(&i) = self.index.get(s) {
+            return i;
+        }
+        let i = self.strings.len() as u64;
+        self.strings.push(s.to_owned());
+        self.index.insert(s.to_owned(), i);
+        i
+    }
+}
+
+/// Encodes a batch of records (the unit of grouping).
+pub fn encode_batch(records: &[Record]) -> Vec<u8> {
+    let mut tab = StrTab::default();
+    let mut body = Vec::with_capacity(records.len() * 64);
+    for r in records {
+        encode_record_into(&mut body, &mut tab, r);
+    }
+    let mut out = Vec::with_capacity(body.len() + 16 * tab.strings.len() + 8);
+    write_u64(&mut out, records.len() as u64);
+    write_u64(&mut out, tab.strings.len() as u64);
+    for s in &tab.strings {
+        write_u64(&mut out, s.len() as u64);
+        out.extend_from_slice(s.as_bytes());
+    }
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Encodes a single record as a one-element batch.
+pub fn encode_record(record: &Record) -> Vec<u8> {
+    encode_batch(std::slice::from_ref(record))
+}
+
+/// Decodes a batch produced by [`encode_batch`].
+pub fn decode_batch(buf: &[u8]) -> Result<Vec<Record>, CodecError> {
+    let mut r = Reader::new(buf);
+    let count = r.read_u64()? as usize;
+    let nstrings = r.read_u64()? as usize;
+    let mut strings = Vec::with_capacity(nstrings.min(r.remaining()));
+    for _ in 0..nstrings {
+        let len = r.read_len()?;
+        let bytes = r.read_bytes(len)?;
+        strings.push(std::str::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)?.to_owned());
+    }
+    let mut records = Vec::with_capacity(count.min(r.remaining() + 1));
+    for _ in 0..count {
+        records.push(decode_record_from(&mut r, &strings)?);
+    }
+    Ok(records)
+}
+
+/// Decodes a single record (one-element batch).
+pub fn decode_record(buf: &[u8]) -> Result<Record, CodecError> {
+    let mut records = decode_batch(buf)?;
+    records.pop().ok_or(CodecError::UnexpectedEof)
+}
+
+fn encode_record_into(out: &mut Vec<u8>, tab: &mut StrTab, record: &Record) {
+    match record {
+        Record::WorkflowBegin { workflow, time_ns } => {
+            out.push(TAG_WF_BEGIN);
+            encode_id(out, tab, workflow);
+            write_u64(out, *time_ns);
+        }
+        Record::WorkflowEnd { workflow, time_ns } => {
+            out.push(TAG_WF_END);
+            encode_id(out, tab, workflow);
+            write_u64(out, *time_ns);
+        }
+        Record::TaskBegin { task, inputs } => {
+            out.push(TAG_TASK_BEGIN);
+            encode_task(out, tab, task);
+            write_u64(out, inputs.len() as u64);
+            for d in inputs {
+                encode_data(out, tab, d);
+            }
+        }
+        Record::TaskEnd { task, outputs } => {
+            out.push(TAG_TASK_END);
+            encode_task(out, tab, task);
+            write_u64(out, outputs.len() as u64);
+            for d in outputs {
+                encode_data(out, tab, d);
+            }
+        }
+    }
+}
+
+fn encode_id(out: &mut Vec<u8>, tab: &mut StrTab, id: &Id) {
+    match id {
+        Id::Num(n) => {
+            out.push(0);
+            write_u64(out, *n);
+        }
+        Id::Str(s) => {
+            out.push(1);
+            write_u64(out, tab.intern(s));
+        }
+    }
+}
+
+fn encode_task(out: &mut Vec<u8>, tab: &mut StrTab, t: &TaskRecord) {
+    encode_id(out, tab, &t.id);
+    encode_id(out, tab, &t.workflow);
+    encode_id(out, tab, &t.transformation);
+    write_u64(out, t.dependencies.len() as u64);
+    for d in &t.dependencies {
+        encode_id(out, tab, d);
+    }
+    write_u64(out, t.time_ns);
+    out.push(t.status.tag());
+}
+
+fn encode_data(out: &mut Vec<u8>, tab: &mut StrTab, d: &DataRecord) {
+    encode_id(out, tab, &d.id);
+    encode_id(out, tab, &d.workflow);
+    write_u64(out, d.derivations.len() as u64);
+    for x in &d.derivations {
+        encode_id(out, tab, x);
+    }
+    write_u64(out, d.attributes.len() as u64);
+    for (name, value) in &d.attributes {
+        write_u64(out, tab.intern(name));
+        encode_value(out, tab, value);
+    }
+}
+
+fn encode_value(out: &mut Vec<u8>, tab: &mut StrTab, v: &AttrValue) {
+    out.push(v.tag());
+    match v {
+        AttrValue::Null => {}
+        AttrValue::Bool(b) => out.push(*b as u8),
+        AttrValue::Int(i) => write_i64(out, *i),
+        AttrValue::Float(f) => out.extend_from_slice(&f.to_le_bytes()),
+        AttrValue::Str(s) => write_u64(out, tab.intern(s)),
+        AttrValue::List(l) => {
+            write_u64(out, l.len() as u64);
+            for x in l {
+                encode_value(out, tab, x);
+            }
+        }
+        AttrValue::Bytes(b) => {
+            write_u64(out, b.len() as u64);
+            out.extend_from_slice(b);
+        }
+    }
+}
+
+fn decode_record_from(r: &mut Reader<'_>, strings: &[String]) -> Result<Record, CodecError> {
+    let tag = r.read_u8()?;
+    match tag {
+        TAG_WF_BEGIN | TAG_WF_END => {
+            let workflow = decode_id(r, strings)?;
+            let time_ns = r.read_u64()?;
+            Ok(if tag == TAG_WF_BEGIN {
+                Record::WorkflowBegin { workflow, time_ns }
+            } else {
+                Record::WorkflowEnd { workflow, time_ns }
+            })
+        }
+        TAG_TASK_BEGIN | TAG_TASK_END => {
+            let task = decode_task(r, strings)?;
+            let n = r.read_u64()? as usize;
+            let mut data = Vec::with_capacity(n.min(r.remaining() + 1));
+            for _ in 0..n {
+                data.push(decode_data(r, strings)?);
+            }
+            Ok(if tag == TAG_TASK_BEGIN {
+                Record::TaskBegin { task, inputs: data }
+            } else {
+                Record::TaskEnd {
+                    task,
+                    outputs: data,
+                }
+            })
+        }
+        other => Err(CodecError::BadTag(other)),
+    }
+}
+
+fn decode_id(r: &mut Reader<'_>, strings: &[String]) -> Result<Id, CodecError> {
+    match r.read_u8()? {
+        0 => Ok(Id::Num(r.read_u64()?)),
+        1 => {
+            let i = r.read_u64()?;
+            strings
+                .get(i as usize)
+                .map(|s| Id::Str(s.clone()))
+                .ok_or(CodecError::BadStringRef(i))
+        }
+        other => Err(CodecError::BadTag(other)),
+    }
+}
+
+fn decode_task(r: &mut Reader<'_>, strings: &[String]) -> Result<TaskRecord, CodecError> {
+    let id = decode_id(r, strings)?;
+    let workflow = decode_id(r, strings)?;
+    let transformation = decode_id(r, strings)?;
+    let ndeps = r.read_u64()? as usize;
+    let mut dependencies = Vec::with_capacity(ndeps.min(r.remaining() + 1));
+    for _ in 0..ndeps {
+        dependencies.push(decode_id(r, strings)?);
+    }
+    let time_ns = r.read_u64()?;
+    let status = TaskStatus::from_tag(r.read_u8()?).ok_or(CodecError::BadTag(0xff))?;
+    Ok(TaskRecord {
+        id,
+        workflow,
+        transformation,
+        dependencies,
+        time_ns,
+        status,
+    })
+}
+
+fn decode_data(r: &mut Reader<'_>, strings: &[String]) -> Result<DataRecord, CodecError> {
+    let id = decode_id(r, strings)?;
+    let workflow = decode_id(r, strings)?;
+    let nderiv = r.read_u64()? as usize;
+    let mut derivations = Vec::with_capacity(nderiv.min(r.remaining() + 1));
+    for _ in 0..nderiv {
+        derivations.push(decode_id(r, strings)?);
+    }
+    let nattrs = r.read_u64()? as usize;
+    let mut attributes = Vec::with_capacity(nattrs.min(r.remaining() + 1));
+    for _ in 0..nattrs {
+        let name_ref = r.read_u64()?;
+        let name = strings
+            .get(name_ref as usize)
+            .ok_or(CodecError::BadStringRef(name_ref))?
+            .clone();
+        let value = decode_value(r, strings)?;
+        attributes.push((name, value));
+    }
+    Ok(DataRecord {
+        id,
+        workflow,
+        derivations,
+        attributes,
+    })
+}
+
+fn decode_value(r: &mut Reader<'_>, strings: &[String]) -> Result<AttrValue, CodecError> {
+    match r.read_u8()? {
+        0 => Ok(AttrValue::Null),
+        1 => Ok(AttrValue::Bool(r.read_u8()? != 0)),
+        2 => Ok(AttrValue::Int(r.read_i64()?)),
+        3 => Ok(AttrValue::Float(r.read_f64()?)),
+        4 => {
+            let i = r.read_u64()?;
+            strings
+                .get(i as usize)
+                .map(|s| AttrValue::Str(s.clone()))
+                .ok_or(CodecError::BadStringRef(i))
+        }
+        5 => {
+            let n = r.read_u64()? as usize;
+            let mut items = Vec::with_capacity(n.min(r.remaining() + 1));
+            for _ in 0..n {
+                items.push(decode_value(r, strings)?);
+            }
+            Ok(AttrValue::List(items))
+        }
+        6 => {
+            let n = r.read_len()?;
+            Ok(AttrValue::Bytes(r.read_bytes(n)?.to_vec()))
+        }
+        other => Err(CodecError::BadTag(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn task(id: u64) -> TaskRecord {
+        TaskRecord {
+            id: Id::Num(id),
+            workflow: Id::Num(1),
+            transformation: Id::Str("training".into()),
+            dependencies: vec![Id::Num(id.saturating_sub(1))],
+            time_ns: 42_000_000,
+            status: TaskStatus::Running,
+        }
+    }
+
+    fn record_with_attrs(n: usize) -> Record {
+        let mut d = DataRecord::new("in1", 1u64);
+        for i in 0..n {
+            d = d.with_attr(format!("attr_{i}"), i as i64);
+        }
+        Record::TaskBegin {
+            task: task(7),
+            inputs: vec![d],
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let records = vec![
+            Record::WorkflowBegin {
+                workflow: Id::Num(1),
+                time_ns: 0,
+            },
+            record_with_attrs(10),
+            Record::TaskEnd {
+                task: task(7),
+                outputs: vec![DataRecord::new("out1", 1u64)
+                    .with_attr("loss", 0.25)
+                    .with_attr("note", "fine")
+                    .derived_from("in1")],
+            },
+            Record::WorkflowEnd {
+                workflow: Id::Num(1),
+                time_ns: 100,
+            },
+        ];
+        let buf = encode_batch(&records);
+        let back = decode_batch(&buf).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn single_record_roundtrip() {
+        let r = record_with_attrs(3);
+        assert_eq!(decode_record(&encode_record(&r)).unwrap(), r);
+    }
+
+    #[test]
+    fn string_table_dedups_across_grouped_records() {
+        // Encoding two identical records in one batch must be much smaller
+        // than twice one record, because attribute names are shared.
+        let r = record_with_attrs(50);
+        let one = encode_batch(std::slice::from_ref(&r)).len();
+        let two = encode_batch(&[r.clone(), r]).len();
+        assert!(
+            two < one + one / 2,
+            "batch of 2 = {two}B vs single = {one}B: string table not shared"
+        );
+    }
+
+    #[test]
+    fn binary_is_much_smaller_than_debug_repr() {
+        let r = record_with_attrs(100);
+        let bin = encode_record(&r).len();
+        let dbg = format!("{r:?}").len();
+        assert!(bin * 2 < dbg, "binary {bin}B vs debug {dbg}B");
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let r = record_with_attrs(10);
+        let buf = encode_record(&r);
+        for cut in 0..buf.len() {
+            let _ = decode_batch(&buf[..cut]); // must not panic
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let buf = vec![1, 0, 0xee];
+        assert_eq!(decode_batch(&buf), Err(CodecError::BadTag(0xee)));
+    }
+
+    #[test]
+    fn all_value_types_roundtrip() {
+        let d = DataRecord::new(1u64, 1u64)
+            .with_attr("null", AttrValue::Null)
+            .with_attr("bool", true)
+            .with_attr("int", -42i64)
+            .with_attr("float", 0.125)
+            .with_attr("str", "hello")
+            .with_attr("list", vec![1i64, 2, 3])
+            .with_attr("bytes", AttrValue::Bytes(vec![0, 1, 2, 255]));
+        let rec = Record::TaskEnd {
+            task: task(1),
+            outputs: vec![d],
+        };
+        assert_eq!(decode_record(&encode_record(&rec)).unwrap(), rec);
+    }
+
+    fn arb_value() -> impl Strategy<Value = AttrValue> {
+        let leaf = prop_oneof![
+            Just(AttrValue::Null),
+            any::<bool>().prop_map(AttrValue::Bool),
+            any::<i64>().prop_map(AttrValue::Int),
+            any::<f64>().prop_filter("NaN breaks equality", |f| !f.is_nan())
+                .prop_map(AttrValue::Float),
+            "[a-z]{0,8}".prop_map(AttrValue::Str),
+            proptest::collection::vec(any::<u8>(), 0..16).prop_map(AttrValue::Bytes),
+        ];
+        leaf.prop_recursive(2, 8, 4, |inner| {
+            proptest::collection::vec(inner, 0..4).prop_map(AttrValue::List)
+        })
+    }
+
+    fn arb_id() -> impl Strategy<Value = Id> {
+        prop_oneof![any::<u64>().prop_map(Id::Num), "[a-z0-9_]{1,12}".prop_map(Id::Str)]
+    }
+
+    fn arb_data() -> impl Strategy<Value = DataRecord> {
+        (
+            arb_id(),
+            arb_id(),
+            proptest::collection::vec(arb_id(), 0..3),
+            proptest::collection::vec(("[a-z_]{1,10}", arb_value()), 0..6),
+        )
+            .prop_map(|(id, workflow, derivations, attributes)| DataRecord {
+                id,
+                workflow,
+                derivations,
+                attributes: attributes
+                    .into_iter()
+                    .map(|(n, v)| (n.to_string(), v))
+                    .collect(),
+            })
+    }
+
+    fn arb_task() -> impl Strategy<Value = TaskRecord> {
+        (
+            arb_id(),
+            arb_id(),
+            arb_id(),
+            proptest::collection::vec(arb_id(), 0..3),
+            any::<u64>(),
+            prop_oneof![Just(TaskStatus::Running), Just(TaskStatus::Finished)],
+        )
+            .prop_map(
+                |(id, workflow, transformation, dependencies, time_ns, status)| TaskRecord {
+                    id,
+                    workflow,
+                    transformation,
+                    dependencies,
+                    time_ns,
+                    status,
+                },
+            )
+    }
+
+    fn arb_record() -> impl Strategy<Value = Record> {
+        prop_oneof![
+            (arb_id(), any::<u64>())
+                .prop_map(|(workflow, time_ns)| Record::WorkflowBegin { workflow, time_ns }),
+            (arb_id(), any::<u64>())
+                .prop_map(|(workflow, time_ns)| Record::WorkflowEnd { workflow, time_ns }),
+            (arb_task(), proptest::collection::vec(arb_data(), 0..3))
+                .prop_map(|(task, inputs)| Record::TaskBegin { task, inputs }),
+            (arb_task(), proptest::collection::vec(arb_data(), 0..3))
+                .prop_map(|(task, outputs)| Record::TaskEnd { task, outputs }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn prop_batch_roundtrip(records in proptest::collection::vec(arb_record(), 0..8)) {
+            let buf = encode_batch(&records);
+            prop_assert_eq!(decode_batch(&buf).unwrap(), records);
+        }
+
+        #[test]
+        fn prop_decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_batch(&bytes);
+        }
+    }
+}

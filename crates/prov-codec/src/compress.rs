@@ -1,0 +1,262 @@
+//! LZSS compression (in-repo, dependency-free).
+//!
+//! The paper compresses captured payloads on the device before transmission
+//! (§IV-C, §VII-A: "compresses data (using binary format)", measured cost
+//! ≈1 ms per 100-attribute task on the A8-M3). This module implements a
+//! classic LZSS with:
+//!
+//! * 4 KiB sliding window, 3..=18 byte matches;
+//! * a hash-chain match finder (3-byte hashing) so compression is O(n) in
+//!   practice — cheap enough for a 600 MHz core;
+//! * token format: control byte carrying 8 flags, `1` = literal byte,
+//!   `0` = match encoded as `offset:12 | (len-3):4` big-endian.
+//!
+//! JSON-ish provenance payloads (repeated attribute names, monotone ids)
+//! compress ≈2–3×, binary batches ≈1.5–2× — matching the paper's "2× less
+//! data transmitted" once protocol overheads are included.
+
+use crate::CodecError;
+
+const WINDOW: usize = 4096;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 18;
+const HASH_SIZE: usize = 1 << 13;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let h = (data[i] as u32)
+        .wrapping_mul(506_832_829)
+        .wrapping_add((data[i + 1] as u32).wrapping_mul(2_654_435_761))
+        .wrapping_add(data[i + 2] as u32);
+    (h as usize) & (HASH_SIZE - 1)
+}
+
+/// Compresses `input`. The output always starts with the uncompressed length
+/// as a LEB128 varint, followed by the token stream.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    crate::varint::write_u64(&mut out, input.len() as u64);
+    if input.is_empty() {
+        return out;
+    }
+
+    // head[h] = most recent position with hash h (+1, 0 = none);
+    // prev[i % WINDOW] = previous position in the chain for position i.
+    let mut head = vec![0u32; HASH_SIZE];
+    let mut prev = vec![0u32; WINDOW];
+
+    let mut flags_pos = out.len();
+    out.push(0);
+    let mut flag_count = 0u8;
+
+    let mut i = 0usize;
+    while i < input.len() {
+        if flag_count == 8 {
+            flags_pos = out.len();
+            out.push(0);
+            flag_count = 0;
+        }
+
+        let mut best_len = 0usize;
+        let mut best_off = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash3(input, i);
+            let mut candidate = head[h] as usize;
+            let mut chain = 0;
+            while candidate > 0 && chain < 32 {
+                let pos = candidate - 1;
+                if i > pos && i - pos <= WINDOW {
+                    let max = MAX_MATCH.min(input.len() - i);
+                    let mut l = 0;
+                    while l < max && input[pos + l] == input[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_off = i - pos;
+                        if l == MAX_MATCH {
+                            break;
+                        }
+                    }
+                } else if i <= pos || i - pos > WINDOW {
+                    break;
+                }
+                candidate = prev[pos % WINDOW] as usize;
+                chain += 1;
+            }
+        }
+
+        if best_len >= MIN_MATCH {
+            // Match token (flag bit 0).
+            let token = ((best_off as u16) << 4) | ((best_len - MIN_MATCH) as u16);
+            out.extend_from_slice(&token.to_be_bytes());
+            // Insert hash entries for every covered position so later
+            // matches can refer inside this one.
+            let end = i + best_len;
+            while i < end {
+                if i + MIN_MATCH <= input.len() {
+                    let h = hash3(input, i);
+                    prev[i % WINDOW] = head[h];
+                    head[h] = (i + 1) as u32;
+                }
+                i += 1;
+            }
+        } else {
+            out[flags_pos] |= 1 << flag_count;
+            out.push(input[i]);
+            if i + MIN_MATCH <= input.len() {
+                let h = hash3(input, i);
+                prev[i % WINDOW] = head[h];
+                head[h] = (i + 1) as u32;
+            }
+            i += 1;
+        }
+        flag_count += 1;
+    }
+    out
+}
+
+/// Decompresses a buffer produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut r = crate::varint::Reader::new(input);
+    let expected = r.read_u64().map_err(|_| CodecError::BadCompression)? as usize;
+    // Guard absurd declared sizes (corrupt or adversarial input): the token
+    // stream can expand at most 8×16/…; use a generous linear bound.
+    if expected > input.len().saturating_mul(MAX_MATCH).saturating_mul(8) + 64 {
+        return Err(CodecError::BadCompression);
+    }
+    let mut out = Vec::with_capacity(expected);
+    let mut pos = r.position();
+
+    while out.len() < expected {
+        let flags = *input.get(pos).ok_or(CodecError::BadCompression)?;
+        pos += 1;
+        for bit in 0..8 {
+            if out.len() >= expected {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                out.push(*input.get(pos).ok_or(CodecError::BadCompression)?);
+                pos += 1;
+            } else {
+                let hi = *input.get(pos).ok_or(CodecError::BadCompression)? as u16;
+                let lo = *input.get(pos + 1).ok_or(CodecError::BadCompression)? as u16;
+                pos += 2;
+                let token = (hi << 8) | lo;
+                let offset = (token >> 4) as usize;
+                let len = (token & 0x0f) as usize + MIN_MATCH;
+                if offset == 0 || offset > out.len() {
+                    return Err(CodecError::BadCompression);
+                }
+                let start = out.len() - offset;
+                for k in 0..len {
+                    let byte = out[start + k];
+                    out.push(byte);
+                }
+            }
+        }
+    }
+    if out.len() != expected {
+        return Err(CodecError::BadCompression);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        assert_eq!(decompress(&compress(&[])).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn short_and_incompressible_roundtrip() {
+        let data = [7u8, 1, 9];
+        assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        let random: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decompress(&compress(&random)).unwrap(), random);
+    }
+
+    #[test]
+    fn repetitive_data_compresses_well() {
+        let data = b"attr_name=value;".repeat(64);
+        let c = compress(&data);
+        assert!(
+            c.len() * 3 < data.len(),
+            "compressed {} of {}",
+            c.len(),
+            data.len()
+        );
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn json_like_payload_hits_paper_ratio() {
+        // Paper Fig. 6c attributes the ~2x network saving to compression of
+        // attribute-heavy payloads; verify our ratio on a realistic payload.
+        let mut payload = String::from("{\"task\":{\"id\":1,\"workflow\":1},\"data\":[");
+        for i in 0..100 {
+            payload.push_str(&format!("{{\"attribute_{i}\":{i}}},"));
+        }
+        payload.push_str("]}");
+        let c = compress(payload.as_bytes());
+        let ratio = payload.len() as f64 / c.len() as f64;
+        assert!(ratio > 2.0, "ratio {ratio:.2} too low");
+        assert_eq!(decompress(&c).unwrap(), payload.as_bytes());
+    }
+
+    #[test]
+    fn long_runs_use_overlapping_matches() {
+        let data = vec![0xabu8; 10_000];
+        let c = compress(&data);
+        assert!(c.len() < 2_000);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_input_is_error_not_panic() {
+        let data = b"hello world hello world hello world".to_vec();
+        let c = compress(&data);
+        for cut in 0..c.len() {
+            let _ = decompress(&c[..cut]);
+        }
+        // Flip each byte and make sure we never panic.
+        for i in 0..c.len() {
+            let mut bad = c.clone();
+            bad[i] ^= 0xff;
+            let _ = decompress(&bad);
+        }
+    }
+
+    #[test]
+    fn declared_length_is_bounded() {
+        // Huge declared size with a tiny body must be rejected early.
+        let mut buf = Vec::new();
+        crate::varint::write_u64(&mut buf, u64::MAX / 2);
+        buf.push(0x01);
+        buf.push(b'x');
+        assert_eq!(decompress(&buf), Err(CodecError::BadCompression));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn prop_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            prop_assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_roundtrip_low_entropy(data in proptest::collection::vec(0u8..4, 0..4096)) {
+            prop_assert_eq!(decompress(&compress(&data)).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = decompress(&data);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The ProvLight wire envelope.
+//!
+//! An [`Envelope`] is what the client actually publishes to the MQTT-SN
+//! broker: a small header plus a (possibly compressed) binary batch of
+//! records. Compression is skipped automatically when it does not shrink the
+//! payload (tiny single-record messages), and the header flag records which
+//! form was used.
+//!
+//! ```text
+//! envelope := magic:u8 (0xA7), version:u8 (1), flags:u8, payload
+//! flags    := bit0 = payload is LZSS-compressed
+//! payload  := binary batch (see prov_codec::binary)
+//! ```
+
+use crate::{binary, compress, CodecError};
+use prov_model::Record;
+
+const MAGIC: u8 = 0xA7;
+const VERSION: u8 = 1;
+const FLAG_COMPRESSED: u8 = 0x01;
+
+/// A decoded envelope.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// The records carried by this message.
+    pub records: Vec<Record>,
+    /// Whether the payload was compressed on the wire.
+    pub was_compressed: bool,
+}
+
+impl Envelope {
+    /// Encodes `records` into a wire message.
+    ///
+    /// When `use_compression` is set, the payload is compressed and the
+    /// smaller of the two forms is kept.
+    pub fn encode(records: &[Record], use_compression: bool) -> Vec<u8> {
+        let raw = binary::encode_batch(records);
+        let (flags, payload) = if use_compression {
+            let packed = compress::compress(&raw);
+            if packed.len() < raw.len() {
+                (FLAG_COMPRESSED, packed)
+            } else {
+                (0, raw)
+            }
+        } else {
+            (0, raw)
+        };
+        let mut out = Vec::with_capacity(payload.len() + 3);
+        out.push(MAGIC);
+        out.push(VERSION);
+        out.push(flags);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes a wire message.
+    pub fn decode(buf: &[u8]) -> Result<Envelope, CodecError> {
+        if buf.len() < 3 {
+            return Err(CodecError::UnexpectedEof);
+        }
+        if buf[0] != MAGIC {
+            return Err(CodecError::BadTag(buf[0]));
+        }
+        if buf[1] != VERSION {
+            return Err(CodecError::BadTag(buf[1]));
+        }
+        let compressed = buf[2] & FLAG_COMPRESSED != 0;
+        let payload = &buf[3..];
+        let records = if compressed {
+            binary::decode_batch(&compress::decompress(payload)?)?
+        } else {
+            binary::decode_batch(payload)?
+        };
+        Ok(Envelope {
+            records,
+            was_compressed: compressed,
+        })
+    }
+
+    /// Encoded size without actually keeping the buffer (used by cost
+    /// accounting in the simulator).
+    pub fn encoded_len(records: &[Record], use_compression: bool) -> usize {
+        Self::encode(records, use_compression).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::{DataRecord, Id, TaskRecord, TaskStatus};
+
+    fn records(nattrs: usize) -> Vec<Record> {
+        let task = TaskRecord {
+            id: Id::Num(1),
+            workflow: Id::Num(1),
+            transformation: Id::Num(0),
+            dependencies: vec![],
+            time_ns: 1,
+            status: TaskStatus::Finished,
+        };
+        let mut d = DataRecord::new("out", 1u64);
+        for i in 0..nattrs {
+            d = d.with_attr(format!("attribute_{i}"), i as i64);
+        }
+        vec![Record::TaskEnd {
+            task,
+            outputs: vec![d],
+        }]
+    }
+
+    #[test]
+    fn roundtrip_compressed_and_raw() {
+        for compression in [true, false] {
+            let recs = records(100);
+            let wire = Envelope::encode(&recs, compression);
+            let env = Envelope::decode(&wire).unwrap();
+            assert_eq!(env.records, recs);
+            assert_eq!(env.was_compressed, compression);
+        }
+    }
+
+    #[test]
+    fn compression_reduces_attribute_heavy_payloads() {
+        let recs = records(100);
+        let raw = Envelope::encode(&recs, false).len();
+        let packed = Envelope::encode(&recs, true).len();
+        assert!(
+            (packed as f64) < raw as f64 * 0.8,
+            "compressed {packed}B raw {raw}B"
+        );
+    }
+
+    #[test]
+    fn incompressible_payload_falls_back_to_raw() {
+        // A single tiny record: compression cannot win, flag must be clear.
+        let recs = vec![Record::WorkflowBegin {
+            workflow: Id::Num(1),
+            time_ns: 0,
+        }];
+        let wire = Envelope::encode(&recs, true);
+        let env = Envelope::decode(&wire).unwrap();
+        assert!(!env.was_compressed);
+        assert_eq!(env.records, recs);
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let recs = records(1);
+        let mut wire = Envelope::encode(&recs, false);
+        wire[0] = 0x00;
+        assert!(Envelope::decode(&wire).is_err());
+        let mut wire = Envelope::encode(&recs, false);
+        wire[1] = 99;
+        assert!(Envelope::decode(&wire).is_err());
+        assert!(Envelope::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        let recs = records(10);
+        assert_eq!(
+            Envelope::encoded_len(&recs, true),
+            Envelope::encode(&recs, true).len()
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! LEB128 varint and zigzag primitives used by the binary codec.
+
+use crate::CodecError;
+
+/// Appends `value` as an LEB128 varint.
+pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends `value` with zigzag + LEB128 encoding.
+pub fn write_i64(out: &mut Vec<u8>, value: i64) {
+    write_u64(out, zigzag(value));
+}
+
+/// Zigzag-encodes a signed integer.
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// A cursor over an input slice with checked reads.
+#[derive(Clone, Copy, Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&mut self) -> Result<u8, CodecError> {
+        let b = *self.buf.get(self.pos).ok_or(CodecError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads an LEB128 varint.
+    pub fn read_u64(&mut self) -> Result<u64, CodecError> {
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.read_u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(CodecError::VarintOverflow);
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(CodecError::VarintOverflow);
+            }
+        }
+    }
+
+    /// Reads a zigzag varint.
+    pub fn read_i64(&mut self) -> Result<i64, CodecError> {
+        Ok(unzigzag(self.read_u64()?))
+    }
+
+    /// Reads a length prefix and validates it against the remaining input.
+    pub fn read_len(&mut self) -> Result<usize, CodecError> {
+        let n = self.read_u64()? as usize;
+        if n > self.remaining() {
+            return Err(CodecError::LengthOverflow);
+        }
+        Ok(n)
+    }
+
+    /// Reads exactly `n` bytes.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads an f64 stored as little-endian bits.
+    pub fn read_f64(&mut self) -> Result<f64, CodecError> {
+        let bytes = self.read_bytes(8)?;
+        Ok(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn u64_roundtrip_edges() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.read_u64().unwrap(), v);
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn i64_roundtrip_edges() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -12345, 12345] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.read_i64().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_small_values_stay_small() {
+        // Small magnitudes (positive or negative) must encode to 1 byte.
+        for v in [-64i64, -1, 0, 1, 63] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            assert_eq!(buf.len(), 1, "value {v} took {} bytes", buf.len());
+        }
+    }
+
+    #[test]
+    fn eof_detected() {
+        let mut r = Reader::new(&[0x80]);
+        assert_eq!(r.read_u64(), Err(CodecError::UnexpectedEof));
+        let mut r = Reader::new(&[]);
+        assert_eq!(r.read_u8(), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        // 10 continuation bytes of 0xff overflow 64 bits.
+        let buf = [0xffu8; 10];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.read_u64(), Err(CodecError::VarintOverflow));
+    }
+
+    #[test]
+    fn length_prefix_validated() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 100);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.read_len(), Err(CodecError::LengthOverflow));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_u64_roundtrip(v: u64) {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            prop_assert_eq!(r.read_u64().unwrap(), v);
+        }
+
+        #[test]
+        fn prop_i64_roundtrip(v: i64) {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            prop_assert_eq!(r.read_i64().unwrap(), v);
+        }
+
+        #[test]
+        fn prop_zigzag_bijective(v: i64) {
+            prop_assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

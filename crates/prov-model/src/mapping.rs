@@ -1,0 +1,234 @@
+//! Mapping from the ProvLight data exchange model into PROV-DM.
+//!
+//! This implements the right-hand column of the paper's Table V: each
+//! captured [`Record`] expands into PROV-DM elements and relations. The
+//! provenance data translator on the server side uses this to feed
+//! PROV-compliant downstream systems.
+
+use crate::ids::Id;
+use crate::provdm::{ElementKind, ProvDocument, ProvError, RelationKind};
+use crate::record::{Record, TaskStatus};
+use crate::value::AttrValue;
+
+/// Namespacing scheme used when folding ProvLight ids into a single PROV
+/// document: workflow/task/data ids live in separate spaces, so we prefix.
+fn wf_id(id: &Id) -> Id {
+    Id::Str(format!("workflow_{id}"))
+}
+fn task_id(workflow: &Id, id: &Id) -> Id {
+    Id::Str(format!("task_{workflow}_{id}"))
+}
+fn data_id(workflow: &Id, id: &Id) -> Id {
+    Id::Str(format!("data_{workflow}_{id}"))
+}
+
+/// Applies one captured record to a PROV document, creating elements on
+/// first sight and adding the Table V relations.
+pub fn apply_record(doc: &mut ProvDocument, record: &Record) -> Result<(), ProvError> {
+    match record {
+        Record::WorkflowBegin { workflow, time_ns } => {
+            doc.declare(
+                wf_id(workflow),
+                ElementKind::Agent,
+                vec![
+                    ("prov:type".into(), AttrValue::from("provlight:Workflow")),
+                    ("provlight:beginTime".into(), AttrValue::Int(*time_ns as i64)),
+                ],
+            )
+        }
+        Record::WorkflowEnd { workflow, time_ns } => doc.declare(
+            wf_id(workflow),
+            ElementKind::Agent,
+            vec![("provlight:endTime".into(), AttrValue::Int(*time_ns as i64))],
+        ),
+        Record::TaskBegin { task, inputs } => {
+            let wid = wf_id(&task.workflow);
+            doc.declare(wid.clone(), ElementKind::Agent, vec![])?;
+            let tid = task_id(&task.workflow, &task.id);
+            doc.declare(
+                tid.clone(),
+                ElementKind::Activity,
+                vec![
+                    (
+                        "provlight:transformation".into(),
+                        AttrValue::Str(task.transformation.to_string()),
+                    ),
+                    ("provlight:startTime".into(), AttrValue::Int(task.time_ns as i64)),
+                    ("provlight:status".into(), AttrValue::from("running")),
+                ],
+            )?;
+            doc.relate(RelationKind::WasAssociatedWith, tid.clone(), wid.clone())?;
+            for dep in &task.dependencies {
+                let did = task_id(&task.workflow, dep);
+                doc.declare(did.clone(), ElementKind::Activity, vec![])?;
+                doc.relate(RelationKind::WasInformedBy, tid.clone(), did)?;
+            }
+            for input in inputs {
+                let eid = data_id(&task.workflow, &input.id);
+                declare_data(doc, &wid, &eid, input)?;
+                doc.relate(RelationKind::Used, tid.clone(), eid)?;
+            }
+            Ok(())
+        }
+        Record::TaskEnd { task, outputs } => {
+            let wid = wf_id(&task.workflow);
+            doc.declare(wid.clone(), ElementKind::Agent, vec![])?;
+            let tid = task_id(&task.workflow, &task.id);
+            let mut attrs = vec![(
+                "provlight:endTime".into(),
+                AttrValue::Int(task.time_ns as i64),
+            )];
+            if task.status == TaskStatus::Finished {
+                attrs.push(("provlight:status".into(), AttrValue::from("finished")));
+            }
+            doc.declare(tid.clone(), ElementKind::Activity, attrs)?;
+            doc.relate(RelationKind::WasAssociatedWith, tid.clone(), wid.clone())?;
+            for output in outputs {
+                let eid = data_id(&task.workflow, &output.id);
+                declare_data(doc, &wid, &eid, output)?;
+                doc.relate(RelationKind::WasGeneratedBy, eid, tid.clone())?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn declare_data(
+    doc: &mut ProvDocument,
+    wid: &Id,
+    eid: &Id,
+    data: &crate::record::DataRecord,
+) -> Result<(), ProvError> {
+    let attrs = data
+        .attributes
+        .iter()
+        .map(|(k, v)| (format!("attr:{k}"), v.clone()))
+        .collect();
+    doc.declare(eid.clone(), ElementKind::Entity, attrs)?;
+    doc.relate(RelationKind::WasAttributedTo, eid.clone(), wid.clone())?;
+    for src in &data.derivations {
+        let sid = data_id(&data.workflow, src);
+        doc.declare(sid.clone(), ElementKind::Entity, vec![])?;
+        doc.relate(RelationKind::WasDerivedFrom, eid.clone(), sid)?;
+    }
+    Ok(())
+}
+
+/// Builds a PROV document from an entire capture stream.
+pub fn document_from_records<'a, I>(records: I) -> Result<ProvDocument, ProvError>
+where
+    I: IntoIterator<Item = &'a Record>,
+{
+    let mut doc = ProvDocument::new();
+    for r in records {
+        apply_record(&mut doc, r)?;
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{DataRecord, TaskRecord};
+
+    fn capture_stream() -> Vec<Record> {
+        let task = TaskRecord {
+            id: Id::Num(1),
+            workflow: Id::Num(9),
+            transformation: Id::Num(0),
+            dependencies: vec![],
+            time_ns: 0,
+            status: TaskStatus::Running,
+        };
+        let mut end_task = task.clone();
+        end_task.status = TaskStatus::Finished;
+        end_task.time_ns = 100;
+        vec![
+            Record::WorkflowBegin {
+                workflow: Id::Num(9),
+                time_ns: 0,
+            },
+            Record::TaskBegin {
+                task: task.clone(),
+                inputs: vec![DataRecord::new("in1", 9u64).with_attr("lr", 0.1)],
+            },
+            Record::TaskEnd {
+                task: end_task,
+                outputs: vec![DataRecord::new("out1", 9u64)
+                    .with_attr("acc", 0.93)
+                    .derived_from("in1")],
+            },
+            Record::WorkflowEnd {
+                workflow: Id::Num(9),
+                time_ns: 200,
+            },
+        ]
+    }
+
+    #[test]
+    fn stream_maps_to_valid_prov() {
+        let doc = document_from_records(&capture_stream()).unwrap();
+        doc.validate().unwrap();
+        // 1 agent + 1 activity + 2 entities
+        assert_eq!(doc.element_count(), 4);
+        let rels: Vec<RelationKind> = doc.relations().iter().map(|r| r.kind).collect();
+        assert!(rels.contains(&RelationKind::Used));
+        assert!(rels.contains(&RelationKind::WasGeneratedBy));
+        assert!(rels.contains(&RelationKind::WasAssociatedWith));
+        assert!(rels.contains(&RelationKind::WasAttributedTo));
+        assert!(rels.contains(&RelationKind::WasDerivedFrom));
+    }
+
+    #[test]
+    fn dependencies_map_to_was_informed_by() {
+        let t_a = TaskRecord {
+            id: Id::Num(1),
+            workflow: Id::Num(9),
+            transformation: Id::Num(0),
+            dependencies: vec![],
+            time_ns: 0,
+            status: TaskStatus::Running,
+        };
+        let t_b = TaskRecord {
+            id: Id::Num(2),
+            workflow: Id::Num(9),
+            transformation: Id::Num(0),
+            dependencies: vec![Id::Num(1)],
+            time_ns: 10,
+            status: TaskStatus::Running,
+        };
+        let recs = vec![
+            Record::TaskBegin {
+                task: t_a,
+                inputs: vec![],
+            },
+            Record::TaskBegin {
+                task: t_b,
+                inputs: vec![],
+            },
+        ];
+        let doc = document_from_records(&recs).unwrap();
+        assert!(doc
+            .relations()
+            .iter()
+            .any(|r| r.kind == RelationKind::WasInformedBy));
+    }
+
+    #[test]
+    fn attributes_survive_mapping() {
+        let doc = document_from_records(&capture_stream()).unwrap();
+        let eid = Id::Str("data_9_in1".into());
+        let el = doc.element(&eid).expect("entity present");
+        assert!(el
+            .attributes
+            .iter()
+            .any(|(k, v)| k == "attr:lr" && *v == AttrValue::Float(0.1)));
+    }
+
+    #[test]
+    fn prov_n_is_exportable() {
+        let doc = document_from_records(&capture_stream()).unwrap();
+        let text = doc.to_prov_n();
+        assert!(text.contains("wasDerivedFrom"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Attribute values attached to `Data` records.
+//!
+//! The paper's workloads attach 10–100 attributes per task (Table I), each a
+//! scalar or small list (e.g. hyperparameters, per-epoch loss). `AttrValue`
+//! is the dynamically-typed value cell used across the capture path, the
+//! codecs, and the provenance store.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dynamically typed attribute value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// Absent / null value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (covers the paper's synthetic `1`/`2` fillers).
+    Int(i64),
+    /// IEEE-754 double (losses, accuracies, learning rates).
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Homogeneous or heterogeneous list.
+    List(Vec<AttrValue>),
+    /// Opaque bytes (e.g. model digests).
+    Bytes(Vec<u8>),
+}
+
+impl AttrValue {
+    /// Type tag used by codecs; stable across versions.
+    pub fn tag(&self) -> u8 {
+        match self {
+            AttrValue::Null => 0,
+            AttrValue::Bool(_) => 1,
+            AttrValue::Int(_) => 2,
+            AttrValue::Float(_) => 3,
+            AttrValue::Str(_) => 4,
+            AttrValue::List(_) => 5,
+            AttrValue::Bytes(_) => 6,
+        }
+    }
+
+    /// Returns the integer value, coercing from bool.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(i) => Some(*i),
+            AttrValue::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    /// Returns the float value, coercing from integers.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            AttrValue::Float(f) => Some(*f),
+            AttrValue::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory footprint (bytes) for memory accounting.
+    pub fn approx_size(&self) -> usize {
+        match self {
+            AttrValue::Null | AttrValue::Bool(_) => 1,
+            AttrValue::Int(_) | AttrValue::Float(_) => 8,
+            AttrValue::Str(s) => 24 + s.len(),
+            AttrValue::Bytes(b) => 24 + b.len(),
+            AttrValue::List(l) => 24 + l.iter().map(AttrValue::approx_size).sum::<usize>(),
+        }
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(b: bool) -> Self {
+        AttrValue::Bool(b)
+    }
+}
+impl From<i64> for AttrValue {
+    fn from(i: i64) -> Self {
+        AttrValue::Int(i)
+    }
+}
+impl From<i32> for AttrValue {
+    fn from(i: i32) -> Self {
+        AttrValue::Int(i as i64)
+    }
+}
+impl From<u32> for AttrValue {
+    fn from(i: u32) -> Self {
+        AttrValue::Int(i as i64)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(f: f64) -> Self {
+        AttrValue::Float(f)
+    }
+}
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Str(s.to_owned())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+impl<T: Into<AttrValue>> From<Vec<T>> for AttrValue {
+    fn from(v: Vec<T>) -> Self {
+        AttrValue::List(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Null => f.write_str("null"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Float(x) => write!(f, "{x}"),
+            AttrValue::Str(s) => write!(f, "{s:?}"),
+            AttrValue::Bytes(b) => write!(f, "bytes[{}]", b.len()),
+            AttrValue::List(l) => {
+                f.write_str("[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_stable_and_unique() {
+        let vals = [
+            AttrValue::Null,
+            AttrValue::Bool(true),
+            AttrValue::Int(1),
+            AttrValue::Float(1.0),
+            AttrValue::Str("s".into()),
+            AttrValue::List(vec![]),
+            AttrValue::Bytes(vec![]),
+        ];
+        let tags: Vec<u8> = vals.iter().map(AttrValue::tag).collect();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(AttrValue::Bool(true).as_int(), Some(1));
+        assert_eq!(AttrValue::Int(3).as_float(), Some(3.0));
+        assert_eq!(AttrValue::Str("x".into()).as_int(), None);
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(AttrValue::from(3i32), AttrValue::Int(3));
+        assert_eq!(AttrValue::from(0.5), AttrValue::Float(0.5));
+        assert_eq!(
+            AttrValue::from(vec![1i64, 2]),
+            AttrValue::List(vec![AttrValue::Int(1), AttrValue::Int(2)])
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AttrValue::Null.to_string(), "null");
+        assert_eq!(AttrValue::from(vec![1i64, 2]).to_string(), "[1, 2]");
+        assert_eq!(AttrValue::Bytes(vec![0; 4]).to_string(), "bytes[4]");
+    }
+
+    #[test]
+    fn approx_size_is_monotone_in_content() {
+        let small = AttrValue::Str("ab".into());
+        let big = AttrValue::Str("abcdefgh".into());
+        assert!(big.approx_size() > small.approx_size());
+        let list = AttrValue::List(vec![small.clone(), big.clone()]);
+        assert!(list.approx_size() > small.approx_size() + big.approx_size());
+    }
+}

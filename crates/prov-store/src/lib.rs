@@ -1,0 +1,27 @@
+//! # prov-store
+//!
+//! A DfAnalyzer-style provenance store and query engine.
+//!
+//! In the paper's integrated architecture (§V), ProvLight captures on the
+//! edge and **DfAnalyzer stores and queries** the translated provenance on
+//! the cloud (backed by MonetDB). This crate implements that role:
+//!
+//! * [`schema`] — the dataflow model DfAnalyzer exposes: dataflows,
+//!   transformations, datasets, typed attributes;
+//! * [`store`] — an in-memory columnar store ingesting capture
+//!   [`Record`](prov_model::Record)s at runtime, with task/data/lineage
+//!   tables and per-attribute typed columns (the MonetDB substitution);
+//! * [`query`] — the query layer that answers the paper's §I motivating
+//!   questions (e.g. *"retrieve the hyperparameters with the 3 best
+//!   accuracy values"*, *"elapsed time and training loss per epoch"*),
+//!   plus lineage traversals (`wasDerivedFrom` chains);
+//! * PROV-DM export via [`store::Store::to_prov_document`] for
+//!   interoperability (§IV-A).
+
+pub mod query;
+pub mod schema;
+pub mod store;
+
+pub use query::{LineageDirection, QueryError};
+pub use schema::{AttrType, AttributeDef, DataflowSpec, DatasetSpec, TransformationSpec};
+pub use store::{SharedStore, Store, StoreStats, TaskRow};

@@ -1,0 +1,607 @@
+//! The query layer.
+//!
+//! Implements the analyses the paper motivates in §I for Federated
+//! Learning training:
+//!
+//! * *"What are the elapsed time and the training loss in the latest epoch
+//!   for each hyperparameter combination?"* → [`Query::task_metrics`] /
+//!   [`Query::attr_timeseries`];
+//! * *"Retrieve the hyperparameters which obtained the 3 best accuracy
+//!   values"* → [`Query::top_k_by_attr`] + [`Query::upstream_inputs`];
+//!
+//! plus generic lineage traversal over `wasDerivedFrom` chains.
+
+use crate::store::{Column, DataIdx, Store, TaskRow};
+use prov_model::{AttrValue, Id};
+
+/// Lineage traversal direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineageDirection {
+    /// Follow `wasDerivedFrom` toward sources.
+    Upstream,
+    /// Follow derivations toward products.
+    Downstream,
+}
+
+/// Query errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// Workflow not present in the store.
+    UnknownWorkflow(Id),
+    /// Data id not present in the store.
+    UnknownData(Id),
+    /// Attribute has no numeric column.
+    NotNumeric(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnknownWorkflow(id) => write!(f, "unknown workflow {id}"),
+            QueryError::UnknownData(id) => write!(f, "unknown data {id}"),
+            QueryError::NotNumeric(a) => write!(f, "attribute {a} is not numeric"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Summary statistics of a numeric attribute column.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AttrStats {
+    /// Number of values.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+/// One row of a task-metrics report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskMetrics {
+    /// Task id.
+    pub task: Id,
+    /// Transformation tag.
+    pub transformation: Id,
+    /// Elapsed seconds (None while running).
+    pub elapsed_s: Option<f64>,
+    /// Whether the task finished.
+    pub finished: bool,
+}
+
+/// Query interface over a [`Store`].
+pub struct Query<'a> {
+    store: &'a Store,
+}
+
+impl<'a> Query<'a> {
+    /// Wraps a store.
+    pub fn new(store: &'a Store) -> Self {
+        Query { store }
+    }
+
+    fn workflow_tasks(&self, workflow: &Id) -> Result<Vec<&'a TaskRow>, QueryError> {
+        let wf = self
+            .store
+            .workflow(workflow)
+            .ok_or_else(|| QueryError::UnknownWorkflow(workflow.clone()))?;
+        Ok(wf.tasks.iter().map(|&i| &self.store.tasks()[i]).collect())
+    }
+
+    /// All tasks of a workflow, in ingestion order.
+    pub fn tasks(&self, workflow: &Id) -> Result<Vec<&'a TaskRow>, QueryError> {
+        self.workflow_tasks(workflow)
+    }
+
+    /// Tasks still running (begin captured, no end) — the paper's runtime
+    /// steering use case.
+    pub fn running_tasks(&self, workflow: &Id) -> Result<Vec<&'a TaskRow>, QueryError> {
+        Ok(self
+            .workflow_tasks(workflow)?
+            .into_iter()
+            .filter(|t| t.end_ns.is_none())
+            .collect())
+    }
+
+    /// Per-task timing/status report.
+    pub fn task_metrics(&self, workflow: &Id) -> Result<Vec<TaskMetrics>, QueryError> {
+        Ok(self
+            .workflow_tasks(workflow)?
+            .into_iter()
+            .map(|t| TaskMetrics {
+                task: t.id.clone(),
+                transformation: t.transformation.clone(),
+                elapsed_s: t.elapsed_s(),
+                finished: t.end_ns.is_some(),
+            })
+            .collect())
+    }
+
+    /// The k data items with the best (highest or lowest) values of a
+    /// numeric attribute. Returns `(data id, value)` sorted best-first.
+    pub fn top_k_by_attr(
+        &self,
+        workflow: &Id,
+        attr: &str,
+        k: usize,
+        highest: bool,
+    ) -> Result<Vec<(Id, f64)>, QueryError> {
+        let col = self
+            .store
+            .column(workflow, attr)
+            .ok_or_else(|| QueryError::NotNumeric(attr.to_owned()))?;
+        let Column::Numeric(values) = col else {
+            return Err(QueryError::NotNumeric(attr.to_owned()));
+        };
+        let mut rows: Vec<(DataIdx, f64)> = values.clone();
+        rows.sort_by(|a, b| {
+            let ord = a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal);
+            if highest {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        rows.truncate(k);
+        Ok(rows
+            .into_iter()
+            .map(|(i, v)| (self.store.data()[i].id.clone(), v))
+            .collect())
+    }
+
+    /// Time-ordered `(task end time ns, value)` series of a numeric
+    /// attribute over a workflow (e.g. training loss per epoch).
+    pub fn attr_timeseries(
+        &self,
+        workflow: &Id,
+        attr: &str,
+    ) -> Result<Vec<(u64, f64)>, QueryError> {
+        let col = self
+            .store
+            .column(workflow, attr)
+            .ok_or_else(|| QueryError::NotNumeric(attr.to_owned()))?;
+        let Column::Numeric(values) = col else {
+            return Err(QueryError::NotNumeric(attr.to_owned()));
+        };
+        let mut series: Vec<(u64, f64)> = values
+            .iter()
+            .map(|&(idx, v)| {
+                let row = &self.store.data()[idx];
+                let t = row
+                    .generated_by
+                    .and_then(|ti| self.store.tasks()[ti].end_ns)
+                    .unwrap_or(0);
+                (t, v)
+            })
+            .collect();
+        series.sort_by_key(|&(t, _)| t);
+        Ok(series)
+    }
+
+    /// Walks the derivation graph from `data` in the given direction,
+    /// returning reachable data ids in BFS order (excluding the start).
+    pub fn lineage(
+        &self,
+        workflow: &Id,
+        data: &Id,
+        direction: LineageDirection,
+        max_depth: usize,
+    ) -> Result<Vec<Id>, QueryError> {
+        let (start, _) = self
+            .store
+            .data_by_id(workflow, data)
+            .ok_or_else(|| QueryError::UnknownData(data.clone()))?;
+
+        // Precompute a reverse index for downstream traversal.
+        let rows = self.store.data();
+        let mut out = Vec::new();
+        let mut visited = vec![false; rows.len()];
+        visited[start] = true;
+        let mut frontier = vec![start];
+        let mut depth = 0;
+        while !frontier.is_empty() && depth < max_depth {
+            let mut next = Vec::new();
+            for &i in &frontier {
+                match direction {
+                    LineageDirection::Upstream => {
+                        for src in &rows[i].derivations {
+                            if let Some((j, _)) = self.store.data_by_id(workflow, src) {
+                                if !visited[j] {
+                                    visited[j] = true;
+                                    out.push(rows[j].id.clone());
+                                    next.push(j);
+                                }
+                            }
+                        }
+                    }
+                    LineageDirection::Downstream => {
+                        let my_id = &rows[i].id;
+                        for (j, row) in rows.iter().enumerate() {
+                            if row.workflow == *workflow
+                                && !visited[j]
+                                && row.derivations.contains(my_id)
+                            {
+                                visited[j] = true;
+                                out.push(row.id.clone());
+                                next.push(j);
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+            depth += 1;
+        }
+        Ok(out)
+    }
+
+    /// For a data item (e.g. the epoch metrics with best accuracy),
+    /// returns the input attributes of the task that generated it — "the
+    /// hyperparameters which obtained the best accuracy".
+    pub fn upstream_inputs(
+        &self,
+        workflow: &Id,
+        data: &Id,
+    ) -> Result<Vec<(Id, Vec<(String, AttrValue)>)>, QueryError> {
+        let (idx, row) = self
+            .store
+            .data_by_id(workflow, data)
+            .ok_or_else(|| QueryError::UnknownData(data.clone()))?;
+        let _ = idx;
+        let Some(task_idx) = row.generated_by else {
+            return Ok(Vec::new());
+        };
+        let task = &self.store.tasks()[task_idx];
+        Ok(task
+            .inputs
+            .iter()
+            .map(|&di| {
+                let d = &self.store.data()[di];
+                (d.id.clone(), d.attributes.clone())
+            })
+            .collect())
+    }
+
+    /// Summary statistics over a numeric attribute (dashboard queries:
+    /// "loss range across the run", "mean accuracy so far").
+    pub fn attr_stats(&self, workflow: &Id, attr: &str) -> Result<AttrStats, QueryError> {
+        let col = self
+            .store
+            .column(workflow, attr)
+            .ok_or_else(|| QueryError::NotNumeric(attr.to_owned()))?;
+        let Column::Numeric(values) = col else {
+            return Err(QueryError::NotNumeric(attr.to_owned()));
+        };
+        if values.is_empty() {
+            return Err(QueryError::NotNumeric(attr.to_owned()));
+        }
+        let mut min = f64::MAX;
+        let mut max = f64::MIN;
+        let mut sum = 0.0;
+        for &(_, v) in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        Ok(AttrStats {
+            count: values.len(),
+            min,
+            max,
+            mean: sum / values.len() as f64,
+        })
+    }
+
+    /// Data items whose numeric attribute satisfies a predicate —
+    /// e.g. "epochs with accuracy above 0.9".
+    pub fn filter_data_by<F>(
+        &self,
+        workflow: &Id,
+        attr: &str,
+        predicate: F,
+    ) -> Result<Vec<(Id, f64)>, QueryError>
+    where
+        F: Fn(f64) -> bool,
+    {
+        let col = self
+            .store
+            .column(workflow, attr)
+            .ok_or_else(|| QueryError::NotNumeric(attr.to_owned()))?;
+        let Column::Numeric(values) = col else {
+            return Err(QueryError::NotNumeric(attr.to_owned()));
+        };
+        Ok(values
+            .iter()
+            .filter(|(_, v)| predicate(*v))
+            .map(|&(i, v)| (self.store.data()[i].id.clone(), v))
+            .collect())
+    }
+
+    /// `(running, finished)` task counts — the runtime-steering dashboard
+    /// number.
+    pub fn task_status_counts(&self, workflow: &Id) -> Result<(usize, usize), QueryError> {
+        let tasks = self.workflow_tasks(workflow)?;
+        let finished = tasks.iter().filter(|t| t.end_ns.is_some()).count();
+        Ok((tasks.len() - finished, finished))
+    }
+
+    /// Workflow makespan in seconds when both ends were captured.
+    pub fn workflow_makespan_s(&self, workflow: &Id) -> Result<Option<f64>, QueryError> {
+        let wf = self
+            .store
+            .workflow(workflow)
+            .ok_or_else(|| QueryError::UnknownWorkflow(workflow.clone()))?;
+        Ok(match (wf.begin_ns, wf.end_ns) {
+            (Some(b), Some(e)) if e >= b => Some((e - b) as f64 / 1e9),
+            _ => None,
+        })
+    }
+
+    /// Mean elapsed seconds across finished tasks of a transformation.
+    pub fn mean_elapsed_s(
+        &self,
+        workflow: &Id,
+        transformation: &Id,
+    ) -> Result<Option<f64>, QueryError> {
+        let times: Vec<f64> = self
+            .workflow_tasks(workflow)?
+            .into_iter()
+            .filter(|t| &t.transformation == transformation)
+            .filter_map(TaskRow::elapsed_s)
+            .collect();
+        if times.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(times.iter().sum::<f64>() / times.len() as f64))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::{DataRecord, Record, TaskRecord, TaskStatus};
+
+    /// Builds an FL-like store: 4 epochs, accuracy rising with epoch,
+    /// each epoch's output derived from its input hyperparameters.
+    fn fl_store() -> Store {
+        let mut s = Store::new();
+        s.ingest(Record::WorkflowBegin {
+            workflow: Id::Num(1),
+            time_ns: 0,
+        });
+        for epoch in 0..4u64 {
+            let begin = TaskRecord {
+                id: Id::Num(epoch),
+                workflow: Id::Num(1),
+                transformation: Id::Str("train".into()),
+                dependencies: epoch.checked_sub(1).map(Id::Num).into_iter().collect(),
+                time_ns: epoch * 1_000_000_000,
+                status: TaskStatus::Running,
+            };
+            let mut end = begin.clone();
+            end.time_ns = begin.time_ns + 500_000_000 + epoch * 100_000_000;
+            end.status = TaskStatus::Finished;
+            s.ingest(Record::TaskBegin {
+                task: begin,
+                inputs: vec![DataRecord::new(format!("hp{epoch}"), 1u64)
+                    .with_attr("learning_rate", 0.1 / (epoch + 1) as f64)
+                    .with_attr("batch_size", 32i64)],
+            });
+            s.ingest(Record::TaskEnd {
+                task: end,
+                outputs: vec![DataRecord::new(format!("metrics{epoch}"), 1u64)
+                    .with_attr("accuracy", 0.7 + 0.06 * epoch as f64)
+                    .with_attr("loss", 1.0 / (epoch + 1) as f64)
+                    .derived_from(format!("hp{epoch}"))],
+            });
+        }
+        s
+    }
+
+    #[test]
+    fn top_k_best_accuracy() {
+        let s = fl_store();
+        let q = Query::new(&s);
+        let top = q.top_k_by_attr(&Id::Num(1), "accuracy", 3, true).unwrap();
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, Id::from("metrics3"));
+        assert!((top[0].1 - 0.88).abs() < 1e-12);
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+    }
+
+    #[test]
+    fn lowest_loss() {
+        let s = fl_store();
+        let q = Query::new(&s);
+        let best = q.top_k_by_attr(&Id::Num(1), "loss", 1, false).unwrap();
+        assert_eq!(best[0].0, Id::from("metrics3"));
+        assert!((best[0].1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hyperparameters_of_best_epoch() {
+        // The paper's §I query end-to-end: best accuracy -> its inputs.
+        let s = fl_store();
+        let q = Query::new(&s);
+        let best = q.top_k_by_attr(&Id::Num(1), "accuracy", 1, true).unwrap();
+        let inputs = q.upstream_inputs(&Id::Num(1), &best[0].0).unwrap();
+        assert_eq!(inputs.len(), 1);
+        assert_eq!(inputs[0].0, Id::from("hp3"));
+        let lr = inputs[0]
+            .1
+            .iter()
+            .find(|(n, _)| n == "learning_rate")
+            .unwrap();
+        assert_eq!(lr.1, AttrValue::Float(0.1 / 4.0));
+    }
+
+    #[test]
+    fn timeseries_is_time_ordered() {
+        let s = fl_store();
+        let q = Query::new(&s);
+        let series = q.attr_timeseries(&Id::Num(1), "loss").unwrap();
+        assert_eq!(series.len(), 4);
+        assert!(series.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Loss decreases epoch over epoch.
+        assert!(series.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn task_metrics_and_running() {
+        let mut s = fl_store();
+        let q = Query::new(&s);
+        let m = q.task_metrics(&Id::Num(1)).unwrap();
+        assert_eq!(m.len(), 4);
+        assert!(m.iter().all(|t| t.finished));
+        assert!((m[1].elapsed_s.unwrap() - 0.6).abs() < 1e-9);
+
+        // Add a begin-only task: it shows as running.
+        s.ingest(Record::TaskBegin {
+            task: TaskRecord {
+                id: Id::Num(99),
+                workflow: Id::Num(1),
+                transformation: Id::Str("train".into()),
+                dependencies: vec![],
+                time_ns: 777,
+                status: TaskStatus::Running,
+            },
+            inputs: vec![],
+        });
+        let q = Query::new(&s);
+        let running = q.running_tasks(&Id::Num(1)).unwrap();
+        assert_eq!(running.len(), 1);
+        assert_eq!(running[0].id, Id::Num(99));
+    }
+
+    #[test]
+    fn lineage_traversal_both_directions() {
+        let s = fl_store();
+        let q = Query::new(&s);
+        let up = q
+            .lineage(&Id::Num(1), &Id::from("metrics2"), LineageDirection::Upstream, 10)
+            .unwrap();
+        assert_eq!(up, vec![Id::from("hp2")]);
+        let down = q
+            .lineage(&Id::Num(1), &Id::from("hp2"), LineageDirection::Downstream, 10)
+            .unwrap();
+        assert_eq!(down, vec![Id::from("metrics2")]);
+    }
+
+    #[test]
+    fn lineage_depth_limit() {
+        let mut s = Store::new();
+        // Chain d0 <- d1 <- d2 <- d3.
+        for i in 1..4u64 {
+            s.ingest(Record::TaskBegin {
+                task: TaskRecord {
+                    id: Id::Num(i),
+                    workflow: Id::Num(1),
+                    transformation: Id::Num(0),
+                    dependencies: vec![],
+                    time_ns: 0,
+                    status: TaskStatus::Running,
+                },
+                inputs: vec![DataRecord::new(format!("d{i}"), 1u64)
+                    .derived_from(format!("d{}", i - 1))],
+            });
+        }
+        s.ingest(Record::TaskBegin {
+            task: TaskRecord {
+                id: Id::Num(0),
+                workflow: Id::Num(1),
+                transformation: Id::Num(0),
+                dependencies: vec![],
+                time_ns: 0,
+                status: TaskStatus::Running,
+            },
+            inputs: vec![DataRecord::new("d0", 1u64)],
+        });
+        let q = Query::new(&s);
+        let up1 = q
+            .lineage(&Id::Num(1), &Id::from("d3"), LineageDirection::Upstream, 1)
+            .unwrap();
+        assert_eq!(up1, vec![Id::from("d2")]);
+        let up_all = q
+            .lineage(&Id::Num(1), &Id::from("d3"), LineageDirection::Upstream, 10)
+            .unwrap();
+        assert_eq!(up_all, vec![Id::from("d2"), Id::from("d1"), Id::from("d0")]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let s = fl_store();
+        let q = Query::new(&s);
+        assert!(matches!(
+            q.tasks(&Id::Num(42)),
+            Err(QueryError::UnknownWorkflow(_))
+        ));
+        assert!(matches!(
+            q.top_k_by_attr(&Id::Num(1), "nope", 1, true),
+            Err(QueryError::NotNumeric(_))
+        ));
+        assert!(matches!(
+            q.lineage(&Id::Num(1), &Id::from("nope"), LineageDirection::Upstream, 1),
+            Err(QueryError::UnknownData(_))
+        ));
+    }
+
+    #[test]
+    fn attr_stats_summarize_columns() {
+        let s = fl_store();
+        let q = Query::new(&s);
+        let stats = q.attr_stats(&Id::Num(1), "accuracy").unwrap();
+        assert_eq!(stats.count, 4);
+        assert!((stats.min - 0.7).abs() < 1e-12);
+        assert!((stats.max - 0.88).abs() < 1e-12);
+        assert!((stats.mean - 0.79).abs() < 1e-12);
+        assert!(q.attr_stats(&Id::Num(1), "nope").is_err());
+    }
+
+    #[test]
+    fn filter_by_predicate() {
+        let s = fl_store();
+        let q = Query::new(&s);
+        let good = q
+            .filter_data_by(&Id::Num(1), "accuracy", |v| v > 0.8)
+            .unwrap();
+        assert_eq!(good.len(), 2);
+        assert!(good.iter().all(|(_, v)| *v > 0.8));
+    }
+
+    #[test]
+    fn status_counts_and_makespan() {
+        let mut s = fl_store();
+        s.ingest(Record::WorkflowBegin {
+            workflow: Id::Num(1),
+            time_ns: 0,
+        });
+        s.ingest(Record::WorkflowEnd {
+            workflow: Id::Num(1),
+            time_ns: 4_000_000_000,
+        });
+        let q = Query::new(&s);
+        let (running, finished) = q.task_status_counts(&Id::Num(1)).unwrap();
+        assert_eq!((running, finished), (0, 4));
+        assert_eq!(q.workflow_makespan_s(&Id::Num(1)).unwrap(), Some(4.0));
+        assert!(q.workflow_makespan_s(&Id::Num(99)).is_err());
+    }
+
+    #[test]
+    fn mean_elapsed_per_transformation() {
+        let s = fl_store();
+        let q = Query::new(&s);
+        let mean = q
+            .mean_elapsed_s(&Id::Num(1), &Id::Str("train".into()))
+            .unwrap()
+            .unwrap();
+        // elapsed = 0.5, 0.6, 0.7, 0.8 -> mean 0.65
+        assert!((mean - 0.65).abs() < 1e-9);
+        assert_eq!(
+            q.mean_elapsed_s(&Id::Num(1), &Id::Str("none".into())).unwrap(),
+            None
+        );
+    }
+}

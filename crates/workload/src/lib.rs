@@ -1,0 +1,30 @@
+//! # provlight-workload
+//!
+//! Synthetic workload generation and execution for the paper's evaluation.
+//!
+//! * [`spec`] — the Table I configuration space: 5 chained transformations,
+//!   100 tasks, {10, 100} attributes per task, {0.5, 1, 3.5, 5} s task
+//!   durations;
+//! * [`schedule`] — compiles a spec into a [`Schedule`] of steps
+//!   (`Compute` / `Emit`), mirroring the paper's Listing 1 instrumentation
+//!   exactly (task begin with input data, task end with output data,
+//!   derivations chaining transformations);
+//! * [`driver`] — the [`driver::CaptureDriver`] interface
+//!   every capture system implements for virtual-time execution, plus the
+//!   no-capture [`driver::NullDriver`] that defines the
+//!   overhead baseline;
+//! * [`runner`] — executes a schedule on a simulated device and produces
+//!   elapsed time + resource reports;
+//! * [`fl`] — the Federated Learning use-case generator (epochs → tasks,
+//!   hyperparameters → attributes) used by examples and query tests.
+
+pub mod driver;
+pub mod fl;
+pub mod runner;
+pub mod schedule;
+pub mod spec;
+
+pub use driver::{CaptureDriver, NullDriver, SimCtx};
+pub use runner::{run_schedule, RunOutcome};
+pub use schedule::{record_value_count, Schedule, Step};
+pub use spec::{ValueFill, WorkloadSpec};

@@ -1,0 +1,89 @@
+//! Workload configurations (paper Table I).
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// How synthetic attribute values are filled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValueFill {
+    /// Literal constants, exactly as the paper's Listing 1 (`[1]*attrs`
+    /// inputs, `[2]*attrs` outputs). Highly compressible.
+    Constant,
+    /// Seeded random doubles — representative of real metrics
+    /// (losses, accuracies, timings) and nearly incompressible. Used for
+    /// the evaluation runs so byte counts are not flattered by
+    /// compression.
+    Random,
+}
+
+/// One synthetic workload configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of chained transformations (paper: 5).
+    pub chained_transformations: usize,
+    /// Total number of tasks across all transformations (paper: 100).
+    pub tasks: usize,
+    /// Attributes per task (paper: 10 or 100).
+    pub attrs_per_task: usize,
+    /// Duration of each task (paper: 0.5, 1, 3.5 or 5 s).
+    pub task_duration: Duration,
+    /// Attribute value generation.
+    pub value_fill: ValueFill,
+}
+
+impl WorkloadSpec {
+    /// The paper's base configuration with the given attribute count and
+    /// task duration.
+    pub fn table1(attrs_per_task: usize, task_duration_s: f64) -> Self {
+        WorkloadSpec {
+            chained_transformations: 5,
+            tasks: 100,
+            attrs_per_task,
+            task_duration: Duration::from_secs_f64(task_duration_s),
+            value_fill: ValueFill::Random,
+        }
+    }
+
+    /// All 8 Table I configurations ({10,100} attrs × {0.5,1,3.5,5} s).
+    pub fn table1_all() -> Vec<WorkloadSpec> {
+        let mut out = Vec::with_capacity(8);
+        for attrs in [10, 100] {
+            for dur in [0.5, 1.0, 3.5, 5.0] {
+                out.push(Self::table1(attrs, dur));
+            }
+        }
+        out
+    }
+
+    /// Tasks per transformation (the paper divides evenly).
+    pub fn tasks_per_transformation(&self) -> usize {
+        self.tasks / self.chained_transformations.max(1)
+    }
+
+    /// Ideal no-capture makespan: tasks × duration.
+    pub fn baseline_elapsed(&self) -> Duration {
+        self.task_duration * self.tasks as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_space_has_eight_configs() {
+        let all = WorkloadSpec::table1_all();
+        assert_eq!(all.len(), 8);
+        assert!(all.iter().all(|s| s.tasks == 100));
+        assert!(all.iter().all(|s| s.chained_transformations == 5));
+        let durations: Vec<f64> = all.iter().map(|s| s.task_duration.as_secs_f64()).collect();
+        assert!(durations.contains(&0.5) && durations.contains(&5.0));
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let s = WorkloadSpec::table1(100, 0.5);
+        assert_eq!(s.tasks_per_transformation(), 20);
+        assert_eq!(s.baseline_elapsed(), Duration::from_secs(50));
+    }
+}

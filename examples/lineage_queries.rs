@@ -1,0 +1,85 @@
+//! Offline provenance analytics: ingest a Federated Learning capture
+//! stream into the DfAnalyzer-style store (no network involved) and walk
+//! through the paper's query repertoire — top-k, lineage in both
+//! directions, per-transformation timing, runtime task tracking, and W3C
+//! PROV export.
+//!
+//! ```text
+//! cargo run --example lineage_queries
+//! ```
+
+use provlight::prov_model::Id;
+use provlight::prov_store::query::{LineageDirection, Query};
+use provlight::prov_store::store::Store;
+use provlight::workload::fl::{fl_capture_stream, FlConfig};
+use std::time::Duration;
+
+fn main() {
+    // Capture stream of one training run: 12 epochs.
+    let config = FlConfig {
+        epochs: 12,
+        epoch_duration: Duration::from_millis(800),
+        learning_rate: 0.05,
+        batch_size: 64,
+    };
+    let records = fl_capture_stream(1, &config, 2024);
+    println!("capture stream: {} records", records.len());
+
+    let mut store = Store::new();
+    store.ingest_batch(records);
+    let stats = store.stats();
+    println!(
+        "store: {} tasks, {} data items, {} attribute cells",
+        stats.tasks, stats.data, stats.attr_cells
+    );
+
+    let wf = Id::Num(1);
+    let query = Query::new(&store);
+
+    // Q1 (paper §I): the 3 best accuracy values and their hyperparameters.
+    let best = query.top_k_by_attr(&wf, "accuracy", 3, true).unwrap();
+    println!("\n3 best accuracy values:");
+    for (data, acc) in &best {
+        let inputs = query.upstream_inputs(&wf, data).unwrap();
+        println!("  {data}: {acc:.4}  inputs: {:?}", inputs.iter().map(|(id, _)| id.to_string()).collect::<Vec<_>>());
+    }
+    assert_eq!(best.len(), 3);
+    assert!(best[0].1 >= best[1].1);
+
+    // Q2 (paper §I): elapsed time and loss per epoch.
+    let losses = query.attr_timeseries(&wf, "loss").unwrap();
+    println!("\nloss per epoch (first 5): {:?}", &losses[..5]);
+    let train_mean = query
+        .mean_elapsed_s(&wf, &Id::from("train"))
+        .unwrap()
+        .unwrap();
+    println!("mean epoch elapsed: {train_mean:.3}s");
+    assert!((train_mean - 0.8).abs() < 1e-6);
+
+    // Q3: lineage — where did the final model come from?
+    let upstream = query
+        .lineage(&wf, &Id::from("model"), LineageDirection::Upstream, 16)
+        .unwrap();
+    println!("\nmodel lineage (upstream): {:?}", upstream.iter().map(Id::to_string).collect::<Vec<_>>());
+    assert!(upstream.contains(&Id::from("hp")), "model must trace to hyperparameters");
+
+    // Q4: what was derived from the hyperparameters?
+    let downstream = query
+        .lineage(&wf, &Id::from("hp"), LineageDirection::Downstream, 16)
+        .unwrap();
+    println!("hp downstream reach: {} data items", downstream.len());
+    assert!(downstream.len() >= config.epochs);
+
+    // Q5: PROV-DM export for interoperability (paper §IV-A).
+    let doc = store.to_prov_document();
+    doc.validate().unwrap();
+    println!(
+        "\nPROV document: {} elements / {} relations",
+        doc.element_count(),
+        doc.relations().len()
+    );
+    let prov_n = doc.to_prov_n();
+    assert!(prov_n.contains("wasDerivedFrom"));
+    assert!(prov_n.contains("wasAssociatedWith"));
+    println!("lineage_queries OK");
+}

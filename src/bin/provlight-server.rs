@@ -1,0 +1,115 @@
+//! `provlight-server` — run the ProvLight server stack (MQTT-SN broker +
+//! provenance translator + DfAnalyzer-style store) from the command line.
+//!
+//! ```text
+//! provlight-server [--bind ADDR] [--duration SECS] [--report-every SECS]
+//! ```
+//!
+//! With no `--duration` it serves until interrupted, printing ingestion
+//! statistics periodically. Devices connect with
+//! `ProvLightClient::connect(addr, ...)` and publish to any
+//! `provlight/...` topic.
+
+use provlight::continuum::deployment::ProvenanceManager;
+use std::time::{Duration, Instant};
+
+struct Args {
+    bind: String,
+    duration: Option<Duration>,
+    report_every: Duration,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        bind: "127.0.0.1:1883".to_owned(),
+        duration: None,
+        report_every: Duration::from_secs(5),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--bind" => {
+                args.bind = it.next().ok_or("--bind needs a value")?;
+            }
+            "--duration" => {
+                let secs: u64 = it
+                    .next()
+                    .ok_or("--duration needs a value")?
+                    .parse()
+                    .map_err(|_| "--duration must be an integer".to_owned())?;
+                args.duration = Some(Duration::from_secs(secs));
+            }
+            "--report-every" => {
+                let secs: u64 = it
+                    .next()
+                    .ok_or("--report-every needs a value")?
+                    .parse()
+                    .map_err(|_| "--report-every must be an integer".to_owned())?;
+                args.report_every = Duration::from_secs(secs.max(1));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: provlight-server [--bind ADDR] [--duration SECS] [--report-every SECS]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let manager = match ProvenanceManager::start(&args.bind) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("failed to start on {}: {e}", args.bind);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "provlight-server: MQTT-SN broker on {} (topics: provlight/#)",
+        manager.broker_addr()
+    );
+
+    let started = Instant::now();
+    let mut last_report = Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        if last_report.elapsed() >= args.report_every {
+            last_report = Instant::now();
+            let stats = manager.store().read().stats();
+            let broker = manager.broker_stats();
+            println!(
+                "[{:>6.1}s] records={} tasks={} data={} | broker in={} out={} retrans={}",
+                started.elapsed().as_secs_f64(),
+                stats.records,
+                stats.tasks,
+                stats.data,
+                broker.publishes_in,
+                broker.publishes_out,
+                broker.retransmissions,
+            );
+        }
+        if let Some(d) = args.duration {
+            if started.elapsed() >= d {
+                break;
+            }
+        }
+    }
+
+    let stats = manager.store().read().stats();
+    println!(
+        "final: {} records, {} tasks, {} data items ingested",
+        stats.records, stats.tasks, stats.data
+    );
+    manager.shutdown();
+}

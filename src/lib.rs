@@ -1,0 +1,21 @@
+//! # provlight (facade crate)
+//!
+//! Umbrella crate re-exporting the whole ProvLight workspace: the capture
+//! library (`provlight_core`), the data model, codecs, the MQTT-SN and HTTP
+//! substrates, the provenance store, the baseline comparators, the workload
+//! generator, and the continuum experiment harness.
+//!
+//! See the workspace `README.md` for a tour and `examples/` for runnable
+//! entry points.
+
+pub use edge_sim;
+pub use http_lite;
+pub use mqtt_sn;
+pub use net_sim;
+pub use prov_codec;
+pub use prov_model;
+pub use prov_store;
+pub use provlight_baselines as baselines;
+pub use provlight_continuum as continuum;
+pub use provlight_core as core;
+pub use provlight_workload as workload;
