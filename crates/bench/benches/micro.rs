@@ -32,9 +32,9 @@ fn sample_records(n: usize, attrs: usize) -> Vec<Record> {
                     status: TaskStatus::Finished,
                 },
                 outputs: vec![DataRecord {
-                    id: Id::Str(format!("out{i}")),
+                    id: Id::Str(format!("out{i}").into()),
                     workflow: Id::Num(1),
-                    derivations: vec![Id::Str(format!("in{i}"))],
+                    derivations: vec![Id::Str(format!("in{i}").into())],
                     attributes: vec![("out".into(), prov_model::AttrValue::List(values))],
                 }],
             }

@@ -3,7 +3,7 @@
 
 use crate::api::{CaptureError, CaptureSession, RecordSink};
 use crate::config::CaptureConfig;
-use crate::grouping::Grouper;
+use crate::grouping::{Emit, Grouper};
 use crate::transmitter::Transmitter;
 use mqtt_sn::net::NetError;
 use parking_lot::Mutex;
@@ -40,11 +40,23 @@ struct TransmitterSink {
 
 impl RecordSink for TransmitterSink {
     fn submit(&self, record: Record) -> Result<(), CaptureError> {
-        let batches = self.grouper.lock().push(record);
-        for batch in batches {
-            self.transmitter.publish(batch)?;
+        // Bind the emit first: matching on `self.grouper.lock().push(..)`
+        // directly would keep the guard alive across the arms, and the
+        // Group arm locks the grouper again to recycle.
+        let emit = self.grouper.lock().push(record);
+        match emit {
+            Emit::Nothing => Ok(()),
+            Emit::Passthrough(r) => self.transmitter.publish_record(r),
+            Emit::Group(batch) => {
+                let result = self.transmitter.publish(batch);
+                // Refill the grouper from the transmitter's drained-buffer
+                // pool so steady-state grouping allocates nothing.
+                if let Some(spare) = self.transmitter.take_spare_batch() {
+                    self.grouper.lock().recycle(spare);
+                }
+                result
+            }
         }
-        Ok(())
     }
 
     fn flush(&self) -> Result<(), CaptureError> {

@@ -52,7 +52,16 @@ pub struct CaptureConfig {
     pub send_buffer: usize,
     /// Maximum QoS 1/2 publishes awaiting completion.
     pub max_inflight: usize,
+    /// Coalescing high-water mark: the transmitter drains every queued batch
+    /// per wakeup and packs them into one envelope, cutting a new message
+    /// once the pending records reach approximately this many bytes. A
+    /// single batch is never split, so one envelope can overshoot by at most
+    /// one batch. Must leave headroom under the 64 KiB UDP datagram limit.
+    pub max_payload: usize,
 }
+
+/// Default coalescing high-water mark (bytes of pending records).
+pub const DEFAULT_MAX_PAYLOAD: usize = 48 * 1024;
 
 impl Default for CaptureConfig {
     fn default() -> Self {
@@ -63,6 +72,7 @@ impl Default for CaptureConfig {
             qos: QoS::ExactlyOnce,
             send_buffer: edge_sim::calib::PROVLIGHT_SEND_BUFFER,
             max_inflight: 256,
+            max_payload: DEFAULT_MAX_PAYLOAD,
         }
     }
 }

@@ -3,20 +3,70 @@
 use crate::config::GroupPolicy;
 use prov_model::Record;
 
+/// What [`Grouper::push`] made ready, without allocating on the hot path.
+///
+/// At most one of the variants carries data per push: `Immediate` policies
+/// hand the record straight back ([`Emit::Passthrough`]), buffering policies
+/// return [`Emit::Nothing`] until a group fills and then surrender the whole
+/// buffer ([`Emit::Group`]). Handing the consumed `Vec` back through
+/// [`Grouper::recycle`] makes the steady state allocation-free: the grouper
+/// swaps in the recycled buffer instead of growing a fresh one.
+#[derive(Debug, PartialEq)]
+pub enum Emit {
+    /// The record was buffered; nothing to send yet.
+    Nothing,
+    /// The record bypasses buffering and must be sent on its own.
+    Passthrough(Record),
+    /// A full group is ready to send.
+    Group(Vec<Record>),
+}
+
+impl Emit {
+    /// True when nothing became ready.
+    pub fn is_nothing(&self) -> bool {
+        matches!(self, Emit::Nothing)
+    }
+
+    /// Number of records made ready by this push.
+    pub fn len(&self) -> usize {
+        match self {
+            Emit::Nothing => 0,
+            Emit::Passthrough(_) => 1,
+            Emit::Group(batch) => batch.len(),
+        }
+    }
+
+    /// True when no records were made ready.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Buffers records according to a [`GroupPolicy`] and emits message
 /// batches.
 #[derive(Debug)]
 pub struct Grouper {
     policy: GroupPolicy,
+    /// Records per group, normalized once at construction (`size.max(1)`)
+    /// instead of on every push.
+    size: usize,
     buffer: Vec<Record>,
+    /// A recycled buffer awaiting reuse (see [`Grouper::recycle`]).
+    spare: Option<Vec<Record>>,
 }
 
 impl Grouper {
-    /// Creates a grouper.
+    /// Creates a grouper. A configured group size of 0 behaves like 1.
     pub fn new(policy: GroupPolicy) -> Self {
+        let size = match policy {
+            GroupPolicy::Immediate => 1,
+            GroupPolicy::Grouped { size } | GroupPolicy::EndedOnly { size } => size.max(1),
+        };
         Grouper {
             policy,
+            size,
             buffer: Vec::new(),
+            spare: None,
         }
     }
 
@@ -25,30 +75,48 @@ impl Grouper {
         self.buffer.len()
     }
 
-    /// Pushes a record; returns the message batches that became ready.
-    pub fn push(&mut self, record: Record) -> Vec<Vec<Record>> {
+    /// Returns a consumed group buffer for reuse. The next completed group
+    /// is collected into it instead of a freshly grown `Vec`.
+    pub fn recycle(&mut self, mut batch: Vec<Record>) {
+        batch.clear();
+        if self.buffer.is_empty() && self.buffer.capacity() < batch.capacity() {
+            // The active buffer is still unsized (or smaller) — adopt the
+            // recycled allocation right away.
+            self.buffer = batch;
+        } else {
+            self.spare = Some(batch);
+        }
+    }
+
+    fn take_buffer(&mut self) -> Vec<Record> {
+        let next = self.spare.take().unwrap_or_default();
+        std::mem::replace(&mut self.buffer, next)
+    }
+
+    /// Pushes a record; returns what became ready to send.
+    pub fn push(&mut self, record: Record) -> Emit {
         match self.policy {
-            GroupPolicy::Immediate => vec![vec![record]],
-            GroupPolicy::Grouped { size } => {
+            GroupPolicy::Immediate => Emit::Passthrough(record),
+            GroupPolicy::Grouped { .. } => {
                 self.buffer.push(record);
-                if self.buffer.len() >= size.max(1) {
-                    vec![std::mem::take(&mut self.buffer)]
+                if self.buffer.len() >= self.size {
+                    Emit::Group(self.take_buffer())
                 } else {
-                    vec![]
+                    Emit::Nothing
                 }
             }
-            GroupPolicy::EndedOnly { size } => {
+            GroupPolicy::EndedOnly { .. } => {
                 if record.is_end_event() {
                     self.buffer.push(record);
-                    if self.buffer.len() >= size.max(1) {
-                        vec![std::mem::take(&mut self.buffer)]
+                    if self.buffer.len() >= self.size {
+                        Emit::Group(self.take_buffer())
                     } else {
-                        vec![]
+                        Emit::Nothing
                     }
                 } else {
                     // Begin events bypass the buffer so runtime tracking of
                     // started tasks still works.
-                    vec![vec![record]]
+                    Emit::Passthrough(record)
                 }
             }
         }
@@ -59,7 +127,7 @@ impl Grouper {
         if self.buffer.is_empty() {
             None
         } else {
-            Some(std::mem::take(&mut self.buffer))
+            Some(self.take_buffer())
         }
     }
 }
@@ -101,19 +169,20 @@ mod tests {
     fn immediate_passes_through() {
         let mut g = Grouper::new(GroupPolicy::Immediate);
         let out = g.push(begin(1));
+        assert!(matches!(out, Emit::Passthrough(Record::TaskBegin { .. })));
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].len(), 1);
         assert_eq!(g.flush(), None);
     }
 
     #[test]
     fn grouped_batches_at_size() {
         let mut g = Grouper::new(GroupPolicy::Grouped { size: 3 });
-        assert!(g.push(begin(1)).is_empty());
-        assert!(g.push(end(1)).is_empty());
-        let out = g.push(begin(2));
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].len(), 3);
+        assert!(g.push(begin(1)).is_nothing());
+        assert!(g.push(end(1)).is_nothing());
+        match g.push(begin(2)) {
+            Emit::Group(batch) => assert_eq!(batch.len(), 3),
+            other => panic!("expected group, got {other:?}"),
+        }
         assert_eq!(g.buffered(), 0);
     }
 
@@ -131,24 +200,49 @@ mod tests {
     fn ended_only_sends_begins_immediately() {
         let mut g = Grouper::new(GroupPolicy::EndedOnly { size: 2 });
         // Begin bypasses.
-        let out = g.push(begin(1));
-        assert_eq!(out.len(), 1);
-        assert!(matches!(out[0][0], Record::TaskBegin { .. }));
+        assert!(matches!(
+            g.push(begin(1)),
+            Emit::Passthrough(Record::TaskBegin { .. })
+        ));
         // First end buffers.
-        assert!(g.push(end(1)).is_empty());
+        assert!(g.push(end(1)).is_nothing());
         // Second begin still bypasses while an end is buffered.
-        let out = g.push(begin(2));
-        assert_eq!(out.len(), 1);
+        assert!(matches!(g.push(begin(2)), Emit::Passthrough(_)));
         // Second end flushes the group of ends.
-        let out = g.push(end(2));
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].len(), 2);
-        assert!(out[0].iter().all(Record::is_end_event));
+        match g.push(end(2)) {
+            Emit::Group(batch) => {
+                assert_eq!(batch.len(), 2);
+                assert!(batch.iter().all(Record::is_end_event));
+            }
+            other => panic!("expected group, got {other:?}"),
+        }
     }
 
     #[test]
     fn zero_size_behaves_like_one() {
         let mut g = Grouper::new(GroupPolicy::Grouped { size: 0 });
         assert_eq!(g.push(begin(1)).len(), 1);
+    }
+
+    #[test]
+    fn recycled_buffer_is_reused_for_the_next_group() {
+        let mut g = Grouper::new(GroupPolicy::Grouped { size: 2 });
+        g.push(begin(1));
+        let batch = match g.push(end(1)) {
+            Emit::Group(b) => b,
+            other => panic!("expected group, got {other:?}"),
+        };
+        let capacity = batch.capacity();
+        let ptr = batch.as_ptr();
+        g.recycle(batch);
+        g.push(begin(2));
+        match g.push(end(2)) {
+            Emit::Group(b) => {
+                assert_eq!(b.len(), 2);
+                assert_eq!(b.as_ptr(), ptr, "recycled allocation not reused");
+                assert_eq!(b.capacity(), capacity);
+            }
+            other => panic!("expected group, got {other:?}"),
+        }
     }
 }

@@ -203,11 +203,16 @@ mod tests {
         .unwrap();
 
         for dev in 0..3u64 {
+            // max_payload: 1 forces one envelope per record so the
+            // per-translator message counts below stay deterministic.
             let client = ProvLightClient::connect(
                 server.broker_addr(),
                 &format!("pdev{dev}"),
                 &format!("provlight/wfp/dev{dev}"),
-                CaptureConfig::default(),
+                CaptureConfig {
+                    max_payload: 1,
+                    ..CaptureConfig::default()
+                },
             )
             .unwrap();
             let session = client.session();
@@ -237,8 +242,11 @@ mod tests {
         let translator = Arc::new(Mutex::new(DfAnalyzerTranslator::new(store.clone())));
         let server = ProvLightServer::start("127.0.0.1:0", "provlight/#", translator).unwrap();
 
+        // max_payload: 1 disables cross-group coalescing so each emitted
+        // group maps to exactly one wire message.
         let config = CaptureConfig {
             group: GroupPolicy::Grouped { size: 4 },
+            max_payload: 1,
             ..CaptureConfig::default()
         };
         let client = ProvLightClient::connect(

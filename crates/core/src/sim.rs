@@ -227,9 +227,15 @@ impl CaptureDriver for SimProvLight {
         ctx.meter.cpu.charge_capture(cost);
         now += cost;
 
-        let batches = self.grouper.push(record.clone());
-        for batch in batches {
-            now = self.send_message(now, &batch, ctx);
+        match self.grouper.push(record.clone()) {
+            crate::grouping::Emit::Nothing => {}
+            crate::grouping::Emit::Passthrough(r) => {
+                now = self.send_message(now, std::slice::from_ref(&r), ctx);
+            }
+            crate::grouping::Emit::Group(batch) => {
+                now = self.send_message(now, &batch, ctx);
+                self.grouper.recycle(batch);
+            }
         }
         self.release_completed(now, ctx);
         now

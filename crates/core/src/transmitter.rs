@@ -2,32 +2,69 @@
 //!
 //! Capture calls must not block the workflow on network I/O — the paper's
 //! key design choice. The transmitter owns a background thread with an
-//! MQTT-SN client over UDP; the instrumentation thread only encodes
-//! records into a channel. The thread keeps the connection open across
-//! messages (connection reuse, §VII-A), publishes with the configured QoS,
-//! and drives retransmissions.
+//! MQTT-SN client over UDP; the instrumentation thread only moves records
+//! into a channel. The thread keeps the connection open across messages
+//! (connection reuse, §VII-A), publishes with the configured QoS, and
+//! drives retransmissions.
+//!
+//! ## Coalescing and buffer reuse
+//!
+//! Each wakeup drains *every* queued publish command and packs the records
+//! into as few envelopes as possible, cutting a new message once the pending
+//! records reach [`CaptureConfig::max_payload`] approximate bytes (a batch
+//! is never split across envelopes). Under bursty capture this collapses
+//! hundreds of queued single-record messages into a handful of
+//! string-table-deduplicated, compressed envelopes.
+//!
+//! The hot path recycles every buffer it touches: drained record `Vec`s
+//! return to a pool shared with the capture side (the grouper refills from
+//! it), payload buffers come back from the MQTT-SN client once a publish
+//! completes, and the codec scratch (string table, compression tables) lives
+//! in thread-locals on the transmitter thread — so the steady state
+//! allocates nothing per record.
 
 use crate::api::CaptureError;
 use crate::config::CaptureConfig;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
 use mqtt_sn::net::{NetError, UdpClient};
 use mqtt_sn::{ClientConfig, QoS};
+use parking_lot::Mutex;
 use prov_codec::frame::Envelope;
 use prov_codec::json::{records_to_json, JsonStyle};
 use prov_model::Record;
 use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::Duration;
 
 enum Cmd {
+    /// A ready batch from the grouper.
     Publish(Vec<Record>),
+    /// A single passthrough record (Immediate / EndedOnly begin events);
+    /// avoids allocating a one-element `Vec` per record.
+    PublishOne(Record),
     Flush(Sender<()>),
     Shutdown,
 }
+
+/// Batch `Vec`s drained by the transmitter, waiting to be reused by the
+/// capture side's grouper.
+type BatchPool = Arc<Mutex<Vec<Vec<Record>>>>;
+
+/// Hard ceiling (in `Record::approx_size` bytes) on one coalesced envelope,
+/// regardless of `max_payload`: approx bytes comfortably over-estimate wire
+/// bytes, so staying under this keeps the datagram below the 65507-byte UDP
+/// limit even before compression. A single batch larger than this is never
+/// split — that case existed before coalescing and fails the same way.
+const MAX_COALESCE_BYTES: usize = 60_000;
+
+/// Upper bound on pooled batch buffers.
+const MAX_POOLED_BATCHES: usize = 8;
 
 /// Handle to the background transmitter thread.
 pub struct Transmitter {
     tx: Sender<Cmd>,
     thread: Option<std::thread::JoinHandle<()>>,
+    pool: BatchPool,
     /// Messages handed to the thread.
     pub queue_capacity: usize,
 }
@@ -49,12 +86,17 @@ impl Transmitter {
         // of the simulation model).
         let capacity = 1024;
         let (tx, rx) = bounded::<Cmd>(capacity);
-        let thread = std::thread::spawn(move || {
-            transmitter_loop(client, topic_id, config, rx);
-        });
+        let pool: BatchPool = Arc::new(Mutex::new(Vec::new()));
+        let thread = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || {
+                transmitter_loop(client, topic_id, config, rx, pool);
+            })
+        };
         Ok(Transmitter {
             tx,
             thread: Some(thread),
+            pool,
             queue_capacity: capacity,
         })
     }
@@ -65,6 +107,19 @@ impl Transmitter {
         self.tx
             .send(Cmd::Publish(records))
             .map_err(|_| CaptureError::Closed)
+    }
+
+    /// Enqueues a single record without wrapping it in a `Vec`.
+    pub fn publish_record(&self, record: Record) -> Result<(), CaptureError> {
+        self.tx
+            .send(Cmd::PublishOne(record))
+            .map_err(|_| CaptureError::Closed)
+    }
+
+    /// Takes a drained batch buffer for reuse by the grouper, if one is
+    /// available.
+    pub fn take_spare_batch(&self) -> Option<Vec<Record>> {
+        self.pool.lock().pop()
     }
 
     /// Blocks until everything enqueued so far is published and (for QoS
@@ -98,14 +153,6 @@ impl Drop for Transmitter {
     }
 }
 
-fn encode(records: &[Record], config: &CaptureConfig) -> Vec<u8> {
-    if config.binary {
-        Envelope::encode(records, config.compression)
-    } else {
-        records_to_json(records, JsonStyle::Compact).into_bytes()
-    }
-}
-
 fn drain_inflight(client: &mut UdpClient) {
     // Pump until all QoS handshakes complete (bounded patience).
     let deadline = std::time::Instant::now() + Duration::from_secs(20);
@@ -117,34 +164,196 @@ fn drain_inflight(client: &mut UdpClient) {
     }
 }
 
+/// Pending coalesced records plus their approximate encoded size.
+struct Coalescer {
+    records: Vec<Record>,
+    approx_bytes: usize,
+    max_payload: usize,
+}
+
+impl Coalescer {
+    fn new(max_payload: usize) -> Self {
+        Coalescer {
+            records: Vec::new(),
+            approx_bytes: 0,
+            max_payload: max_payload.max(1),
+        }
+    }
+
+    fn push(&mut self, record: Record) {
+        self.approx_bytes += record.approx_size();
+        self.records.push(record);
+    }
+
+    fn absorb(&mut self, batch: &mut Vec<Record>) {
+        for r in batch.drain(..) {
+            self.push(r);
+        }
+    }
+
+    /// True when absorbing `incoming` more approx bytes would push the
+    /// envelope past the hard wire-size ceiling; the pending records must be
+    /// cut into an envelope first.
+    fn would_overflow(&self, incoming: usize) -> bool {
+        !self.is_empty() && self.approx_bytes + incoming > MAX_COALESCE_BYTES
+    }
+
+    /// True once the pending records reached the high-water mark and should
+    /// be cut into an envelope before absorbing more.
+    fn full(&self) -> bool {
+        self.approx_bytes >= self.max_payload
+    }
+
+    fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.records.clear();
+        self.approx_bytes = 0;
+    }
+}
+
+/// Largest payload handed to one MQTT-SN publish. Leaves room for the
+/// packet header under the 65507-byte UDP datagram limit.
+const MAX_DATAGRAM_PAYLOAD: usize = 65_000;
+
+/// Encodes `records` into one envelope (payload buffer recycled from the
+/// client when possible) and hands it to the MQTT-SN client. If the encoded
+/// form exceeds the datagram limit — possible on the JSON path, whose
+/// output is not bounded by the approx-size estimate the coalescer uses —
+/// the records are split in half and sent as separate envelopes. Returns
+/// `false` on transport failure.
+fn send_records(
+    client: &mut UdpClient,
+    topic_id: u16,
+    config: &CaptureConfig,
+    records: &[Record],
+) -> bool {
+    if records.is_empty() {
+        return true;
+    }
+    let mut payload = client.take_spare_payload().unwrap_or_default();
+    payload.clear();
+    if config.binary {
+        Envelope::encode_into(records, config.compression, &mut payload);
+    } else {
+        payload.extend_from_slice(records_to_json(records, JsonStyle::Compact).as_bytes());
+    }
+    if payload.len() > MAX_DATAGRAM_PAYLOAD {
+        client.reclaim_payload(payload);
+        if records.len() > 1 {
+            let mid = records.len() / 2;
+            return send_records(client, topic_id, config, &records[..mid])
+                && send_records(client, topic_id, config, &records[mid..]);
+        }
+        // A single record whose encoding exceeds the datagram limit can
+        // never be sent; drop it rather than letting the doomed publish
+        // kill the transmitter (and with it all future capture).
+        return true;
+    }
+    // Respect the in-flight window before adding more.
+    while client.inflight_len() >= config.max_inflight {
+        if client.pump().is_err() {
+            return false;
+        }
+    }
+    client.publish_nowait(topic_id, payload, config.qos).is_ok()
+}
+
+/// Sends the coalesced pending records (see [`send_records`]) and resets the
+/// coalescer.
+fn send_pending(
+    client: &mut UdpClient,
+    topic_id: u16,
+    config: &CaptureConfig,
+    pending: &mut Coalescer,
+) -> bool {
+    if pending.is_empty() {
+        return true;
+    }
+    let ok = send_records(client, topic_id, config, &pending.records);
+    pending.clear();
+    ok
+}
+
+/// Returns a drained batch buffer to the shared pool.
+fn pool_batch(pool: &BatchPool, batch: Vec<Record>) {
+    debug_assert!(batch.is_empty());
+    let mut pool = pool.lock();
+    if pool.len() < MAX_POOLED_BATCHES {
+        pool.push(batch);
+    }
+}
+
 fn transmitter_loop(
     mut client: UdpClient,
     topic_id: u16,
     config: CaptureConfig,
     rx: Receiver<Cmd>,
+    pool: BatchPool,
 ) {
+    let mut pending = Coalescer::new(config.max_payload);
     loop {
         match rx.recv_timeout(Duration::from_millis(20)) {
-            Ok(Cmd::Publish(records)) => {
-                let payload = encode(&records, &config);
-                // Respect the in-flight window before adding more.
-                while client.inflight_len() >= config.max_inflight {
-                    if client.pump().is_err() {
+            Ok(first) => {
+                // Absorb the woken command plus everything else queued,
+                // cutting envelopes at the max-payload high-water mark.
+                // Flush/Shutdown seen mid-drain are honoured after the
+                // records queued before them are sent.
+                let mut deferred: Option<Cmd> = None;
+                let mut next = Some(first);
+                loop {
+                    match next {
+                        Some(Cmd::Publish(mut batch)) => {
+                            let incoming: usize = batch.iter().map(Record::approx_size).sum();
+                            if pending.would_overflow(incoming)
+                                && !send_pending(&mut client, topic_id, &config, &mut pending)
+                            {
+                                return;
+                            }
+                            pending.absorb(&mut batch);
+                            pool_batch(&pool, batch);
+                        }
+                        Some(Cmd::PublishOne(record)) => {
+                            if pending.would_overflow(record.approx_size())
+                                && !send_pending(&mut client, topic_id, &config, &mut pending)
+                            {
+                                return;
+                            }
+                            pending.push(record);
+                        }
+                        Some(other) => {
+                            deferred = Some(other);
+                            break;
+                        }
+                        None => break,
+                    }
+                    if pending.full() && !send_pending(&mut client, topic_id, &config, &mut pending)
+                    {
                         return;
                     }
+                    next = match rx.try_recv() {
+                        Ok(cmd) => Some(cmd),
+                        Err(TryRecvError::Empty) => None,
+                        Err(TryRecvError::Disconnected) => None,
+                    };
                 }
-                if client.publish_nowait(topic_id, payload, config.qos).is_err() {
+                if !send_pending(&mut client, topic_id, &config, &mut pending) {
                     return;
                 }
-            }
-            Ok(Cmd::Flush(ack)) => {
-                drain_inflight(&mut client);
-                let _ = ack.send(());
-            }
-            Ok(Cmd::Shutdown) => {
-                drain_inflight(&mut client);
-                let _ = client.disconnect();
-                return;
+                match deferred {
+                    Some(Cmd::Flush(ack)) => {
+                        drain_inflight(&mut client);
+                        let _ = ack.send(());
+                    }
+                    Some(Cmd::Shutdown) => {
+                        drain_inflight(&mut client);
+                        let _ = client.disconnect();
+                        return;
+                    }
+                    _ => {}
+                }
             }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                 // Idle: keep the connection serviced (retransmissions,
@@ -165,4 +374,219 @@ fn transmitter_loop(
 /// Exposes QoS selection for tests.
 pub fn qos_of(config: &CaptureConfig) -> QoS {
     config.qos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mqtt_sn::broker::BrokerConfig;
+    use mqtt_sn::net::UdpBroker;
+    use prov_model::{DataRecord, Id, Record, TaskRecord, TaskStatus};
+
+    fn record(i: u64, attrs: usize) -> Record {
+        let mut d = DataRecord::new(i, 1u64);
+        for a in 0..attrs {
+            d = d.with_attr(format!("attr_{a}"), a as i64);
+        }
+        Record::TaskEnd {
+            task: TaskRecord {
+                id: Id::Num(i),
+                workflow: Id::Num(1),
+                transformation: Id::Num(0),
+                dependencies: vec![],
+                time_ns: i,
+                status: TaskStatus::Finished,
+            },
+            outputs: vec![d],
+        }
+    }
+
+    /// N batches queued ahead of the transmitter wakeup coalesce into at
+    /// most `ceil(total_bytes / max_payload)` publishes.
+    #[test]
+    fn queued_batches_coalesce_into_bounded_publishes() {
+        let broker = UdpBroker::spawn("127.0.0.1:0", BrokerConfig::default()).unwrap();
+        let max_payload = 4096usize;
+        let config = CaptureConfig {
+            max_payload,
+            ..CaptureConfig::default()
+        };
+
+        let n_batches = 40u64;
+        let batches: Vec<Vec<Record>> = (0..n_batches).map(|i| vec![record(i, 20)]).collect();
+        let total_bytes: usize = batches
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(Record::approx_size)
+            .sum();
+
+        // Pre-fill the channel before the transmitter thread exists so the
+        // whole burst is visible to a single drain.
+        let (tx, rx) = bounded::<Cmd>(1024);
+        for batch in batches {
+            tx.send(Cmd::Publish(batch)).unwrap();
+        }
+        let (ack_tx, ack_rx) = bounded(1);
+        tx.send(Cmd::Flush(ack_tx)).unwrap();
+
+        let timeout = Duration::from_secs(5);
+        let mut client =
+            UdpClient::connect(broker.local_addr(), ClientConfig::new("coalesce"), timeout)
+                .unwrap();
+        let topic_id = client.register("provlight/test/coalesce", timeout).unwrap();
+        let pool: BatchPool = Arc::new(Mutex::new(Vec::new()));
+        let handle = {
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || transmitter_loop(client, topic_id, config, rx, pool))
+        };
+        ack_rx.recv_timeout(Duration::from_secs(20)).unwrap();
+        tx.send(Cmd::Shutdown).unwrap();
+        handle.join().unwrap();
+
+        let publishes = broker.stats().publishes_in;
+        let bound = total_bytes.div_ceil(max_payload) as u64;
+        assert!(
+            publishes >= 1 && publishes <= bound,
+            "{n_batches} batches ({total_bytes} approx bytes) produced {publishes} publishes, \
+             bound ceil(total/max_payload) = {bound}"
+        );
+        // Coalescing must actually have merged batches.
+        assert!(publishes < n_batches);
+        // Drained batch buffers were returned to the shared pool.
+        assert!(!pool.lock().is_empty());
+        broker.shutdown();
+    }
+
+    /// JSON encoding is not bounded by the coalescer's approx-size estimate;
+    /// an envelope whose JSON form exceeds the UDP datagram limit must be
+    /// split rather than killing the transmitter with a failed send.
+    #[test]
+    fn oversized_json_envelope_is_split_not_dropped() {
+        let broker = UdpBroker::spawn("127.0.0.1:0", BrokerConfig::default()).unwrap();
+        let config = CaptureConfig {
+            binary: false,
+            ..CaptureConfig::default()
+        };
+        // One un-splittable batch whose compact JSON is far over 65 KB
+        // (large ints are 8 approx bytes but ~20 JSON chars each).
+        let batch: Vec<Record> = (0..250)
+            .map(|i| {
+                let mut d = DataRecord::new(u64::MAX - i, 1u64);
+                for a in 0..20 {
+                    d = d.with_attr(format!("attribute_{a}"), i64::MAX - a as i64);
+                }
+                Record::TaskEnd {
+                    task: TaskRecord {
+                        id: Id::Num(u64::MAX - i),
+                        workflow: Id::Num(1),
+                        transformation: Id::Num(0),
+                        dependencies: vec![],
+                        time_ns: u64::MAX,
+                        status: TaskStatus::Finished,
+                    },
+                    outputs: vec![d],
+                }
+            })
+            .collect();
+
+        let (tx, rx) = bounded::<Cmd>(16);
+        tx.send(Cmd::Publish(batch)).unwrap();
+        let (ack_tx, ack_rx) = bounded(1);
+        tx.send(Cmd::Flush(ack_tx)).unwrap();
+
+        let timeout = Duration::from_secs(5);
+        let mut client =
+            UdpClient::connect(broker.local_addr(), ClientConfig::new("jsonbig"), timeout)
+                .unwrap();
+        let topic_id = client.register("provlight/test/jsonbig", timeout).unwrap();
+        let handle = std::thread::spawn(move || {
+            transmitter_loop(client, topic_id, config, rx, Arc::new(Mutex::new(Vec::new())))
+        });
+        // The flush ack arriving at all proves the thread survived the send.
+        ack_rx.recv_timeout(Duration::from_secs(20)).unwrap();
+        tx.send(Cmd::Shutdown).unwrap();
+        handle.join().unwrap();
+
+        let publishes = broker.stats().publishes_in;
+        assert!(publishes >= 2, "oversized envelope was not split ({publishes} publishes)");
+        broker.shutdown();
+    }
+
+    /// A single record too large for any UDP datagram is dropped; the
+    /// transmitter survives and later records still flow.
+    #[test]
+    fn unsendable_single_record_is_dropped_not_fatal() {
+        let broker = UdpBroker::spawn("127.0.0.1:0", BrokerConfig::default()).unwrap();
+        let config = CaptureConfig {
+            compression: false,
+            ..CaptureConfig::default()
+        };
+        let monster = Record::TaskEnd {
+            task: TaskRecord {
+                id: Id::Num(1),
+                workflow: Id::Num(1),
+                transformation: Id::Num(0),
+                dependencies: vec![],
+                time_ns: 0,
+                status: TaskStatus::Finished,
+            },
+            outputs: vec![DataRecord::new(1u64, 1u64)
+                .with_attr("digest", prov_model::AttrValue::Bytes(vec![0xAB; 80_000]))],
+        };
+
+        let (tx, rx) = bounded::<Cmd>(16);
+        tx.send(Cmd::PublishOne(monster)).unwrap();
+        tx.send(Cmd::PublishOne(record(2, 3))).unwrap();
+        let (ack_tx, ack_rx) = bounded(1);
+        tx.send(Cmd::Flush(ack_tx)).unwrap();
+
+        let timeout = Duration::from_secs(5);
+        let mut client =
+            UdpClient::connect(broker.local_addr(), ClientConfig::new("monster"), timeout)
+                .unwrap();
+        let topic_id = client.register("provlight/test/monster", timeout).unwrap();
+        let handle = std::thread::spawn(move || {
+            transmitter_loop(client, topic_id, config, rx, Arc::new(Mutex::new(Vec::new())))
+        });
+        ack_rx
+            .recv_timeout(Duration::from_secs(20))
+            .expect("transmitter must survive the unsendable record");
+        tx.send(Cmd::Shutdown).unwrap();
+        handle.join().unwrap();
+
+        // The normal record made it; the monster was dropped.
+        assert_eq!(broker.stats().publishes_in, 1);
+        broker.shutdown();
+    }
+
+    /// `max_payload: 1` degenerates to one envelope per queued command.
+    #[test]
+    fn tiny_max_payload_disables_coalescing() {
+        let broker = UdpBroker::spawn("127.0.0.1:0", BrokerConfig::default()).unwrap();
+        let config = CaptureConfig {
+            max_payload: 1,
+            ..CaptureConfig::default()
+        };
+        let (tx, rx) = bounded::<Cmd>(64);
+        for i in 0..5 {
+            tx.send(Cmd::PublishOne(record(i, 2))).unwrap();
+        }
+        let (ack_tx, ack_rx) = bounded(1);
+        tx.send(Cmd::Flush(ack_tx)).unwrap();
+
+        let timeout = Duration::from_secs(5);
+        let mut client =
+            UdpClient::connect(broker.local_addr(), ClientConfig::new("nocoalesce"), timeout)
+                .unwrap();
+        let topic_id = client.register("provlight/test/nc", timeout).unwrap();
+        let handle = std::thread::spawn(move || {
+            transmitter_loop(client, topic_id, config, rx, Arc::new(Mutex::new(Vec::new())))
+        });
+        ack_rx.recv_timeout(Duration::from_secs(20)).unwrap();
+        tx.send(Cmd::Shutdown).unwrap();
+        handle.join().unwrap();
+
+        assert_eq!(broker.stats().publishes_in, 5);
+        broker.shutdown();
+    }
 }

@@ -161,9 +161,16 @@ pub struct Client {
     inflight: HashMap<u16, InFlight>,
     /// Inbound QoS 2 message ids between PUBLISH and PUBREL (dedup set).
     inbound_qos2: HashMap<u16, ()>,
+    /// Cleared payload buffers reclaimed from completed publishes, handed
+    /// back to callers via [`Client::take_spare_payload`] so the publish
+    /// path can run without per-message allocation.
+    spare_payloads: Vec<Vec<u8>>,
     last_tx: Nanos,
     ping_outstanding_since: Option<Nanos>,
 }
+
+/// Upper bound on buffers retained for reuse.
+const MAX_SPARE_PAYLOADS: usize = 16;
 
 impl Client {
     /// Creates a disconnected client.
@@ -177,8 +184,27 @@ impl Client {
             pending_control: HashMap::new(),
             inflight: HashMap::new(),
             inbound_qos2: HashMap::new(),
+            spare_payloads: Vec::new(),
             last_tx: 0,
             ping_outstanding_since: None,
+        }
+    }
+
+    /// Takes a reclaimed payload buffer (cleared, capacity retained) from a
+    /// completed publish, if one is available. Encoding the next message
+    /// into such a buffer makes the steady-state publish path allocation-free.
+    pub fn take_spare_payload(&mut self) -> Option<Vec<u8>> {
+        self.spare_payloads.pop()
+    }
+
+    /// Hands a no-longer-needed payload buffer back for reuse. Transports
+    /// call this with the buffer out of an encoded `Publish` packet (QoS 0
+    /// publishes never reach the completion path, so this is their only way
+    /// back into the pool).
+    pub fn reclaim_payload(&mut self, mut payload: Vec<u8>) {
+        if self.spare_payloads.len() < MAX_SPARE_PAYLOADS {
+            payload.clear();
+            self.spare_payloads.push(payload);
         }
     }
 
@@ -293,13 +319,19 @@ impl Client {
                     return Err(Error::InflightFull);
                 }
                 let msg_id = self.alloc_msg_id();
+                // The retransmission copy kept in `inflight` is the original
+                // `payload`; the wire packet gets a pooled copy so the
+                // steady-state publish path allocates nothing.
+                let mut wire_payload = self.spare_payloads.pop().unwrap_or_default();
+                wire_payload.clear();
+                wire_payload.extend_from_slice(&payload);
                 let packet = Packet::Publish {
                     dup: false,
                     qos,
                     retain: false,
                     topic: topic.clone(),
                     msg_id,
-                    payload: payload.clone(),
+                    payload: wire_payload,
                 };
                 self.inflight.insert(
                     msg_id,
@@ -411,7 +443,9 @@ impl Client {
             Packet::PubAck { msg_id, .. } => {
                 if let Some(f) = self.inflight.get(&msg_id) {
                     if matches!(f.phase, OutPhase::AwaitPuback) {
-                        self.inflight.remove(&msg_id);
+                        if let Some(f) = self.inflight.remove(&msg_id) {
+                            self.reclaim_payload(f.payload);
+                        }
                         out.push(Output::Event(ClientEvent::PublishDone { msg_id }));
                     }
                 }
@@ -426,10 +460,12 @@ impl Client {
                 self.last_tx = now;
                 out.push(Output::Send(Packet::PubRel { msg_id }));
             }
-            Packet::PubComp { msg_id }
-                if self.inflight.remove(&msg_id).is_some() => {
+            Packet::PubComp { msg_id } => {
+                if let Some(f) = self.inflight.remove(&msg_id) {
+                    self.reclaim_payload(f.payload);
                     out.push(Output::Event(ClientEvent::PublishDone { msg_id }));
                 }
+            }
             Packet::Publish {
                 qos,
                 topic,
@@ -555,21 +591,28 @@ impl Client {
             f.retries += 1;
             f.last_sent = now;
             let packet = match f.phase {
-                OutPhase::AwaitPuback | OutPhase::AwaitPubrec => Packet::Publish {
-                    dup: true,
-                    qos: f.qos,
-                    retain: f.retain,
-                    topic: f.topic.clone(),
-                    msg_id: id,
-                    payload: f.payload.clone(),
-                },
+                OutPhase::AwaitPuback | OutPhase::AwaitPubrec => {
+                    let mut wire_payload = self.spare_payloads.pop().unwrap_or_default();
+                    wire_payload.clear();
+                    wire_payload.extend_from_slice(&f.payload);
+                    Packet::Publish {
+                        dup: true,
+                        qos: f.qos,
+                        retain: f.retain,
+                        topic: f.topic.clone(),
+                        msg_id: id,
+                        payload: wire_payload,
+                    }
+                }
                 OutPhase::AwaitPubcomp => Packet::PubRel { msg_id: id },
             };
             self.last_tx = now;
             out.push(Output::Send(packet));
         }
         for id in failed {
-            self.inflight.remove(&id);
+            if let Some(f) = self.inflight.remove(&id) {
+                self.reclaim_payload(f.payload);
+            }
             out.push(Output::Event(ClientEvent::PublishFailed { msg_id: id }));
         }
 

@@ -41,6 +41,8 @@ impl UdpBroker {
             std::thread::spawn(move || {
                 let start = Instant::now();
                 let mut buf = [0u8; 64 * 1024];
+                // One write buffer reused for every outbound packet.
+                let mut wbuf = Vec::new();
                 let mut last_tick = Instant::now();
                 loop {
                     if shutdown.load(Ordering::Relaxed) {
@@ -52,7 +54,9 @@ impl UdpBroker {
                             if let Ok(packet) = Packet::decode(&buf[..n]) {
                                 let outputs = broker.lock().on_packet(now_ns, from, packet);
                                 for (to, p) in outputs {
-                                    let _ = socket.send_to(&p.encode(), to);
+                                    wbuf.clear();
+                                    p.encode_into(&mut wbuf);
+                                    let _ = socket.send_to(&wbuf, to);
                                 }
                             }
                         }
@@ -65,7 +69,9 @@ impl UdpBroker {
                         last_tick = Instant::now();
                         let outputs = broker.lock().on_tick(start.elapsed().as_nanos() as Nanos);
                         for (to, p) in outputs {
-                            let _ = socket.send_to(&p.encode(), to);
+                            wbuf.clear();
+                            p.encode_into(&mut wbuf);
+                            let _ = socket.send_to(&wbuf, to);
                         }
                     }
                 }
@@ -149,6 +155,9 @@ pub struct UdpClient {
     client: Client,
     start: Instant,
     events: VecDeque<ClientEvent>,
+    /// Reused for every outbound packet so the publish path does not
+    /// allocate a fresh wire buffer per datagram.
+    write_buf: Vec<u8>,
 }
 
 impl UdpClient {
@@ -166,6 +175,7 @@ impl UdpClient {
             client: Client::new(config),
             start: Instant::now(),
             events: VecDeque::new(),
+            write_buf: Vec::new(),
         };
         let outputs = c.client.connect(c.now());
         c.dispatch(outputs)?;
@@ -188,7 +198,15 @@ impl UdpClient {
         for o in outputs {
             match o {
                 Output::Send(p) => {
-                    self.socket.send(&p.encode())?;
+                    self.write_buf.clear();
+                    p.encode_into(&mut self.write_buf);
+                    self.socket.send(&self.write_buf)?;
+                    // The packet's payload buffer is done (the state machine
+                    // keeps its own copy for QoS 1/2 retransmission) — feed
+                    // it back to the pool so QoS 0 publishes recycle too.
+                    if let Packet::Publish { payload, .. } = p {
+                        self.client.reclaim_payload(payload);
+                    }
                 }
                 Output::Event(e) => self.events.push_back(e),
             }
@@ -340,6 +358,18 @@ impl UdpClient {
         self.client.inflight_len()
     }
 
+    /// Takes a reclaimed payload buffer from a completed publish (see
+    /// [`Client::take_spare_payload`]).
+    pub fn take_spare_payload(&mut self) -> Option<Vec<u8>> {
+        self.client.take_spare_payload()
+    }
+
+    /// Returns an unused payload buffer to the reuse pool (see
+    /// [`Client::reclaim_payload`]).
+    pub fn reclaim_payload(&mut self, payload: Vec<u8>) {
+        self.client.reclaim_payload(payload);
+    }
+
     /// Graceful disconnect (best effort).
     pub fn disconnect(&mut self) -> Result<(), NetError> {
         let now = self.now();
@@ -405,6 +435,19 @@ mod tests {
         }
         got.sort_unstable();
         assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn qos0_publish_recycles_payload_buffer() {
+        let broker = UdpBroker::spawn("127.0.0.1:0", BrokerConfig::default()).unwrap();
+        let mut c = UdpClient::connect(broker.local_addr(), ClientConfig::new("q0"), timeout())
+            .unwrap();
+        let tid = c.register("t/q0", timeout()).unwrap();
+        assert!(c.take_spare_payload().is_none());
+        c.publish(tid, vec![1, 2, 3], QoS::AtMostOnce, timeout()).unwrap();
+        let spare = c.take_spare_payload().expect("QoS 0 payload buffer returns to the pool");
+        assert!(spare.is_empty() && spare.capacity() >= 3);
+        broker.shutdown();
     }
 
     #[test]

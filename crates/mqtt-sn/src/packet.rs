@@ -266,28 +266,36 @@ fn push_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_be_bytes());
 }
 
-fn finish(body: Vec<u8>) -> Vec<u8> {
-    // Prepend the length field: 1 byte if total <= 255, else 0x01 + u16.
-    let total_short = body.len() + 1;
-    if total_short <= 255 {
-        let mut out = Vec::with_capacity(total_short);
-        out.push(total_short as u8);
-        out.extend_from_slice(&body);
-        out
-    } else {
-        let total = body.len() + 3;
-        let mut out = Vec::with_capacity(total);
-        out.push(0x01);
-        out.extend_from_slice(&(total as u16).to_be_bytes());
-        out.extend_from_slice(&body);
-        out
-    }
-}
-
 impl Packet {
     /// Serializes to wire bytes.
     pub fn encode(&self) -> Vec<u8> {
-        let mut b = Vec::with_capacity(16);
+        let mut out = Vec::with_capacity(16);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serializes to wire bytes appended to `out` (not cleared), so callers
+    /// can reuse one write buffer across packets instead of allocating per
+    /// datagram. Bytes are identical to [`Packet::encode`].
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        // Encode the body after a 3-byte placeholder, then fix the length
+        // field up in place (1-byte form shifts the body back by two).
+        let start = out.len();
+        out.extend_from_slice(&[0, 0, 0]);
+        self.encode_body(out);
+        let body_len = out.len() - start - 3;
+        if body_len + 1 <= 255 {
+            out[start] = (body_len + 1) as u8;
+            out.copy_within(start + 3.., start + 1);
+            out.truncate(out.len() - 2);
+        } else {
+            let total = (body_len + 3) as u16;
+            out[start] = 0x01;
+            out[start + 1..start + 3].copy_from_slice(&total.to_be_bytes());
+        }
+    }
+
+    fn encode_body(&self, mut b: &mut Vec<u8>) {
         match self {
             Packet::Advertise { gw_id, duration } => {
                 b.push(msg_type::ADVERTISE);
@@ -439,12 +447,20 @@ impl Packet {
                 }
             }
         }
-        finish(b)
     }
 
-    /// Encoded length without allocating the buffer.
+    /// Encoded length without allocating a fresh buffer (thread-local
+    /// scratch; used heavily by simulator cost accounting).
     pub fn encoded_len(&self) -> usize {
-        self.encode().len()
+        thread_local! {
+            static LEN_BUF: std::cell::RefCell<Vec<u8>> = std::cell::RefCell::new(Vec::new());
+        }
+        LEN_BUF.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            buf.clear();
+            self.encode_into(&mut buf);
+            buf.len()
+        })
     }
 
     /// Parses one message from wire bytes. The buffer must contain exactly

@@ -22,47 +22,178 @@
 use crate::varint::{write_i64, write_u64, Reader};
 use crate::CodecError;
 use prov_model::{AttrValue, DataRecord, Id, Record, TaskRecord, TaskStatus};
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::sync::Arc;
 
 const TAG_WF_BEGIN: u8 = 0;
 const TAG_WF_END: u8 = 1;
 const TAG_TASK_BEGIN: u8 = 2;
 const TAG_TASK_END: u8 = 3;
 
-/// String table builder used while encoding.
-#[derive(Default)]
-struct StrTab {
-    strings: Vec<String>,
-    index: HashMap<String, u64>,
+/// First 8 bytes of a string as a little-endian word (zero-padded).
+///
+/// Interning runs once per id / attribute-name / string-value occurrence,
+/// so the lookup key must be cheap: `(first_word, len)` fully identifies a
+/// string of ≤ 8 bytes (the dominant case for provenance ids and attribute
+/// names), letting the probe skip the arena comparison entirely; longer
+/// strings fall back to a byte-exact arena check.
+#[inline]
+fn first_word(bytes: &[u8]) -> u64 {
+    if bytes.len() >= 8 {
+        u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"))
+    } else {
+        let mut tail = [0u8; 8];
+        tail[..bytes.len()].copy_from_slice(bytes);
+        u64::from_le_bytes(tail)
+    }
 }
 
-impl StrTab {
-    fn intern(&mut self, s: &str) -> u64 {
-        if let Some(&i) = self.index.get(s) {
-            return i;
-        }
-        let i = self.strings.len() as u64;
-        self.strings.push(s.to_owned());
-        self.index.insert(s.to_owned(), i);
-        i
+/// Slot hash over the `(first_word, len)` key — one multiply plus a fold.
+#[inline]
+fn slot_hash(word: u64, len: usize) -> u64 {
+    let h = (word ^ (len as u64).rotate_left(56)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^ (h >> 32)
+}
+
+/// Reusable batch encoder with an allocation-free steady state.
+///
+/// The string table interns *borrowed* `&str` keys: entries are spans into a
+/// byte arena looked up through an open-addressed hash index, so `intern`
+/// never copies a string that is already present and never allocates once
+/// the arena/index have grown to their working-set size. Reusing one
+/// `Encoder` across batches (the transmitter does) makes the encode hot path
+/// allocation-free per record.
+///
+/// The output of [`Encoder::encode_batch_into`] is byte-identical to
+/// [`encode_batch`].
+pub struct Encoder {
+    /// Interned string bytes, concatenated in insertion order.
+    arena: Vec<u8>,
+    /// `(offset, len)` into `arena` per string-table entry.
+    spans: Vec<(u32, u32)>,
+    /// Open-addressed index: `(first_word, (len << 32) | (span_index + 1))`;
+    /// a zero second field marks an empty slot. Length is always a power of
+    /// two. Matching `first_word` + `len` is exact equality for strings of
+    /// ≤ 8 bytes, so most probes never touch the arena.
+    index: Vec<(u64, u64)>,
+    /// Scratch for the record bodies (the table must be emitted first but is
+    /// only complete after the bodies are encoded).
+    body: Vec<u8>,
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Encoder::new()
     }
+}
+
+impl Encoder {
+    /// Creates an encoder with empty scratch buffers.
+    pub fn new() -> Self {
+        Encoder {
+            arena: Vec::new(),
+            spans: Vec::new(),
+            index: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.arena.clear();
+        self.spans.clear();
+        // Cheap memset; capacity is retained.
+        self.index.iter_mut().for_each(|slot| *slot = (0, 0));
+    }
+
+    #[inline]
+    fn span_bytes(&self, i: usize) -> &[u8] {
+        let (off, len) = self.spans[i];
+        &self.arena[off as usize..(off + len) as usize]
+    }
+
+    fn grow_index(&mut self) {
+        let new_len = (self.index.len() * 2).max(64);
+        self.index = vec![(0, 0); new_len];
+        let mask = new_len - 1;
+        for (i, &(off, len)) in self.spans.iter().enumerate() {
+            let bytes = &self.arena[off as usize..(off + len) as usize];
+            let word = first_word(bytes);
+            let mut slot = (slot_hash(word, bytes.len()) as usize) & mask;
+            while self.index[slot].1 != 0 {
+                slot = (slot + 1) & mask;
+            }
+            self.index[slot] = (word, ((len as u64) << 32) | (i as u64 + 1));
+        }
+    }
+
+    fn intern(&mut self, s: &str) -> u64 {
+        if self.spans.len() * 4 >= self.index.len() * 3 {
+            self.grow_index();
+        }
+        let bytes = s.as_bytes();
+        let word = first_word(bytes);
+        let len_tag = (bytes.len() as u64) << 32;
+        let mask = self.index.len() - 1;
+        let mut slot = (slot_hash(word, bytes.len()) as usize) & mask;
+        loop {
+            let (slot_word, slot_len_idx) = self.index[slot];
+            if slot_len_idx == 0 {
+                // Miss: append to the arena and claim this slot.
+                let off = self.arena.len() as u32;
+                self.arena.extend_from_slice(bytes);
+                let i = self.spans.len() as u32;
+                self.spans.push((off, bytes.len() as u32));
+                self.index[slot] = (word, len_tag | (i as u64 + 1));
+                return i as u64;
+            }
+            if slot_word == word
+                && slot_len_idx & 0xffff_ffff_0000_0000 == len_tag
+                && (bytes.len() <= 8
+                    || self.span_bytes(((slot_len_idx as u32) - 1) as usize) == bytes)
+            {
+                return ((slot_len_idx as u32) - 1) as u64;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Encodes `records` as one batch, appending the bytes to `out`.
+    ///
+    /// `out` is *not* cleared — callers own the buffer and its capacity.
+    pub fn encode_batch_into(&mut self, records: &[Record], out: &mut Vec<u8>) {
+        self.reset();
+        let mut body = std::mem::take(&mut self.body);
+        body.clear();
+        for r in records {
+            encode_record_into(&mut body, self, r);
+        }
+        write_u64(out, records.len() as u64);
+        write_u64(out, self.spans.len() as u64);
+        out.reserve(self.arena.len() + self.spans.len() * 2 + body.len());
+        for i in 0..self.spans.len() {
+            let (off, len) = self.spans[i];
+            write_u64(out, len as u64);
+            out.extend_from_slice(&self.arena[off as usize..(off + len) as usize]);
+        }
+        out.extend_from_slice(&body);
+        self.body = body;
+    }
+}
+
+thread_local! {
+    static ENCODER: RefCell<Encoder> = RefCell::new(Encoder::new());
+}
+
+/// Encodes a batch of records into a caller-owned buffer (appending),
+/// reusing a thread-local [`Encoder`] so the steady state allocates nothing.
+pub fn encode_batch_into(records: &[Record], out: &mut Vec<u8>) {
+    ENCODER.with(|e| e.borrow_mut().encode_batch_into(records, out));
 }
 
 /// Encodes a batch of records (the unit of grouping).
 pub fn encode_batch(records: &[Record]) -> Vec<u8> {
-    let mut tab = StrTab::default();
-    let mut body = Vec::with_capacity(records.len() * 64);
-    for r in records {
-        encode_record_into(&mut body, &mut tab, r);
-    }
-    let mut out = Vec::with_capacity(body.len() + 16 * tab.strings.len() + 8);
-    write_u64(&mut out, records.len() as u64);
-    write_u64(&mut out, tab.strings.len() as u64);
-    for s in &tab.strings {
-        write_u64(&mut out, s.len() as u64);
-        out.extend_from_slice(s.as_bytes());
-    }
-    out.extend_from_slice(&body);
+    let mut out = Vec::with_capacity(records.len() * 64);
+    encode_batch_into(records, &mut out);
     out
 }
 
@@ -72,15 +203,21 @@ pub fn encode_record(record: &Record) -> Vec<u8> {
 }
 
 /// Decodes a batch produced by [`encode_batch`].
+///
+/// String-table entries are materialized once as `Arc<str>` and shared by
+/// every id, attribute name, and string value that references them — a
+/// record with 100 attributes named like another record's costs 100 refcount
+/// bumps, not 100 heap copies.
 pub fn decode_batch(buf: &[u8]) -> Result<Vec<Record>, CodecError> {
     let mut r = Reader::new(buf);
     let count = r.read_u64()? as usize;
     let nstrings = r.read_u64()? as usize;
-    let mut strings = Vec::with_capacity(nstrings.min(r.remaining()));
+    let mut strings: Vec<Arc<str>> = Vec::with_capacity(nstrings.min(r.remaining()));
     for _ in 0..nstrings {
         let len = r.read_len()?;
         let bytes = r.read_bytes(len)?;
-        strings.push(std::str::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)?.to_owned());
+        let s = std::str::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)?;
+        strings.push(Arc::from(s));
     }
     let mut records = Vec::with_capacity(count.min(r.remaining() + 1));
     for _ in 0..count {
@@ -95,7 +232,7 @@ pub fn decode_record(buf: &[u8]) -> Result<Record, CodecError> {
     records.pop().ok_or(CodecError::UnexpectedEof)
 }
 
-fn encode_record_into(out: &mut Vec<u8>, tab: &mut StrTab, record: &Record) {
+fn encode_record_into(out: &mut Vec<u8>, tab: &mut Encoder, record: &Record) {
     match record {
         Record::WorkflowBegin { workflow, time_ns } => {
             out.push(TAG_WF_BEGIN);
@@ -126,20 +263,32 @@ fn encode_record_into(out: &mut Vec<u8>, tab: &mut StrTab, record: &Record) {
     }
 }
 
-fn encode_id(out: &mut Vec<u8>, tab: &mut StrTab, id: &Id) {
+#[inline]
+fn encode_id(out: &mut Vec<u8>, tab: &mut Encoder, id: &Id) {
+    // Ids are the most frequent field; the common small-id case collapses
+    // tag byte + one-byte varint into a single two-byte write.
     match id {
         Id::Num(n) => {
-            out.push(0);
-            write_u64(out, *n);
+            if *n < 0x80 {
+                out.extend_from_slice(&[0, *n as u8]);
+            } else {
+                out.push(0);
+                write_u64(out, *n);
+            }
         }
         Id::Str(s) => {
-            out.push(1);
-            write_u64(out, tab.intern(s));
+            let r = tab.intern(s);
+            if r < 0x80 {
+                out.extend_from_slice(&[1, r as u8]);
+            } else {
+                out.push(1);
+                write_u64(out, r);
+            }
         }
     }
 }
 
-fn encode_task(out: &mut Vec<u8>, tab: &mut StrTab, t: &TaskRecord) {
+fn encode_task(out: &mut Vec<u8>, tab: &mut Encoder, t: &TaskRecord) {
     encode_id(out, tab, &t.id);
     encode_id(out, tab, &t.workflow);
     encode_id(out, tab, &t.transformation);
@@ -151,7 +300,7 @@ fn encode_task(out: &mut Vec<u8>, tab: &mut StrTab, t: &TaskRecord) {
     out.push(t.status.tag());
 }
 
-fn encode_data(out: &mut Vec<u8>, tab: &mut StrTab, d: &DataRecord) {
+fn encode_data(out: &mut Vec<u8>, tab: &mut Encoder, d: &DataRecord) {
     encode_id(out, tab, &d.id);
     encode_id(out, tab, &d.workflow);
     write_u64(out, d.derivations.len() as u64);
@@ -160,12 +309,47 @@ fn encode_data(out: &mut Vec<u8>, tab: &mut StrTab, d: &DataRecord) {
     }
     write_u64(out, d.attributes.len() as u64);
     for (name, value) in &d.attributes {
-        write_u64(out, tab.intern(name));
+        let name_ref = tab.intern(name);
+        // Fast path for the dominant shape — small table reference with a
+        // scalar value — writing name ref + tag + payload head in one go.
+        // Bytes are identical to the generic path.
+        if name_ref < 0x80 {
+            match value {
+                AttrValue::Int(i) => {
+                    let zz = crate::varint::zigzag(*i);
+                    if zz < 0x80 {
+                        out.extend_from_slice(&[name_ref as u8, 2, zz as u8]);
+                    } else {
+                        out.extend_from_slice(&[name_ref as u8, 2]);
+                        write_u64(out, zz);
+                    }
+                    continue;
+                }
+                AttrValue::Float(f) => {
+                    let bits = f.to_le_bytes();
+                    out.extend_from_slice(&[
+                        name_ref as u8,
+                        3,
+                        bits[0],
+                        bits[1],
+                        bits[2],
+                        bits[3],
+                        bits[4],
+                        bits[5],
+                        bits[6],
+                        bits[7],
+                    ]);
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        write_u64(out, name_ref);
         encode_value(out, tab, value);
     }
 }
 
-fn encode_value(out: &mut Vec<u8>, tab: &mut StrTab, v: &AttrValue) {
+fn encode_value(out: &mut Vec<u8>, tab: &mut Encoder, v: &AttrValue) {
     out.push(v.tag());
     match v {
         AttrValue::Null => {}
@@ -186,7 +370,7 @@ fn encode_value(out: &mut Vec<u8>, tab: &mut StrTab, v: &AttrValue) {
     }
 }
 
-fn decode_record_from(r: &mut Reader<'_>, strings: &[String]) -> Result<Record, CodecError> {
+fn decode_record_from(r: &mut Reader<'_>, strings: &[Arc<str>]) -> Result<Record, CodecError> {
     let tag = r.read_u8()?;
     match tag {
         TAG_WF_BEGIN | TAG_WF_END => {
@@ -218,7 +402,7 @@ fn decode_record_from(r: &mut Reader<'_>, strings: &[String]) -> Result<Record, 
     }
 }
 
-fn decode_id(r: &mut Reader<'_>, strings: &[String]) -> Result<Id, CodecError> {
+fn decode_id(r: &mut Reader<'_>, strings: &[Arc<str>]) -> Result<Id, CodecError> {
     match r.read_u8()? {
         0 => Ok(Id::Num(r.read_u64()?)),
         1 => {
@@ -232,7 +416,7 @@ fn decode_id(r: &mut Reader<'_>, strings: &[String]) -> Result<Id, CodecError> {
     }
 }
 
-fn decode_task(r: &mut Reader<'_>, strings: &[String]) -> Result<TaskRecord, CodecError> {
+fn decode_task(r: &mut Reader<'_>, strings: &[Arc<str>]) -> Result<TaskRecord, CodecError> {
     let id = decode_id(r, strings)?;
     let workflow = decode_id(r, strings)?;
     let transformation = decode_id(r, strings)?;
@@ -253,7 +437,7 @@ fn decode_task(r: &mut Reader<'_>, strings: &[String]) -> Result<TaskRecord, Cod
     })
 }
 
-fn decode_data(r: &mut Reader<'_>, strings: &[String]) -> Result<DataRecord, CodecError> {
+fn decode_data(r: &mut Reader<'_>, strings: &[Arc<str>]) -> Result<DataRecord, CodecError> {
     let id = decode_id(r, strings)?;
     let workflow = decode_id(r, strings)?;
     let nderiv = r.read_u64()? as usize;
@@ -280,7 +464,7 @@ fn decode_data(r: &mut Reader<'_>, strings: &[String]) -> Result<DataRecord, Cod
     })
 }
 
-fn decode_value(r: &mut Reader<'_>, strings: &[String]) -> Result<AttrValue, CodecError> {
+fn decode_value(r: &mut Reader<'_>, strings: &[Arc<str>]) -> Result<AttrValue, CodecError> {
     match r.read_u8()? {
         0 => Ok(AttrValue::Null),
         1 => Ok(AttrValue::Bool(r.read_u8()? != 0)),
@@ -427,7 +611,7 @@ mod tests {
             any::<i64>().prop_map(AttrValue::Int),
             any::<f64>().prop_filter("NaN breaks equality", |f| !f.is_nan())
                 .prop_map(AttrValue::Float),
-            "[a-z]{0,8}".prop_map(AttrValue::Str),
+            "[a-z]{0,8}".prop_map(AttrValue::from),
             proptest::collection::vec(any::<u8>(), 0..16).prop_map(AttrValue::Bytes),
         ];
         leaf.prop_recursive(2, 8, 4, |inner| {
@@ -436,7 +620,7 @@ mod tests {
     }
 
     fn arb_id() -> impl Strategy<Value = Id> {
-        prop_oneof![any::<u64>().prop_map(Id::Num), "[a-z0-9_]{1,12}".prop_map(Id::Str)]
+        prop_oneof![any::<u64>().prop_map(Id::Num), "[a-z0-9_]{1,12}".prop_map(Id::from)]
     }
 
     fn arb_data() -> impl Strategy<Value = DataRecord> {
@@ -452,7 +636,7 @@ mod tests {
                 derivations,
                 attributes: attributes
                     .into_iter()
-                    .map(|(n, v)| (n.to_string(), v))
+                    .map(|(n, v)| (n.as_str().into(), v))
                     .collect(),
             })
     }

@@ -16,6 +16,7 @@
 //! data transmitted" once protocol overheads are included.
 
 use crate::CodecError;
+use std::cell::RefCell;
 
 const WINDOW: usize = 4096;
 const MIN_MATCH: usize = 3;
@@ -31,19 +32,58 @@ fn hash3(data: &[u8], i: usize) -> usize {
     (h as usize) & (HASH_SIZE - 1)
 }
 
+/// Reusable match-finder state for [`compress_into`].
+///
+/// The hash-chain tables are ~48 KiB; allocating them per call dominated the
+/// old `compress` cost for small payloads. One scratch reused across calls
+/// (the transmitter holds one per thread) makes compression allocation-free
+/// apart from output growth.
+pub struct CompressScratch {
+    /// `head[h]` = most recent position with hash `h` (+1, 0 = none).
+    head: Vec<u32>,
+    /// `prev[i % WINDOW]` = previous position in the chain for position `i`.
+    prev: Vec<u32>,
+}
+
+impl Default for CompressScratch {
+    fn default() -> Self {
+        CompressScratch {
+            head: vec![0; HASH_SIZE],
+            prev: vec![0; WINDOW],
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<CompressScratch> = RefCell::new(CompressScratch::default());
+}
+
+/// Compresses `input`, appending to `out` (not cleared), reusing a
+/// thread-local [`CompressScratch`]. Output bytes are identical to
+/// [`compress`].
+pub fn compress_into(input: &[u8], out: &mut Vec<u8>) {
+    SCRATCH.with(|s| compress_with(&mut s.borrow_mut(), input, out));
+}
+
 /// Compresses `input`. The output always starts with the uncompressed length
 /// as a LEB128 varint, followed by the token stream.
 pub fn compress(input: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
-    crate::varint::write_u64(&mut out, input.len() as u64);
+    compress_into(input, &mut out);
+    out
+}
+
+/// Compresses `input` into `out` using caller-owned scratch tables.
+pub fn compress_with(scratch: &mut CompressScratch, input: &[u8], out: &mut Vec<u8>) {
+    crate::varint::write_u64(out, input.len() as u64);
     if input.is_empty() {
-        return out;
+        return;
     }
 
-    // head[h] = most recent position with hash h (+1, 0 = none);
-    // prev[i % WINDOW] = previous position in the chain for position i.
-    let mut head = vec![0u32; HASH_SIZE];
-    let mut prev = vec![0u32; WINDOW];
+    scratch.head.fill(0);
+    scratch.prev.fill(0);
+    let head = &mut scratch.head;
+    let prev = &mut scratch.prev;
 
     let mut flags_pos = out.len();
     out.push(0);
@@ -63,22 +103,32 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
             let h = hash3(input, i);
             let mut candidate = head[h] as usize;
             let mut chain = 0;
+            let max = MAX_MATCH.min(input.len() - i);
             while candidate > 0 && chain < 32 {
                 let pos = candidate - 1;
-                if i > pos && i - pos <= WINDOW {
-                    let max = MAX_MATCH.min(input.len() - i);
-                    let mut l = 0;
-                    while l < max && input[pos + l] == input[i + l] {
-                        l += 1;
-                    }
-                    if l > best_len {
-                        best_len = l;
-                        best_off = i - pos;
-                        if l == MAX_MATCH {
-                            break;
+                // Strictly less than WINDOW: the token's 12-bit offset field
+                // holds 1..=4095, so a distance of exactly 4096 would wrap
+                // to 0 and corrupt the stream.
+                if i > pos && i - pos < WINDOW {
+                    // A candidate can only improve on the current best if it
+                    // also matches at offset `best_len` — one comparison that
+                    // rejects most of the chain without a full match scan.
+                    if best_len == 0 || input.get(pos + best_len) == input.get(i + best_len) {
+                        let mut l = 0;
+                        while l < max && input[pos + l] == input[i + l] {
+                            l += 1;
+                        }
+                        if l > best_len {
+                            best_len = l;
+                            best_off = i - pos;
+                            if l == max {
+                                break;
+                            }
                         }
                     }
-                } else if i <= pos || i - pos > WINDOW {
+                } else {
+                    // Candidate out of window (or from a stale slot): older
+                    // entries are only further away, stop walking the chain.
                     break;
                 }
                 candidate = prev[pos % WINDOW] as usize;
@@ -90,17 +140,22 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
             // Match token (flag bit 0).
             let token = ((best_off as u16) << 4) | ((best_len - MIN_MATCH) as u16);
             out.extend_from_slice(&token.to_be_bytes());
-            // Insert hash entries for every covered position so later
-            // matches can refer inside this one.
+            // Insert hash entries for positions covered by the match so
+            // later matches can refer inside it. Long matches insert a
+            // 2-stride subsample (zlib fast-mode style): hashing every
+            // position of an 18-byte match costs more than the marginal
+            // ratio it buys on provenance payloads.
             let end = i + best_len;
+            let stride = if best_len > 8 { 2 } else { 1 };
             while i < end {
                 if i + MIN_MATCH <= input.len() {
                     let h = hash3(input, i);
                     prev[i % WINDOW] = head[h];
                     head[h] = (i + 1) as u32;
                 }
-                i += 1;
+                i += stride;
             }
+            i = end;
         } else {
             out[flags_pos] |= 1 << flag_count;
             out.push(input[i]);
@@ -113,7 +168,6 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
         }
         flag_count += 1;
     }
-    out
 }
 
 /// Decompresses a buffer produced by [`compress`].
@@ -213,6 +267,21 @@ mod tests {
         let data = vec![0xabu8; 10_000];
         let c = compress(&data);
         assert!(c.len() < 2_000);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn match_at_exact_window_distance_roundtrips() {
+        // Regression: a repeat at distance exactly WINDOW (4096) used to be
+        // accepted as a match, but the 12-bit offset field wraps 4096 to 0,
+        // producing an undecodable stream. Large coalesced envelopes make
+        // such distances routine.
+        let sentinel: Vec<u8> = (0u8..32).collect();
+        let mut data = sentinel.clone();
+        data.extend(std::iter::repeat(0xAB).take(WINDOW - sentinel.len()));
+        data.extend_from_slice(&sentinel); // starts exactly WINDOW after the first copy
+        assert_eq!(data.len(), WINDOW + 32);
+        let c = compress(&data);
         assert_eq!(decompress(&c).unwrap(), data);
     }
 

@@ -14,6 +14,7 @@
 
 use crate::{binary, compress, CodecError};
 use prov_model::Record;
+use std::cell::RefCell;
 
 const MAGIC: u8 = 0xA7;
 const VERSION: u8 = 1;
@@ -34,23 +35,41 @@ impl Envelope {
     /// When `use_compression` is set, the payload is compressed and the
     /// smaller of the two forms is kept.
     pub fn encode(records: &[Record], use_compression: bool) -> Vec<u8> {
-        let raw = binary::encode_batch(records);
-        let (flags, payload) = if use_compression {
-            let packed = compress::compress(&raw);
-            if packed.len() < raw.len() {
-                (FLAG_COMPRESSED, packed)
+        let mut out = Vec::new();
+        Envelope::encode_into(records, use_compression, &mut out);
+        out
+    }
+
+    /// Encodes `records` into a caller-owned buffer (appending), reusing
+    /// thread-local scratch for the intermediate raw/compressed forms so the
+    /// steady state allocates nothing. Output bytes are identical to
+    /// [`Envelope::encode`].
+    pub fn encode_into(records: &[Record], use_compression: bool, out: &mut Vec<u8>) {
+        thread_local! {
+            static FRAME_SCRATCH: RefCell<(Vec<u8>, Vec<u8>)> =
+                RefCell::new((Vec::new(), Vec::new()));
+        }
+        FRAME_SCRATCH.with(|cell| {
+            let (raw, packed) = &mut *cell.borrow_mut();
+            raw.clear();
+            binary::encode_batch_into(records, raw);
+            let (flags, payload): (u8, &[u8]) = if use_compression {
+                packed.clear();
+                compress::compress_into(raw, packed);
+                if packed.len() < raw.len() {
+                    (FLAG_COMPRESSED, packed)
+                } else {
+                    (0, raw)
+                }
             } else {
                 (0, raw)
-            }
-        } else {
-            (0, raw)
-        };
-        let mut out = Vec::with_capacity(payload.len() + 3);
-        out.push(MAGIC);
-        out.push(VERSION);
-        out.push(flags);
-        out.extend_from_slice(&payload);
-        out
+            };
+            out.reserve(payload.len() + 3);
+            out.push(MAGIC);
+            out.push(VERSION);
+            out.push(flags);
+            out.extend_from_slice(payload);
+        });
     }
 
     /// Decodes a wire message.
@@ -78,9 +97,18 @@ impl Envelope {
     }
 
     /// Encoded size without actually keeping the buffer (used by cost
-    /// accounting in the simulator).
+    /// accounting in the simulator). Reuses a thread-local buffer, so
+    /// repeated calls do not allocate.
     pub fn encoded_len(records: &[Record], use_compression: bool) -> usize {
-        Self::encode(records, use_compression).len()
+        thread_local! {
+            static LEN_BUF: RefCell<Vec<u8>> = RefCell::new(Vec::new());
+        }
+        LEN_BUF.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            buf.clear();
+            Envelope::encode_into(records, use_compression, &mut buf);
+            buf.len()
+        })
     }
 }
 

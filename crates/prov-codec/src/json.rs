@@ -359,7 +359,7 @@ fn attr_to_json(v: &AttrValue) -> JsonValue {
         AttrValue::Bool(b) => JsonValue::Bool(*b),
         AttrValue::Int(i) => JsonValue::Number(*i as f64),
         AttrValue::Float(f) => JsonValue::Number(*f),
-        AttrValue::Str(s) => JsonValue::String(s.clone()),
+        AttrValue::Str(s) => JsonValue::String(s.to_string()),
         AttrValue::List(l) => JsonValue::Array(l.iter().map(attr_to_json).collect()),
         AttrValue::Bytes(b) => JsonValue::String(hex(b)),
     }
@@ -386,7 +386,7 @@ fn data_to_json(d: &DataRecord, style: JsonStyle) -> JsonValue {
     let attrs = JsonValue::Object(
         d.attributes
             .iter()
-            .map(|(k, v)| (k.clone(), attr_to_json(v)))
+            .map(|(k, v)| (k.to_string(), attr_to_json(v)))
             .collect(),
     );
     let derivations =
@@ -561,7 +561,7 @@ fn json_to_attr(v: &JsonValue) -> AttrValue {
                 AttrValue::Float(*n)
             }
         }
-        JsonValue::String(s) => AttrValue::Str(s.clone()),
+        JsonValue::String(s) => AttrValue::Str(s.as_str().into()),
         JsonValue::Array(items) => AttrValue::List(items.iter().map(json_to_attr).collect()),
         JsonValue::Object(_) => AttrValue::Null,
     }
@@ -572,7 +572,7 @@ fn parse_id(s: &str) -> prov_model::Id {
     // `to_string` of `Id::Num`).
     match s.parse::<u64>() {
         Ok(n) => prov_model::Id::Num(n),
-        Err(_) => prov_model::Id::Str(s.to_owned()),
+        Err(_) => prov_model::Id::Str(s.into()),
     }
 }
 
@@ -600,7 +600,7 @@ fn json_to_data(v: &JsonValue) -> Result<DataRecord, JsonError> {
     let attributes = match v.get("attrs") {
         Some(JsonValue::Object(m)) => m
             .iter()
-            .map(|(k, val)| (k.clone(), json_to_attr(val)))
+            .map(|(k, val)| (k.as_str().into(), json_to_attr(val)))
             .collect(),
         _ => Vec::new(),
     };

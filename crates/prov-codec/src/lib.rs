@@ -22,8 +22,10 @@ pub mod frame;
 pub mod json;
 pub mod varint;
 
-pub use binary::{decode_batch, decode_record, encode_batch, encode_record};
-pub use compress::{compress, decompress};
+pub use binary::{
+    decode_batch, decode_record, encode_batch, encode_batch_into, encode_record, Encoder,
+};
+pub use compress::{compress, compress_into, decompress, CompressScratch};
 pub use frame::Envelope;
 pub use json::{record_to_json, records_to_json, JsonError, JsonStyle, JsonValue};
 

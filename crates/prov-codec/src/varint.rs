@@ -3,7 +3,19 @@
 use crate::CodecError;
 
 /// Appends `value` as an LEB128 varint.
-pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
+///
+/// Single-byte values (the overwhelmingly common case for counts, tags, and
+/// string references) take the inlined fast path.
+#[inline]
+pub fn write_u64(out: &mut Vec<u8>, value: u64) {
+    if value < 0x80 {
+        out.push(value as u8);
+        return;
+    }
+    write_u64_slow(out, value);
+}
+
+fn write_u64_slow(out: &mut Vec<u8>, mut value: u64) {
     loop {
         let byte = (value & 0x7f) as u8;
         value >>= 7;
@@ -16,16 +28,19 @@ pub fn write_u64(out: &mut Vec<u8>, mut value: u64) {
 }
 
 /// Appends `value` with zigzag + LEB128 encoding.
+#[inline]
 pub fn write_i64(out: &mut Vec<u8>, value: i64) {
     write_u64(out, zigzag(value));
 }
 
 /// Zigzag-encodes a signed integer.
+#[inline]
 pub fn zigzag(value: i64) -> u64 {
     ((value << 1) ^ (value >> 63)) as u64
 }
 
 /// Inverse of [`zigzag`].
+#[inline]
 pub fn unzigzag(value: u64) -> i64 {
     ((value >> 1) as i64) ^ -((value & 1) as i64)
 }
@@ -61,7 +76,19 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads an LEB128 varint.
+    #[inline]
     pub fn read_u64(&mut self) -> Result<u64, CodecError> {
+        // Fast path: single-byte varint.
+        if let Some(&b) = self.buf.get(self.pos) {
+            if b < 0x80 {
+                self.pos += 1;
+                return Ok(b as u64);
+            }
+        }
+        self.read_u64_slow()
+    }
+
+    fn read_u64_slow(&mut self) -> Result<u64, CodecError> {
         let mut value: u64 = 0;
         let mut shift = 0u32;
         loop {

@@ -1,0 +1,155 @@
+//! Property tests: the `*_into` scratch-buffer APIs must produce bytes
+//! identical to the legacy allocating APIs, including when their scratch is
+//! dirty from arbitrary earlier inputs.
+
+use proptest::prelude::*;
+use prov_codec::frame::Envelope;
+use prov_codec::compress::{compress, compress_into, compress_with, decompress, CompressScratch};
+use prov_codec::{decode_batch, encode_batch, Encoder};
+use prov_model::{AttrValue, DataRecord, Id, Record, TaskRecord, TaskStatus};
+
+fn arb_value() -> BoxedStrategy<AttrValue> {
+    prop_oneof![
+        Just(AttrValue::Null),
+        any::<bool>().prop_map(AttrValue::Bool),
+        any::<i64>().prop_map(AttrValue::Int),
+        any::<f64>()
+            .prop_filter("NaN breaks equality", |f| !f.is_nan())
+            .prop_map(AttrValue::Float),
+        "[a-z]{0,8}".prop_map(AttrValue::from),
+        proptest::collection::vec(any::<u8>(), 0..16).prop_map(AttrValue::Bytes),
+    ]
+    .boxed()
+}
+
+fn arb_id() -> BoxedStrategy<Id> {
+    prop_oneof![any::<u64>().prop_map(Id::Num), "[a-z0-9_]{1,12}".prop_map(Id::from)].boxed()
+}
+
+fn arb_data() -> BoxedStrategy<DataRecord> {
+    (
+        arb_id(),
+        arb_id(),
+        proptest::collection::vec(arb_id(), 0..3),
+        proptest::collection::vec(("[a-z_]{1,10}", arb_value()), 0..8),
+    )
+        .prop_map(|(id, workflow, derivations, attributes)| DataRecord {
+            id,
+            workflow,
+            derivations,
+            attributes: attributes
+                .into_iter()
+                .map(|(n, v)| (n.as_str().into(), v))
+                .collect(),
+        })
+        .boxed()
+}
+
+fn arb_record() -> BoxedStrategy<Record> {
+    let task = (
+        arb_id(),
+        arb_id(),
+        arb_id(),
+        proptest::collection::vec(arb_id(), 0..3),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(id, workflow, transformation, dependencies, time_ns, fin)| TaskRecord {
+                id,
+                workflow,
+                transformation,
+                dependencies,
+                time_ns,
+                status: if fin {
+                    TaskStatus::Finished
+                } else {
+                    TaskStatus::Running
+                },
+            },
+        )
+        .boxed();
+    prop_oneof![
+        (arb_id(), any::<u64>())
+            .prop_map(|(workflow, time_ns)| Record::WorkflowBegin { workflow, time_ns }),
+        (arb_id(), any::<u64>())
+            .prop_map(|(workflow, time_ns)| Record::WorkflowEnd { workflow, time_ns }),
+        (task.clone(), proptest::collection::vec(arb_data(), 0..3))
+            .prop_map(|(task, inputs)| Record::TaskBegin { task, inputs }),
+        (task, proptest::collection::vec(arb_data(), 0..3))
+            .prop_map(|(task, outputs)| Record::TaskEnd { task, outputs }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A reused (dirty) `Encoder` writing into a reused output buffer must
+    /// produce exactly the bytes of the allocating `encode_batch`, batch
+    /// after batch.
+    #[test]
+    fn encode_batch_into_matches_legacy_bytes(
+        batches in proptest::collection::vec(proptest::collection::vec(arb_record(), 0..6), 1..5),
+    ) {
+        let mut encoder = Encoder::new();
+        let mut out = Vec::new();
+        for batch in &batches {
+            let legacy = encode_batch(batch);
+            out.clear();
+            encoder.encode_batch_into(batch, &mut out);
+            prop_assert_eq!(&out, &legacy, "reused-encoder bytes diverge");
+            // And the bytes round-trip.
+            prop_assert_eq!(decode_batch(&out).unwrap(), batch.clone());
+        }
+    }
+
+    /// `encode_batch_into` appends without touching bytes already in `out`.
+    #[test]
+    fn encode_batch_into_appends(
+        prefix in proptest::collection::vec(any::<u8>(), 0..16),
+        records in proptest::collection::vec(arb_record(), 0..4),
+    ) {
+        let mut out = prefix.clone();
+        prov_codec::encode_batch_into(&records, &mut out);
+        prop_assert_eq!(&out[..prefix.len()], &prefix[..]);
+        prop_assert_eq!(&out[prefix.len()..], &encode_batch(&records)[..]);
+    }
+
+    /// Reused compression scratch must not change the emitted token stream.
+    #[test]
+    fn compress_into_matches_legacy_bytes(
+        inputs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..1024), 1..4),
+    ) {
+        let mut scratch = CompressScratch::default();
+        let mut out = Vec::new();
+        for input in &inputs {
+            let legacy = compress(input);
+            out.clear();
+            compress_with(&mut scratch, input, &mut out);
+            prop_assert_eq!(&out, &legacy, "reused-scratch compression diverges");
+            let mut appended = vec![0xEE];
+            compress_into(input, &mut appended);
+            prop_assert_eq!(&appended[1..], &legacy[..]);
+            prop_assert_eq!(decompress(&out).unwrap(), input.clone());
+        }
+    }
+
+    /// Envelope::encode_into must equal Envelope::encode for both
+    /// compression settings, with reused output buffers.
+    #[test]
+    fn envelope_encode_into_matches_legacy_bytes(
+        batches in proptest::collection::vec(proptest::collection::vec(arb_record(), 0..6), 1..4),
+        use_compression: bool,
+    ) {
+        let mut out = Vec::new();
+        for batch in &batches {
+            let legacy = Envelope::encode(batch, use_compression);
+            out.clear();
+            Envelope::encode_into(batch, use_compression, &mut out);
+            prop_assert_eq!(&out, &legacy);
+            prop_assert_eq!(Envelope::encoded_len(batch, use_compression), legacy.len());
+            prop_assert_eq!(Envelope::decode(&out).unwrap().records, batch.clone());
+        }
+    }
+}

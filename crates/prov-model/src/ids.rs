@@ -7,17 +7,22 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// An identifier: either a small integer or an interned string.
 ///
 /// Ordering and equality treat `Num(7)` and `Str("7")` as *different* ids —
 /// the wire format preserves which form the user chose.
+///
+/// String ids are `Arc<str>` so decoding can share one allocation per
+/// string-table entry across every record that references it (cloning an id
+/// is a refcount bump, not a heap copy).
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Id {
     /// Numeric identifier (compactly varint-encoded on the wire).
     Num(u64),
-    /// String identifier.
-    Str(String),
+    /// String identifier (shared, immutable).
+    Str(Arc<str>),
 }
 
 impl Id {
@@ -33,7 +38,7 @@ impl Id {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Id::Num(_) => None,
-            Id::Str(s) => Some(s),
+            Id::Str(s) => Some(s.as_ref()),
         }
     }
 
@@ -61,12 +66,18 @@ impl From<u32> for Id {
 
 impl From<&str> for Id {
     fn from(s: &str) -> Self {
-        Id::Str(s.to_owned())
+        Id::Str(Arc::from(s))
     }
 }
 
 impl From<String> for Id {
     fn from(s: String) -> Self {
+        Id::Str(Arc::from(s))
+    }
+}
+
+impl From<Arc<str>> for Id {
+    fn from(s: Arc<str>) -> Self {
         Id::Str(s)
     }
 }

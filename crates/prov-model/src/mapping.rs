@@ -13,13 +13,13 @@ use crate::value::AttrValue;
 /// Namespacing scheme used when folding ProvLight ids into a single PROV
 /// document: workflow/task/data ids live in separate spaces, so we prefix.
 fn wf_id(id: &Id) -> Id {
-    Id::Str(format!("workflow_{id}"))
+    Id::Str(format!("workflow_{id}").into())
 }
 fn task_id(workflow: &Id, id: &Id) -> Id {
-    Id::Str(format!("task_{workflow}_{id}"))
+    Id::Str(format!("task_{workflow}_{id}").into())
 }
 fn data_id(workflow: &Id, id: &Id) -> Id {
-    Id::Str(format!("data_{workflow}_{id}"))
+    Id::Str(format!("data_{workflow}_{id}").into())
 }
 
 /// Applies one captured record to a PROV document, creating elements on
@@ -51,7 +51,7 @@ pub fn apply_record(doc: &mut ProvDocument, record: &Record) -> Result<(), ProvE
                 vec![
                     (
                         "provlight:transformation".into(),
-                        AttrValue::Str(task.transformation.to_string()),
+                        AttrValue::Str(task.transformation.to_string().into()),
                     ),
                     ("provlight:startTime".into(), AttrValue::Int(task.time_ns as i64)),
                     ("provlight:status".into(), AttrValue::from("running")),

@@ -7,8 +7,12 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A dynamically typed attribute value.
+///
+/// Strings are `Arc<str>` so decoded batches can share one allocation per
+/// string-table entry across all records referencing it.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum AttrValue {
     /// Absent / null value.
@@ -19,8 +23,8 @@ pub enum AttrValue {
     Int(i64),
     /// IEEE-754 double (losses, accuracies, learning rates).
     Float(f64),
-    /// UTF-8 string.
-    Str(String),
+    /// UTF-8 string (shared, immutable).
+    Str(Arc<str>),
     /// Homogeneous or heterogeneous list.
     List(Vec<AttrValue>),
     /// Opaque bytes (e.g. model digests).
@@ -62,7 +66,7 @@ impl AttrValue {
     /// Returns the string value.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            AttrValue::Str(s) => Some(s),
+            AttrValue::Str(s) => Some(s.as_ref()),
             _ => None,
         }
     }
@@ -106,11 +110,16 @@ impl From<f64> for AttrValue {
 }
 impl From<&str> for AttrValue {
     fn from(s: &str) -> Self {
-        AttrValue::Str(s.to_owned())
+        AttrValue::Str(Arc::from(s))
     }
 }
 impl From<String> for AttrValue {
     fn from(s: String) -> Self {
+        AttrValue::Str(Arc::from(s))
+    }
+}
+impl From<Arc<str>> for AttrValue {
+    fn from(s: Arc<str>) -> Self {
         AttrValue::Str(s)
     }
 }

@@ -13,6 +13,7 @@
 
 use crate::store::{Column, DataIdx, Store, TaskRow};
 use prov_model::{AttrValue, Id};
+use std::sync::Arc;
 
 /// Lineage traversal direction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -245,7 +246,7 @@ impl<'a> Query<'a> {
         &self,
         workflow: &Id,
         data: &Id,
-    ) -> Result<Vec<(Id, Vec<(String, AttrValue)>)>, QueryError> {
+    ) -> Result<Vec<(Id, Vec<(Arc<str>, AttrValue)>)>, QueryError> {
         let (idx, row) = self
             .store
             .data_by_id(workflow, data)
@@ -433,7 +434,7 @@ mod tests {
         let lr = inputs[0]
             .1
             .iter()
-            .find(|(n, _)| n == "learning_rate")
+            .find(|(n, _)| n.as_ref() == "learning_rate")
             .unwrap();
         assert_eq!(lr.1, AttrValue::Float(0.1 / 4.0));
     }

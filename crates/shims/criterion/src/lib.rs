@@ -1,0 +1,172 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API surface `benches/micro.rs` uses — benchmark groups,
+//! `iter` / `iter_batched`, throughput annotation, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple
+//! warmup-then-measure timing loop printing ns/iter and derived throughput.
+//! No statistical analysis, HTML reports, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; accepted and ignored.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to benchmark closures; drives the timing loop.
+pub struct Bencher<'a> {
+    measurement: Duration,
+    result_ns: &'a mut f64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` over a warmup + measurement loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: let caches and allocator reach steady state.
+        let warm_until = Instant::now() + self.measurement / 10;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measurement {
+            for _ in 0..16 {
+                black_box(routine());
+            }
+            iters += 16;
+        }
+        *self.result_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+
+    /// Times `routine` with a fresh `setup()` product per iteration;
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + self.measurement / 10;
+        while Instant::now() < warm_until {
+            black_box(routine(setup()));
+        }
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        while measured < self.measurement {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        *self.result_ns = measured.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Annotates per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut ns = f64::NAN;
+        f(&mut Bencher {
+            measurement: self.measurement,
+            result_ns: &mut ns,
+        });
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) if ns > 0.0 => {
+                format!("  {:>10.1} MiB/s", b as f64 / ns * 1e9 / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(e)) if ns > 0.0 => {
+                format!("  {:>10.0} elem/s", e as f64 / ns * 1e9)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{:<32} {:>12.1} ns/iter{}", self.name, name, ns, rate);
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement: Duration::from_millis(500),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside a group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group("bench").bench_function(name, f);
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as forward
+//! declarations — nothing serializes through serde at runtime (the wire
+//! formats are the hand-rolled binary codec and JSON writer in
+//! `prov_codec`). This shim supplies marker traits plus no-op derive macros
+//! so the annotations compile without registry access.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

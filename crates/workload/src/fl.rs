@@ -81,7 +81,7 @@ pub fn fl_capture_stream(workflow_id: u64, config: &FlConfig, seed: u64) -> Vec<
     let mut loss: f64 = 2.0 + rng.gen::<f64>() * 0.3;
     let mut prev = Id::Str("prepare".into());
     for epoch in 0..config.epochs {
-        let tid = Id::Str(format!("epoch{epoch}"));
+        let tid = Id::Str(format!("epoch{epoch}").into());
         let task = TaskRecord {
             id: tid.clone(),
             workflow: wf.clone(),

@@ -119,15 +119,15 @@ pub fn generate(spec: &WorkloadSpec, workflow_id: u64, seed: u64) -> Schedule {
                 status: TaskStatus::Running,
             };
             let data_in = DataRecord {
-                id: Id::Str(format!("in{data_id}")),
+                id: Id::Str(format!("in{data_id}").into()),
                 workflow: workflow.clone(),
                 derivations: if data_id > 1 {
-                    vec![Id::Str(format!("out{}", data_id - 1))]
+                    vec![Id::Str(format!("out{}", data_id - 1).into())]
                 } else {
                     Vec::new()
                 },
                 attributes: vec![(
-                    "in".to_owned(),
+                    "in".into(),
                     make_values(spec.value_fill, spec.attrs_per_task, &mut rng, 1),
                 )],
             };
@@ -143,11 +143,11 @@ pub fn generate(spec: &WorkloadSpec, workflow_id: u64, seed: u64) -> Schedule {
             task_end.time_ns = clock_ns;
             task_end.status = TaskStatus::Finished;
             let data_out = DataRecord {
-                id: Id::Str(format!("out{data_id}")),
+                id: Id::Str(format!("out{data_id}").into()),
                 workflow: workflow.clone(),
-                derivations: vec![Id::Str(format!("in{data_id}"))],
+                derivations: vec![Id::Str(format!("in{data_id}").into())],
                 attributes: vec![(
-                    "out".to_owned(),
+                    "out".into(),
                     make_values(spec.value_fill, spec.attrs_per_task, &mut rng, 2),
                 )],
             };

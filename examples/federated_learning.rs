@@ -111,7 +111,7 @@ fn main() {
                 .and_then(|(_, attrs)| {
                     attrs
                         .iter()
-                        .find(|(n, _)| n == "learning_rate")
+                        .find(|(n, _)| n.as_ref() == "learning_rate")
                         .and_then(|(_, v)| v.as_float())
                 })
                 .unwrap_or(f64::NAN);

@@ -82,9 +82,17 @@ fn four_devices_capture_in_parallel() {
     }
     drop(store);
 
-    // Exactly-once across the broker: no duplicates ingested.
+    // Exactly-once across the broker: every record ingested exactly once.
+    assert_eq!(manager.store().read().stats().records, expected);
+    // The transmitter coalesces queued records into shared envelopes, so the
+    // broker sees far fewer publishes than records — at least one per
+    // device, never more than one per record.
     let stats = manager.broker_stats();
-    assert_eq!(stats.publishes_in, expected);
+    assert!(
+        (devices..=expected).contains(&stats.publishes_in),
+        "publishes_in = {} outside [{devices}, {expected}]",
+        stats.publishes_in
+    );
     manager.shutdown();
 }
 

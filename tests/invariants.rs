@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use provlight::core::config::GroupPolicy;
-use provlight::core::grouping::Grouper;
+use provlight::core::grouping::{Emit, Grouper};
 use provlight::mqtt_sn::topic::{filter_is_valid, topic_matches};
 use provlight::prov_codec::frame::Envelope;
 use provlight::prov_model::{DataRecord, Id, Record, TaskRecord, TaskStatus};
@@ -11,7 +11,7 @@ use provlight::prov_store::store::Store;
 fn arb_record() -> impl Strategy<Value = Record> {
     let id = prop_oneof![
         (0u64..50).prop_map(Id::Num),
-        "[a-z]{1,6}".prop_map(Id::Str)
+        "[a-z]{1,6}".prop_map(Id::from)
     ];
     let data = (id.clone(), 0u64..4).prop_map(|(id, n)| {
         let mut d = DataRecord::new(id, 1u64);
@@ -69,8 +69,13 @@ proptest! {
         let mut grouper = Grouper::new(policy);
         let mut out: Vec<Record> = Vec::new();
         for r in &records {
-            for batch in grouper.push(r.clone()) {
-                out.extend(batch);
+            match grouper.push(r.clone()) {
+                Emit::Nothing => {}
+                Emit::Passthrough(r) => out.push(r),
+                Emit::Group(batch) => {
+                    out.extend_from_slice(&batch);
+                    grouper.recycle(batch);
+                }
             }
         }
         if let Some(batch) = grouper.flush() {
