@@ -165,7 +165,17 @@ fn main() {
         json_path("grouped_alloc", &grouped),
         json_path("coalesced_encode_into", &coalesced),
     );
+    // The ingest bench owns the file's "ingest" section; carry it over so
+    // the two benches extend one tracked file without clobbering each
+    // other (ROADMAP: extend, don't replace).
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+    let json = match std::fs::read_to_string(out_path)
+        .ok()
+        .and_then(|old| provlight_bench::bench_json::extract_section(&old, "ingest"))
+    {
+        Some(ingest) => provlight_bench::bench_json::upsert_section(&json, "ingest", &ingest),
+        None => json,
+    };
     std::fs::write(out_path, &json).expect("write BENCH_hotpath.json");
     println!("  wrote {out_path}");
 

@@ -9,16 +9,16 @@
 
 use crate::config::ExperimentConfig;
 use parking_lot::Mutex;
-use prov_store::store::{shared, SharedStore};
-use provlight_core::server::ProvLightServer;
+use prov_store::sharded::{shared_sharded, SharedShardedStore};
+use provlight_core::server::{ProvLightServer, ServerStats};
 use provlight_core::translator::DfAnalyzerTranslator;
 use std::net::SocketAddr;
 use std::sync::Arc;
 
-/// A running provenance stack (broker + translator + store).
+/// A running provenance stack (broker + translator + sharded store).
 pub struct ProvenanceManager {
     server: ProvLightServer,
-    store: SharedStore,
+    store: SharedShardedStore,
 }
 
 impl ProvenanceManager {
@@ -26,7 +26,7 @@ impl ProvenanceManager {
     /// port). The translator subscribes to `provlight/#`, covering every
     /// device topic.
     pub fn start(bind: &str) -> Result<ProvenanceManager, mqtt_sn::net::NetError> {
-        let store = shared();
+        let store = shared_sharded();
         let translator = Arc::new(Mutex::new(DfAnalyzerTranslator::new(store.clone())));
         let server = ProvLightServer::start(bind, "provlight/#", translator)?;
         Ok(ProvenanceManager { server, store })
@@ -37,9 +37,17 @@ impl ProvenanceManager {
         self.server.broker_addr()
     }
 
-    /// The queryable provenance store (DfAnalyzer role).
-    pub fn store(&self) -> &SharedStore {
+    /// The queryable provenance store (DfAnalyzer role), sharded by
+    /// workflow: aggregate counters via `store().stats()`, per-workflow
+    /// queries via `store().read(&workflow_id)`.
+    pub fn store(&self) -> &SharedShardedStore {
         &self.store
+    }
+
+    /// Ingestion-side observability: decode errors and per-translator
+    /// message counts.
+    pub fn server_stats(&self) -> ServerStats {
+        self.server.stats()
     }
 
     /// Broker routing statistics.
@@ -122,10 +130,13 @@ mod tests {
         client.flush().unwrap();
 
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
-        while manager.store().read().stats().records < 2 {
+        while manager.store().stats().records < 2 {
             assert!(std::time::Instant::now() < deadline, "records never arrived");
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
+        let stats = manager.server_stats();
+        assert_eq!(stats.decode_errors, 0);
+        assert!(stats.messages_total >= 1);
         client.shutdown();
         manager.shutdown();
     }

@@ -6,6 +6,7 @@ use mqtt_sn::net::{NetError, UdpBroker, UdpClient};
 use mqtt_sn::{BrokerConfig, ClientConfig, ClientEvent, QoS};
 use parking_lot::Mutex;
 use prov_codec::frame::Envelope;
+use prov_model::Record;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -17,12 +18,33 @@ use std::time::Duration;
 /// converts every decoded message with the provided [`Translator`]. For
 /// large fleets the paper parallelizes translators — one per device topic
 /// (Fig. 5, translator-1..64); [`ProvLightServer::start_parallel`] builds
-/// that layout.
+/// that layout. With the sharded store behind
+/// [`DfAnalyzerTranslator`](crate::translator::DfAnalyzerTranslator),
+/// those translators ingest genuinely in parallel instead of serializing
+/// on one store lock.
 pub struct ProvLightServer {
     broker: UdpBroker,
     shutdown: Arc<AtomicBool>,
     decode_errors: Arc<AtomicU64>,
+    translators: Vec<Arc<Mutex<dyn Translator>>>,
     translator_threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Ingestion-side observability counters (decode failures plus how many
+/// messages each translator handled).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Messages that failed to decode.
+    pub decode_errors: u64,
+    /// Messages handled by the translator serving each topic, indexed like
+    /// the `topics` passed to [`ProvLightServer::start_parallel`]. Topics
+    /// sharing one translator instance report that instance's (shared)
+    /// counter.
+    pub translator_messages: Vec<u64>,
+    /// Total messages handled, counting each distinct translator instance
+    /// once — comparable against the broker's delivered-publish count even
+    /// when topics share a translator.
+    pub messages_total: u64,
 }
 
 impl ProvLightServer {
@@ -49,6 +71,7 @@ impl ProvLightServer {
         let shutdown = Arc::new(AtomicBool::new(false));
         let decode_errors = Arc::new(AtomicU64::new(0));
 
+        let mut translators = Vec::with_capacity(topics.len());
         let mut translator_threads = Vec::with_capacity(topics.len());
         for (i, topic) in topics.iter().enumerate() {
             let mut sub = UdpClient::connect(
@@ -58,15 +81,20 @@ impl ProvLightServer {
             )?;
             sub.subscribe(topic, QoS::ExactlyOnce, Duration::from_secs(5))?;
             let translator = factory(i);
+            translators.push(Arc::clone(&translator));
             let shutdown = Arc::clone(&shutdown);
             let decode_errors = Arc::clone(&decode_errors);
             translator_threads.push(std::thread::spawn(move || {
+                // One record buffer cycles between decode and translator
+                // for the lifetime of the thread: decode_into clears and
+                // refills it, on_records drains it.
+                let mut records: Vec<Record> = Vec::new();
                 while !shutdown.load(Ordering::Relaxed) {
                     match sub.poll_event() {
                         Ok(Some(ClientEvent::Message { payload, .. })) => {
-                            match Envelope::decode(&payload) {
-                                Ok(envelope) => {
-                                    translator.lock().on_records(envelope.records);
+                            match Envelope::decode_into(&payload, &mut records) {
+                                Ok(_) => {
+                                    translator.lock().on_records(&mut records);
                                 }
                                 Err(_) => {
                                     decode_errors.fetch_add(1, Ordering::Relaxed);
@@ -85,6 +113,7 @@ impl ProvLightServer {
             broker,
             shutdown,
             decode_errors,
+            translators,
             translator_threads,
         })
     }
@@ -98,6 +127,30 @@ impl ProvLightServer {
     /// publishers on the topic).
     pub fn decode_errors(&self) -> u64 {
         self.decode_errors.load(Ordering::Relaxed)
+    }
+
+    /// Ingestion statistics: decode failures and per-translator message
+    /// counts (briefly locks each translator). Factories may hand the same
+    /// translator instance to several topics; the total deduplicates by
+    /// instance so shared counters are not summed once per topic.
+    pub fn stats(&self) -> ServerStats {
+        let mut seen: Vec<usize> = Vec::with_capacity(self.translators.len());
+        let mut translator_messages = Vec::with_capacity(self.translators.len());
+        let mut messages_total = 0;
+        for translator in &self.translators {
+            let messages = translator.lock().messages();
+            translator_messages.push(messages);
+            let instance = Arc::as_ptr(translator).cast::<()>() as usize;
+            if !seen.contains(&instance) {
+                seen.push(instance);
+                messages_total += messages;
+            }
+        }
+        ServerStats {
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            translator_messages,
+            messages_total,
+        }
     }
 
     /// Broker routing statistics.
@@ -146,7 +199,7 @@ mod tests {
 
     #[test]
     fn end_to_end_capture_over_real_udp() {
-        let store = prov_store::store::shared();
+        let store = prov_store::shared_sharded();
         let translator = Arc::new(Mutex::new(DfAnalyzerTranslator::new(store.clone())));
         let server = ProvLightServer::start("127.0.0.1:0", "provlight/#", translator).unwrap();
 
@@ -172,16 +225,20 @@ mod tests {
         client.flush().unwrap();
 
         assert!(
-            wait_until(Duration::from_secs(10), || store.read().stats().records >= 4),
+            wait_until(Duration::from_secs(10), || store.stats().records >= 4),
             "store never received the records; got {}",
-            store.read().stats().records
+            store.stats().records
         );
-        let guard = store.read();
+        let guard = store.read(&Id::Num(1));
         let task_row = guard.task_by_id(&Id::Num(1), &Id::Num(0)).unwrap();
         assert_eq!(task_row.transformation, Id::from("train"));
         assert!(task_row.elapsed_s().is_some());
-        assert_eq!(server.decode_errors(), 0);
         drop(guard);
+
+        let stats = server.stats();
+        assert_eq!(stats.decode_errors, 0);
+        assert_eq!(stats.translator_messages.len(), 1);
+        assert!(stats.messages_total >= 1);
 
         client.shutdown();
         server.shutdown();
@@ -190,15 +247,14 @@ mod tests {
     #[test]
     fn parallel_translators_partition_by_topic() {
         // Fig. 5: one translator per device topic, all feeding the same
-        // store; a per-topic message counter proves the partitioning.
-        let store = prov_store::store::shared();
-        let counters: Vec<Arc<Mutex<DfAnalyzerTranslator>>> = (0..3)
-            .map(|_| Arc::new(Mutex::new(DfAnalyzerTranslator::new(store.clone()))))
-            .collect();
+        // sharded store; per-translator message counts prove the
+        // partitioning.
+        let store = prov_store::shared_sharded();
         let topics: Vec<String> = (0..3).map(|i| format!("provlight/wfp/dev{i}")).collect();
-        let c = counters.clone();
-        let server = ProvLightServer::start_parallel("127.0.0.1:0", &topics, move |i| {
-            c[i].clone() as Arc<Mutex<dyn crate::translator::Translator>>
+        let s = store.clone();
+        let server = ProvLightServer::start_parallel("127.0.0.1:0", &topics, move |_| {
+            Arc::new(Mutex::new(DfAnalyzerTranslator::new(s.clone())))
+                as Arc<Mutex<dyn crate::translator::Translator>>
         })
         .unwrap();
 
@@ -224,21 +280,65 @@ mod tests {
         }
 
         assert!(
-            wait_until(Duration::from_secs(10), || store.read().stats().records >= 6),
+            wait_until(Duration::from_secs(10), || store.stats().records >= 6),
             "records: {}",
-            store.read().stats().records
+            store.stats().records
         );
         // Each translator saw exactly its own device's two messages.
-        for (i, t) in counters.iter().enumerate() {
-            assert_eq!(t.lock().messages(), 2, "translator {i}");
+        let stats = server.stats();
+        assert_eq!(stats.translator_messages, vec![2, 2, 2]);
+        assert_eq!(stats.messages_total, 6);
+        assert_eq!(stats.decode_errors, 0);
+        assert_eq!(store.workflow_ids().len(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shared_translator_not_double_counted_in_stats() {
+        // One translator instance serving all three topics: the per-topic
+        // list repeats the shared counter, but the total counts the
+        // instance once.
+        let store = prov_store::shared_sharded();
+        let shared = Arc::new(Mutex::new(DfAnalyzerTranslator::new(store.clone())))
+            as Arc<Mutex<dyn crate::translator::Translator>>;
+        let topics: Vec<String> = (0..3).map(|i| format!("provlight/wfs/dev{i}")).collect();
+        let server =
+            ProvLightServer::start_parallel("127.0.0.1:0", &topics, move |_| shared.clone())
+                .unwrap();
+
+        for dev in 0..3u64 {
+            let client = ProvLightClient::connect(
+                server.broker_addr(),
+                &format!("sdev{dev}"),
+                &format!("provlight/wfs/dev{dev}"),
+                CaptureConfig {
+                    max_payload: 1,
+                    ..CaptureConfig::default()
+                },
+            )
+            .unwrap();
+            let session = client.session();
+            let wf = session.workflow(dev + 200);
+            wf.begin().unwrap();
+            wf.end().unwrap();
+            client.flush().unwrap();
+            client.shutdown();
         }
-        assert_eq!(store.read().workflow_ids().len(), 3);
+
+        assert!(
+            wait_until(Duration::from_secs(10), || store.stats().records >= 6),
+            "records: {}",
+            store.stats().records
+        );
+        let stats = server.stats();
+        assert_eq!(stats.translator_messages, vec![6, 6, 6]);
+        assert_eq!(stats.messages_total, 6, "shared instance counted once");
         server.shutdown();
     }
 
     #[test]
     fn grouped_capture_arrives_in_batches() {
-        let store = prov_store::store::shared();
+        let store = prov_store::shared_sharded();
         let translator = Arc::new(Mutex::new(DfAnalyzerTranslator::new(store.clone())));
         let server = ProvLightServer::start("127.0.0.1:0", "provlight/#", translator).unwrap();
 
@@ -269,12 +369,13 @@ mod tests {
         client.flush().unwrap();
 
         assert!(
-            wait_until(Duration::from_secs(10), || store.read().stats().records >= 8),
+            wait_until(Duration::from_secs(10), || store.stats().records >= 8),
             "records missing: {}",
-            store.read().stats().records
+            store.stats().records
         );
         // 8 records in groups of 4 → exactly 2 messages through the broker.
         assert_eq!(server.broker_stats().publishes_in, 2);
+        assert_eq!(server.stats().messages_total, 2);
         client.shutdown();
         server.shutdown();
     }

@@ -6,36 +6,49 @@
 //! particular data model" — that extension point is the [`Translator`]
 //! trait; this module ships the translators the paper discusses:
 //!
-//! * [`DfAnalyzerTranslator`] — feeds the DfAnalyzer-style store
-//!   (`prov-store`), as in the paper's E2Clab integration (§V);
+//! * [`DfAnalyzerTranslator`] — feeds the sharded DfAnalyzer-style store
+//!   (`prov-store`), as in the paper's E2Clab integration (§V). Each
+//!   translator owns a [`ShardRouter`], so an envelope's records are
+//!   grouped by shard and ingested under one lock acquisition per touched
+//!   shard — parallel translators on different workflows never contend;
 //! * [`ProvDocumentTranslator`] — accumulates a W3C PROV document;
 //! * [`JsonForwardTranslator`] — renders records as JSON lines for
 //!   forwarding to any HTTP-ingesting system (the ProvLake-style path).
 
 use prov_codec::json::{record_to_json, JsonStyle};
 use prov_model::{mapping, ProvDocument, Record};
-use prov_store::store::SharedStore;
+use prov_store::sharded::{ShardRouter, SharedShardedStore};
 
 /// Converts decoded records into a downstream representation.
 pub trait Translator: Send {
     /// Translator name for logs/reports.
     fn name(&self) -> &'static str;
     /// Handles one decoded message batch.
-    fn on_records(&mut self, records: Vec<Record>);
+    ///
+    /// The batch is passed by mutable reference and **must be left empty**
+    /// on return (capacity preserved): the server's decode loop recycles
+    /// one record buffer across every message — the decode-side mirror of
+    /// the capture path's encode-into discipline.
+    fn on_records(&mut self, records: &mut Vec<Record>);
     /// Messages handled so far.
     fn messages(&self) -> u64;
 }
 
-/// Translates into the DfAnalyzer-style provenance store.
+/// Translates into the sharded DfAnalyzer-style provenance store.
 pub struct DfAnalyzerTranslator {
-    store: SharedStore,
+    store: SharedShardedStore,
+    router: ShardRouter,
     messages: u64,
 }
 
 impl DfAnalyzerTranslator {
     /// Creates a translator feeding `store`.
-    pub fn new(store: SharedStore) -> Self {
-        DfAnalyzerTranslator { store, messages: 0 }
+    pub fn new(store: SharedShardedStore) -> Self {
+        DfAnalyzerTranslator {
+            store,
+            router: ShardRouter::new(),
+            messages: 0,
+        }
     }
 }
 
@@ -44,9 +57,9 @@ impl Translator for DfAnalyzerTranslator {
         "dfanalyzer"
     }
 
-    fn on_records(&mut self, records: Vec<Record>) {
+    fn on_records(&mut self, records: &mut Vec<Record>) {
         self.messages += 1;
-        self.store.write().ingest_batch(records);
+        self.router.route(&self.store, records);
     }
 
     fn messages(&self) -> u64 {
@@ -78,12 +91,12 @@ impl Translator for ProvDocumentTranslator {
         "prov-dm"
     }
 
-    fn on_records(&mut self, records: Vec<Record>) {
+    fn on_records(&mut self, records: &mut Vec<Record>) {
         self.messages += 1;
-        for r in &records {
+        for r in records.drain(..) {
             // Records from a well-formed client always map; ignore
             // inconsistent ones rather than poisoning the stream.
-            let _ = mapping::apply_record(&mut self.doc, r);
+            let _ = mapping::apply_record(&mut self.doc, &r);
         }
     }
 
@@ -120,10 +133,11 @@ impl Translator for JsonForwardTranslator {
         "json-forward"
     }
 
-    fn on_records(&mut self, records: Vec<Record>) {
+    fn on_records(&mut self, records: &mut Vec<Record>) {
         self.messages += 1;
-        for r in &records {
-            self.lines.push(record_to_json(r, self.style).to_string_compact());
+        for r in records.drain(..) {
+            self.lines
+                .push(record_to_json(&r, self.style).to_string_compact());
         }
     }
 
@@ -152,12 +166,18 @@ mod tests {
 
     #[test]
     fn dfanalyzer_translator_ingests() {
-        let store = prov_store::store::shared();
+        let store = prov_store::shared_sharded();
         let mut t = DfAnalyzerTranslator::new(store.clone());
-        t.on_records(records());
+        let mut batch = records();
+        t.on_records(&mut batch);
+        assert!(batch.is_empty(), "translator must drain the batch");
         assert_eq!(t.messages(), 1);
-        assert_eq!(store.read().stats().records, 2);
-        let wf = store.read().workflow(&Id::Num(1)).cloned().unwrap();
+        assert_eq!(store.stats().records, 2);
+        let wf = store
+            .read(&Id::Num(1))
+            .workflow(&Id::Num(1))
+            .cloned()
+            .unwrap();
         assert_eq!(wf.begin_ns, Some(0));
         assert_eq!(wf.end_ns, Some(9));
     }
@@ -165,7 +185,7 @@ mod tests {
     #[test]
     fn prov_translator_builds_document() {
         let mut t = ProvDocumentTranslator::new();
-        t.on_records(records());
+        t.on_records(&mut records());
         assert_eq!(t.document().element_count(), 1);
         t.document().validate().unwrap();
     }
@@ -173,7 +193,7 @@ mod tests {
     #[test]
     fn json_translator_renders_lines() {
         let mut t = JsonForwardTranslator::new(JsonStyle::Compact);
-        t.on_records(records());
+        t.on_records(&mut records());
         assert_eq!(t.lines().len(), 2);
         assert!(t.lines()[0].contains("workflow_begin"));
     }

@@ -56,11 +56,12 @@ pub struct BrokerStats {
     pub drops: u64,
 }
 
+/// Which acknowledgement an in-flight outbound message is waiting for.
 #[derive(Clone, Debug)]
 enum OutPhase {
-    AwaitPuback,
-    AwaitPubrec,
-    AwaitPubcomp,
+    Puback,
+    Pubrec,
+    Pubcomp,
 }
 
 #[derive(Clone, Debug)]
@@ -262,7 +263,7 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                 if let Some(s) = self.sessions.get_mut(&from) {
                     if matches!(
                         s.outbound.get(&msg_id).map(|o| &o.phase),
-                        Some(OutPhase::AwaitPuback)
+                        Some(OutPhase::Puback)
                     ) {
                         s.outbound.remove(&msg_id);
                     }
@@ -272,7 +273,7 @@ impl<A: Clone + Eq + Hash> Broker<A> {
             Packet::PubRec { msg_id } => {
                 if let Some(s) = self.sessions.get_mut(&from) {
                     if let Some(o) = s.outbound.get_mut(&msg_id) {
-                        o.phase = OutPhase::AwaitPubcomp;
+                        o.phase = OutPhase::Pubcomp;
                         o.last_sent = now;
                         o.retries = 0;
                     }
@@ -308,9 +309,9 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                                 payload: payload.clone(),
                                 qos,
                                 phase: if qos == QoS::AtLeastOnce {
-                                    OutPhase::AwaitPuback
+                                    OutPhase::Puback
                                 } else {
-                                    OutPhase::AwaitPubrec
+                                    OutPhase::Pubrec
                                 },
                                 last_sent: now,
                                 retries: 0,
@@ -516,9 +517,9 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                         payload: payload.clone(),
                         qos: sub_qos,
                         phase: if sub_qos == QoS::AtLeastOnce {
-                            OutPhase::AwaitPuback
+                            OutPhase::Puback
                         } else {
-                            OutPhase::AwaitPubrec
+                            OutPhase::Pubrec
                         },
                         last_sent: now,
                         retries: 0,
@@ -556,7 +557,7 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                 o.last_sent = now;
                 self.stats.retransmissions += 1;
                 let packet = match o.phase {
-                    OutPhase::AwaitPuback | OutPhase::AwaitPubrec => Packet::Publish {
+                    OutPhase::Puback | OutPhase::Pubrec => Packet::Publish {
                         dup: true,
                         qos: o.qos,
                         retain: false,
@@ -564,7 +565,7 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                         msg_id: id,
                         payload: o.payload.clone(),
                     },
-                    OutPhase::AwaitPubcomp => Packet::PubRel { msg_id: id },
+                    OutPhase::Pubcomp => Packet::PubRel { msg_id: id },
                 };
                 out.push((addr.clone(), packet));
             }

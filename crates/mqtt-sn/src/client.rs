@@ -122,11 +122,12 @@ pub enum Output {
     Event(ClientEvent),
 }
 
+/// Which acknowledgement an in-flight outbound message is waiting for.
 #[derive(Clone, Debug)]
 enum OutPhase {
-    AwaitPuback,
-    AwaitPubrec,
-    AwaitPubcomp,
+    Puback,
+    Pubrec,
+    Pubcomp,
 }
 
 #[derive(Clone, Debug)]
@@ -341,9 +342,9 @@ impl Client {
                         qos,
                         retain: false,
                         phase: if qos == QoS::AtLeastOnce {
-                            OutPhase::AwaitPuback
+                            OutPhase::Puback
                         } else {
-                            OutPhase::AwaitPubrec
+                            OutPhase::Pubrec
                         },
                         last_sent: now,
                         retries: 0,
@@ -442,7 +443,7 @@ impl Client {
             }
             Packet::PubAck { msg_id, .. } => {
                 if let Some(f) = self.inflight.get(&msg_id) {
-                    if matches!(f.phase, OutPhase::AwaitPuback) {
+                    if matches!(f.phase, OutPhase::Puback) {
                         if let Some(f) = self.inflight.remove(&msg_id) {
                             self.reclaim_payload(f.payload);
                         }
@@ -452,7 +453,7 @@ impl Client {
             }
             Packet::PubRec { msg_id } => {
                 if let Some(f) = self.inflight.get_mut(&msg_id) {
-                    f.phase = OutPhase::AwaitPubcomp;
+                    f.phase = OutPhase::Pubcomp;
                     f.last_sent = now;
                     f.retries = 0;
                 }
@@ -591,7 +592,7 @@ impl Client {
             f.retries += 1;
             f.last_sent = now;
             let packet = match f.phase {
-                OutPhase::AwaitPuback | OutPhase::AwaitPubrec => {
+                OutPhase::Puback | OutPhase::Pubrec => {
                     let mut wire_payload = self.spare_payloads.pop().unwrap_or_default();
                     wire_payload.clear();
                     wire_payload.extend_from_slice(&f.payload);
@@ -604,7 +605,7 @@ impl Client {
                         payload: wire_payload,
                     }
                 }
-                OutPhase::AwaitPubcomp => Packet::PubRel { msg_id: id },
+                OutPhase::Pubcomp => Packet::PubRel { msg_id: id },
             };
             self.last_tx = now;
             out.push(Output::Send(packet));

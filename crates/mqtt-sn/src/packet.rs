@@ -284,7 +284,7 @@ impl Packet {
         out.extend_from_slice(&[0, 0, 0]);
         self.encode_body(out);
         let body_len = out.len() - start - 3;
-        if body_len + 1 <= 255 {
+        if body_len < 255 {
             out[start] = (body_len + 1) as u8;
             out.copy_within(start + 3.., start + 1);
             out.truncate(out.len() - 2);
@@ -295,12 +295,12 @@ impl Packet {
         }
     }
 
-    fn encode_body(&self, mut b: &mut Vec<u8>) {
+    fn encode_body(&self, b: &mut Vec<u8>) {
         match self {
             Packet::Advertise { gw_id, duration } => {
                 b.push(msg_type::ADVERTISE);
                 b.push(*gw_id);
-                push_u16(&mut b, *duration);
+                push_u16(b, *duration);
             }
             Packet::SearchGw { radius } => {
                 b.push(msg_type::SEARCHGW);
@@ -322,7 +322,7 @@ impl Packet {
                 }
                 b.push(flags);
                 b.push(0x01); // protocol id
-                push_u16(&mut b, *duration);
+                push_u16(b, *duration);
                 b.extend_from_slice(client_id.as_bytes());
             }
             Packet::ConnAck { code } => {
@@ -335,8 +335,8 @@ impl Packet {
                 topic_name,
             } => {
                 b.push(msg_type::REGISTER);
-                push_u16(&mut b, *topic_id);
-                push_u16(&mut b, *msg_id);
+                push_u16(b, *topic_id);
+                push_u16(b, *msg_id);
                 b.extend_from_slice(topic_name.as_bytes());
             }
             Packet::RegAck {
@@ -345,8 +345,8 @@ impl Packet {
                 code,
             } => {
                 b.push(msg_type::REGACK);
-                push_u16(&mut b, *topic_id);
-                push_u16(&mut b, *msg_id);
+                push_u16(b, *topic_id);
+                push_u16(b, *msg_id);
                 b.push(code.byte());
             }
             Packet::Publish {
@@ -367,10 +367,10 @@ impl Packet {
                 }
                 b.push(flags);
                 match topic {
-                    TopicRef::Id(id) | TopicRef::Predefined(id) => push_u16(&mut b, *id),
-                    TopicRef::Name(_) => push_u16(&mut b, 0),
+                    TopicRef::Id(id) | TopicRef::Predefined(id) => push_u16(b, *id),
+                    TopicRef::Name(_) => push_u16(b, 0),
                 }
-                push_u16(&mut b, *msg_id);
+                push_u16(b, *msg_id);
                 b.extend_from_slice(payload);
             }
             Packet::PubAck {
@@ -379,21 +379,21 @@ impl Packet {
                 code,
             } => {
                 b.push(msg_type::PUBACK);
-                push_u16(&mut b, *topic_id);
-                push_u16(&mut b, *msg_id);
+                push_u16(b, *topic_id);
+                push_u16(b, *msg_id);
                 b.push(code.byte());
             }
             Packet::PubRec { msg_id } => {
                 b.push(msg_type::PUBREC);
-                push_u16(&mut b, *msg_id);
+                push_u16(b, *msg_id);
             }
             Packet::PubRel { msg_id } => {
                 b.push(msg_type::PUBREL);
-                push_u16(&mut b, *msg_id);
+                push_u16(b, *msg_id);
             }
             Packet::PubComp { msg_id } => {
                 b.push(msg_type::PUBCOMP);
-                push_u16(&mut b, *msg_id);
+                push_u16(b, *msg_id);
             }
             Packet::Subscribe {
                 dup,
@@ -407,9 +407,9 @@ impl Packet {
                     flags |= flag::DUP;
                 }
                 b.push(flags);
-                push_u16(&mut b, *msg_id);
+                push_u16(b, *msg_id);
                 match topic {
-                    TopicRef::Id(id) | TopicRef::Predefined(id) => push_u16(&mut b, *id),
+                    TopicRef::Id(id) | TopicRef::Predefined(id) => push_u16(b, *id),
                     TopicRef::Name(name) => b.extend_from_slice(name.as_bytes()),
                 }
             }
@@ -421,29 +421,29 @@ impl Packet {
             } => {
                 b.push(msg_type::SUBACK);
                 b.push(qos.bits() << flag::QOS_SHIFT);
-                push_u16(&mut b, *topic_id);
-                push_u16(&mut b, *msg_id);
+                push_u16(b, *topic_id);
+                push_u16(b, *msg_id);
                 b.push(code.byte());
             }
             Packet::Unsubscribe { msg_id, topic } => {
                 b.push(msg_type::UNSUBSCRIBE);
                 b.push(topic.type_bits());
-                push_u16(&mut b, *msg_id);
+                push_u16(b, *msg_id);
                 match topic {
-                    TopicRef::Id(id) | TopicRef::Predefined(id) => push_u16(&mut b, *id),
+                    TopicRef::Id(id) | TopicRef::Predefined(id) => push_u16(b, *id),
                     TopicRef::Name(name) => b.extend_from_slice(name.as_bytes()),
                 }
             }
             Packet::UnsubAck { msg_id } => {
                 b.push(msg_type::UNSUBACK);
-                push_u16(&mut b, *msg_id);
+                push_u16(b, *msg_id);
             }
             Packet::PingReq => b.push(msg_type::PINGREQ),
             Packet::PingResp => b.push(msg_type::PINGRESP),
             Packet::Disconnect { duration } => {
                 b.push(msg_type::DISCONNECT);
                 if let Some(d) = duration {
-                    push_u16(&mut b, *d);
+                    push_u16(b, *d);
                 }
             }
         }
@@ -453,7 +453,7 @@ impl Packet {
     /// scratch; used heavily by simulator cost accounting).
     pub fn encoded_len(&self) -> usize {
         thread_local! {
-            static LEN_BUF: std::cell::RefCell<Vec<u8>> = std::cell::RefCell::new(Vec::new());
+            static LEN_BUF: std::cell::RefCell<Vec<u8>> = const { std::cell::RefCell::new(Vec::new()) };
         }
         LEN_BUF.with(|cell| {
             let mut buf = cell.borrow_mut();

@@ -209,21 +209,38 @@ pub fn encode_record(record: &Record) -> Vec<u8> {
 /// record with 100 attributes named like another record's costs 100 refcount
 /// bumps, not 100 heap copies.
 pub fn decode_batch(buf: &[u8]) -> Result<Vec<Record>, CodecError> {
+    let mut records = Vec::new();
+    decode_batch_into(buf, &mut records)?;
+    Ok(records)
+}
+
+/// Decodes a batch into a caller-owned `Vec` (cleared first), recycling the
+/// record buffer and a thread-local string-table scratch across messages —
+/// the decode-side twin of [`encode_batch_into`].
+pub fn decode_batch_into(buf: &[u8], records: &mut Vec<Record>) -> Result<(), CodecError> {
+    thread_local! {
+        static STRINGS: RefCell<Vec<Arc<str>>> = const { RefCell::new(Vec::new()) };
+    }
+    records.clear();
     let mut r = Reader::new(buf);
     let count = r.read_u64()? as usize;
     let nstrings = r.read_u64()? as usize;
-    let mut strings: Vec<Arc<str>> = Vec::with_capacity(nstrings.min(r.remaining()));
-    for _ in 0..nstrings {
-        let len = r.read_len()?;
-        let bytes = r.read_bytes(len)?;
-        let s = std::str::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)?;
-        strings.push(Arc::from(s));
-    }
-    let mut records = Vec::with_capacity(count.min(r.remaining() + 1));
-    for _ in 0..count {
-        records.push(decode_record_from(&mut r, &strings)?);
-    }
-    Ok(records)
+    STRINGS.with(|cell| {
+        let strings = &mut *cell.borrow_mut();
+        strings.clear();
+        strings.reserve(nstrings.min(r.remaining()));
+        for _ in 0..nstrings {
+            let len = r.read_len()?;
+            let bytes = r.read_bytes(len)?;
+            let s = std::str::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)?;
+            strings.push(Arc::from(s));
+        }
+        records.reserve(count.min(r.remaining() + 1));
+        for _ in 0..count {
+            records.push(decode_record_from(&mut r, strings)?);
+        }
+        Ok(())
+    })
 }
 
 /// Decodes a single record (one-element batch).

@@ -172,6 +172,16 @@ pub fn compress_with(scratch: &mut CompressScratch, input: &[u8], out: &mut Vec<
 
 /// Decompresses a buffer produced by [`compress`].
 pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    decompress_into(input, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses into a caller-owned buffer (cleared first), so the decode
+/// loop of a long-lived server can recycle one scratch allocation across
+/// messages.
+pub fn decompress_into(input: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+    out.clear();
     let mut r = crate::varint::Reader::new(input);
     let expected = r.read_u64().map_err(|_| CodecError::BadCompression)? as usize;
     // Guard absurd declared sizes (corrupt or adversarial input): the token
@@ -179,7 +189,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CodecError> {
     if expected > input.len().saturating_mul(MAX_MATCH).saturating_mul(8) + 64 {
         return Err(CodecError::BadCompression);
     }
-    let mut out = Vec::with_capacity(expected);
+    out.reserve(expected);
     let mut pos = r.position();
 
     while out.len() < expected {
@@ -213,7 +223,7 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CodecError> {
     if out.len() != expected {
         return Err(CodecError::BadCompression);
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -278,7 +288,7 @@ mod tests {
         // such distances routine.
         let sentinel: Vec<u8> = (0u8..32).collect();
         let mut data = sentinel.clone();
-        data.extend(std::iter::repeat(0xAB).take(WINDOW - sentinel.len()));
+        data.extend(std::iter::repeat_n(0xAB, WINDOW - sentinel.len()));
         data.extend_from_slice(&sentinel); // starts exactly WINDOW after the first copy
         assert_eq!(data.len(), WINDOW + 32);
         let c = compress(&data);

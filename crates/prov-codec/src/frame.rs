@@ -47,7 +47,7 @@ impl Envelope {
     pub fn encode_into(records: &[Record], use_compression: bool, out: &mut Vec<u8>) {
         thread_local! {
             static FRAME_SCRATCH: RefCell<(Vec<u8>, Vec<u8>)> =
-                RefCell::new((Vec::new(), Vec::new()));
+                const { RefCell::new((Vec::new(), Vec::new())) };
         }
         FRAME_SCRATCH.with(|cell| {
             let (raw, packed) = &mut *cell.borrow_mut();
@@ -74,6 +74,20 @@ impl Envelope {
 
     /// Decodes a wire message.
     pub fn decode(buf: &[u8]) -> Result<Envelope, CodecError> {
+        let mut records = Vec::new();
+        let was_compressed = Envelope::decode_into(buf, &mut records)?;
+        Ok(Envelope {
+            records,
+            was_compressed,
+        })
+    }
+
+    /// Decodes a wire message into a caller-owned record buffer (cleared
+    /// first), reusing thread-local decompression scratch. Returns whether
+    /// the payload was compressed. This is the server decode loop's hot
+    /// path: one record buffer cycles between broker poll and translator
+    /// across every message.
+    pub fn decode_into(buf: &[u8], records: &mut Vec<Record>) -> Result<bool, CodecError> {
         if buf.len() < 3 {
             return Err(CodecError::UnexpectedEof);
         }
@@ -85,15 +99,19 @@ impl Envelope {
         }
         let compressed = buf[2] & FLAG_COMPRESSED != 0;
         let payload = &buf[3..];
-        let records = if compressed {
-            binary::decode_batch(&compress::decompress(payload)?)?
+        if compressed {
+            thread_local! {
+                static RAW: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+            }
+            RAW.with(|cell| {
+                let raw = &mut *cell.borrow_mut();
+                compress::decompress_into(payload, raw)?;
+                binary::decode_batch_into(raw, records)
+            })?;
         } else {
-            binary::decode_batch(payload)?
-        };
-        Ok(Envelope {
-            records,
-            was_compressed: compressed,
-        })
+            binary::decode_batch_into(payload, records)?;
+        }
+        Ok(compressed)
     }
 
     /// Encoded size without actually keeping the buffer (used by cost
@@ -101,7 +119,7 @@ impl Envelope {
     /// repeated calls do not allocate.
     pub fn encoded_len(records: &[Record], use_compression: bool) -> usize {
         thread_local! {
-            static LEN_BUF: RefCell<Vec<u8>> = RefCell::new(Vec::new());
+            static LEN_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
         }
         LEN_BUF.with(|cell| {
             let mut buf = cell.borrow_mut();

@@ -17,12 +17,49 @@ use std::sync::Arc;
 /// String ids are `Arc<str>` so decoding can share one allocation per
 /// string-table entry across every record that references it (cloning an id
 /// is a refcount bump, not a heap copy).
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Id {
     /// Numeric identifier (compactly varint-encoded on the wire).
     Num(u64),
     /// String identifier (shared, immutable).
     Str(Arc<str>),
+}
+
+impl Clone for Id {
+    fn clone(&self) -> Id {
+        #[cfg(debug_assertions)]
+        clone_count::bump();
+        match self {
+            Id::Num(n) => Id::Num(*n),
+            Id::Str(s) => Id::Str(Arc::clone(s)),
+        }
+    }
+}
+
+/// Per-thread `Id` clone accounting, compiled into debug builds only.
+///
+/// Even for string ids a clone is just a refcount bump, which a counting
+/// allocator cannot see — so the zero-clone guarantees of the ingest index
+/// hot path (borrowed-key lookups, see [`crate::key`]) are asserted against
+/// this counter instead. The counter is thread-local so concurrently
+/// running tests cannot pollute each other's measurements. Release builds
+/// pay nothing.
+#[cfg(debug_assertions)]
+pub mod clone_count {
+    use std::cell::Cell;
+
+    thread_local! {
+        static CLONES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(super) fn bump() {
+        CLONES.with(|c| c.set(c.get() + 1));
+    }
+
+    /// `Id` clones performed by the current thread so far.
+    pub fn id_clones() -> u64 {
+        CLONES.with(Cell::get)
+    }
 }
 
 impl Id {

@@ -1,0 +1,171 @@
+//! Borrowed composite keys for `(Id, Id)` and `(Id, attr-name)` hash maps.
+//!
+//! The server-side store indexes tasks and data by `(workflow, id)` and
+//! attribute columns by `(workflow, name)`. A plain
+//! `HashMap<(Id, Id), _>::get` forces callers to materialize an owned tuple
+//! — two `Id` clones per lookup, on the hottest path of ingestion. The
+//! trait-object keys here let a map keyed by the owned tuple be probed with
+//! borrowed parts: the lookup hashes `(workflow, id)` directly off the
+//! references, so an index *hit* performs zero clones and zero allocations.
+//!
+//! The trick is the classic `Borrow<dyn Key>` pattern: the owned tuple and
+//! the borrowed pair both present themselves as `&dyn IdPairKey`, whose
+//! `Hash`/`Eq` impls delegate to the parts in tuple order — identical to the
+//! derived tuple implementations, so probe and stored key always agree.
+
+use crate::ids::Id;
+use std::borrow::Borrow;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A `(workflow, id)` key viewed through its parts.
+pub trait IdPairKey {
+    /// First component (the workflow id).
+    fn k0(&self) -> &Id;
+    /// Second component (the task/data id).
+    fn k1(&self) -> &Id;
+}
+
+impl IdPairKey for (Id, Id) {
+    fn k0(&self) -> &Id {
+        &self.0
+    }
+    fn k1(&self) -> &Id {
+        &self.1
+    }
+}
+
+impl IdPairKey for (&Id, &Id) {
+    fn k0(&self) -> &Id {
+        self.0
+    }
+    fn k1(&self) -> &Id {
+        self.1
+    }
+}
+
+impl<'a> Borrow<dyn IdPairKey + 'a> for (Id, Id) {
+    fn borrow(&self) -> &(dyn IdPairKey + 'a) {
+        self
+    }
+}
+
+impl Hash for dyn IdPairKey + '_ {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must match `#[derive(Hash)]` for `(Id, Id)`: parts in order.
+        self.k0().hash(state);
+        self.k1().hash(state);
+    }
+}
+
+impl PartialEq for dyn IdPairKey + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.k0() == other.k0() && self.k1() == other.k1()
+    }
+}
+
+impl Eq for dyn IdPairKey + '_ {}
+
+/// A `(workflow, attribute-name)` key viewed through its parts.
+pub trait IdAttrKey {
+    /// The workflow id.
+    fn id(&self) -> &Id;
+    /// The attribute name.
+    fn attr(&self) -> &str;
+}
+
+impl IdAttrKey for (Id, Arc<str>) {
+    fn id(&self) -> &Id {
+        &self.0
+    }
+    fn attr(&self) -> &str {
+        &self.1
+    }
+}
+
+impl IdAttrKey for (&Id, &str) {
+    fn id(&self) -> &Id {
+        self.0
+    }
+    fn attr(&self) -> &str {
+        self.1
+    }
+}
+
+impl<'a> Borrow<dyn IdAttrKey + 'a> for (Id, Arc<str>) {
+    fn borrow(&self) -> &(dyn IdAttrKey + 'a) {
+        self
+    }
+}
+
+impl Hash for dyn IdAttrKey + '_ {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Matches `(Id, Arc<str>)`: `Arc<str>` hashes as the inner `str`.
+        self.id().hash(state);
+        self.attr().hash(state);
+    }
+}
+
+impl PartialEq for dyn IdAttrKey + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.id() == other.id() && self.attr() == other.attr()
+    }
+}
+
+impl Eq for dyn IdAttrKey + '_ {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::collections::HashMap;
+
+    fn hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn borrowed_pair_hash_matches_owned_tuple() {
+        for (a, b) in [
+            (Id::Num(1), Id::Num(2)),
+            (Id::from("wf"), Id::from("task-9")),
+            (Id::Num(7), Id::from("7")),
+        ] {
+            let owned = (a.clone(), b.clone());
+            let owned_dyn: &dyn IdPairKey = &owned;
+            let borrowed: &dyn IdPairKey = &(&a, &b);
+            assert_eq!(hash_of(owned_dyn), hash_of(borrowed));
+            assert!(owned_dyn == borrowed);
+        }
+    }
+
+    #[test]
+    fn map_probe_with_borrowed_key() {
+        let mut map: HashMap<(Id, Id), usize> = HashMap::new();
+        map.insert((Id::from("wf"), Id::Num(3)), 42);
+        let wf = Id::from("wf");
+        let id = Id::Num(3);
+        let probe: &dyn IdPairKey = &(&wf, &id);
+        assert_eq!(map.get(probe), Some(&42));
+        let miss: &dyn IdPairKey = &(&wf, &Id::Num(4));
+        assert_eq!(map.get(miss), None);
+    }
+
+    #[test]
+    fn attr_key_hash_matches_owned_tuple() {
+        let owned = (Id::Num(5), Arc::<str>::from("accuracy"));
+        let owned_dyn: &dyn IdAttrKey = &owned;
+        let wf = Id::Num(5);
+        let borrowed: &dyn IdAttrKey = &(&wf, "accuracy");
+        assert_eq!(hash_of(owned_dyn), hash_of(borrowed));
+        assert!(owned_dyn == borrowed);
+
+        let mut map: HashMap<(Id, Arc<str>), usize> = HashMap::new();
+        map.insert(owned, 7);
+        assert_eq!(map.get(borrowed), Some(&7));
+        let miss: &dyn IdAttrKey = &(&wf, "loss");
+        assert_eq!(map.get(miss), None);
+    }
+}

@@ -11,6 +11,10 @@
 //! * [`store`] — an in-memory columnar store ingesting capture
 //!   [`Record`](prov_model::Record)s at runtime, with task/data/lineage
 //!   tables and per-attribute typed columns (the MonetDB substitution);
+//! * [`sharded`] — the lock-scalable ingest front: the store split into
+//!   per-workflow shards with independent locks, plus the grouped batch
+//!   router that parallel translators feed (one lock per shard per
+//!   envelope);
 //! * [`query`] — the query layer that answers the paper's §I motivating
 //!   questions (e.g. *"retrieve the hyperparameters with the 3 best
 //!   accuracy values"*, *"elapsed time and training loss per epoch"*),
@@ -20,8 +24,12 @@
 
 pub mod query;
 pub mod schema;
+pub mod sharded;
+pub mod smallset;
 pub mod store;
 
 pub use query::{LineageDirection, QueryError};
 pub use schema::{AttrType, AttributeDef, DataflowSpec, DatasetSpec, TransformationSpec};
-pub use store::{SharedStore, Store, StoreStats, TaskRow};
+pub use sharded::{shared_sharded, ShardRouter, ShardedStore, SharedShardedStore};
+pub use smallset::SmallSet;
+pub use store::{RecordRetention, SharedStore, Store, StoreStats, TaskRow};

@@ -60,6 +60,9 @@ pub struct AttrStats {
     pub mean: f64,
 }
 
+/// One input data item with its attributes: `(data id, attribute pairs)`.
+pub type DataAttributes = (Id, Vec<(Arc<str>, AttrValue)>);
+
 /// One row of a task-metrics report.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TaskMetrics {
@@ -246,7 +249,7 @@ impl<'a> Query<'a> {
         &self,
         workflow: &Id,
         data: &Id,
-    ) -> Result<Vec<(Id, Vec<(Arc<str>, AttrValue)>)>, QueryError> {
+    ) -> Result<Vec<DataAttributes>, QueryError> {
         let (idx, row) = self
             .store
             .data_by_id(workflow, data)

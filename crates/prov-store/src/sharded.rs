@@ -1,0 +1,418 @@
+//! Workflow-sharded store: the lock-scalable server-side ingest path.
+//!
+//! The paper's Fig. 5 deployment runs up to 64 provenance translators in
+//! parallel, but with a single `Arc<RwLock<Store>>` every translator
+//! serializes on one global write lock, so parallelism buys nothing.
+//! [`ShardedStore`] splits the store into `N` independent shards, each its
+//! own [`Store`] behind its own `RwLock`, routed by a hash of the
+//! **record's** workflow id. All records of one workflow land in one
+//! shard, so every per-workflow invariant (task/data indices, lineage
+//! edges, columns) is shard-local and needs no cross-shard coordination.
+//! The one input class that spans shards — a data item attached to a task
+//! of a *different* workflow — is materialized in the referencing task's
+//! shard. If the owning workflow also reports the item, each shard holds
+//! its own row: the owning shard's copy is authoritative (and found first
+//! by [`ShardedStore::read_for_data`]), the referencing shard's replica
+//! carries that shard's local `used`/`generated` edges, and aggregate
+//! [`ShardedStore::stats`] counts both. This is the deliberate sharding
+//! tradeoff — global cross-workflow dedup would require cross-shard
+//! locking on the ingest hot path, which is exactly what sharding removes.
+//!
+//! Batch ingestion goes through [`ShardRouter::route`]: one grouped pass
+//! buckets an envelope's records by shard, then takes each touched shard's
+//! write lock **once per envelope** — not once per record — so translators
+//! working on different workflows proceed fully in parallel.
+
+use crate::store::{RecordRetention, Store, StoreStats};
+use parking_lot::RwLock;
+use prov_model::{Id, ProvDocument, Record};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Default shard count: enough to keep 64 translators mostly conflict-free
+/// without bloating small deployments.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A store split into independently locked shards, routed by workflow id.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Box<[RwLock<Store>]>,
+}
+
+/// A thread-safe handle to a sharded store (what servers and translators
+/// share).
+pub type SharedShardedStore = Arc<ShardedStore>;
+
+/// Creates a shared sharded store with the default shard count.
+pub fn shared_sharded() -> SharedShardedStore {
+    Arc::new(ShardedStore::new(DEFAULT_SHARDS))
+}
+
+impl Default for ShardedStore {
+    fn default() -> Self {
+        ShardedStore::new(DEFAULT_SHARDS)
+    }
+}
+
+impl ShardedStore {
+    /// Creates a store with `shards` shards (rounded up to a power of two)
+    /// and no raw-record retention.
+    pub fn new(shards: usize) -> Self {
+        Self::with_retention(shards, RecordRetention::None)
+    }
+
+    /// Creates a store with an explicit raw-record [`RecordRetention`]
+    /// policy applied to every shard.
+    pub fn with_retention(shards: usize, retention: RecordRetention) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        ShardedStore {
+            shards: (0..n)
+                .map(|_| RwLock::new(Store::with_retention(retention)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index a workflow id routes to. The hash is fixed-key
+    /// SipHash, so routing is deterministic across store instances and
+    /// process runs (benches and tests rely on reproducible placement).
+    pub fn shard_of(&self, workflow: &Id) -> usize {
+        let mut h = DefaultHasher::new();
+        workflow.hash(&mut h);
+        (h.finish() as usize) & (self.shards.len() - 1)
+    }
+
+    /// Direct access to a shard's lock (bench/testing and the router).
+    pub fn shard(&self, index: usize) -> &RwLock<Store> {
+        &self.shards[index]
+    }
+
+    /// Read access to the shard holding `workflow`. All per-workflow
+    /// queries (`Query::new(&store.read(&wf))`) go through here.
+    pub fn read(&self, workflow: &Id) -> parking_lot::RwLockReadGuard<'_, Store> {
+        self.shards[self.shard_of(workflow)].read()
+    }
+
+    /// Read access to the shard containing data row `(workflow, id)`.
+    ///
+    /// Records route by the *record's* workflow, so a `DataRecord` whose
+    /// own `workflow` field differs from its task's (a cross-workflow
+    /// attachment, expressible through the capture API) is stored in the
+    /// task's shard — not in `shard_of(data.workflow)`. This lookup probes
+    /// the home shard first and falls back to scanning the rest, so such
+    /// rows stay findable; same-workflow data (the overwhelmingly common
+    /// case) resolves on the first probe.
+    pub fn read_for_data(
+        &self,
+        workflow: &Id,
+        id: &Id,
+    ) -> Option<parking_lot::RwLockReadGuard<'_, Store>> {
+        let home = self.shard_of(workflow);
+        let probe_order =
+            std::iter::once(home).chain((0..self.shards.len()).filter(|&s| s != home));
+        for shard in probe_order {
+            let guard = self.shards[shard].read();
+            if guard.data_by_id(workflow, id).is_some() {
+                return Some(guard);
+            }
+        }
+        None
+    }
+
+    /// Write access to the shard holding `workflow`.
+    pub fn write(&self, workflow: &Id) -> parking_lot::RwLockWriteGuard<'_, Store> {
+        self.shards[self.shard_of(workflow)].write()
+    }
+
+    /// Ingests a single record (convenience; batch paths should use a
+    /// [`ShardRouter`] to amortize lock acquisitions).
+    pub fn ingest(&self, record: Record) {
+        self.shards[self.shard_of(record.workflow())]
+            .write()
+            .ingest(record);
+    }
+
+    /// Ingests a batch through a throwaway router (convenience for tests
+    /// and examples; servers keep a per-translator router).
+    pub fn ingest_batch(&self, records: impl IntoIterator<Item = Record>) {
+        let mut batch: Vec<Record> = records.into_iter().collect();
+        ShardRouter::new().route(self, &mut batch);
+    }
+
+    /// Aggregate ingestion statistics across all shards.
+    pub fn stats(&self) -> StoreStats {
+        self.shards
+            .iter()
+            .map(|s| s.read().stats())
+            .fold(StoreStats::default(), |acc, s| acc.merge(&s))
+    }
+
+    /// All known workflow ids across shards, sorted.
+    pub fn workflow_ids(&self) -> Vec<Id> {
+        let mut ids: Vec<Id> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                let guard = s.read();
+                guard.workflow_ids().into_iter().cloned().collect::<Vec<_>>()
+            })
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Exports every shard's contents as one validated PROV-DM document.
+    pub fn to_prov_document(&self) -> ProvDocument {
+        let mut doc = ProvDocument::new();
+        for shard in self.shards.iter() {
+            shard.read().apply_to_document(&mut doc);
+        }
+        doc
+    }
+}
+
+/// Reusable per-translator scratch that routes a decoded envelope to
+/// shards in one grouped pass.
+///
+/// Buckets retain their capacity between envelopes, so steady-state routing
+/// allocates nothing; each envelope costs one lock acquisition per *touched
+/// shard*, not per record.
+#[derive(Debug, Default)]
+pub struct ShardRouter {
+    buckets: Vec<Vec<Record>>,
+}
+
+impl ShardRouter {
+    /// Empty router; buckets are sized lazily to the target store.
+    pub fn new() -> Self {
+        ShardRouter::default()
+    }
+
+    /// Drains `records` into `store`, grouping by shard first. Returns the
+    /// number of shard locks taken.
+    pub fn route(&mut self, store: &ShardedStore, records: &mut Vec<Record>) -> usize {
+        if self.buckets.len() < store.shard_count() {
+            self.buckets.resize_with(store.shard_count(), Vec::new);
+        }
+        for record in records.drain(..) {
+            let shard = store.shard_of(record.workflow());
+            self.buckets[shard].push(record);
+        }
+        let mut locks_taken = 0;
+        for (shard, bucket) in self.buckets.iter_mut().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            locks_taken += 1;
+            store.shard(shard).write().ingest_batch(bucket.drain(..));
+        }
+        locks_taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prov_model::{DataRecord, TaskRecord, TaskStatus};
+
+    fn wf_records(wf: u64) -> Vec<Record> {
+        let t = TaskRecord {
+            id: Id::Num(0),
+            workflow: Id::Num(wf),
+            transformation: Id::from("train"),
+            dependencies: vec![],
+            time_ns: 1,
+            status: TaskStatus::Running,
+        };
+        let mut end = t.clone();
+        end.status = TaskStatus::Finished;
+        end.time_ns = 2;
+        vec![
+            Record::WorkflowBegin {
+                workflow: Id::Num(wf),
+                time_ns: 0,
+            },
+            Record::TaskBegin {
+                task: t,
+                inputs: vec![DataRecord::new("in", wf).with_attr("lr", 0.1)],
+            },
+            Record::TaskEnd {
+                task: end,
+                outputs: vec![DataRecord::new("out", wf).derived_from("in")],
+            },
+            Record::WorkflowEnd {
+                workflow: Id::Num(wf),
+                time_ns: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedStore::new(1).shard_count(), 1);
+        assert_eq!(ShardedStore::new(3).shard_count(), 4);
+        assert_eq!(ShardedStore::new(16).shard_count(), 16);
+        assert_eq!(ShardedStore::new(0).shard_count(), 1);
+    }
+
+    #[test]
+    fn routing_is_stable_and_workflow_local() {
+        let store = ShardedStore::new(8);
+        for wf in 0..50u64 {
+            let id = Id::Num(wf);
+            assert_eq!(store.shard_of(&id), store.shard_of(&id));
+            assert!(store.shard_of(&id) < store.shard_count());
+        }
+    }
+
+    #[test]
+    fn grouped_ingest_matches_single_store() {
+        let sharded = ShardedStore::new(8);
+        let mut single = Store::new();
+        let mut batch = Vec::new();
+        for wf in 0..20u64 {
+            batch.extend(wf_records(wf));
+        }
+        single.ingest_batch(batch.iter().cloned());
+        sharded.ingest_batch(batch);
+
+        assert_eq!(sharded.stats(), single.stats());
+        assert_eq!(sharded.workflow_ids().len(), 20);
+        for wf in 0..20u64 {
+            let id = Id::Num(wf);
+            let guard = sharded.read(&id);
+            let row = guard.workflow(&id).unwrap();
+            assert_eq!(row.begin_ns, Some(0));
+            assert_eq!(row.end_ns, Some(3));
+            assert_eq!(row.tasks.len(), 1);
+            let (_, out) = guard.data_by_id(&id, &Id::from("out")).unwrap();
+            assert_eq!(out.derivations, vec![Id::from("in")]);
+        }
+    }
+
+    #[test]
+    fn router_takes_at_most_one_lock_per_shard() {
+        let store = ShardedStore::new(4);
+        let mut router = ShardRouter::new();
+        let mut batch = Vec::new();
+        for wf in 0..32u64 {
+            batch.extend(wf_records(wf));
+        }
+        let locks = router.route(&store, &mut batch);
+        assert!(batch.is_empty());
+        assert!(
+            locks <= store.shard_count(),
+            "{locks} locks for {} shards",
+            store.shard_count()
+        );
+        assert_eq!(store.stats().records, 32 * 4);
+    }
+
+    #[test]
+    fn cross_workflow_data_stays_findable() {
+        // A data item claiming workflow 2 attached to a workflow-1 task is
+        // stored in workflow 1's shard; read_for_data still resolves it.
+        let store = ShardedStore::new(8);
+        let t = TaskRecord {
+            id: Id::Num(0),
+            workflow: Id::Num(1),
+            transformation: Id::from("t"),
+            dependencies: vec![],
+            time_ns: 0,
+            status: TaskStatus::Running,
+        };
+        store.ingest(Record::TaskBegin {
+            task: t,
+            inputs: vec![DataRecord::new("foreign", 2u64).with_attr("x", 1i64)],
+        });
+        let guard = store
+            .read_for_data(&Id::Num(2), &Id::from("foreign"))
+            .expect("cross-workflow data row must be locatable");
+        let (_, row) = guard.data_by_id(&Id::Num(2), &Id::from("foreign")).unwrap();
+        assert_eq!(row.workflow, Id::Num(2));
+        assert_eq!(row.used_by.len(), 1, "replica carries the local edge");
+        drop(guard);
+        // Same-workflow lookups resolve on the home shard.
+        store.ingest_batch(wf_records(7));
+        let guard = store.read_for_data(&Id::Num(7), &Id::from("out")).unwrap();
+        assert!(guard.data_by_id(&Id::Num(7), &Id::from("out")).is_some());
+        assert!(store.read_for_data(&Id::Num(7), &Id::from("nope")).is_none());
+    }
+
+    #[test]
+    fn cross_workflow_reference_materializes_a_replica() {
+        // Documented sharding tradeoff: when the owning workflow reports
+        // the item AND a foreign task references it, each shard holds its
+        // own row — the owning shard's copy is authoritative and found
+        // first; aggregate stats count both rows.
+        let store = ShardedStore::new(8);
+        assert_ne!(
+            store.shard_of(&Id::Num(1)),
+            store.shard_of(&Id::Num(2)),
+            "test requires the two workflows on different shards"
+        );
+        let task = |wf: u64| TaskRecord {
+            id: Id::Num(0),
+            workflow: Id::Num(wf),
+            transformation: Id::from("t"),
+            dependencies: vec![],
+            time_ns: 0,
+            status: TaskStatus::Running,
+        };
+        // Workflow 2 owns "d" (with attributes)...
+        store.ingest(Record::TaskBegin {
+            task: task(2),
+            inputs: vec![DataRecord::new("d", 2u64).with_attr("x", 1i64)],
+        });
+        // ...and a workflow-1 task also uses it (reported bare).
+        store.ingest(Record::TaskBegin {
+            task: task(1),
+            inputs: vec![DataRecord::new("d", 2u64)],
+        });
+        assert_eq!(store.stats().data, 2, "one authoritative row + one replica");
+        // read_for_data prefers the owning shard's authoritative copy.
+        let guard = store.read_for_data(&Id::Num(2), &Id::from("d")).unwrap();
+        let (_, row) = guard.data_by_id(&Id::Num(2), &Id::from("d")).unwrap();
+        assert_eq!(row.attributes.len(), 1, "authoritative copy has the attrs");
+    }
+
+    #[test]
+    fn prov_export_merges_shards() {
+        let store = ShardedStore::new(4);
+        for wf in 0..6u64 {
+            store.ingest_batch(wf_records(wf));
+        }
+        let doc = store.to_prov_document();
+        doc.validate().unwrap();
+        // Per workflow: 1 agent + 1 activity + 2 entities.
+        assert_eq!(doc.element_count(), 6 * 4);
+    }
+
+    #[test]
+    fn parallel_ingest_across_shards() {
+        let store = shared_sharded();
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    let mut router = ShardRouter::new();
+                    for wf in (t * 8)..(t * 8 + 8) {
+                        let mut batch = wf_records(wf);
+                        router.route(&store, &mut batch);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.stats().records, 32 * 4);
+        assert_eq!(store.workflow_ids().len(), 32);
+    }
+}
+

@@ -1,0 +1,160 @@
+//! Insertion-ordered sets with O(1) membership once they grow.
+//!
+//! Task rows dedup their `dependencies`/`inputs`/`outputs` and data rows
+//! their `used_by` edges on every ingest. A plain `Vec::contains` makes
+//! ingest quadratic for hub nodes (a dataset used by thousands of tasks).
+//! [`SmallSet`] keeps the cheap `Vec` representation — insertion order,
+//! slice access, tiny footprint — and spills membership into a `HashSet`
+//! only past a small threshold, so the common few-edge case stays
+//! allocation-light while hot nodes stay O(1).
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::ops::Deref;
+
+/// Linear-scan length above which a hash index is built.
+const SPILL: usize = 8;
+
+/// An insertion-ordered set over `T`.
+#[derive(Clone, Debug, Default)]
+pub struct SmallSet<T> {
+    items: Vec<T>,
+    index: Option<HashSet<T>>,
+}
+
+impl<T: Eq + Hash + Clone> SmallSet<T> {
+    /// Empty set.
+    pub fn new() -> Self {
+        SmallSet {
+            items: Vec::new(),
+            index: None,
+        }
+    }
+
+    /// Membership test: hash probe once spilled, linear scan while small.
+    pub fn contains(&self, value: &T) -> bool {
+        match &self.index {
+            Some(set) => set.contains(value),
+            None => self.items.contains(value),
+        }
+    }
+
+    /// Inserts an owned value; returns `true` if it was new.
+    pub fn insert(&mut self, value: T) -> bool {
+        if self.contains(&value) {
+            return false;
+        }
+        if let Some(set) = &mut self.index {
+            set.insert(value.clone());
+        }
+        self.items.push(value);
+        if self.index.is_none() && self.items.len() > SPILL {
+            self.index = Some(self.items.iter().cloned().collect());
+        }
+        true
+    }
+
+    /// Inserts by reference, cloning only when the value is new — a
+    /// membership *hit* performs zero clones.
+    pub fn insert_cloned(&mut self, value: &T) -> bool {
+        if self.contains(value) {
+            return false;
+        }
+        self.insert(value.clone())
+    }
+}
+
+impl<T> Deref for SmallSet<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<T: PartialEq> PartialEq for SmallSet<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.items == other.items
+    }
+}
+
+impl<T: PartialEq> PartialEq<Vec<T>> for SmallSet<T> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.items == *other
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq<[T; N]> for SmallSet<T> {
+    fn eq(&self, other: &[T; N]) -> bool {
+        self.items == *other
+    }
+}
+
+impl<'a, T> IntoIterator for &'a SmallSet<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl<T: Eq + Hash + Clone> FromIterator<T> for SmallSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut set = SmallSet::new();
+        for v in iter {
+            set.insert(v);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_insertion_order_and_dedups() {
+        let mut s = SmallSet::new();
+        assert!(s.insert(3));
+        assert!(s.insert(1));
+        assert!(!s.insert(3));
+        assert_eq!(&*s, &[3, 1]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn spills_to_hash_index_and_stays_correct() {
+        let mut s = SmallSet::new();
+        for i in 0..100usize {
+            assert!(s.insert(i));
+            assert!(!s.insert(i));
+        }
+        assert!(s.index.is_some(), "large set must spill");
+        assert_eq!(s.len(), 100);
+        for i in 0..100usize {
+            assert!(s.contains(&i));
+        }
+        assert!(!s.contains(&100));
+        // Order survived the spill.
+        assert!(s.iter().copied().eq(0..100));
+    }
+
+    #[test]
+    fn insert_cloned_only_clones_new_values() {
+        let mut s: SmallSet<String> = SmallSet::new();
+        let v = "x".to_owned();
+        assert!(s.insert_cloned(&v));
+        assert!(!s.insert_cloned(&v));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn equality_with_vec_and_array() {
+        let s: SmallSet<u32> = [5, 7].into_iter().collect();
+        assert_eq!(s, vec![5, 7]);
+        assert_eq!(s, [5, 7]);
+        let t: SmallSet<u32> = [7, 5].into_iter().collect();
+        assert_ne!(s, t);
+    }
+}

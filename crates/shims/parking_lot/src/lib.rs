@@ -5,7 +5,8 @@
 //! guards directly. Poisoned locks are recovered rather than propagated,
 //! matching `parking_lot`'s no-poisoning semantics.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutex whose `lock` never returns a poison error.
 #[derive(Debug, Default)]

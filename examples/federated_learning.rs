@@ -89,19 +89,20 @@ fn main() {
     // Wait for the translator to drain: per device 2 + EPOCHS*2 records.
     let expected = (DEVICES * (2 + EPOCHS * 2)) as u64;
     let deadline = std::time::Instant::now() + Duration::from_secs(15);
-    while manager.store().read().stats().records < expected {
+    while manager.store().stats().records < expected {
         assert!(
             std::time::Instant::now() < deadline,
             "expected {expected} records, got {}",
-            manager.store().read().stats().records
+            manager.store().stats().records
         );
         std::thread::sleep(Duration::from_millis(20));
     }
 
-    let store = manager.store().read();
-    let query = Query::new(&store);
     for device in 0..DEVICES {
+        // Each device's workflow lives in one shard; read that shard.
         let wf = Id::Num(device as u64 + 1);
+        let store = manager.store().read(&wf);
+        let query = Query::new(&store);
         let best = query.top_k_by_attr(&wf, "accuracy", 3, true).unwrap();
         println!("\ndevice {device}: 3 best accuracy values:");
         for (data, acc) in &best {
@@ -128,7 +129,6 @@ fn main() {
             losses.iter().map(|(_, l)| (l * 1000.0).round() / 1000.0).collect::<Vec<_>>()
         );
     }
-    drop(store);
 
     manager.shutdown();
     println!("\nfederated_learning OK");

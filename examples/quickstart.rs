@@ -57,12 +57,12 @@ fn main() {
 
     // 4. Wait for the translator to drain, then query like the paper's §I.
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
-    while manager.store().read().stats().records < 8 {
+    while manager.store().stats().records < 8 {
         assert!(std::time::Instant::now() < deadline, "records did not arrive");
         std::thread::sleep(Duration::from_millis(20));
     }
 
-    let store = manager.store().read();
+    let store = manager.store().read(&Id::Num(1));
     let query = Query::new(&store);
     let best = query
         .top_k_by_attr(&Id::Num(1), "score", 1, true)

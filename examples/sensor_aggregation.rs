@@ -88,20 +88,21 @@ fn main() {
 
     let expected = (SENSORS * (2 + WINDOWS * 2)) as u64;
     let deadline = std::time::Instant::now() + Duration::from_secs(15);
-    while manager.store().read().stats().records < expected {
+    while manager.store().stats().records < expected {
         assert!(
             std::time::Instant::now() < deadline,
             "expected {expected} records, got {}",
-            manager.store().read().stats().records
+            manager.store().stats().records
         );
         std::thread::sleep(Duration::from_millis(20));
     }
 
-    let store = manager.store().read();
+    // Per-workflow queries read the shard holding that workflow.
+    let wf = Id::from("sensor0");
+    let store = manager.store().read(&wf);
     let query = Query::new(&store);
     // Trace the lineage of the final aggregate of sensor 0 all the way
     // back: it must reach every earlier window.
-    let wf = Id::from("sensor0");
     let last = Id::from(format!("agg{}", WINDOWS - 1));
     let upstream = query
         .lineage(&wf, &last, LineageDirection::Upstream, 32)
@@ -112,9 +113,11 @@ fn main() {
         upstream.iter().map(Id::to_string).collect::<Vec<_>>()
     );
     assert!(upstream.len() >= WINDOWS, "rolling chain must be complete");
+    drop(store);
 
-    // Export everything as W3C PROV-N for downstream interoperability.
-    let doc = store.to_prov_document();
+    // Export everything (all shards) as W3C PROV-N for downstream
+    // interoperability.
+    let doc = manager.store().to_prov_document();
     doc.validate().expect("valid PROV document");
     let prov_n = doc.to_prov_n();
     println!(
@@ -127,7 +130,6 @@ fn main() {
         "{}",
         prov_n.lines().take(8).collect::<Vec<_>>().join("\n")
     );
-    drop(store);
 
     manager.shutdown();
     println!("\nsensor_aggregation OK");

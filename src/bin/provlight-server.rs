@@ -86,7 +86,7 @@ fn main() {
         std::thread::sleep(Duration::from_millis(200));
         if last_report.elapsed() >= args.report_every {
             last_report = Instant::now();
-            let stats = manager.store().read().stats();
+            let stats = manager.store().stats();
             let broker = manager.broker_stats();
             println!(
                 "[{:>6.1}s] records={} tasks={} data={} | broker in={} out={} retrans={}",
@@ -106,7 +106,7 @@ fn main() {
         }
     }
 
-    let stats = manager.store().read().stats();
+    let stats = manager.store().stats();
     println!(
         "final: {} records, {} tasks, {} data items ingested",
         stats.records, stats.tasks, stats.data

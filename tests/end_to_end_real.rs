@@ -11,11 +11,11 @@ use std::time::Duration;
 
 fn wait_for_records(manager: &ProvenanceManager, expected: u64) {
     let deadline = std::time::Instant::now() + Duration::from_secs(15);
-    while manager.store().read().stats().records < expected {
+    while manager.store().stats().records < expected {
         assert!(
             std::time::Instant::now() < deadline,
             "expected {expected} records, got {}",
-            manager.store().read().stats().records
+            manager.store().stats().records
         );
         std::thread::sleep(Duration::from_millis(10));
     }
@@ -69,9 +69,10 @@ fn four_devices_capture_in_parallel() {
     let expected = devices * (2 + tasks * 2);
     wait_for_records(&manager, expected);
 
-    let store = manager.store().read();
-    assert_eq!(store.workflow_ids().len(), devices as usize);
+    assert_eq!(manager.store().workflow_ids().len(), devices as usize);
     for d in 1..=devices {
+        // Each device's workflow lives in exactly one shard.
+        let store = manager.store().read(&Id::Num(d));
         let q = Query::new(&store);
         let metrics = q.task_metrics(&Id::Num(d)).unwrap();
         assert_eq!(metrics.len(), tasks as usize);
@@ -80,10 +81,9 @@ fn four_devices_capture_in_parallel() {
         let (_, row) = store.data_by_id(&Id::Num(d), &Id::from("out3")).unwrap();
         assert_eq!(row.derivations, vec![Id::from("in3")]);
     }
-    drop(store);
 
     // Exactly-once across the broker: every record ingested exactly once.
-    assert_eq!(manager.store().read().stats().records, expected);
+    assert_eq!(manager.store().stats().records, expected);
     // The transmitter coalesces queued records into shared envelopes, so the
     // broker sees far fewer publishes than records — at least one per
     // device, never more than one per record.
@@ -93,6 +93,12 @@ fn four_devices_capture_in_parallel() {
         "publishes_in = {} outside [{devices}, {expected}]",
         stats.publishes_in
     );
+    // Ingestion-side observability: nothing failed to decode, and the
+    // translator handled exactly the broker's delivered publishes.
+    let server = manager.server_stats();
+    assert_eq!(server.decode_errors, 0);
+    assert_eq!(server.translator_messages.len(), 1);
+    assert_eq!(server.messages_total, stats.publishes_in);
     manager.shutdown();
 }
 
@@ -110,10 +116,9 @@ fn grouping_policies_deliver_identical_content() {
         };
         run_device(1, manager.broker_addr(), config, 4);
         wait_for_records(&manager, 10);
-        let store = manager.store().read();
-        assert_eq!(store.stats().tasks, 4, "policy {name}");
-        assert_eq!(store.stats().data, 8, "policy {name}");
-        drop(store);
+        let stats = manager.store().stats();
+        assert_eq!(stats.tasks, 4, "policy {name}");
+        assert_eq!(stats.data, 8, "policy {name}");
         manager.shutdown();
     }
 }
@@ -129,7 +134,7 @@ fn qos_levels_all_deliver() {
         };
         run_device(9, manager.broker_addr(), config, 3);
         wait_for_records(&manager, 8);
-        assert_eq!(manager.store().read().stats().tasks, 3, "qos {qos:?}");
+        assert_eq!(manager.store().stats().tasks, 3, "qos {qos:?}");
         manager.shutdown();
     }
 }
@@ -144,6 +149,6 @@ fn uncompressed_and_json_payloads_also_flow() {
     };
     run_device(2, manager.broker_addr(), config, 2);
     wait_for_records(&manager, 6);
-    assert_eq!(manager.store().read().stats().tasks, 2);
+    assert_eq!(manager.store().stats().tasks, 2);
     manager.shutdown();
 }

@@ -111,12 +111,13 @@ fn full_pipeline_preserves_every_record() {
     let received = roundtrip_through_broker(records.clone());
     assert_eq!(received, records, "wire roundtrip must be lossless");
 
-    // Translate into the store and verify analytics over the result.
-    let store = provlight::prov_store::store::shared();
+    // Translate into the sharded store and verify analytics over the
+    // result.
+    let store = provlight::prov_store::shared_sharded();
     let mut translator = DfAnalyzerTranslator::new(store.clone());
-    translator.on_records(received.clone());
+    translator.on_records(&mut received.clone());
 
-    let guard = store.read();
+    let guard = store.read(&Id::Num(1));
     assert_eq!(guard.stats().tasks, 100);
     assert_eq!(guard.stats().data, 200);
     let q = Query::new(&guard);
@@ -137,7 +138,7 @@ fn full_pipeline_preserves_every_record() {
 
     // And the same stream maps into a valid PROV-DM document.
     let mut prov = ProvDocumentTranslator::new();
-    prov.on_records(received);
+    prov.on_records(&mut received.clone());
     prov.document().validate().unwrap();
     assert_eq!(
         prov.document().element_count(),
@@ -194,12 +195,12 @@ fn store_answers_match_direct_ingestion() {
         s
     };
     let via_translator = {
-        let store = provlight::prov_store::store::shared();
-        DfAnalyzerTranslator::new(store.clone()).on_records(records);
+        let store = provlight::prov_store::shared_sharded();
+        DfAnalyzerTranslator::new(store.clone()).on_records(&mut records.clone());
         store
     };
-    let t = via_translator.read();
-    assert_eq!(direct.stats(), t.stats());
+    assert_eq!(direct.stats(), via_translator.stats());
+    let t = via_translator.read(&Id::Num(5));
     let q1 = Query::new(&direct);
     let q2 = Query::new(&t);
     assert_eq!(
