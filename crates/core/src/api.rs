@@ -63,6 +63,15 @@ pub trait RecordSink: Send + Sync {
     fn flush(&self) -> Result<(), CaptureError> {
         Ok(())
     }
+    /// Transport-side statistics (reconnects, disconnection buffering,
+    /// drops). Sinks without a network transport report the default —
+    /// "connected, nothing buffered, nothing lost".
+    fn transport_stats(&self) -> crate::transmitter::TransmitterStats {
+        crate::transmitter::TransmitterStats {
+            connected: true,
+            ..Default::default()
+        }
+    }
 }
 
 /// An in-memory sink for tests and examples.
@@ -142,6 +151,12 @@ impl CaptureSession {
     /// Flushes the underlying sink.
     pub fn flush(&self) -> Result<(), CaptureError> {
         self.sink.flush()
+    }
+
+    /// Transport statistics of the underlying sink (see
+    /// [`RecordSink::transport_stats`]).
+    pub fn transport_stats(&self) -> crate::transmitter::TransmitterStats {
+        self.sink.transport_stats()
     }
 }
 

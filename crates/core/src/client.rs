@@ -4,7 +4,7 @@
 use crate::api::{CaptureError, CaptureSession, RecordSink};
 use crate::config::CaptureConfig;
 use crate::grouping::{Emit, Grouper};
-use crate::transmitter::Transmitter;
+use crate::transmitter::{Transmitter, TransmitterStats};
 use mqtt_sn::net::NetError;
 use parking_lot::Mutex;
 use prov_model::Record;
@@ -39,6 +39,10 @@ struct TransmitterSink {
 }
 
 impl RecordSink for TransmitterSink {
+    fn transport_stats(&self) -> TransmitterStats {
+        self.transmitter.stats()
+    }
+
     fn submit(&self, record: Record) -> Result<(), CaptureError> {
         // Bind the emit first: matching on `self.grouper.lock().push(..)`
         // directly would keep the guard alive across the arms, and the
@@ -97,6 +101,14 @@ impl ProvLightClient {
     /// Blocks until all captured data is published and acknowledged.
     pub fn flush(&self) -> Result<(), CaptureError> {
         self.sink.flush()
+    }
+
+    /// Capture-side transport statistics — the mirror of
+    /// [`ProvLightServer::stats`](crate::server::ProvLightServer::stats):
+    /// reconnections, disconnection-buffer occupancy and high-water mark,
+    /// records dropped, publish failures.
+    pub fn stats(&self) -> TransmitterStats {
+        self.sink.transmitter.stats()
     }
 
     /// Flushes and stops the transmitter.

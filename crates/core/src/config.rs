@@ -1,6 +1,7 @@
 //! Client-side capture configuration.
 
 use mqtt_sn::QoS;
+use std::time::Duration;
 
 /// When the client transmits buffered records (paper §IV-C "data capture
 /// grouping").
@@ -58,10 +59,40 @@ pub struct CaptureConfig {
     /// single batch is never split, so one envelope can overshoot by at most
     /// one batch. Must leave headroom under the 64 KiB UDP datagram limit.
     pub max_payload: usize,
+    /// Disconnection buffer cap: encoded records held for replay while the
+    /// broker is unreachable (paper §IV — capture continues during network
+    /// disconnections). When exceeded, the *oldest* buffered envelope is
+    /// evicted and its records counted in
+    /// [`TransmitterStats::records_dropped`](crate::transmitter::TransmitterStats).
+    pub buffer_max_records: usize,
+    /// Companion byte cap on the disconnection buffer (payload bytes).
+    pub buffer_max_bytes: usize,
+    /// Delay before the second reconnection attempt; doubles per failed
+    /// attempt up to [`CaptureConfig::reconnect_max_backoff`].
+    pub reconnect_initial_backoff: Duration,
+    /// Ceiling of the exponential reconnection backoff. The transmitter
+    /// never gives up — an edge partition can outlast any fixed budget —
+    /// it just retries at this cadence.
+    pub reconnect_max_backoff: Duration,
+    /// MQTT-SN keep-alive period: an idle transmitter pings the broker
+    /// this often, which doubles as the disconnection detector when no
+    /// publishes are failing.
+    pub keep_alive: Duration,
+    /// MQTT-SN retransmission timeout (spec `Tretry`).
+    pub retry_timeout: Duration,
+    /// MQTT-SN retransmission budget (spec `Nretry`); exhausted publishes
+    /// move to the disconnection buffer instead of being lost.
+    pub max_retries: u32,
 }
 
 /// Default coalescing high-water mark (bytes of pending records).
 pub const DEFAULT_MAX_PAYLOAD: usize = 48 * 1024;
+
+/// Default disconnection-buffer caps: enough for minutes of bursty capture
+/// without threatening an edge device's memory budget.
+pub const DEFAULT_BUFFER_MAX_RECORDS: usize = 65_536;
+/// Byte companion to [`DEFAULT_BUFFER_MAX_RECORDS`].
+pub const DEFAULT_BUFFER_MAX_BYTES: usize = 8 * 1024 * 1024;
 
 impl Default for CaptureConfig {
     fn default() -> Self {
@@ -73,6 +104,13 @@ impl Default for CaptureConfig {
             send_buffer: edge_sim::calib::PROVLIGHT_SEND_BUFFER,
             max_inflight: 256,
             max_payload: DEFAULT_MAX_PAYLOAD,
+            buffer_max_records: DEFAULT_BUFFER_MAX_RECORDS,
+            buffer_max_bytes: DEFAULT_BUFFER_MAX_BYTES,
+            reconnect_initial_backoff: Duration::from_millis(100),
+            reconnect_max_backoff: Duration::from_secs(5),
+            keep_alive: Duration::from_secs(60),
+            retry_timeout: Duration::from_secs(10),
+            max_retries: 5,
         }
     }
 }

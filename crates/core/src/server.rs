@@ -102,6 +102,13 @@ impl ProvLightServer {
                             }
                         }
                         Ok(_) => {}
+                        Err(e) if e.is_transient() => {
+                            // A broker mid-restart bounces ICMP errors off
+                            // our socket; the subscription session survives
+                            // (broker-side persistence), so keep pumping
+                            // instead of orphaning the topic.
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
                         Err(_) => break,
                     }
                 }

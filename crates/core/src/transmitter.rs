@@ -22,19 +22,35 @@
 //! completes, and the codec scratch (string table, compression tables) lives
 //! in thread-locals on the transmitter thread — so the steady state
 //! allocates nothing per record.
+//!
+//! ## Disconnection resilience
+//!
+//! Capture continues while the broker is unreachable (paper §IV — the
+//! third headline design point). Instead of dying on the first transport
+//! error, the thread moves encoded envelopes into a bounded
+//! [`DisconnectionBuffer`] (oldest-first eviction with drop accounting),
+//! keeps draining the capture channel so instrumentation never stalls, and
+//! reconnects with exponential backoff. On reconnect the MQTT-SN session
+//! resumes — topic re-registration, DUP retransmission of in-flight
+//! publishes — and the buffer replays in original order. [`TransmitterStats`]
+//! surfaces the whole story (reconnects, buffered high-water mark, drops,
+//! publish failures), mirroring `ProvLightServer::stats()` on the capture
+//! side.
 
 use crate::api::CaptureError;
 use crate::config::CaptureConfig;
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
-use mqtt_sn::net::{NetError, UdpClient};
-use mqtt_sn::{ClientConfig, QoS};
+use mqtt_sn::net::UdpClient;
+use mqtt_sn::{ClientConfig, ClientEvent, ClientState, NetError, QoS};
 use parking_lot::Mutex;
 use prov_codec::frame::Envelope;
 use prov_codec::json::{records_to_json, JsonStyle};
 use prov_model::Record;
+use std::collections::{HashMap, VecDeque};
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 enum Cmd {
     /// A ready batch from the grouper.
@@ -42,7 +58,7 @@ enum Cmd {
     /// A single passthrough record (Immediate / EndedOnly begin events);
     /// avoids allocating a one-element `Vec` per record.
     PublishOne(Record),
-    Flush(Sender<()>),
+    Flush(Sender<bool>),
     Shutdown,
 }
 
@@ -60,11 +76,173 @@ const MAX_COALESCE_BYTES: usize = 60_000;
 /// Upper bound on pooled batch buffers.
 const MAX_POOLED_BATCHES: usize = 8;
 
+/// Per-attempt budget for a reconnection handshake.
+const RECONNECT_ATTEMPT_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// How long a flush waits (inside the thread) for reconnect + replay +
+/// acknowledgement before reporting failure. `Transmitter::flush` itself
+/// waits slightly longer so the thread always answers first.
+const FLUSH_DRAIN_BUDGET: Duration = Duration::from_secs(25);
+
+/// How long shutdown tries to deliver outstanding data before dropping it.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(2);
+
+/// Capture-side transport statistics — the client mirror of
+/// `ProvLightServer::stats()`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransmitterStats {
+    /// Whether the transmitter currently believes the broker is reachable.
+    pub connected: bool,
+    /// Successful reconnections after a detected disconnection.
+    pub reconnects: u64,
+    /// Publishes that failed (socket-level send failures, retry
+    /// exhaustion, broker rejections).
+    pub publish_failures: u64,
+    /// Records currently parked in the disconnection buffer.
+    pub buffered_records: u64,
+    /// Payload bytes currently parked in the disconnection buffer.
+    pub buffered_bytes: u64,
+    /// Most records the disconnection buffer ever held at once.
+    pub buffered_high_water: u64,
+    /// Records lost to buffer eviction, unsendable envelopes, or shutdown
+    /// with the broker still unreachable.
+    pub records_dropped: u64,
+    /// Records replayed out of the buffer after a reconnection.
+    pub records_replayed: u64,
+}
+
+/// Lock-free shared cell behind [`TransmitterStats`].
+#[derive(Debug, Default)]
+struct StatsCell {
+    connected: AtomicBool,
+    reconnects: AtomicU64,
+    publish_failures: AtomicU64,
+    buffered_records: AtomicU64,
+    buffered_bytes: AtomicU64,
+    buffered_high_water: AtomicU64,
+    records_dropped: AtomicU64,
+    records_replayed: AtomicU64,
+}
+
+impl StatsCell {
+    fn snapshot(&self) -> TransmitterStats {
+        TransmitterStats {
+            connected: self.connected.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            publish_failures: self.publish_failures.load(Ordering::Relaxed),
+            buffered_records: self.buffered_records.load(Ordering::Relaxed),
+            buffered_bytes: self.buffered_bytes.load(Ordering::Relaxed),
+            buffered_high_water: self.buffered_high_water.load(Ordering::Relaxed),
+            records_dropped: self.records_dropped.load(Ordering::Relaxed),
+            records_replayed: self.records_replayed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Bounded FIFO of encoded envelopes absorbed while the broker is
+/// unreachable, replayed in order after reconnection.
+///
+/// Both caps are enforced on push: when either would be exceeded the
+/// *oldest* envelope is evicted (edge provenance favours recent records —
+/// the tail of a workflow run — over the head that an operator can often
+/// re-derive), and every evicted record is counted so the capture side can
+/// report exact loss instead of silently pretending completeness.
+#[derive(Debug)]
+pub struct DisconnectionBuffer {
+    /// (encoded envelope payload, records inside it), oldest first.
+    queue: VecDeque<(Vec<u8>, usize)>,
+    records: usize,
+    bytes: usize,
+    max_records: usize,
+    max_bytes: usize,
+}
+
+impl DisconnectionBuffer {
+    /// Creates a buffer bounded by `max_records` records and `max_bytes`
+    /// payload bytes (each at least 1).
+    pub fn new(max_records: usize, max_bytes: usize) -> Self {
+        DisconnectionBuffer {
+            queue: VecDeque::new(),
+            records: 0,
+            bytes: 0,
+            max_records: max_records.max(1),
+            max_bytes: max_bytes.max(1),
+        }
+    }
+
+    /// Appends an envelope, evicting oldest-first to stay under both caps.
+    /// Returns the number of records dropped (evicted envelopes, or the
+    /// incoming one if it alone exceeds a cap).
+    pub fn push_back(&mut self, payload: Vec<u8>, records: usize) -> usize {
+        if records > self.max_records || payload.len() > self.max_bytes {
+            // A single envelope larger than a cap can never be held —
+            // reject it up front rather than evicting residents it could
+            // never make room for.
+            return records;
+        }
+        let mut dropped = 0;
+        while !self.queue.is_empty()
+            && (self.records + records > self.max_records
+                || self.bytes + payload.len() > self.max_bytes)
+        {
+            if let Some((p, n)) = self.queue.pop_front() {
+                self.records -= n;
+                self.bytes -= p.len();
+                dropped += n;
+            }
+        }
+        self.records += records;
+        self.bytes += payload.len();
+        self.queue.push_back((payload, records));
+        dropped
+    }
+
+    /// Re-queues an envelope at the *front* (a replay that failed mid-way,
+    /// or recovered in-flight payloads older than everything buffered).
+    /// Never evicts on behalf of the newcomer — order-restoring pushes may
+    /// transiently overshoot the caps by one envelope; the next
+    /// [`DisconnectionBuffer::push_back`] restores the invariant.
+    pub fn push_front(&mut self, payload: Vec<u8>, records: usize) {
+        self.records += records;
+        self.bytes += payload.len();
+        self.queue.push_front((payload, records));
+    }
+
+    /// Takes the oldest envelope for replay.
+    pub fn pop_front(&mut self) -> Option<(Vec<u8>, usize)> {
+        let (payload, records) = self.queue.pop_front()?;
+        self.records -= records;
+        self.bytes -= payload.len();
+        Some((payload, records))
+    }
+
+    /// Buffered envelope count.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Buffered record count.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Buffered payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
 /// Handle to the background transmitter thread.
 pub struct Transmitter {
     tx: Sender<Cmd>,
     thread: Option<std::thread::JoinHandle<()>>,
     pool: BatchPool,
+    stats: Arc<StatsCell>,
     /// Messages handed to the thread.
     pub queue_capacity: usize,
 }
@@ -78,7 +256,12 @@ impl Transmitter {
         config: CaptureConfig,
     ) -> Result<Transmitter, NetError> {
         let timeout = Duration::from_secs(10);
-        let mut client = UdpClient::connect(broker, ClientConfig::new(client_id), timeout)?;
+        let mut client_config = ClientConfig::new(client_id);
+        client_config.keep_alive = config.keep_alive;
+        client_config.retry_timeout = config.retry_timeout;
+        client_config.max_retries = config.max_retries;
+        client_config.max_inflight = config.max_inflight.max(1);
+        let mut client = UdpClient::connect(broker, client_config, timeout)?;
         let topic_id = client.register(&topic, timeout)?;
 
         // Bound the channel so a dead network eventually applies
@@ -87,16 +270,21 @@ impl Transmitter {
         let capacity = 1024;
         let (tx, rx) = bounded::<Cmd>(capacity);
         let pool: BatchPool = Arc::new(Mutex::new(Vec::new()));
+        let stats = Arc::new(StatsCell::default());
+        stats.connected.store(true, Ordering::Relaxed);
         let thread = {
             let pool = Arc::clone(&pool);
+            let stats = Arc::clone(&stats);
             std::thread::spawn(move || {
-                transmitter_loop(client, topic_id, config, rx, pool);
+                let link = Link::new(client, topic, topic_id, config, stats);
+                transmitter_loop(link, rx, pool);
             })
         };
         Ok(Transmitter {
             tx,
             thread: Some(thread),
             pool,
+            stats,
             queue_capacity: capacity,
         })
     }
@@ -122,16 +310,29 @@ impl Transmitter {
         self.pool.lock().pop()
     }
 
+    /// Snapshot of the transport statistics.
+    pub fn stats(&self) -> TransmitterStats {
+        self.stats.snapshot()
+    }
+
     /// Blocks until everything enqueued so far is published and (for QoS
-    /// 1/2) acknowledged.
+    /// 1/2) acknowledged. While disconnected this waits for reconnection
+    /// and buffer replay; if the broker stays unreachable past the drain
+    /// budget the error reports how many records remain buffered (they are
+    /// *not* lost — the transmitter keeps trying).
     pub fn flush(&self) -> Result<(), CaptureError> {
         let (ack_tx, ack_rx) = bounded(1);
         self.tx
             .send(Cmd::Flush(ack_tx))
             .map_err(|_| CaptureError::Closed)?;
-        ack_rx
-            .recv_timeout(Duration::from_secs(30))
-            .map_err(|_| CaptureError::Transport("flush timed out".into()))
+        match ack_rx.recv_timeout(Duration::from_secs(30)) {
+            Ok(true) => Ok(()),
+            Ok(false) => Err(CaptureError::Transport(format!(
+                "flush incomplete: broker unreachable, {} records buffered for replay",
+                self.stats.buffered_records.load(Ordering::Relaxed)
+            ))),
+            Err(_) => Err(CaptureError::Transport("flush timed out".into())),
+        }
     }
 
     /// Stops the thread after a final flush.
@@ -150,17 +351,6 @@ impl Drop for Transmitter {
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
-    }
-}
-
-fn drain_inflight(client: &mut UdpClient) {
-    // Pump until all QoS handshakes complete (bounded patience).
-    let deadline = std::time::Instant::now() + Duration::from_secs(20);
-    while client.inflight_len() > 0 && std::time::Instant::now() < deadline {
-        if client.pump().is_err() {
-            return;
-        }
-        let _ = client.poll_event();
     }
 }
 
@@ -218,63 +408,371 @@ impl Coalescer {
 /// packet header under the 65507-byte UDP datagram limit.
 const MAX_DATAGRAM_PAYLOAD: usize = 65_000;
 
-/// Encodes `records` into one envelope (payload buffer recycled from the
-/// client when possible) and hands it to the MQTT-SN client. If the encoded
-/// form exceeds the datagram limit — possible on the JSON path, whose
-/// output is not bounded by the approx-size estimate the coalescer uses —
-/// the records are split in half and sent as separate envelopes. Returns
-/// `false` on transport failure.
-fn send_records(
-    client: &mut UdpClient,
+/// The transmitter thread's connection manager: an MQTT-SN client plus the
+/// disconnection buffer and the reconnect/backoff state machine. No method
+/// on `Link` ever kills the thread — every transport failure degrades to
+/// buffering and a scheduled reconnection attempt.
+struct Link {
+    client: UdpClient,
+    topic: String,
     topic_id: u16,
-    config: &CaptureConfig,
-    records: &[Record],
-) -> bool {
-    if records.is_empty() {
-        return true;
+    config: CaptureConfig,
+    connected: bool,
+    backoff: Duration,
+    next_attempt: Instant,
+    /// Broker forgot our registration (PUBACK `InvalidTopicId`): re-register
+    /// on the next service pass instead of full reconnection.
+    reregister: bool,
+    buffer: DisconnectionBuffer,
+    /// Record count per in-flight message id, so payloads recovered from
+    /// the dead-letter queue keep accurate drop/replay accounting.
+    inflight_records: HashMap<u16, usize>,
+    stats: Arc<StatsCell>,
+}
+
+impl Link {
+    fn new(
+        client: UdpClient,
+        topic: String,
+        topic_id: u16,
+        config: CaptureConfig,
+        stats: Arc<StatsCell>,
+    ) -> Link {
+        Link {
+            client,
+            topic,
+            topic_id,
+            connected: true,
+            backoff: config.reconnect_initial_backoff.max(Duration::from_millis(1)),
+            next_attempt: Instant::now(),
+            reregister: false,
+            buffer: DisconnectionBuffer::new(config.buffer_max_records, config.buffer_max_bytes),
+            inflight_records: HashMap::new(),
+            stats,
+            config,
+        }
     }
-    let mut payload = client.take_spare_payload().unwrap_or_default();
+
+    fn mark_disconnected(&mut self) {
+        if self.connected {
+            self.connected = false;
+            self.backoff = self
+                .config
+                .reconnect_initial_backoff
+                .max(Duration::from_millis(1));
+            self.next_attempt = Instant::now() + self.backoff;
+        }
+    }
+
+    /// Mirrors buffer gauges and connection state into the shared stats.
+    fn sync_gauges(&self) {
+        let s = &self.stats;
+        s.connected.store(self.connected, Ordering::Relaxed);
+        s.buffered_records
+            .store(self.buffer.records() as u64, Ordering::Relaxed);
+        s.buffered_bytes
+            .store(self.buffer.bytes() as u64, Ordering::Relaxed);
+        s.buffered_high_water
+            .fetch_max(self.buffer.records() as u64, Ordering::Relaxed);
+    }
+
+    /// Consumes queued client events and recovers dead-lettered payloads
+    /// into the buffer (at the *front*: they are older than anything
+    /// buffered since).
+    fn absorb_events(&mut self) {
+        let mut failed: Vec<u16> = Vec::new();
+        while let Some(event) = self.client.pop_event() {
+            match event {
+                ClientEvent::PublishDone { msg_id } => {
+                    self.inflight_records.remove(&msg_id);
+                }
+                ClientEvent::PublishFailed { msg_id } => {
+                    // Retry exhaustion: the link is gone; recoverable
+                    // payloads come back through the dead-letter queue
+                    // below (QoS 2 exchanges past their PUBREC do not —
+                    // the broker already owns those messages).
+                    self.stats.publish_failures.fetch_add(1, Ordering::Relaxed);
+                    self.mark_disconnected();
+                    failed.push(msg_id);
+                }
+                ClientEvent::PublishRejected { msg_id, .. } => {
+                    // Broker lost our registration (e.g. restarted without
+                    // persistence): recover via re-registration, no need
+                    // for a full reconnect.
+                    self.stats.publish_failures.fetch_add(1, Ordering::Relaxed);
+                    self.reregister = true;
+                    failed.push(msg_id);
+                }
+                ClientEvent::PingTimeout | ClientEvent::Disconnected => {
+                    self.mark_disconnected();
+                }
+                _ => {}
+            }
+        }
+        let dead = self.client.take_dead_letters();
+        for (msg_id, payload) in dead.into_iter().rev() {
+            let records = self.inflight_records.remove(&msg_id).unwrap_or(1);
+            self.buffer.push_front(payload, records);
+        }
+        // Failed ids without a dead letter (delivered-but-unacknowledged
+        // QoS 2) are settled; drop their accounting entries.
+        for msg_id in failed {
+            self.inflight_records.remove(&msg_id);
+        }
+    }
+
+    /// One maintenance pass: pump the socket and timers when connected (or
+    /// attempt a due reconnection when not), fold in events and dead
+    /// letters, handle deferred re-registration, and refresh the gauges.
+    fn service(&mut self) {
+        if self.connected {
+            if self.client.pump().is_err() {
+                self.mark_disconnected();
+            }
+            self.absorb_events();
+            if self.connected && self.reregister {
+                self.reregister = false;
+                match self.client.register(&self.topic, RECONNECT_ATTEMPT_TIMEOUT) {
+                    Ok(id) => {
+                        self.topic_id = id;
+                        self.replay();
+                    }
+                    Err(_) => self.mark_disconnected(),
+                }
+            }
+        } else if Instant::now() >= self.next_attempt {
+            self.attempt_reconnect();
+        }
+        self.sync_gauges();
+    }
+
+    fn attempt_reconnect(&mut self) {
+        match self.client.try_reconnect(RECONNECT_ATTEMPT_TIMEOUT) {
+            Ok(()) => {
+                self.connected = true;
+                self.reregister = false;
+                self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                self.backoff = self
+                    .config
+                    .reconnect_initial_backoff
+                    .max(Duration::from_millis(1));
+                // Session resumption may have remapped the topic id (the
+                // broker can hand out a different one after a restart).
+                if let Some(id) = self.client.topic_id(&self.topic) {
+                    self.topic_id = id;
+                }
+                self.absorb_events();
+                self.replay();
+            }
+            Err(e) => {
+                let cap = self.config.reconnect_max_backoff.max(Duration::from_millis(1));
+                self.next_attempt = Instant::now() + self.backoff;
+                self.backoff = if e.is_transient() {
+                    (self.backoff * 2).min(cap)
+                } else {
+                    // Fatal errors (protocol rejection) are not going away
+                    // soon; jump straight to the ceiling but keep trying —
+                    // an operator fixing the broker should not require
+                    // restarting every edge device.
+                    cap
+                };
+            }
+        }
+    }
+
+    /// Replays buffered envelopes in original order until the buffer
+    /// drains or the link fails again (the failed head returns to the
+    /// front).
+    fn replay(&mut self) {
+        while self.connected {
+            let Some((payload, records)) = self.buffer.pop_front() else {
+                return;
+            };
+            if !self.send_payload(payload, records, true) {
+                return;
+            }
+        }
+    }
+
+    /// Hands one encoded envelope to the MQTT-SN client, buffering it
+    /// instead when the link is down (or goes down mid-send). Returns
+    /// `true` when the envelope was accepted by the state machine (on the
+    /// wire or in-flight), `false` when it went to the buffer.
+    fn send_payload(&mut self, payload: Vec<u8>, records: usize, replaying: bool) -> bool {
+        // The state machine can learn of a teardown (broker DISCONNECT)
+        // before our own `connected` flag does; publishing then would
+        // consume the payload in the error path, losing the records the
+        // buffer exists to save.
+        if self.client.state() != ClientState::Connected {
+            self.mark_disconnected();
+        }
+        // While a backlog exists, new envelopes must queue behind it —
+        // publishing them directly would reorder the stream.
+        if !self.connected || (!replaying && !self.buffer.is_empty()) {
+            self.buffer_payload(payload, records, replaying);
+            return false;
+        }
+        // Respect the in-flight window before adding more.
+        while !self.client.can_publish() {
+            if self.client.pump().is_err() {
+                self.mark_disconnected();
+            }
+            self.absorb_events();
+            if !self.connected || self.client.state() != ClientState::Connected {
+                self.mark_disconnected();
+                self.buffer_payload(payload, records, replaying);
+                return false;
+            }
+        }
+        match self
+            .client
+            .publish_resilient(self.topic_id, payload, self.config.qos)
+        {
+            Ok((msg_id, sent)) => {
+                if msg_id != 0 {
+                    self.inflight_records.insert(msg_id, records);
+                }
+                if sent || msg_id != 0 {
+                    // On the wire, or safe in the in-flight window (which
+                    // retransmits on resume) — either way the envelope
+                    // left the buffer's responsibility.
+                    if replaying {
+                        self.stats
+                            .records_replayed
+                            .fetch_add(records as u64, Ordering::Relaxed);
+                    }
+                } else {
+                    // QoS 0 whose send failed: no retransmission exists;
+                    // the records are gone (and only gone — never also
+                    // counted as replayed).
+                    self.stats
+                        .records_dropped
+                        .fetch_add(records as u64, Ordering::Relaxed);
+                }
+                if !sent {
+                    self.stats.publish_failures.fetch_add(1, Ordering::Relaxed);
+                    self.mark_disconnected();
+                }
+                true
+            }
+            Err(_) => {
+                // Protocol refusal despite the guards above (in-flight
+                // window and connection state both re-checked): the state
+                // machine consumed the payload, so all we can do is
+                // account the loss honestly.
+                self.stats.publish_failures.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .records_dropped
+                    .fetch_add(records as u64, Ordering::Relaxed);
+                self.mark_disconnected();
+                false
+            }
+        }
+    }
+
+    fn buffer_payload(&mut self, payload: Vec<u8>, records: usize, front: bool) {
+        let dropped = if front {
+            self.buffer.push_front(payload, records);
+            0
+        } else {
+            self.buffer.push_back(payload, records)
+        };
+        if dropped > 0 {
+            self.stats
+                .records_dropped
+                .fetch_add(dropped as u64, Ordering::Relaxed);
+        }
+        self.sync_gauges();
+    }
+
+    /// True once nothing is outstanding: connected, empty buffer, no
+    /// in-flight QoS handshakes.
+    fn drained(&self) -> bool {
+        self.connected && self.buffer.is_empty() && self.client.inflight_len() == 0
+    }
+
+    /// Works toward a full drain until `budget` expires: services the
+    /// link (reconnecting as needed) and lets replay/retransmission run.
+    fn drain_all(&mut self, budget: Duration) -> bool {
+        let deadline = Instant::now() + budget;
+        loop {
+            if self.drained() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            self.service();
+            if !self.connected {
+                // service() returns immediately while waiting out the
+                // backoff; don't busy-spin.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+
+    /// Final accounting when the thread exits with data still unsent:
+    /// buffered records plus in-flight envelopes never acknowledged count
+    /// as dropped — unconfirmed delivery is reported as loss rather than
+    /// silently presumed successful.
+    fn account_shutdown_loss(&mut self) {
+        self.absorb_events();
+        let unconfirmed: usize = self.inflight_records.values().sum();
+        let lost = self.buffer.records() + unconfirmed;
+        if lost > 0 {
+            self.stats
+                .records_dropped
+                .fetch_add(lost as u64, Ordering::Relaxed);
+        }
+        self.sync_gauges();
+    }
+}
+
+/// Encodes `records` into one envelope (payload buffer recycled from the
+/// client when possible) and hands it to the link. If the encoded form
+/// exceeds the datagram limit — possible on the JSON path, whose output is
+/// not bounded by the approx-size estimate the coalescer uses — the records
+/// are split in half and sent as separate envelopes.
+fn send_records(link: &mut Link, records: &[Record]) {
+    if records.is_empty() {
+        return;
+    }
+    let mut payload = link.client.take_spare_payload().unwrap_or_default();
     payload.clear();
-    if config.binary {
-        Envelope::encode_into(records, config.compression, &mut payload);
+    if link.config.binary {
+        Envelope::encode_into(records, link.config.compression, &mut payload);
     } else {
         payload.extend_from_slice(records_to_json(records, JsonStyle::Compact).as_bytes());
     }
     if payload.len() > MAX_DATAGRAM_PAYLOAD {
-        client.reclaim_payload(payload);
+        link.client.reclaim_payload(payload);
         if records.len() > 1 {
             let mid = records.len() / 2;
-            return send_records(client, topic_id, config, &records[..mid])
-                && send_records(client, topic_id, config, &records[mid..]);
+            send_records(link, &records[..mid]);
+            send_records(link, &records[mid..]);
+            return;
         }
         // A single record whose encoding exceeds the datagram limit can
-        // never be sent; drop it rather than letting the doomed publish
-        // kill the transmitter (and with it all future capture).
-        return true;
+        // never be sent; drop it (with accounting) rather than letting the
+        // doomed publish kill the transmitter.
+        link.stats.records_dropped.fetch_add(1, Ordering::Relaxed);
+        return;
     }
-    // Respect the in-flight window before adding more.
-    while client.inflight_len() >= config.max_inflight {
-        if client.pump().is_err() {
-            return false;
-        }
-    }
-    client.publish_nowait(topic_id, payload, config.qos).is_ok()
+    link.send_payload(payload, records.len(), false);
 }
 
 /// Sends the coalesced pending records (see [`send_records`]) and resets the
 /// coalescer.
-fn send_pending(
-    client: &mut UdpClient,
-    topic_id: u16,
-    config: &CaptureConfig,
-    pending: &mut Coalescer,
-) -> bool {
+fn send_pending(link: &mut Link, pending: &mut Coalescer) {
     if pending.is_empty() {
-        return true;
+        return;
     }
-    let ok = send_records(client, topic_id, config, &pending.records);
+    // Split borrows: `send_records` needs the link mutably and the records
+    // immutably, so move the records out for the call.
+    let records = std::mem::take(&mut pending.records);
+    send_records(link, &records);
+    pending.records = records;
     pending.clear();
-    ok
 }
 
 /// Returns a drained batch buffer to the shared pool.
@@ -286,14 +784,8 @@ fn pool_batch(pool: &BatchPool, batch: Vec<Record>) {
     }
 }
 
-fn transmitter_loop(
-    mut client: UdpClient,
-    topic_id: u16,
-    config: CaptureConfig,
-    rx: Receiver<Cmd>,
-    pool: BatchPool,
-) {
-    let mut pending = Coalescer::new(config.max_payload);
+fn transmitter_loop(mut link: Link, rx: Receiver<Cmd>, pool: BatchPool) {
+    let mut pending = Coalescer::new(link.config.max_payload);
     loop {
         match rx.recv_timeout(Duration::from_millis(20)) {
             Ok(first) => {
@@ -307,19 +799,15 @@ fn transmitter_loop(
                     match next {
                         Some(Cmd::Publish(mut batch)) => {
                             let incoming: usize = batch.iter().map(Record::approx_size).sum();
-                            if pending.would_overflow(incoming)
-                                && !send_pending(&mut client, topic_id, &config, &mut pending)
-                            {
-                                return;
+                            if pending.would_overflow(incoming) {
+                                send_pending(&mut link, &mut pending);
                             }
                             pending.absorb(&mut batch);
                             pool_batch(&pool, batch);
                         }
                         Some(Cmd::PublishOne(record)) => {
-                            if pending.would_overflow(record.approx_size())
-                                && !send_pending(&mut client, topic_id, &config, &mut pending)
-                            {
-                                return;
+                            if pending.would_overflow(record.approx_size()) {
+                                send_pending(&mut link, &mut pending);
                             }
                             pending.push(record);
                         }
@@ -329,9 +817,8 @@ fn transmitter_loop(
                         }
                         None => break,
                     }
-                    if pending.full() && !send_pending(&mut client, topic_id, &config, &mut pending)
-                    {
-                        return;
+                    if pending.full() {
+                        send_pending(&mut link, &mut pending);
                     }
                     next = match rx.try_recv() {
                         Ok(cmd) => Some(cmd),
@@ -339,17 +826,17 @@ fn transmitter_loop(
                         Err(TryRecvError::Disconnected) => None,
                     };
                 }
-                if !send_pending(&mut client, topic_id, &config, &mut pending) {
-                    return;
-                }
+                send_pending(&mut link, &mut pending);
+                link.service();
                 match deferred {
                     Some(Cmd::Flush(ack)) => {
-                        drain_inflight(&mut client);
-                        let _ = ack.send(());
+                        let ok = link.drain_all(FLUSH_DRAIN_BUDGET);
+                        let _ = ack.send(ok);
                     }
                     Some(Cmd::Shutdown) => {
-                        drain_inflight(&mut client);
-                        let _ = client.disconnect();
+                        let _ = link.drain_all(SHUTDOWN_GRACE);
+                        link.account_shutdown_loss();
+                        let _ = link.client.disconnect();
                         return;
                     }
                     _ => {}
@@ -357,14 +844,13 @@ fn transmitter_loop(
             }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                 // Idle: keep the connection serviced (retransmissions,
-                // keep-alive pings).
-                if client.pump().is_err() {
-                    return;
-                }
+                // keep-alive pings, reconnection attempts, replay).
+                link.service();
             }
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                drain_inflight(&mut client);
-                let _ = client.disconnect();
+                let _ = link.drain_all(SHUTDOWN_GRACE);
+                link.account_shutdown_loss();
+                let _ = link.client.disconnect();
                 return;
             }
         }
@@ -401,6 +887,31 @@ mod tests {
         }
     }
 
+    fn spawn_loop(
+        broker_addr: std::net::SocketAddr,
+        client_id: &str,
+        topic: &str,
+        config: CaptureConfig,
+        rx: Receiver<Cmd>,
+        pool: BatchPool,
+    ) -> (std::thread::JoinHandle<()>, Arc<StatsCell>) {
+        let timeout = Duration::from_secs(5);
+        let mut client =
+            UdpClient::connect(broker_addr, ClientConfig::new(client_id), timeout).unwrap();
+        let topic_id = client.register(topic, timeout).unwrap();
+        let stats = Arc::new(StatsCell::default());
+        stats.connected.store(true, Ordering::Relaxed);
+        let thread = {
+            let stats = Arc::clone(&stats);
+            let topic = topic.to_owned();
+            std::thread::spawn(move || {
+                let link = Link::new(client, topic, topic_id, config, stats);
+                transmitter_loop(link, rx, pool)
+            })
+        };
+        (thread, stats)
+    }
+
     /// N batches queued ahead of the transmitter wakeup coalesce into at
     /// most `ceil(total_bytes / max_payload)` publishes.
     #[test]
@@ -429,17 +940,16 @@ mod tests {
         let (ack_tx, ack_rx) = bounded(1);
         tx.send(Cmd::Flush(ack_tx)).unwrap();
 
-        let timeout = Duration::from_secs(5);
-        let mut client =
-            UdpClient::connect(broker.local_addr(), ClientConfig::new("coalesce"), timeout)
-                .unwrap();
-        let topic_id = client.register("provlight/test/coalesce", timeout).unwrap();
         let pool: BatchPool = Arc::new(Mutex::new(Vec::new()));
-        let handle = {
-            let pool = Arc::clone(&pool);
-            std::thread::spawn(move || transmitter_loop(client, topic_id, config, rx, pool))
-        };
-        ack_rx.recv_timeout(Duration::from_secs(20)).unwrap();
+        let (handle, _) = spawn_loop(
+            broker.local_addr(),
+            "coalesce",
+            "provlight/test/coalesce",
+            config,
+            rx,
+            Arc::clone(&pool),
+        );
+        assert!(ack_rx.recv_timeout(Duration::from_secs(20)).unwrap());
         tx.send(Cmd::Shutdown).unwrap();
         handle.join().unwrap();
 
@@ -494,16 +1004,16 @@ mod tests {
         let (ack_tx, ack_rx) = bounded(1);
         tx.send(Cmd::Flush(ack_tx)).unwrap();
 
-        let timeout = Duration::from_secs(5);
-        let mut client =
-            UdpClient::connect(broker.local_addr(), ClientConfig::new("jsonbig"), timeout)
-                .unwrap();
-        let topic_id = client.register("provlight/test/jsonbig", timeout).unwrap();
-        let handle = std::thread::spawn(move || {
-            transmitter_loop(client, topic_id, config, rx, Arc::new(Mutex::new(Vec::new())))
-        });
+        let (handle, _) = spawn_loop(
+            broker.local_addr(),
+            "jsonbig",
+            "provlight/test/jsonbig",
+            config,
+            rx,
+            Arc::new(Mutex::new(Vec::new())),
+        );
         // The flush ack arriving at all proves the thread survived the send.
-        ack_rx.recv_timeout(Duration::from_secs(20)).unwrap();
+        assert!(ack_rx.recv_timeout(Duration::from_secs(20)).unwrap());
         tx.send(Cmd::Shutdown).unwrap();
         handle.join().unwrap();
 
@@ -512,8 +1022,8 @@ mod tests {
         broker.shutdown();
     }
 
-    /// A single record too large for any UDP datagram is dropped; the
-    /// transmitter survives and later records still flow.
+    /// A single record too large for any UDP datagram is dropped (and
+    /// counted); the transmitter survives and later records still flow.
     #[test]
     fn unsendable_single_record_is_dropped_not_fatal() {
         let broker = UdpBroker::spawn("127.0.0.1:0", BrokerConfig::default()).unwrap();
@@ -540,22 +1050,23 @@ mod tests {
         let (ack_tx, ack_rx) = bounded(1);
         tx.send(Cmd::Flush(ack_tx)).unwrap();
 
-        let timeout = Duration::from_secs(5);
-        let mut client =
-            UdpClient::connect(broker.local_addr(), ClientConfig::new("monster"), timeout)
-                .unwrap();
-        let topic_id = client.register("provlight/test/monster", timeout).unwrap();
-        let handle = std::thread::spawn(move || {
-            transmitter_loop(client, topic_id, config, rx, Arc::new(Mutex::new(Vec::new())))
-        });
-        ack_rx
+        let (handle, stats) = spawn_loop(
+            broker.local_addr(),
+            "monster",
+            "provlight/test/monster",
+            config,
+            rx,
+            Arc::new(Mutex::new(Vec::new())),
+        );
+        assert!(ack_rx
             .recv_timeout(Duration::from_secs(20))
-            .expect("transmitter must survive the unsendable record");
+            .expect("transmitter must survive the unsendable record"));
         tx.send(Cmd::Shutdown).unwrap();
         handle.join().unwrap();
 
-        // The normal record made it; the monster was dropped.
+        // The normal record made it; the monster was dropped and counted.
         assert_eq!(broker.stats().publishes_in, 1);
+        assert_eq!(stats.records_dropped.load(Ordering::Relaxed), 1);
         broker.shutdown();
     }
 
@@ -574,19 +1085,62 @@ mod tests {
         let (ack_tx, ack_rx) = bounded(1);
         tx.send(Cmd::Flush(ack_tx)).unwrap();
 
-        let timeout = Duration::from_secs(5);
-        let mut client =
-            UdpClient::connect(broker.local_addr(), ClientConfig::new("nocoalesce"), timeout)
-                .unwrap();
-        let topic_id = client.register("provlight/test/nc", timeout).unwrap();
-        let handle = std::thread::spawn(move || {
-            transmitter_loop(client, topic_id, config, rx, Arc::new(Mutex::new(Vec::new())))
-        });
-        ack_rx.recv_timeout(Duration::from_secs(20)).unwrap();
+        let (handle, _) = spawn_loop(
+            broker.local_addr(),
+            "nocoalesce",
+            "provlight/test/nc",
+            config,
+            rx,
+            Arc::new(Mutex::new(Vec::new())),
+        );
+        assert!(ack_rx.recv_timeout(Duration::from_secs(20)).unwrap());
         tx.send(Cmd::Shutdown).unwrap();
         handle.join().unwrap();
 
         assert_eq!(broker.stats().publishes_in, 5);
         broker.shutdown();
+    }
+
+    #[test]
+    fn disconnection_buffer_evicts_oldest_first_with_accounting() {
+        let mut b = DisconnectionBuffer::new(10, 1 << 20);
+        for i in 0..5u8 {
+            assert_eq!(b.push_back(vec![i; 8], 2), 0);
+        }
+        assert_eq!(b.records(), 10);
+        // Over the record cap: the two oldest envelopes (4 records) must
+        // go to make room for a 3-record newcomer.
+        let dropped = b.push_back(vec![9; 8], 3);
+        assert_eq!(dropped, 4);
+        assert_eq!(b.records(), 9);
+        // Order preserved: the survivor head is envelope #2.
+        assert_eq!(b.pop_front().unwrap().0, vec![2; 8]);
+    }
+
+    #[test]
+    fn disconnection_buffer_byte_cap_and_oversized_rejection() {
+        let mut b = DisconnectionBuffer::new(1000, 64);
+        assert_eq!(b.push_back(vec![1; 40], 1), 0);
+        // 40 + 40 > 64: the first envelope is evicted.
+        assert_eq!(b.push_back(vec![2; 40], 1), 1);
+        assert_eq!(b.bytes(), 40);
+        // A single envelope over the byte cap is rejected outright (its own
+        // records counted dropped) WITHOUT evicting the resident envelope —
+        // no amount of eviction could ever make it fit.
+        assert_eq!(b.push_back(vec![3; 100], 7), 7);
+        assert_eq!(b.records(), 1);
+        assert_eq!(b.pop_front().unwrap().0, vec![2; 40]);
+    }
+
+    #[test]
+    fn disconnection_buffer_push_front_restores_order() {
+        let mut b = DisconnectionBuffer::new(10, 1 << 20);
+        b.push_back(vec![2], 1);
+        b.push_back(vec![3], 1);
+        b.push_front(vec![1], 1);
+        assert_eq!(b.pop_front().unwrap().0, vec![1]);
+        assert_eq!(b.pop_front().unwrap().0, vec![2]);
+        assert_eq!(b.pop_front().unwrap().0, vec![3]);
+        assert!(b.pop_front().is_none());
     }
 }

@@ -16,7 +16,7 @@
 use crate::client::Nanos;
 use crate::packet::{Packet, QoS, ReturnCode, TopicRef};
 use crate::topic::{filter_is_valid, topic_matches, TopicRegistry};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
 use std::time::Duration;
 
@@ -29,6 +29,10 @@ pub struct BrokerConfig {
     pub retry_timeout: Duration,
     /// Maximum retransmissions before dropping an outbound message.
     pub max_retries: u32,
+    /// Per-session cap on messages buffered while the subscriber is asleep
+    /// or away (durable session); the oldest message is dropped — and
+    /// counted in [`BrokerStats::drops`] — when the cap is exceeded.
+    pub max_buffered: usize,
 }
 
 impl Default for BrokerConfig {
@@ -37,6 +41,7 @@ impl Default for BrokerConfig {
             gw_id: 1,
             retry_timeout: Duration::from_secs(10),
             max_retries: 5,
+            max_buffered: 4096,
         }
     }
 }
@@ -88,8 +93,14 @@ enum SessionState {
 struct Session {
     client_id: String,
     state: SessionState,
-    /// Messages buffered while asleep: (topic id, payload, qos).
-    buffered: Vec<(u16, Vec<u8>, QoS)>,
+    /// Connected with `clean_session = false`: the session (subscriptions,
+    /// QoS state, buffered messages) survives disconnection and is resumed
+    /// on the next CONNECT with this client id — even from a different
+    /// transport address.
+    durable: bool,
+    /// Messages buffered while asleep or away: (topic id, payload, qos).
+    /// A deque so cap-overflow eviction of the oldest message is O(1).
+    buffered: VecDeque<(u16, Vec<u8>, QoS)>,
     subscriptions: Vec<(String, QoS)>,
     next_msg_id: u16,
     outbound: HashMap<u16, Outbound>,
@@ -103,7 +114,8 @@ impl Session {
         Session {
             client_id,
             state: SessionState::Active,
-            buffered: Vec::new(),
+            durable: false,
+            buffered: VecDeque::new(),
             subscriptions: Vec::new(),
             next_msg_id: 1,
             outbound: HashMap::new(),
@@ -127,7 +139,12 @@ impl Session {
 }
 
 /// The broker state machine.
-#[derive(Debug)]
+///
+/// `Clone` snapshots the complete session/registry state — the basis of
+/// restart persistence: a crashed gateway can be respawned from a snapshot
+/// (see `UdpBroker::spawn_resuming` in [`crate::net`]) without losing
+/// durable sessions or topic registrations.
+#[derive(Clone, Debug)]
 pub struct Broker<A: Clone + Eq + Hash> {
     config: BrokerConfig,
     registry: TopicRegistry,
@@ -191,27 +208,7 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                 clean_session,
                 client_id,
                 ..
-            } => {
-                match self.sessions.get_mut(&from) {
-                    Some(existing) if !clean_session => {
-                        existing.state = SessionState::Active;
-                        existing.client_id = client_id;
-                    }
-                    _ => {
-                        if !self.sessions.contains_key(&from) {
-                            self.order.push(from.clone());
-                        }
-                        self.sessions
-                            .insert(from.clone(), Session::new(client_id, now));
-                    }
-                }
-                vec![(
-                    from,
-                    Packet::ConnAck {
-                        code: ReturnCode::Accepted,
-                    },
-                )]
-            }
+            } => self.handle_connect(now, from, clean_session, client_id),
             Packet::Register {
                 msg_id, topic_name, ..
             } => {
@@ -289,48 +286,12 @@ impl<A: Clone + Eq + Hash> Broker<A> {
             Packet::PingReq => {
                 // A sleeping client's PINGREQ triggers delivery of
                 // everything buffered while it slept, then the PINGRESP.
-                let mut out = Vec::new();
-                let buffered = match self.sessions.get_mut(&from) {
-                    Some(s) if s.state == SessionState::Asleep => std::mem::take(&mut s.buffered),
+                let mut out = match self.sessions.get(&from) {
+                    Some(s) if s.state == SessionState::Asleep => {
+                        self.deliver_buffered(now, from.clone())
+                    }
                     _ => Vec::new(),
                 };
-                for (topic_id, payload, qos) in buffered {
-                    let session = self.sessions.get_mut(&from).expect("session exists");
-                    let msg_id = if qos == QoS::AtMostOnce {
-                        0
-                    } else {
-                        session.alloc_msg_id()
-                    };
-                    if qos != QoS::AtMostOnce {
-                        session.outbound.insert(
-                            msg_id,
-                            Outbound {
-                                topic_id,
-                                payload: payload.clone(),
-                                qos,
-                                phase: if qos == QoS::AtLeastOnce {
-                                    OutPhase::Puback
-                                } else {
-                                    OutPhase::Pubrec
-                                },
-                                last_sent: now,
-                                retries: 0,
-                            },
-                        );
-                    }
-                    self.stats.publishes_out += 1;
-                    out.push((
-                        from.clone(),
-                        Packet::Publish {
-                            dup: false,
-                            qos,
-                            retain: false,
-                            topic: TopicRef::Id(topic_id),
-                            msg_id,
-                            payload,
-                        },
-                    ));
-                }
                 out.push((from, Packet::PingResp));
                 out
             }
@@ -345,6 +306,157 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                 vec![(from, Packet::Disconnect { duration: None })]
             }
             _ => vec![],
+        }
+    }
+
+    /// CONNECT: create, reactivate, or migrate a session.
+    ///
+    /// `clean_session = false` asks for session continuation: if a session
+    /// with this client id exists anywhere — including at a *different*
+    /// transport address, the normal case for an edge device that rebound
+    /// its socket after a network outage — it is moved to the new address
+    /// with subscriptions, QoS handshake state, and buffered messages
+    /// intact, and everything buffered while the client was away is
+    /// delivered right after the CONNACK.
+    fn handle_connect(
+        &mut self,
+        now: Nanos,
+        from: A,
+        clean_session: bool,
+        client_id: String,
+    ) -> Vec<(A, Packet)> {
+        let connack = Packet::ConnAck {
+            code: ReturnCode::Accepted,
+        };
+        if clean_session {
+            // Clean start; drop any stale session this client id left at a
+            // previous address so it cannot keep receiving fan-out.
+            let stale: Vec<A> = self
+                .sessions
+                .iter()
+                .filter(|(a, s)| {
+                    **a != from && !client_id.is_empty() && s.client_id == client_id
+                })
+                .map(|(a, _)| a.clone())
+                .collect();
+            for a in stale {
+                self.sessions.remove(&a);
+                self.order.retain(|x| *x != a);
+            }
+            if !self.sessions.contains_key(&from) {
+                self.order.push(from.clone());
+            }
+            self.sessions
+                .insert(from.clone(), Session::new(client_id, now));
+            return vec![(from, connack)];
+        }
+
+        let prior = self
+            .sessions
+            .iter()
+            .find(|(_, s)| !client_id.is_empty() && s.client_id == client_id)
+            .map(|(a, _)| a.clone());
+        match prior {
+            Some(old_addr) if old_addr != from => {
+                let mut session = self.sessions.remove(&old_addr).expect("present");
+                session.state = SessionState::Active;
+                session.durable = true;
+                session.last_seen = now;
+                // Unacked outbound messages retransmit promptly — with a
+                // fresh retry budget — toward the new address.
+                for o in session.outbound.values_mut() {
+                    o.last_sent = 0;
+                    o.retries = 0;
+                }
+                // The migrated session keeps its fan-out position; any
+                // stale session already at the new address is dropped.
+                self.sessions.remove(&from);
+                self.order.retain(|a| *a != from);
+                if let Some(pos) = self.order.iter().position(|a| *a == old_addr) {
+                    self.order[pos] = from.clone();
+                } else {
+                    self.order.push(from.clone());
+                }
+                self.sessions.insert(from.clone(), session);
+            }
+            Some(_) => {
+                let session = self.sessions.get_mut(&from).expect("present");
+                session.state = SessionState::Active;
+                session.durable = true;
+                session.last_seen = now;
+            }
+            None => {
+                if !self.sessions.contains_key(&from) {
+                    self.order.push(from.clone());
+                }
+                let mut session = Session::new(client_id, now);
+                session.durable = true;
+                self.sessions.insert(from.clone(), session);
+            }
+        }
+        let mut out = vec![(from.clone(), connack)];
+        out.extend(self.deliver_buffered(now, from));
+        out
+    }
+
+    /// Delivers everything buffered for `to` while it was asleep or away,
+    /// arming outbound QoS 1/2 state for each message.
+    fn deliver_buffered(&mut self, now: Nanos, to: A) -> Vec<(A, Packet)> {
+        let buffered = match self.sessions.get_mut(&to) {
+            Some(s) => std::mem::take(&mut s.buffered),
+            None => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(buffered.len());
+        for (topic_id, payload, qos) in buffered {
+            let session = self.sessions.get_mut(&to).expect("session exists");
+            let msg_id = if qos == QoS::AtMostOnce {
+                0
+            } else {
+                session.alloc_msg_id()
+            };
+            if qos != QoS::AtMostOnce {
+                session.outbound.insert(
+                    msg_id,
+                    Outbound {
+                        topic_id,
+                        payload: payload.clone(),
+                        qos,
+                        phase: if qos == QoS::AtLeastOnce {
+                            OutPhase::Puback
+                        } else {
+                            OutPhase::Pubrec
+                        },
+                        last_sent: now,
+                        retries: 0,
+                    },
+                );
+            }
+            self.stats.publishes_out += 1;
+            out.push((
+                to.clone(),
+                Packet::Publish {
+                    dup: false,
+                    qos,
+                    retain: false,
+                    topic: TopicRef::Id(topic_id),
+                    msg_id,
+                    payload,
+                },
+            ));
+        }
+        out
+    }
+
+    /// Rebases per-session timestamps to zero. Used when a persisted
+    /// snapshot is resumed by a broker whose monotonic clock restarted —
+    /// otherwise retransmission timers would stall until the new clock
+    /// catches up with the old one.
+    pub fn reset_clock(&mut self) {
+        for s in self.sessions.values_mut() {
+            s.last_seen = 0;
+            for o in s.outbound.values_mut() {
+                o.last_sent = 0;
+            }
         }
     }
 
@@ -472,12 +584,15 @@ impl<A: Clone + Eq + Hash> Broker<A> {
         }
 
         // Fan out to matching subscribers in deterministic session order.
+        // Sleeping subscribers and away durable subscribers (disconnected,
+        // `clean_session = false`) get their messages buffered for delivery
+        // on the next PINGREQ / reconnect.
         let targets: Vec<(A, QoS, bool)> = self
             .order
             .iter()
             .filter_map(|addr| {
                 let s = self.sessions.get(addr)?;
-                if s.state == SessionState::Disconnected {
+                if s.state == SessionState::Disconnected && !s.durable {
                     return None;
                 }
                 let best = s
@@ -486,14 +601,20 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                     .filter(|(f, _)| topic_matches(f, &topic_name))
                     .map(|(_, q)| *q)
                     .max()?;
-                Some((addr.clone(), best.min(qos), s.state == SessionState::Asleep))
+                Some((addr.clone(), best.min(qos), s.state != SessionState::Active))
             })
             .collect();
 
-        for (addr, sub_qos, asleep) in targets {
+        for (addr, sub_qos, away) in targets {
             let session = self.sessions.get_mut(&addr).expect("session exists");
-            if asleep {
-                session.buffered.push((topic_id, payload.clone(), sub_qos));
+            if away {
+                if session.buffered.len() >= self.config.max_buffered {
+                    session.buffered.pop_front();
+                    self.stats.drops += 1;
+                }
+                session
+                    .buffered
+                    .push_back((topic_id, payload.clone(), sub_qos));
                 continue;
             }
             let fwd_msg_id = if sub_qos == QoS::AtMostOnce {
@@ -541,6 +662,12 @@ impl<A: Clone + Eq + Hash> Broker<A> {
             let Some(session) = self.sessions.get_mut(&addr) else {
                 continue;
             };
+            // An away durable session has no reachable transport address;
+            // retransmission resumes (with a fresh budget) once the client
+            // reconnects and the session migrates.
+            if session.state == SessionState::Disconnected && session.durable {
+                continue;
+            }
             let mut ids: Vec<u16> = session.outbound.keys().copied().collect();
             ids.sort_unstable();
             for id in ids {
@@ -981,6 +1108,213 @@ mod tests {
         // Ack clears it.
         b.on_packet(4 * s, 2, Packet::PubAck { topic_id: tid, msg_id, code: ReturnCode::Accepted });
         assert!(b.on_tick(10 * s).is_empty());
+    }
+
+    fn connect_durable(b: &mut Broker<Addr>, addr: Addr, id: &str) {
+        let out = b.on_packet(
+            0,
+            addr,
+            Packet::Connect {
+                clean_session: false,
+                duration: 60,
+                client_id: id.into(),
+            },
+        );
+        assert!(matches!(
+            out[0].1,
+            Packet::ConnAck {
+                code: ReturnCode::Accepted
+            }
+        ));
+    }
+
+    #[test]
+    fn durable_session_buffers_while_away_and_migrates_on_reconnect() {
+        let mut b = broker();
+        connect(&mut b, 1, "pub");
+        connect_durable(&mut b, 2, "translator");
+        let tid = register(&mut b, 1, "t");
+        subscribe(&mut b, 2, "t", QoS::AtLeastOnce);
+
+        // The durable subscriber's transport dies (graceful disconnect
+        // stands in for the lost link).
+        b.on_packet(0, 2, Packet::Disconnect { duration: None });
+        // Publishes while away are buffered, not dropped.
+        for i in 0..3u8 {
+            let out = b.on_packet(
+                1,
+                1,
+                Packet::Publish {
+                    dup: false,
+                    qos: QoS::AtLeastOnce,
+                    retain: false,
+                    topic: TopicRef::Id(tid),
+                    msg_id: 0,
+                    payload: vec![i],
+                },
+            );
+            // Only the publisher's PUBACK comes back; nothing is forwarded.
+            assert!(out.iter().all(|(a, _)| *a == 1), "away session got traffic");
+        }
+
+        // Reconnect from a NEW address (rebound socket): the session
+        // migrates and the buffered messages follow the CONNACK in order.
+        let out = b.on_packet(
+            2,
+            99,
+            Packet::Connect {
+                clean_session: false,
+                duration: 60,
+                client_id: "translator".into(),
+            },
+        );
+        assert!(matches!(out[0].1, Packet::ConnAck { .. }));
+        let delivered: Vec<u8> = out[1..]
+            .iter()
+            .map(|(a, p)| {
+                assert_eq!(*a, 99);
+                match p {
+                    Packet::Publish { payload, .. } => payload[0],
+                    p => panic!("unexpected {p:?}"),
+                }
+            })
+            .collect();
+        assert_eq!(delivered, vec![0, 1, 2]);
+        // The old address no longer exists as a session.
+        assert_eq!(b.session_count(), 2);
+        // New deliveries flow directly to the new address.
+        let out = b.on_packet(
+            3,
+            1,
+            Packet::Publish {
+                dup: false,
+                qos: QoS::AtMostOnce,
+                retain: false,
+                topic: TopicRef::Id(tid),
+                msg_id: 0,
+                payload: vec![9],
+            },
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 99);
+    }
+
+    #[test]
+    fn migration_preserves_qos2_dedup_state() {
+        let mut b = broker();
+        connect_durable(&mut b, 1, "edge-device");
+        connect(&mut b, 2, "sub");
+        let tid = register(&mut b, 1, "t");
+        subscribe(&mut b, 2, "t", QoS::AtMostOnce);
+
+        // QoS 2 publish forwarded on first receipt; PUBREC lost on the way
+        // back (the client never learns).
+        let publish = Packet::Publish {
+            dup: false,
+            qos: QoS::ExactlyOnce,
+            retain: false,
+            topic: TopicRef::Id(tid),
+            msg_id: 7,
+            payload: vec![1],
+        };
+        b.on_packet(0, 1, publish.clone());
+        assert_eq!(b.stats().publishes_out, 1);
+
+        // The publisher reconnects from a new address and retransmits the
+        // unacked publish with DUP: the migrated session's dedup state
+        // suppresses the re-forward — exactly-once survives the reconnect.
+        b.on_packet(
+            1,
+            50,
+            Packet::Connect {
+                clean_session: false,
+                duration: 60,
+                client_id: "edge-device".into(),
+            },
+        );
+        let mut dup = publish;
+        if let Packet::Publish { dup: d, .. } = &mut dup {
+            *d = true;
+        }
+        let out = b.on_packet(2, 50, dup);
+        assert_eq!(out.len(), 1, "duplicate must only be PUBRECed: {out:?}");
+        assert!(matches!(out[0].1, Packet::PubRec { msg_id: 7 }));
+        assert_eq!(b.stats().duplicates_suppressed, 1);
+        assert_eq!(b.stats().publishes_out, 1);
+    }
+
+    #[test]
+    fn away_buffer_is_bounded_oldest_first() {
+        let cfg = BrokerConfig {
+            max_buffered: 2,
+            ..BrokerConfig::default()
+        };
+        let mut b: Broker<Addr> = Broker::new(cfg);
+        connect(&mut b, 1, "pub");
+        connect_durable(&mut b, 2, "sub");
+        let tid = register(&mut b, 1, "t");
+        subscribe(&mut b, 2, "t", QoS::AtMostOnce);
+        b.on_packet(0, 2, Packet::Disconnect { duration: None });
+        for i in 0..5u8 {
+            b.on_packet(
+                1,
+                1,
+                Packet::Publish {
+                    dup: false,
+                    qos: QoS::AtMostOnce,
+                    retain: false,
+                    topic: TopicRef::Id(tid),
+                    msg_id: 0,
+                    payload: vec![i],
+                },
+            );
+        }
+        assert_eq!(b.stats().drops, 3);
+        // Reconnect delivers only the newest two, in order.
+        let out = b.on_packet(
+            2,
+            2,
+            Packet::Connect {
+                clean_session: false,
+                duration: 60,
+                client_id: "sub".into(),
+            },
+        );
+        let delivered: Vec<u8> = out[1..]
+            .iter()
+            .filter_map(|(_, p)| match p {
+                Packet::Publish { payload, .. } => Some(payload[0]),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered, vec![3, 4]);
+    }
+
+    #[test]
+    fn clean_connect_drops_stale_session_at_old_address() {
+        let mut b = broker();
+        connect(&mut b, 1, "pub");
+        connect(&mut b, 2, "mover");
+        let tid = register(&mut b, 1, "t");
+        subscribe(&mut b, 2, "t", QoS::AtMostOnce);
+        // Same client id reconnects cleanly from a new address.
+        connect(&mut b, 3, "mover");
+        let out = b.on_packet(
+            0,
+            1,
+            Packet::Publish {
+                dup: false,
+                qos: QoS::AtMostOnce,
+                retain: false,
+                topic: TopicRef::Id(tid),
+                msg_id: 0,
+                payload: vec![1],
+            },
+        );
+        // The stale session at addr 2 is gone; the clean session at addr 3
+        // has no subscriptions yet, so nothing is delivered anywhere.
+        assert!(out.is_empty());
+        assert_eq!(b.session_count(), 2);
     }
 
     #[test]

@@ -95,10 +95,20 @@ pub enum ClientEvent {
         /// The publish's message id.
         msg_id: u16,
     },
-    /// Retries exhausted for an in-flight message.
+    /// Retries exhausted for an in-flight message. The payload is parked in
+    /// the dead-letter queue ([`Client::take_dead_letters`]) for replay.
     PublishFailed {
         /// The publish's message id.
         msg_id: u16,
+    },
+    /// The broker rejected a publish (e.g. `InvalidTopicId` after losing
+    /// the registration across a restart). The payload is parked in the
+    /// dead-letter queue so the caller can re-register and retry.
+    PublishRejected {
+        /// The publish's message id.
+        msg_id: u16,
+        /// The broker's rejection code.
+        code: ReturnCode,
     },
     /// An application message arrived (QoS 2 duplicates already filtered).
     Message {
@@ -146,6 +156,10 @@ struct InFlight {
     phase: OutPhase,
     last_sent: Nanos,
     retries: u32,
+    /// Monotonic publish-order stamp. Retransmission and dead-lettering
+    /// iterate in this order, not msg-id order — msg ids wrap at u16 and
+    /// would scramble replay order on long-running sessions.
+    seq: u64,
 }
 
 /// The client state machine.
@@ -154,6 +168,8 @@ pub struct Client {
     config: ClientConfig,
     state: ClientState,
     next_msg_id: u16,
+    /// Publish-order counter backing [`InFlight::seq`].
+    next_seq: u64,
     connect_sent_at: Option<Nanos>,
     pending_register: HashMap<u16, String>,
     /// Control packets awaiting replies (CONNECT / REGISTER / SUBSCRIBE /
@@ -166,6 +182,22 @@ pub struct Client {
     /// back to callers via [`Client::take_spare_payload`] so the publish
     /// path can run without per-message allocation.
     spare_payloads: Vec<Vec<u8>>,
+    /// Topic name → broker-assigned id learned from REGACKs; re-registered
+    /// on session resumption.
+    registered_topics: HashMap<String, u16>,
+    /// SUBSCRIBE transactions awaiting a SUBACK: msg id → (filter, qos).
+    pending_subscribe: HashMap<u16, (String, QoS)>,
+    /// Acknowledged subscriptions, re-subscribed on session resumption.
+    subscribed_filters: Vec<(String, QoS)>,
+    /// True between [`Client::reconnect`] and the accepted CONNACK.
+    resuming: bool,
+    /// During resumption: topic names awaiting a fresh REGACK → the id they
+    /// had in the previous session, so in-flight publishes can be remapped
+    /// if the broker (e.g. after a restart) assigns a different id.
+    resume_pending: HashMap<String, u16>,
+    /// Payloads of publishes that exhausted retries or were rejected by the
+    /// broker, recoverable via [`Client::take_dead_letters`] for replay.
+    dead_letters: Vec<(u16, Vec<u8>)>,
     last_tx: Nanos,
     ping_outstanding_since: Option<Nanos>,
 }
@@ -180,12 +212,19 @@ impl Client {
             config,
             state: ClientState::Disconnected,
             next_msg_id: 1,
+            next_seq: 0,
             connect_sent_at: None,
             pending_register: HashMap::new(),
             pending_control: HashMap::new(),
             inflight: HashMap::new(),
             inbound_qos2: HashMap::new(),
             spare_payloads: Vec::new(),
+            registered_topics: HashMap::new(),
+            pending_subscribe: HashMap::new(),
+            subscribed_filters: Vec::new(),
+            resuming: false,
+            resume_pending: HashMap::new(),
+            dead_letters: Vec::new(),
             last_tx: 0,
             ping_outstanding_since: None,
         }
@@ -224,6 +263,38 @@ impl Client {
         self.inflight.len() < self.config.max_inflight
     }
 
+    /// Broker-assigned id of a topic registered in this (or, after
+    /// resumption, the previous) session.
+    pub fn topic_id(&self, topic_name: &str) -> Option<u16> {
+        self.registered_topics.get(topic_name).copied()
+    }
+
+    /// False while session resumption is still in progress: the CONNACK
+    /// has not arrived or tracked topics still await their fresh REGACK.
+    pub fn resume_complete(&self) -> bool {
+        !self.resuming && self.resume_pending.is_empty()
+    }
+
+    /// Drains payloads of publishes that exhausted retries or were rejected
+    /// by the broker, so transports can buffer and replay them instead of
+    /// losing the records.
+    pub fn take_dead_letters(&mut self) -> Vec<(u16, Vec<u8>)> {
+        std::mem::take(&mut self.dead_letters)
+    }
+
+    /// In-flight message ids matching `filter`, in original publish order
+    /// (by [`InFlight::seq`], which unlike the u16 msg id never wraps).
+    fn inflight_in_publish_order(&self, filter: impl Fn(&InFlight) -> bool) -> Vec<u16> {
+        let mut ids: Vec<(u64, u16)> = self
+            .inflight
+            .iter()
+            .filter(|(_, f)| filter(f))
+            .map(|(id, f)| (f.seq, *id))
+            .collect();
+        ids.sort_unstable();
+        ids.into_iter().map(|(_, id)| id).collect()
+    }
+
     fn alloc_msg_id(&mut self) -> u16 {
         loop {
             let id = self.next_msg_id;
@@ -231,7 +302,15 @@ impl Client {
             if self.next_msg_id == 0 {
                 self.next_msg_id = 1;
             }
-            if id != 0 && !self.inflight.contains_key(&id) && !self.pending_register.contains_key(&id)
+            // A live id may belong to a data publish OR a control
+            // transaction (SUBSCRIBE/UNSUBSCRIBE share the message-id space
+            // with PUBLISH per spec §5.4) — handing a publish an
+            // outstanding control id would overwrite that transaction's
+            // retransmission state.
+            if id != 0
+                && !self.inflight.contains_key(&id)
+                && !self.pending_register.contains_key(&id)
+                && !self.pending_control.contains_key(&id)
             {
                 return id;
             }
@@ -246,6 +325,40 @@ impl Client {
         self.last_tx = now;
         let packet = Packet::Connect {
             clean_session: self.config.clean_session,
+            duration: self.config.keep_alive.as_secs().min(u16::MAX as u64) as u16,
+            client_id: self.config.client_id.clone(),
+        };
+        self.pending_control.insert(
+            0,
+            PendingControl {
+                packet: packet.clone(),
+                last_sent: now,
+                retries: 0,
+            },
+        );
+        vec![Output::Send(packet)]
+    }
+
+    /// Re-initiates the connection handshake after a lost connection,
+    /// requesting session continuation (`clean_session = false`). On the
+    /// accepted CONNACK the client re-registers every tracked topic,
+    /// re-subscribes every acknowledged filter, and retransmits in-flight
+    /// QoS 1/2 publishes with the DUP flag — remapping their topic ids if
+    /// the broker (e.g. after a restart) assigns different ones.
+    pub fn reconnect(&mut self, now: Nanos) -> Vec<Output> {
+        self.state = ClientState::Connecting;
+        self.connect_sent_at = Some(now);
+        self.last_tx = now;
+        self.ping_outstanding_since = None;
+        self.resuming = true;
+        // Stale control transactions from the dead connection are dropped;
+        // resumed state is rebuilt from the tracked registrations and
+        // subscriptions once the CONNACK arrives.
+        self.pending_control.clear();
+        self.pending_register.clear();
+        self.resume_pending.clear();
+        let packet = Packet::Connect {
+            clean_session: false,
             duration: self.config.keep_alive.as_secs().min(u16::MAX as u64) as u16,
             client_id: self.config.client_id.clone(),
         };
@@ -334,6 +447,8 @@ impl Client {
                     msg_id,
                     payload: wire_payload,
                 };
+                let seq = self.next_seq;
+                self.next_seq += 1;
                 self.inflight.insert(
                     msg_id,
                     InFlight {
@@ -348,6 +463,7 @@ impl Client {
                         },
                         last_sent: now,
                         retries: 0,
+                        seq,
                     },
                 );
                 Ok((msg_id, vec![Output::Send(packet)]))
@@ -369,6 +485,7 @@ impl Client {
             return Err(Error::BadState("invalid topic filter"));
         }
         let msg_id = self.alloc_msg_id();
+        self.pending_subscribe.insert(msg_id, (filter.to_owned(), qos));
         self.last_tx = now;
         let packet = Packet::Subscribe {
             dup: false,
@@ -387,9 +504,19 @@ impl Client {
         Ok((msg_id, vec![Output::Send(packet)]))
     }
 
-    /// Starts a graceful disconnect.
+    /// Starts a graceful disconnect: the session transitions to
+    /// `Disconnected` immediately (spec §6.15 — the client is disconnected
+    /// the moment it sends DISCONNECT, whether or not the broker's reply
+    /// arrives) and timer state is cleared so no keep-alive or control
+    /// retransmission fires on the torn-down session. In-flight publishes
+    /// and tracked registrations are retained for a later
+    /// [`Client::reconnect`].
     pub fn disconnect(&mut self, now: Nanos) -> Vec<Output> {
         self.last_tx = now;
+        self.state = ClientState::Disconnected;
+        self.ping_outstanding_since = None;
+        self.connect_sent_at = None;
+        self.pending_control.clear();
         vec![Output::Send(Packet::Disconnect { duration: None })]
     }
 
@@ -401,9 +528,15 @@ impl Client {
                 self.pending_control.remove(&0);
                 if code == ReturnCode::Accepted {
                     self.state = ClientState::Connected;
+                    self.ping_outstanding_since = None;
                     out.push(Output::Event(ClientEvent::Connected));
+                    if self.resuming {
+                        self.resuming = false;
+                        self.resume_session(now, &mut out);
+                    }
                 } else {
                     self.state = ClientState::Disconnected;
+                    self.resuming = false;
                     out.push(Output::Event(ClientEvent::ConnectFailed(code)));
                 }
             }
@@ -415,10 +548,33 @@ impl Client {
                 self.pending_control.remove(&msg_id);
                 if let Some(topic_name) = self.pending_register.remove(&msg_id) {
                     if code == ReturnCode::Accepted {
+                        self.registered_topics
+                            .insert(topic_name.clone(), topic_id);
+                        if let Some(old_id) = self.resume_pending.remove(&topic_name) {
+                            self.retransmit_remapped(old_id, topic_id, now, &mut out);
+                        }
                         out.push(Output::Event(ClientEvent::Registered {
                             topic_name,
                             topic_id,
                         }));
+                    } else if let Some(old_id) = self.resume_pending.remove(&topic_name) {
+                        // The broker refused to resume this registration:
+                        // stop tracking the topic (so resume_complete()
+                        // can report success) and fail its in-flight
+                        // publishes into the dead-letter queue instead of
+                        // leaving them stuck un-remapped forever.
+                        self.registered_topics.remove(&topic_name);
+                        let ids =
+                            self.inflight_in_publish_order(|f| f.topic == TopicRef::Id(old_id));
+                        for id in ids {
+                            if let Some(f) = self.inflight.remove(&id) {
+                                self.dead_letters.push((id, f.payload));
+                            }
+                            out.push(Output::Event(ClientEvent::PublishRejected {
+                                msg_id: id,
+                                code,
+                            }));
+                        }
                     }
                 }
             }
@@ -430,19 +586,38 @@ impl Client {
             } => {
                 self.pending_control.remove(&msg_id);
                 if code == ReturnCode::Accepted {
+                    if let Some((filter, granted)) = self.pending_subscribe.remove(&msg_id) {
+                        self.subscribed_filters.retain(|(f, _)| f != &filter);
+                        self.subscribed_filters.push((filter, granted));
+                    }
                     out.push(Output::Event(ClientEvent::Subscribed {
                         msg_id,
                         topic_id,
                         qos,
                     }));
+                } else {
+                    self.pending_subscribe.remove(&msg_id);
                 }
             }
             Packet::UnsubAck { msg_id } => {
                 self.pending_control.remove(&msg_id);
                 out.push(Output::Event(ClientEvent::Unsubscribed { msg_id }));
             }
-            Packet::PubAck { msg_id, .. } => {
-                if let Some(f) = self.inflight.get(&msg_id) {
+            Packet::PubAck { msg_id, code, .. } => {
+                if code != ReturnCode::Accepted {
+                    // A rejection (e.g. InvalidTopicId from a broker that
+                    // lost the registration across a restart) terminates the
+                    // exchange for QoS 1 *and* QoS 2 — reporting it as
+                    // PublishDone would silently lose the record. Park the
+                    // payload for replay after re-registration.
+                    if let Some(f) = self.inflight.remove(&msg_id) {
+                        self.dead_letters.push((msg_id, f.payload));
+                        out.push(Output::Event(ClientEvent::PublishRejected {
+                            msg_id,
+                            code,
+                        }));
+                    }
+                } else if let Some(f) = self.inflight.get(&msg_id) {
                     if matches!(f.phase, OutPhase::Puback) {
                         if let Some(f) = self.inflight.remove(&msg_id) {
                             self.reclaim_payload(f.payload);
@@ -537,6 +712,123 @@ impl Client {
         out
     }
 
+    /// Emits the session-resumption traffic after a reconnect CONNACK:
+    /// fresh REGISTERs for every tracked topic, fresh SUBSCRIBEs for every
+    /// acknowledged filter, and immediate DUP retransmission of in-flight
+    /// publishes whose topic ids cannot change (predefined ids). In-flight
+    /// publishes on registered ids wait for their fresh REGACK so they can
+    /// be remapped if the broker assigns a different id.
+    fn resume_session(&mut self, now: Nanos, out: &mut Vec<Output>) {
+        let mut filters: Vec<(String, QoS)> = self.subscribed_filters.clone();
+        filters.sort_by(|a, b| a.0.cmp(&b.0));
+        for (filter, qos) in filters {
+            let msg_id = self.alloc_msg_id();
+            self.pending_subscribe
+                .insert(msg_id, (filter.clone(), qos));
+            let packet = Packet::Subscribe {
+                dup: false,
+                qos,
+                msg_id,
+                topic: TopicRef::Name(filter),
+            };
+            self.pending_control.insert(
+                msg_id,
+                PendingControl {
+                    packet: packet.clone(),
+                    last_sent: now,
+                    retries: 0,
+                },
+            );
+            out.push(Output::Send(packet));
+        }
+        let mut topics: Vec<(String, u16)> = self
+            .registered_topics
+            .iter()
+            .map(|(n, id)| (n.clone(), *id))
+            .collect();
+        topics.sort();
+        for (name, old_id) in topics {
+            self.resume_pending.insert(name.clone(), old_id);
+            let msg_id = self.alloc_msg_id();
+            self.pending_register.insert(msg_id, name.clone());
+            let packet = Packet::Register {
+                topic_id: 0,
+                msg_id,
+                topic_name: name,
+            };
+            self.pending_control.insert(
+                msg_id,
+                PendingControl {
+                    packet: packet.clone(),
+                    last_sent: now,
+                    retries: 0,
+                },
+            );
+            out.push(Output::Send(packet));
+        }
+        // In-flight publishes whose topic reference is not subject to
+        // re-registration retransmit immediately.
+        let resume_pending = &self.resume_pending;
+        let ids = self.inflight_in_publish_order(|f| match f.topic {
+            TopicRef::Predefined(_) | TopicRef::Name(_) => true,
+            TopicRef::Id(id) => !resume_pending.values().any(|old| *old == id),
+        });
+        for id in ids {
+            self.retransmit_inflight(id, now, out);
+        }
+        self.last_tx = now;
+    }
+
+    /// Remaps in-flight publishes from a pre-reconnect topic id to the
+    /// freshly registered one and retransmits them with the DUP flag.
+    fn retransmit_remapped(
+        &mut self,
+        old_id: u16,
+        new_id: u16,
+        now: Nanos,
+        out: &mut Vec<Output>,
+    ) {
+        let ids = self.inflight_in_publish_order(|f| f.topic == TopicRef::Id(old_id));
+        for id in ids {
+            if let Some(f) = self.inflight.get_mut(&id) {
+                f.topic = TopicRef::Id(new_id);
+            }
+            self.retransmit_inflight(id, now, out);
+        }
+    }
+
+    /// Re-sends one in-flight message (DUP publish or PUBREL, per phase)
+    /// with a reset retry budget.
+    fn retransmit_inflight(&mut self, id: u16, now: Nanos, out: &mut Vec<Output>) {
+        let mut wire_payload = self.spare_payloads.pop().unwrap_or_default();
+        let Some(f) = self.inflight.get_mut(&id) else {
+            self.spare_payloads.push(wire_payload);
+            return;
+        };
+        f.retries = 0;
+        f.last_sent = now;
+        let packet = match f.phase {
+            OutPhase::Puback | OutPhase::Pubrec => {
+                wire_payload.clear();
+                wire_payload.extend_from_slice(&f.payload);
+                Packet::Publish {
+                    dup: true,
+                    qos: f.qos,
+                    retain: f.retain,
+                    topic: f.topic.clone(),
+                    msg_id: id,
+                    payload: wire_payload,
+                }
+            }
+            OutPhase::Pubcomp => {
+                self.spare_payloads.push(wire_payload);
+                Packet::PubRel { msg_id: id }
+            }
+        };
+        self.last_tx = now;
+        out.push(Output::Send(packet));
+    }
+
     /// Drives timers: retransmissions and keep-alive. Call at least every
     /// `retry_timeout / 2`.
     pub fn on_tick(&mut self, now: Nanos) -> Vec<Output> {
@@ -578,8 +870,9 @@ impl Client {
         }
 
         let mut failed = Vec::new();
-        let mut ids: Vec<u16> = self.inflight.keys().copied().collect();
-        ids.sort_unstable(); // deterministic retransmission order
+        // Deterministic retransmission in original publish order (seq, not
+        // msg id, which wraps).
+        let ids = self.inflight_in_publish_order(|_| true);
         for id in ids {
             let f = self.inflight.get_mut(&id).expect("present");
             if now.saturating_sub(f.last_sent) < retry_ns {
@@ -612,7 +905,19 @@ impl Client {
         }
         for id in failed {
             if let Some(f) = self.inflight.remove(&id) {
-                self.reclaim_payload(f.payload);
+                match f.phase {
+                    // Retry exhaustion usually means the link is down, not
+                    // that the record is unwanted — park the payload for
+                    // replay after a reconnect instead of dropping it.
+                    OutPhase::Puback | OutPhase::Pubrec => {
+                        self.dead_letters.push((id, f.payload));
+                    }
+                    // A PUBREC was received, so the broker provably holds
+                    // (and forwarded) the message — replaying it as a fresh
+                    // publish would double-deliver; only the handshake
+                    // cleanup is abandoned.
+                    OutPhase::Pubcomp => self.reclaim_payload(f.payload),
+                }
             }
             out.push(Output::Event(ClientEvent::PublishFailed { msg_id: id }));
         }
@@ -987,6 +1292,350 @@ mod tests {
         assert!(sends(&out)
             .iter()
             .all(|p| !matches!(p, Packet::Register { .. } | Packet::Subscribe { .. })));
+    }
+
+    #[test]
+    fn alloc_msg_id_skips_outstanding_control_ids() {
+        let mut c = connected_client();
+        // SUBSCRIBE takes msg id 1 and parks it in pending_control.
+        let (sub_id, _) = c.subscribe("t/#", QoS::AtLeastOnce, 0).unwrap();
+        assert_eq!(sub_id, 1);
+        // Force the allocator to wrap back onto the outstanding control id.
+        c.next_msg_id = sub_id;
+        let (pub_id, _) = c
+            .publish(TopicRef::Id(1), vec![1], QoS::AtLeastOnce, 0)
+            .unwrap();
+        assert_ne!(
+            pub_id, sub_id,
+            "publish must not reuse an outstanding SUBSCRIBE id"
+        );
+        // The SUBSCRIBE's retransmission state survived the allocation.
+        assert!(c.pending_control.contains_key(&sub_id));
+    }
+
+    #[test]
+    fn disconnect_transitions_state_and_clears_timers() {
+        let mut cfg = ClientConfig::new("dev1");
+        cfg.keep_alive = Duration::from_secs(1);
+        let mut c = Client::new(cfg);
+        c.connect(0);
+        c.on_packet(
+            Packet::ConnAck {
+                code: ReturnCode::Accepted,
+            },
+            0,
+        );
+        let out = c.disconnect(5);
+        assert!(matches!(sends(&out)[0], Packet::Disconnect { .. }));
+        assert_eq!(c.state(), ClientState::Disconnected);
+        // Publishing on the torn-down session is rejected.
+        assert!(c
+            .publish(TopicRef::Id(1), vec![], QoS::AtMostOnce, 6)
+            .is_err());
+        // No keep-alive pings fire on a disconnected session.
+        let s = 1_000_000_000u64;
+        assert!(c.on_tick(100 * s).is_empty());
+    }
+
+    #[test]
+    fn puback_rejection_is_surfaced_not_publish_done() {
+        let mut c = connected_client();
+        let (id, _) = c
+            .publish(TopicRef::Id(9), vec![42], QoS::AtLeastOnce, 0)
+            .unwrap();
+        let out = c.on_packet(
+            Packet::PubAck {
+                topic_id: 9,
+                msg_id: id,
+                code: ReturnCode::InvalidTopicId,
+            },
+            1,
+        );
+        assert_eq!(
+            events(&out),
+            vec![&ClientEvent::PublishRejected {
+                msg_id: id,
+                code: ReturnCode::InvalidTopicId
+            }]
+        );
+        assert_eq!(c.inflight_len(), 0);
+        // The payload is recoverable for replay after re-registration.
+        let dead = c.take_dead_letters();
+        assert_eq!(dead, vec![(id, vec![42])]);
+    }
+
+    #[test]
+    fn reconnect_resumes_registrations_and_remaps_inflight() {
+        let mut c = connected_client();
+        let (reg_id, _) = c.register("prov/dev1", 0).unwrap();
+        c.on_packet(
+            Packet::RegAck {
+                topic_id: 42,
+                msg_id: reg_id,
+                code: ReturnCode::Accepted,
+            },
+            1,
+        );
+        assert_eq!(c.topic_id("prov/dev1"), Some(42));
+        let (pub_id, _) = c
+            .publish(TopicRef::Id(42), vec![7], QoS::AtLeastOnce, 2)
+            .unwrap();
+
+        // Connection lost; reconnect requests session continuation.
+        let out = c.reconnect(10);
+        match sends(&out)[0] {
+            Packet::Connect { clean_session, .. } => assert!(!clean_session),
+            p => panic!("unexpected {p:?}"),
+        }
+        assert!(!c.resume_complete());
+
+        // CONNACK: the tracked topic is re-registered; the in-flight
+        // publish waits for the fresh REGACK (its id may have changed).
+        let out = c.on_packet(
+            Packet::ConnAck {
+                code: ReturnCode::Accepted,
+            },
+            11,
+        );
+        let resent = sends(&out);
+        let new_reg_id = resent
+            .iter()
+            .find_map(|p| match p {
+                Packet::Register {
+                    msg_id, topic_name, ..
+                } if topic_name == "prov/dev1" => Some(*msg_id),
+                _ => None,
+            })
+            .expect("tracked topic re-registered");
+        assert!(resent.iter().all(|p| !matches!(p, Packet::Publish { .. })));
+
+        // The restarted broker hands out a different id: the in-flight
+        // publish is remapped and retransmitted with DUP.
+        let out = c.on_packet(
+            Packet::RegAck {
+                topic_id: 77,
+                msg_id: new_reg_id,
+                code: ReturnCode::Accepted,
+            },
+            12,
+        );
+        let resent = sends(&out);
+        match resent
+            .iter()
+            .find(|p| matches!(p, Packet::Publish { .. }))
+            .expect("in-flight retransmitted")
+        {
+            Packet::Publish {
+                dup,
+                topic,
+                msg_id,
+                payload,
+                ..
+            } => {
+                assert!(*dup);
+                assert_eq!(*topic, TopicRef::Id(77));
+                assert_eq!(*msg_id, pub_id);
+                assert_eq!(payload, &vec![7]);
+            }
+            _ => unreachable!(),
+        }
+        assert!(c.resume_complete());
+        assert_eq!(c.topic_id("prov/dev1"), Some(77));
+
+        // Completion still works on the resumed session.
+        let out = c.on_packet(
+            Packet::PubAck {
+                topic_id: 77,
+                msg_id: pub_id,
+                code: ReturnCode::Accepted,
+            },
+            13,
+        );
+        assert_eq!(
+            events(&out),
+            vec![&ClientEvent::PublishDone { msg_id: pub_id }]
+        );
+    }
+
+    #[test]
+    fn rejected_resume_registration_dead_letters_inflight() {
+        let mut c = connected_client();
+        let (reg_id, _) = c.register("gone/topic", 0).unwrap();
+        c.on_packet(
+            Packet::RegAck {
+                topic_id: 8,
+                msg_id: reg_id,
+                code: ReturnCode::Accepted,
+            },
+            1,
+        );
+        let (pub_id, _) = c
+            .publish(TopicRef::Id(8), vec![5], QoS::AtLeastOnce, 2)
+            .unwrap();
+        c.reconnect(10);
+        let out = c.on_packet(
+            Packet::ConnAck {
+                code: ReturnCode::Accepted,
+            },
+            11,
+        );
+        let new_reg_id = sends(&out)
+            .iter()
+            .find_map(|p| match p {
+                Packet::Register { msg_id, .. } => Some(*msg_id),
+                _ => None,
+            })
+            .unwrap();
+        // The broker refuses the re-registration: resumption must still
+        // complete, and the stuck in-flight publish must surface as a
+        // rejection with its payload recoverable.
+        let out = c.on_packet(
+            Packet::RegAck {
+                topic_id: 0,
+                msg_id: new_reg_id,
+                code: ReturnCode::NotSupported,
+            },
+            12,
+        );
+        assert!(c.resume_complete(), "rejection must not wedge resumption");
+        assert!(events(&out)
+            .iter()
+            .any(|e| matches!(e, ClientEvent::PublishRejected { msg_id, .. } if *msg_id == pub_id)));
+        assert_eq!(c.inflight_len(), 0);
+        assert_eq!(c.take_dead_letters(), vec![(pub_id, vec![5])]);
+        assert_eq!(c.topic_id("gone/topic"), None);
+    }
+
+    #[test]
+    fn reconnect_resubscribes_acknowledged_filters() {
+        let mut c = connected_client();
+        let (sub_id, _) = c.subscribe("prov/#", QoS::ExactlyOnce, 0).unwrap();
+        c.on_packet(
+            Packet::SubAck {
+                qos: QoS::ExactlyOnce,
+                topic_id: 0,
+                msg_id: sub_id,
+                code: ReturnCode::Accepted,
+            },
+            1,
+        );
+        c.reconnect(10);
+        let out = c.on_packet(
+            Packet::ConnAck {
+                code: ReturnCode::Accepted,
+            },
+            11,
+        );
+        assert!(
+            sends(&out).iter().any(|p| matches!(
+                p,
+                Packet::Subscribe { topic: TopicRef::Name(f), qos: QoS::ExactlyOnce, .. }
+                    if f == "prov/#"
+            )),
+            "acknowledged filter must be re-subscribed on resumption"
+        );
+    }
+
+    #[test]
+    fn reconnect_retransmits_pubrel_phase_as_pubrel() {
+        let mut c = connected_client();
+        let (reg_id, _) = c.register("t", 0).unwrap();
+        c.on_packet(
+            Packet::RegAck {
+                topic_id: 5,
+                msg_id: reg_id,
+                code: ReturnCode::Accepted,
+            },
+            1,
+        );
+        let (pub_id, _) = c
+            .publish(TopicRef::Id(5), vec![1], QoS::ExactlyOnce, 2)
+            .unwrap();
+        // PUBREC received: the exchange is in the PUBREL phase.
+        c.on_packet(Packet::PubRec { msg_id: pub_id }, 3);
+        c.reconnect(10);
+        let out = c.on_packet(
+            Packet::ConnAck {
+                code: ReturnCode::Accepted,
+            },
+            11,
+        );
+        let reg_msg_id = sends(&out)
+            .iter()
+            .find_map(|p| match p {
+                Packet::Register { msg_id, .. } => Some(*msg_id),
+                _ => None,
+            })
+            .unwrap();
+        let out = c.on_packet(
+            Packet::RegAck {
+                topic_id: 5,
+                msg_id: reg_msg_id,
+                code: ReturnCode::Accepted,
+            },
+            12,
+        );
+        // Second half of the QoS 2 handshake resumes with PUBREL, not a
+        // duplicate PUBLISH (which could double-deliver).
+        assert!(sends(&out)
+            .iter()
+            .any(|p| matches!(p, Packet::PubRel { msg_id } if *msg_id == pub_id)));
+        assert!(sends(&out)
+            .iter()
+            .all(|p| !matches!(p, Packet::Publish { .. })));
+    }
+
+    #[test]
+    fn exhausted_retries_park_payload_in_dead_letters() {
+        let mut cfg = ClientConfig::new("dev1");
+        cfg.retry_timeout = Duration::from_secs(1);
+        cfg.max_retries = 1;
+        let mut c = Client::new(cfg);
+        c.connect(0);
+        c.on_packet(
+            Packet::ConnAck {
+                code: ReturnCode::Accepted,
+            },
+            0,
+        );
+        let (id, _) = c
+            .publish(TopicRef::Id(1), vec![9, 9], QoS::AtLeastOnce, 0)
+            .unwrap();
+        let s = 1_000_000_000u64;
+        c.on_tick(s + 1); // retry 1
+        let out = c.on_tick(3 * s); // exhausted
+        assert_eq!(
+            events(&out),
+            vec![&ClientEvent::PublishFailed { msg_id: id }]
+        );
+        assert_eq!(c.take_dead_letters(), vec![(id, vec![9, 9])]);
+    }
+
+    #[test]
+    fn pubcomp_phase_exhaustion_never_dead_letters() {
+        let mut cfg = ClientConfig::new("dev1");
+        cfg.retry_timeout = Duration::from_secs(1);
+        cfg.max_retries = 1;
+        let mut c = Client::new(cfg);
+        c.connect(0);
+        c.on_packet(
+            Packet::ConnAck {
+                code: ReturnCode::Accepted,
+            },
+            0,
+        );
+        let (id, _) = c
+            .publish(TopicRef::Id(1), vec![4], QoS::ExactlyOnce, 0)
+            .unwrap();
+        // PUBREC arrives: the broker provably holds (and forwarded) the
+        // message; only the PUBREL/PUBCOMP leg remains.
+        c.on_packet(Packet::PubRec { msg_id: id }, 1);
+        let s = 1_000_000_000u64;
+        c.on_tick(2 * s); // PUBREL retry
+        let out = c.on_tick(4 * s); // exhausted
+        assert_eq!(events(&out), vec![&ClientEvent::PublishFailed { msg_id: id }]);
+        // Replaying this payload as a fresh publish would double-deliver.
+        assert!(c.take_dead_letters().is_empty());
     }
 
     #[test]

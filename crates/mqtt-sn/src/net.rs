@@ -29,11 +29,35 @@ pub struct UdpBroker {
 impl UdpBroker {
     /// Binds and starts serving. Use `"127.0.0.1:0"` to pick a free port.
     pub fn spawn(bind: impl ToSocketAddrs, config: BrokerConfig) -> io::Result<UdpBroker> {
+        Self::spawn_inner(bind, Broker::new(config))
+    }
+
+    /// Binds and starts serving from a persisted broker snapshot (see
+    /// [`UdpBroker::snapshot`]) — the restart path: durable sessions, topic
+    /// registrations, and buffered messages survive the process boundary,
+    /// the way RSMB's persistence file keeps gateway state across crashes.
+    pub fn spawn_resuming(
+        bind: impl ToSocketAddrs,
+        mut state: Broker<SocketAddr>,
+    ) -> io::Result<UdpBroker> {
+        // The serving thread's monotonic clock restarts at zero; rebase the
+        // snapshot's timers so retransmissions fire promptly.
+        state.reset_clock();
+        Self::spawn_inner(bind, state)
+    }
+
+    /// Clones the full broker state for later resumption via
+    /// [`UdpBroker::spawn_resuming`].
+    pub fn snapshot(&self) -> Broker<SocketAddr> {
+        self.broker.lock().clone()
+    }
+
+    fn spawn_inner(bind: impl ToSocketAddrs, state: Broker<SocketAddr>) -> io::Result<UdpBroker> {
         let socket = UdpSocket::bind(bind)?;
         socket.set_read_timeout(Some(Duration::from_millis(10)))?;
         let local_addr = socket.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let broker = Arc::new(Mutex::new(Broker::new(config)));
+        let broker = Arc::new(Mutex::new(state));
 
         let thread = {
             let shutdown = Arc::clone(&shutdown);
@@ -63,7 +87,14 @@ impl UdpBroker {
                         Err(e)
                             if e.kind() == io::ErrorKind::WouldBlock
                                 || e.kind() == io::ErrorKind::TimedOut => {}
-                        Err(_) => return,
+                        Err(_) => {
+                            // Transient: on Linux an ICMP port-unreachable
+                            // from one departed client surfaces here as
+                            // ECONNREFUSED — exiting would kill the broker
+                            // for everyone. Back off briefly and keep
+                            // serving; shutdown still exits via the flag.
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
                     }
                     if last_tick.elapsed() >= Duration::from_millis(100) {
                         last_tick = Instant::now();
@@ -126,6 +157,32 @@ pub enum NetError {
     Timeout(&'static str),
 }
 
+impl NetError {
+    /// Whether the failure is plausibly recoverable by retrying — the
+    /// signature of a network partition or a broker mid-restart — as
+    /// opposed to a fatal condition (protocol violation, permission
+    /// error) that no amount of retrying fixes. [`UdpClient::reconnect`]
+    /// keeps backing off on transient errors and aborts on fatal ones.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            // The expected response never arrived: partition or slow link.
+            NetError::Timeout(_) => true,
+            NetError::Io(e) => !matches!(
+                e.kind(),
+                io::ErrorKind::PermissionDenied
+                    | io::ErrorKind::AddrInUse
+                    | io::ErrorKind::AddrNotAvailable
+                    | io::ErrorKind::InvalidInput
+                    | io::ErrorKind::Unsupported
+            ),
+            // A congested broker asks the client to retry later (spec
+            // return code 0x01); every other protocol error is fatal.
+            NetError::Protocol(Error::Rejected(crate::packet::ReturnCode::Congestion)) => true,
+            NetError::Protocol(_) => false,
+        }
+    }
+}
+
 impl From<io::Error> for NetError {
     fn from(e: io::Error) -> Self {
         NetError::Io(e)
@@ -149,9 +206,34 @@ impl std::fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
+/// Exponential-backoff schedule for [`UdpClient::reconnect`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Delay before the second attempt (the first fires immediately).
+    pub initial_backoff: Duration,
+    /// Ceiling the doubling backoff saturates at.
+    pub max_backoff: Duration,
+    /// Attempts before giving up with the last transient error.
+    pub max_attempts: u32,
+    /// Per-attempt budget for the CONNECT handshake + session resumption.
+    pub attempt_timeout: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            initial_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(5),
+            max_attempts: 10,
+            attempt_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
 /// A blocking MQTT-SN client over UDP.
 pub struct UdpClient {
     socket: UdpSocket,
+    broker: SocketAddr,
     client: Client,
     start: Instant,
     events: VecDeque<ClientEvent>,
@@ -172,6 +254,7 @@ impl UdpClient {
         socket.set_read_timeout(Some(Duration::from_millis(10)))?;
         let mut c = UdpClient {
             socket,
+            broker,
             client: Client::new(config),
             start: Instant::now(),
             events: VecDeque::new(),
@@ -243,6 +326,11 @@ impl UdpClient {
         }
         self.pump()?;
         Ok(self.events.pop_front())
+    }
+
+    /// Pops a queued event without touching the socket (never blocks).
+    pub fn pop_event(&mut self) -> Option<ClientEvent> {
+        self.events.pop_front()
     }
 
     fn wait_for<F>(
@@ -322,6 +410,24 @@ impl UdpClient {
         Ok(msg_id)
     }
 
+    /// Publishes without waiting, reporting transport trouble without
+    /// losing the record: the returned flag is `false` when the initial
+    /// transmission failed at the socket level — for QoS 1/2 the message
+    /// is then still in-flight inside the state machine and retransmits
+    /// once the link recovers. Only protocol-level refusal (bad state,
+    /// full in-flight window) is an `Err`.
+    pub fn publish_resilient(
+        &mut self,
+        topic_id: u16,
+        payload: Vec<u8>,
+        qos: QoS,
+    ) -> Result<(u16, bool), Error> {
+        let now = self.now();
+        let (msg_id, outputs) = self.client.publish(TopicRef::Id(topic_id), payload, qos, now)?;
+        let sent = self.dispatch(outputs).is_ok();
+        Ok((msg_id, sent))
+    }
+
     /// Publishes and, for QoS 1/2, blocks until the handshake completes.
     pub fn publish(
         &mut self,
@@ -335,11 +441,18 @@ impl UdpClient {
             return Ok(());
         }
         self.wait_for(timeout, "publish completion", |e| {
-            matches!(e, ClientEvent::PublishDone { msg_id: m } if *m == msg_id)
-                || matches!(e, ClientEvent::PublishFailed { msg_id: m } if *m == msg_id)
+            matches!(
+                e,
+                ClientEvent::PublishDone { msg_id: m }
+                | ClientEvent::PublishFailed { msg_id: m }
+                | ClientEvent::PublishRejected { msg_id: m, .. } if *m == msg_id
+            )
         })
         .and_then(|e| match e {
             ClientEvent::PublishDone { .. } => Ok(()),
+            ClientEvent::PublishRejected { code, .. } => {
+                Err(NetError::Protocol(Error::Rejected(code)))
+            }
             _ => Err(NetError::Timeout("publish acknowledged")),
         })
     }
@@ -356,6 +469,11 @@ impl UdpClient {
     /// Number of QoS 1/2 publishes still in flight.
     pub fn inflight_len(&self) -> usize {
         self.client.inflight_len()
+    }
+
+    /// Whether another QoS 1/2 publish fits the in-flight window.
+    pub fn can_publish(&self) -> bool {
+        self.client.can_publish()
     }
 
     /// Takes a reclaimed payload buffer from a completed publish (see
@@ -376,6 +494,76 @@ impl UdpClient {
         let outputs = self.client.disconnect(now);
         self.dispatch(outputs)?;
         Ok(())
+    }
+
+    /// Current connection state of the underlying state machine.
+    pub fn state(&self) -> crate::ClientState {
+        self.client.state()
+    }
+
+    /// Broker-assigned id of a topic registered in this (or a resumed)
+    /// session. After a reconnect across a broker restart the id may
+    /// differ from the one the original [`UdpClient::register`] returned.
+    pub fn topic_id(&self, topic_name: &str) -> Option<u16> {
+        self.client.topic_id(topic_name)
+    }
+
+    /// Drains payloads of publishes that exhausted retries or were
+    /// rejected by the broker (see [`Client::take_dead_letters`]).
+    pub fn take_dead_letters(&mut self) -> Vec<(u16, Vec<u8>)> {
+        self.client.take_dead_letters()
+    }
+
+    /// One reconnection attempt: rebinds a fresh socket to the original
+    /// broker address and runs the CONNECT handshake with
+    /// `clean_session = false`, waiting until session resumption (topic
+    /// re-registration, in-flight retransmission) completes. Queued
+    /// application events are preserved across the attempt.
+    pub fn try_reconnect(&mut self, timeout: Duration) -> Result<(), NetError> {
+        let socket = UdpSocket::bind("0.0.0.0:0")?;
+        socket.connect(self.broker)?;
+        socket.set_read_timeout(Some(Duration::from_millis(10)))?;
+        self.socket = socket;
+        let now = self.now();
+        let outputs = self.client.reconnect(now);
+        self.dispatch(outputs)?;
+        let deadline = Instant::now() + timeout;
+        self.wait_for(timeout, "reconnect CONNACK", |e| {
+            matches!(e, ClientEvent::Connected | ClientEvent::ConnectFailed(_))
+        })
+        .and_then(|e| match e {
+            ClientEvent::Connected => Ok(()),
+            ClientEvent::ConnectFailed(code) => Err(NetError::Protocol(Error::Rejected(code))),
+            _ => unreachable!(),
+        })?;
+        while !self.client.resume_complete() {
+            if Instant::now() >= deadline {
+                return Err(NetError::Timeout("session resumption"));
+            }
+            self.pump()?;
+        }
+        Ok(())
+    }
+
+    /// Reconnects with exponential backoff, distinguishing transient
+    /// failures (partition, broker mid-restart — retried with a doubling
+    /// delay) from fatal ones (protocol rejection, local configuration —
+    /// surfaced immediately). Returns the number of attempts on success.
+    pub fn reconnect(&mut self, policy: &ReconnectPolicy) -> Result<u32, NetError> {
+        let mut backoff = policy.initial_backoff;
+        let mut last: Option<NetError> = None;
+        for attempt in 1..=policy.max_attempts.max(1) {
+            match self.try_reconnect(policy.attempt_timeout) {
+                Ok(()) => return Ok(attempt),
+                Err(e) if !e.is_transient() => return Err(e),
+                Err(e) => last = Some(e),
+            }
+            if attempt < policy.max_attempts.max(1) {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(policy.max_backoff);
+            }
+        }
+        Err(last.unwrap_or(NetError::Timeout("reconnect")))
     }
 }
 
@@ -447,6 +635,123 @@ mod tests {
         c.publish(tid, vec![1, 2, 3], QoS::AtMostOnce, timeout()).unwrap();
         let spare = c.take_spare_payload().expect("QoS 0 payload buffer returns to the pool");
         assert!(spare.is_empty() && spare.capacity() >= 3);
+        broker.shutdown();
+    }
+
+    #[test]
+    fn neterror_transient_classification() {
+        assert!(NetError::Timeout("x").is_transient());
+        assert!(NetError::Io(io::Error::from(io::ErrorKind::ConnectionRefused)).is_transient());
+        assert!(NetError::Io(io::Error::from(io::ErrorKind::ConnectionReset)).is_transient());
+        assert!(!NetError::Io(io::Error::from(io::ErrorKind::PermissionDenied)).is_transient());
+        assert!(NetError::Protocol(Error::Rejected(crate::packet::ReturnCode::Congestion))
+            .is_transient());
+        assert!(!NetError::Protocol(Error::Rejected(
+            crate::packet::ReturnCode::NotSupported
+        ))
+        .is_transient());
+        assert!(!NetError::Protocol(Error::BadState("x")).is_transient());
+    }
+
+    #[test]
+    fn reconnect_resumes_session_across_broker_restart() {
+        let broker = UdpBroker::spawn("127.0.0.1:0", BrokerConfig::default()).unwrap();
+        let addr = broker.local_addr();
+
+        let mut sub = UdpClient::connect(addr, ClientConfig::new("rsub"), timeout()).unwrap();
+        sub.subscribe("re/#", QoS::AtLeastOnce, timeout()).unwrap();
+        let mut publisher =
+            UdpClient::connect(addr, ClientConfig::new("rpub"), timeout()).unwrap();
+        let tid = publisher.register("re/dev1", timeout()).unwrap();
+        publisher
+            .publish(tid, vec![1], QoS::AtLeastOnce, timeout())
+            .unwrap();
+        sub.recv_message(timeout()).unwrap();
+
+        // Kill the broker, preserving its state; rebind the same port.
+        let snapshot = broker.snapshot();
+        broker.shutdown();
+        let broker = UdpBroker::spawn_resuming(addr, snapshot).unwrap();
+
+        // Both sides reconnect with backoff; sessions resume (the
+        // subscriber's subscription and the publisher's registration both
+        // survive without re-issuing them).
+        let policy = ReconnectPolicy {
+            initial_backoff: Duration::from_millis(50),
+            attempt_timeout: Duration::from_secs(1),
+            ..ReconnectPolicy::default()
+        };
+        sub.reconnect(&policy).unwrap();
+        let attempts = publisher.reconnect(&policy).unwrap();
+        assert!(attempts >= 1);
+        let new_tid = publisher.topic_id("re/dev1").expect("registration resumed");
+
+        publisher
+            .publish(new_tid, vec![2], QoS::AtLeastOnce, timeout())
+            .unwrap();
+        let (_, payload) = sub.recv_message(timeout()).unwrap();
+        assert_eq!(payload, vec![2]);
+        broker.shutdown();
+    }
+
+    #[test]
+    fn reconnect_backs_off_until_broker_returns() {
+        let broker = UdpBroker::spawn("127.0.0.1:0", BrokerConfig::default()).unwrap();
+        let addr = broker.local_addr();
+        let mut client = UdpClient::connect(addr, ClientConfig::new("bk"), timeout()).unwrap();
+        client.register("bk/t", timeout()).unwrap();
+        let snapshot = broker.snapshot();
+        broker.shutdown();
+
+        // Bring the broker back only after a delay: early attempts must
+        // fail transiently and the backoff loop must ride them out.
+        let restarter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            UdpBroker::spawn_resuming(addr, snapshot).unwrap()
+        });
+        let attempts = client
+            .reconnect(&ReconnectPolicy {
+                initial_backoff: Duration::from_millis(100),
+                max_backoff: Duration::from_millis(400),
+                max_attempts: 20,
+                attempt_timeout: Duration::from_millis(500),
+            })
+            .unwrap();
+        assert!(attempts >= 2, "expected early attempts to fail, got {attempts}");
+        let broker = restarter.join().unwrap();
+        assert_eq!(client.state(), crate::ClientState::Connected);
+        broker.shutdown();
+    }
+
+    #[test]
+    fn broker_survives_icmp_unreachable_from_departed_client() {
+        let broker = UdpBroker::spawn(
+            "127.0.0.1:0",
+            BrokerConfig {
+                retry_timeout: Duration::from_millis(100),
+                ..BrokerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = broker.local_addr();
+        // A QoS 1 subscriber that vanishes without disconnecting: broker
+        // retransmissions to its dead port can bounce back as ICMP
+        // port-unreachable (ECONNREFUSED on Linux).
+        {
+            let mut sub = UdpClient::connect(addr, ClientConfig::new("ghost"), timeout()).unwrap();
+            sub.subscribe("g/#", QoS::AtLeastOnce, timeout()).unwrap();
+        } // socket dropped here, no DISCONNECT sent
+        let mut publisher =
+            UdpClient::connect(addr, ClientConfig::new("alive"), timeout()).unwrap();
+        let tid = publisher.register("g/t", timeout()).unwrap();
+        publisher
+            .publish(tid, vec![1], QoS::AtLeastOnce, timeout())
+            .unwrap();
+        // Let several retransmissions to the dead port happen.
+        std::thread::sleep(Duration::from_millis(400));
+        // The broker must still serve new clients.
+        let mut check = UdpClient::connect(addr, ClientConfig::new("check"), timeout()).unwrap();
+        assert!(check.register("g/ok", timeout()).is_ok());
         broker.shutdown();
     }
 
