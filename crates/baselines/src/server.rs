@@ -97,7 +97,11 @@ mod tests {
         let server = IngestionServer::start("127.0.0.1:0").unwrap();
         let mut c = HttpClient::new(server.addr(), true);
         let resp = c
-            .post("/dfanalyzer/pde/task", "application/json", b"not json".to_vec())
+            .post(
+                "/dfanalyzer/pde/task",
+                "application/json",
+                b"not json".to_vec(),
+            )
             .unwrap();
         assert_eq!(resp.status, 400);
         let resp = c
@@ -115,7 +119,11 @@ mod tests {
         let body = r#"[{"kind":"workflow_begin","workflow":"1","time":0},
                        {"kind":"workflow_end","workflow":"1","time":5}]"#;
         let resp = c
-            .post("/dfanalyzer/batch", "application/json", body.as_bytes().to_vec())
+            .post(
+                "/dfanalyzer/batch",
+                "application/json",
+                body.as_bytes().to_vec(),
+            )
             .unwrap();
         assert_eq!(resp.status, 204);
         assert_eq!(server.store().read().stats().records, 2);

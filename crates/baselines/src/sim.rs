@@ -233,11 +233,23 @@ mod tests {
     fn provlake_edge_overhead_matches_table_ii_band() {
         // Paper: 56.9–57.3 % at 0.5 s; 6.02–6.04 % at 5 s.
         let mut d = SimProvLake::new(0);
-        let (o, base) = run(&mut d, 100, 0.5, LinkSpec::gigabit_23ms(), DeviceProfile::a8_m3());
+        let (o, base) = run(
+            &mut d,
+            100,
+            0.5,
+            LinkSpec::gigabit_23ms(),
+            DeviceProfile::a8_m3(),
+        );
         let pct = o.overhead_pct(base);
         assert!((50.0..65.0).contains(&pct), "0.5s: {pct}");
         let mut d = SimProvLake::new(0);
-        let (o, base) = run(&mut d, 100, 5.0, LinkSpec::gigabit_23ms(), DeviceProfile::a8_m3());
+        let (o, base) = run(
+            &mut d,
+            100,
+            5.0,
+            LinkSpec::gigabit_23ms(),
+            DeviceProfile::a8_m3(),
+        );
         let pct = o.overhead_pct(base);
         assert!((5.0..7.0).contains(&pct), "5s: {pct}");
     }
@@ -246,7 +258,13 @@ mod tests {
     fn dfanalyzer_edge_overhead_matches_table_ii_band() {
         // Paper: 39.8–40.5 % at 0.5 s.
         let mut d = SimDfAnalyzer::new();
-        let (o, base) = run(&mut d, 100, 0.5, LinkSpec::gigabit_23ms(), DeviceProfile::a8_m3());
+        let (o, base) = run(
+            &mut d,
+            100,
+            0.5,
+            LinkSpec::gigabit_23ms(),
+            DeviceProfile::a8_m3(),
+        );
         let pct = o.overhead_pct(base);
         assert!((35.0..45.0).contains(&pct), "0.5s: {pct}");
         assert_eq!(d.connections_opened(), 1, "keep-alive must reuse");
@@ -255,9 +273,21 @@ mod tests {
     #[test]
     fn provlake_ordering_above_dfanalyzer() {
         let mut pl = SimProvLake::new(0);
-        let (o_pl, base) = run(&mut pl, 10, 1.0, LinkSpec::gigabit_23ms(), DeviceProfile::a8_m3());
+        let (o_pl, base) = run(
+            &mut pl,
+            10,
+            1.0,
+            LinkSpec::gigabit_23ms(),
+            DeviceProfile::a8_m3(),
+        );
         let mut df = SimDfAnalyzer::new();
-        let (o_df, _) = run(&mut df, 10, 1.0, LinkSpec::gigabit_23ms(), DeviceProfile::a8_m3());
+        let (o_df, _) = run(
+            &mut df,
+            10,
+            1.0,
+            LinkSpec::gigabit_23ms(),
+            DeviceProfile::a8_m3(),
+        );
         assert!(o_pl.overhead_pct(base) > o_df.overhead_pct(base));
     }
 
@@ -267,8 +297,13 @@ mod tests {
         let mut prev = f64::MAX;
         for group in [0usize, 10, 20, 50] {
             let mut d = SimProvLake::new(group);
-            let (o, base) =
-                run(&mut d, 100, 0.5, LinkSpec::gigabit_23ms(), DeviceProfile::a8_m3());
+            let (o, base) = run(
+                &mut d,
+                100,
+                0.5,
+                LinkSpec::gigabit_23ms(),
+                DeviceProfile::a8_m3(),
+            );
             let pct = o.overhead_pct(base);
             assert!(pct < prev, "group {group}: {pct} !< {prev}");
             prev = pct;
@@ -282,8 +317,13 @@ mod tests {
         // Table III 25 Kbit column: >43 % for every grouping level.
         for group in [0usize, 10, 50] {
             let mut d = SimProvLake::new(group);
-            let (o, base) =
-                run(&mut d, 100, 0.5, LinkSpec::kbit25_23ms(), DeviceProfile::a8_m3());
+            let (o, base) = run(
+                &mut d,
+                100,
+                0.5,
+                LinkSpec::kbit25_23ms(),
+                DeviceProfile::a8_m3(),
+            );
             let pct = o.overhead_pct(base);
             assert!(pct > 43.0, "group {group}: {pct}");
         }
@@ -308,7 +348,13 @@ mod tests {
     #[test]
     fn memory_footprint_doubles_provlight() {
         let mut d = SimDfAnalyzer::new();
-        let (o, _) = run(&mut d, 100, 0.5, LinkSpec::gigabit_23ms(), DeviceProfile::a8_m3());
+        let (o, _) = run(
+            &mut d,
+            100,
+            0.5,
+            LinkSpec::gigabit_23ms(),
+            DeviceProfile::a8_m3(),
+        );
         // ≈14.5 MB footprint on a 256 MB device ≈ 5.4 %+.
         assert!(o.report.mem_peak_pct > 5.0);
     }
@@ -318,8 +364,13 @@ mod tests {
         let mut values = Vec::new();
         for seed in 0..5 {
             let mut d = SimProvLake::with_jitter(0, Jitter::new(seed, 0.04));
-            let (o, base) =
-                run(&mut d, 100, 0.5, LinkSpec::gigabit_23ms(), DeviceProfile::a8_m3());
+            let (o, base) = run(
+                &mut d,
+                100,
+                0.5,
+                LinkSpec::gigabit_23ms(),
+                DeviceProfile::a8_m3(),
+            );
             values.push(o.overhead_pct(base));
         }
         let min = values.iter().cloned().fold(f64::MAX, f64::min);

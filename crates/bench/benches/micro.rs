@@ -7,7 +7,7 @@ use mqtt_sn::broker::{Broker, BrokerConfig};
 use mqtt_sn::packet::{Packet, QoS, TopicRef};
 use prov_codec::frame::Envelope;
 use prov_codec::json::{records_to_json, JsonStyle};
-use prov_codec::{compress, decompress, decode_batch, encode_batch};
+use prov_codec::{compress, decode_batch, decompress, encode_batch};
 use prov_model::{DataRecord, Id, Record, TaskRecord, TaskStatus};
 use prov_store::query::Query;
 use prov_store::store::Store;
@@ -206,8 +206,9 @@ fn bench_store(c: &mut Criterion) {
                 time_ns: i * 10,
                 status: TaskStatus::Finished,
             },
-            outputs: vec![DataRecord::new(format!("m{i}"), 1u64)
-                .with_attr("accuracy", rng.gen::<f64>())],
+            outputs: vec![
+                DataRecord::new(format!("m{i}"), 1u64).with_attr("accuracy", rng.gen::<f64>())
+            ],
         });
     }
     g.bench_function("query_top3_of_1000", |b| {
@@ -221,5 +222,11 @@ fn bench_store(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_codecs, bench_compression, bench_mqtt, bench_store);
+criterion_group!(
+    benches,
+    bench_codecs,
+    bench_compression,
+    bench_mqtt,
+    bench_store
+);
 criterion_main!(benches);

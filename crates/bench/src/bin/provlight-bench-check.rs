@@ -1,0 +1,47 @@
+//! CI bench-regression gate: parses `BENCH_hotpath.json` (path as the
+//! first argument, defaulting to the tracked file at the repo root) and
+//! exits non-zero when any ROADMAP perf floor is violated — sub-2×
+//! coalesced-capture speedup or sub-2× sharded-ingest scaling.
+//!
+//! ```text
+//! cargo run -p provlight_bench --bin provlight-bench-check [path]
+//! ```
+
+use provlight_bench::gate;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_owned());
+    let content = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench-check: cannot read {path}: {e}");
+            eprintln!("bench-check: run the hot-path benches first (cargo bench --bench capture_hot_path / ingest_hot_path)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match gate::check(&content) {
+        Ok(gates) => {
+            for g in &gates {
+                println!(
+                    "bench-check: PASS {} = {:.2} (floor {:.1}x)",
+                    g.metric, g.value, g.min
+                );
+            }
+            println!("bench-check: all {} perf floors hold", gates.len());
+            ExitCode::SUCCESS
+        }
+        Err(failures) => {
+            for f in &failures {
+                eprintln!("bench-check: FAIL {f}");
+            }
+            eprintln!(
+                "bench-check: {} perf floor(s) violated in {path}",
+                failures.len()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -214,6 +214,124 @@ pub mod bench_json {
     }
 }
 
+/// The CI bench-regression gate over `BENCH_hotpath.json`.
+///
+/// The ROADMAP mandates two standing perf floors — coalesced/per-record
+/// capture speedup ≥ 2× and sharded 1→4 ingest scaling ≥ 2× — but until
+/// this module CI only `cat`ed the file, so a regression would merge
+/// silently. [`gate::check`] parses the tracked JSON and reports every
+/// violated (or missing) metric; the `provlight-bench-check` binary wraps
+/// it with a non-zero exit for CI.
+pub mod gate {
+    use super::bench_json::extract_section;
+
+    /// One enforced perf floor.
+    #[derive(Clone, Debug, PartialEq)]
+    pub struct Gate {
+        /// Dotted path of the metric inside `BENCH_hotpath.json`.
+        pub metric: String,
+        /// Measured value.
+        pub value: f64,
+        /// Minimum the ROADMAP mandates.
+        pub min: f64,
+    }
+
+    /// The standing floors. Future perf PRs extend this list alongside the
+    /// metrics they add to the tracked file.
+    const FLOORS: &[(&[&str], f64)] = &[
+        (&["speedup_coalesced_vs_immediate"], 2.0),
+        (&["ingest", "scaling_sharded_1_to_4"], 2.0),
+    ];
+
+    /// Resolves a dotted metric path to a number inside the JSON text.
+    fn number(content: &str, path: &[&str]) -> Option<f64> {
+        let mut section = content.to_owned();
+        let (last, parents) = path.split_last()?;
+        for key in parents {
+            section = extract_section(&section, key)?;
+        }
+        extract_section(&section, last)?.trim().parse().ok()
+    }
+
+    /// Checks every floor. `Ok` carries the passing gates for reporting;
+    /// `Err` carries one message per violated or missing metric.
+    pub fn check(content: &str) -> Result<Vec<Gate>, Vec<String>> {
+        let mut gates = Vec::new();
+        let mut failures = Vec::new();
+        for (path, min) in FLOORS {
+            let metric = path.join(".");
+            match number(content, path) {
+                Some(value) if value >= *min => gates.push(Gate {
+                    metric,
+                    value,
+                    min: *min,
+                }),
+                Some(value) => failures.push(format!(
+                    "{metric} = {value:.2} below the mandated {min:.1}x floor"
+                )),
+                None => failures.push(format!("{metric} missing from bench output")),
+            }
+        }
+        if failures.is_empty() {
+            Ok(gates)
+        } else {
+            Err(failures)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn doc(speedup: f64, scaling: f64) -> String {
+            format!(
+                "{{\n  \"bench\": \"capture_hot_path\",\n  \
+                 \"speedup_coalesced_vs_immediate\": {speedup},\n  \
+                 \"ingest\": {{\n    \"scaling_sharded_1_to_4\": {scaling}\n  }}\n}}\n"
+            )
+        }
+
+        #[test]
+        fn healthy_metrics_pass() {
+            let gates = check(&doc(2.19, 3.82)).expect("healthy file must pass");
+            assert_eq!(gates.len(), 2);
+            assert!(gates.iter().all(|g| g.value >= g.min));
+        }
+
+        #[test]
+        fn sub_2x_capture_speedup_fails() {
+            let failures = check(&doc(1.4, 3.82)).expect_err("regression must fail");
+            assert_eq!(failures.len(), 1);
+            assert!(failures[0].contains("speedup_coalesced_vs_immediate"));
+            assert!(failures[0].contains("1.40"));
+        }
+
+        #[test]
+        fn sub_2x_ingest_scaling_fails() {
+            let failures = check(&doc(2.19, 1.99)).expect_err("regression must fail");
+            assert_eq!(failures.len(), 1);
+            assert!(failures[0].contains("ingest.scaling_sharded_1_to_4"));
+        }
+
+        #[test]
+        fn missing_metric_fails_rather_than_passes_vacuously() {
+            let failures = check("{ \"bench\": \"x\" }").expect_err("missing metrics");
+            assert_eq!(failures.len(), 2);
+            assert!(failures.iter().all(|f| f.contains("missing")));
+        }
+
+        #[test]
+        fn tracked_bench_file_passes_the_gate() {
+            // The committed BENCH_hotpath.json must satisfy its own gate.
+            let content = std::fs::read_to_string(
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpath.json"),
+            )
+            .expect("tracked bench file readable");
+            check(&content).expect("tracked bench file violates the perf floors");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

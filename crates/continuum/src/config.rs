@@ -257,7 +257,10 @@ mod tests {
         assert_eq!(edge.services[0].arch.as_deref(), Some("a8"));
         assert_eq!(edge.services[0].quantity, 64);
         assert_eq!(c.total_quantity("Client"), 64);
-        assert_eq!(c.environment.get("g5k").map(String::as_str), Some("cluster: gros"));
+        assert_eq!(
+            c.environment.get("g5k").map(String::as_str),
+            Some("cluster: gros")
+        );
     }
 
     #[test]

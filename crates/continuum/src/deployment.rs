@@ -131,7 +131,10 @@ mod tests {
 
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         while manager.store().stats().records < 2 {
-            assert!(std::time::Instant::now() < deadline, "records never arrived");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "records never arrived"
+            );
             std::thread::sleep(std::time::Duration::from_millis(10));
         }
         let stats = manager.server_stats();

@@ -20,7 +20,7 @@ use provlight_workload::schedule::generate;
 use provlight_workload::spec::WorkloadSpec;
 
 /// The capture system under test.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum System {
     /// No capture (baseline).
     None,
@@ -66,7 +66,7 @@ impl System {
 }
 
 /// One evaluation point.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Scenario {
     /// System under test.
     pub system: System,
@@ -182,9 +182,10 @@ fn make_driver(system: System, seed: u64, jitter_frac: f64) -> Box<dyn CaptureDr
             d.set_jitter(Jitter::new(seed, jitter_frac));
             Box::new(d)
         }
-        System::ProvLake { group } => {
-            Box::new(SimProvLake::with_jitter(group, Jitter::new(seed, jitter_frac)))
-        }
+        System::ProvLake { group } => Box::new(SimProvLake::with_jitter(
+            group,
+            Jitter::new(seed, jitter_frac),
+        )),
         System::DfAnalyzer => Box::new(SimDfAnalyzer::with_jitter(Jitter::new(seed, jitter_frac))),
     }
 }
@@ -213,7 +214,7 @@ pub fn measure(scenario: &Scenario) -> ScenarioResult {
         let seed = scenario.seed ^ (rep as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let schedule = generate(&scenario.spec, 1, seed);
         let baseline = schedule.compute_total();
-        let mut driver = make_driver(scenario.system, seed, scenario.jitter_frac);
+        let mut driver = make_driver(scenario.system.clone(), seed, scenario.jitter_frac);
         let outcome = run_schedule(
             &schedule,
             driver.as_mut(),
@@ -331,7 +332,12 @@ mod tests {
         let (m8, _) = measure_scalability(8, 1);
         let (m64, util) = measure_scalability(64, 1);
         // Paper Table IX: 1.54 % -> 1.57 % — flat within noise.
-        assert!((m8.mean() - m64.mean()).abs() < 0.3, "{} vs {}", m8.mean(), m64.mean());
+        assert!(
+            (m8.mean() - m64.mean()).abs() < 0.3,
+            "{} vs {}",
+            m8.mean(),
+            m64.mean()
+        );
         assert!(util < 1.0, "broker saturated: {util}");
     }
 

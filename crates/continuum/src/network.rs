@@ -51,7 +51,11 @@ pub struct NetworkConfigError {
 
 impl std::fmt::Display for NetworkConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "network config error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "network config error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

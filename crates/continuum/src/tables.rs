@@ -39,7 +39,10 @@ impl TableResult {
     /// Renders the table as aligned text (the bench harness output).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("== {} — {} [{}]\n", self.id, self.title, self.unit));
+        out.push_str(&format!(
+            "== {} — {} [{}]\n",
+            self.id, self.title, self.unit
+        ));
         let w = self
             .cells
             .iter()
@@ -76,10 +79,11 @@ impl TableResult {
 const DURATIONS: [f64; 4] = [0.5, 1.0, 3.5, 5.0];
 
 fn overhead_cell(system: System, attrs: usize, dur: f64, reps: usize, paper: f64) -> Cell {
+    let label = format!("{} {attrs}attr {dur}s", system.name());
     let mut s = Scenario::edge(system, WorkloadSpec::table1(attrs, dur));
     s.reps = reps;
     Cell {
-        label: format!("{} {attrs}attr {dur}s", system.name()),
+        label,
         paper,
         measured: measure(&s).overhead_pct,
     }
@@ -97,7 +101,13 @@ pub fn table2(reps: usize) -> TableResult {
         (100, paper_provlake_100, paper_dfanalyzer_100),
     ] {
         for (i, dur) in DURATIONS.iter().enumerate() {
-            cells.push(overhead_cell(System::ProvLake { group: 0 }, attrs, *dur, reps, pl[i]));
+            cells.push(overhead_cell(
+                System::ProvLake { group: 0 },
+                attrs,
+                *dur,
+                reps,
+                pl[i],
+            ));
             cells.push(overhead_cell(System::DfAnalyzer, attrs, *dur, reps, df[i]));
         }
     }
@@ -114,7 +124,12 @@ pub fn table3(reps: usize) -> TableResult {
     let groups = [0usize, 10, 20, 50];
     // paper[bandwidth][group][duration]
     let paper_1g = [[57.3, 30.1], [6.83, 3.58], [3.87, 1.99], [2.37, 1.24]];
-    let paper_25k = [[321.0, 161.0], [102.5, 49.8], [100.8, 51.16], [95.04, 43.23]];
+    let paper_25k = [
+        [321.0, 161.0],
+        [102.5, 49.8],
+        [100.8, 51.16],
+        [95.04, 43.23],
+    ];
     let mut cells = Vec::new();
     for (bw, paper, slow) in [("1Gbit", paper_1g, false), ("25Kbit", paper_25k, true)] {
         for (gi, group) in groups.iter().enumerate() {
@@ -232,7 +247,7 @@ pub fn table10(reps: usize) -> TableResult {
         (System::ProvLight { group: 0 }, paper_provlight),
     ] {
         for (i, dur) in DURATIONS.iter().enumerate() {
-            let mut s = Scenario::cloud(system, WorkloadSpec::table1(100, *dur));
+            let mut s = Scenario::cloud(system.clone(), WorkloadSpec::table1(100, *dur));
             s.reps = reps;
             cells.push(Cell {
                 label: format!("{} {dur}s", system.name()),
@@ -259,7 +274,7 @@ pub fn fig6(reps: usize) -> Vec<TableResult> {
     let results: Vec<_> = systems
         .iter()
         .map(|(system, name)| {
-            let mut s = Scenario::edge(*system, WorkloadSpec::table1(100, 0.5));
+            let mut s = Scenario::edge(system.clone(), WorkloadSpec::table1(100, 0.5));
             s.reps = reps;
             (*name, measure(&s))
         })
@@ -274,7 +289,11 @@ pub fn fig6(reps: usize) -> Vec<TableResult> {
     let paper_power = [1.47, 1.49, 1.43];
     let paper_power_overhead = [5.46, 6.82, 2.58];
 
-    let mk = |id: &'static str, title: &'static str, unit: &'static str, paper: [f64; 3], f: &dyn Fn(&crate::experiment::ScenarioResult) -> Measurement| {
+    let mk = |id: &'static str,
+              title: &'static str,
+              unit: &'static str,
+              paper: [f64; 3],
+              f: &dyn Fn(&crate::experiment::ScenarioResult) -> Measurement| {
         TableResult {
             id,
             title,
@@ -292,10 +311,22 @@ pub fn fig6(reps: usize) -> Vec<TableResult> {
     };
 
     vec![
-        mk("Fig 6a", "CPU overhead", "% CPU", paper_cpu, &|r| r.cpu_pct.clone()),
-        mk("Fig 6b", "memory overhead", "% of 256 MB", paper_mem, &|r| r.mem_pct.clone()),
-        mk("Fig 6c", "network usage", "KB/s", paper_net, &|r| r.net_kbs.clone()),
-        mk("Fig 6d", "average power", "W", paper_power, &|r| r.power_w.clone()),
+        mk("Fig 6a", "CPU overhead", "% CPU", paper_cpu, &|r| {
+            r.cpu_pct.clone()
+        }),
+        mk(
+            "Fig 6b",
+            "memory overhead",
+            "% of 256 MB",
+            paper_mem,
+            &|r| r.mem_pct.clone(),
+        ),
+        mk("Fig 6c", "network usage", "KB/s", paper_net, &|r| {
+            r.net_kbs.clone()
+        }),
+        mk("Fig 6d", "average power", "W", paper_power, &|r| {
+            r.power_w.clone()
+        }),
         mk(
             "Fig 6d'",
             "power overhead vs idle",
@@ -312,25 +343,34 @@ pub fn ablation(reps: usize) -> Vec<(String, crate::experiment::ScenarioResult)>
     use mqtt_sn::QoS;
     let base = ProvLightSimConfig::default();
 
-    let mut no_compression = base;
+    let mut no_compression = base.clone();
     no_compression.capture.compression = false;
 
-    let mut json_model = base;
+    let mut json_model = base.clone();
     json_model.capture.binary = false;
 
-    let mut qos0 = base;
+    let mut qos0 = base.clone();
     qos0.capture.qos = QoS::AtMostOnce;
 
-    let mut qos1 = base;
+    let mut qos1 = base.clone();
     qos1.capture.qos = QoS::AtLeastOnce;
 
-    let mut grouped = base;
+    let mut grouped = base.clone();
     grouped.capture.group = GroupPolicy::Grouped { size: 50 };
 
     let variants: Vec<(String, System)> = vec![
-        ("full (binary+compress+qos2)".into(), System::ProvLightCustom(base)),
-        ("no compression".into(), System::ProvLightCustom(no_compression)),
-        ("json data model".into(), System::ProvLightCustom(json_model)),
+        (
+            "full (binary+compress+qos2)".into(),
+            System::ProvLightCustom(base.clone()),
+        ),
+        (
+            "no compression".into(),
+            System::ProvLightCustom(no_compression.clone()),
+        ),
+        (
+            "json data model".into(),
+            System::ProvLightCustom(json_model),
+        ),
         ("qos 0".into(), System::ProvLightCustom(qos0)),
         ("qos 1".into(), System::ProvLightCustom(qos1)),
         ("grouped 50".into(), System::ProvLightCustom(grouped)),
@@ -377,7 +417,12 @@ mod tests {
         assert_eq!(t.cells.len(), 8);
         // All cells low (<3 %), decreasing with task duration.
         for c in &t.cells {
-            assert!(c.measured.mean() < 3.0, "{}: {}", c.label, c.measured.mean());
+            assert!(
+                c.measured.mean() < 3.0,
+                "{}: {}",
+                c.label,
+                c.measured.mean()
+            );
         }
         let c05 = t.cell("ProvLight 100attr 0.5s").unwrap().measured.mean();
         let c5 = t.cell("ProvLight 100attr 5s").unwrap().measured.mean();

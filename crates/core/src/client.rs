@@ -83,11 +83,12 @@ impl ProvLightClient {
         topic: &str,
         config: CaptureConfig,
     ) -> Result<ProvLightClient, NetError> {
+        let group = config.group;
         let transmitter =
             Transmitter::start(broker, client_id.to_owned(), topic.to_owned(), config)?;
         Ok(ProvLightClient {
             sink: Arc::new(TransmitterSink {
-                grouper: Mutex::new(Grouper::new(config.group)),
+                grouper: Mutex::new(Grouper::new(group)),
                 transmitter,
             }),
         })

@@ -35,7 +35,10 @@ impl GroupPolicy {
 }
 
 /// Capture pipeline configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Not `Copy` since the durability extension: [`CaptureConfig::spill_dir`]
+/// owns a path. Clone it where the old code copied.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CaptureConfig {
     /// Compress payloads before transmission (paper Table VI client-side
     /// feature; §VII-A measures the cost at ≈1 ms / 100 attributes).
@@ -83,6 +86,22 @@ pub struct CaptureConfig {
     /// MQTT-SN retransmission budget (spec `Nretry`); exhausted publishes
     /// move to the disconnection buffer instead of being lost.
     pub max_retries: u32,
+    /// Directory for the spill-to-flash write-ahead log. When set, records
+    /// evicted from the full in-RAM disconnection buffer spill to
+    /// CRC-framed WAL segments instead of being dropped, replay drains
+    /// disk-first in original order after reconnection, and a restarted
+    /// process recovers every unsent spilled envelope
+    /// ([`TransmitterStats::recovered_records`](crate::transmitter::TransmitterStats)).
+    /// `None` (the default) keeps the RAM-only PR 3 behaviour.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// Total on-disk cap for the spill WAL. When an outage outgrows even
+    /// the flash budget, the *oldest segment* is evicted with exact drop
+    /// accounting
+    /// ([`TransmitterStats::wal_drops`](crate::transmitter::TransmitterStats)).
+    pub spill_max_bytes: usize,
+    /// WAL segment rotation size (smaller segments ⇒ finer-grained
+    /// eviction and reclamation, more files).
+    pub spill_segment_bytes: usize,
 }
 
 /// Default coalescing high-water mark (bytes of pending records).
@@ -93,6 +112,13 @@ pub const DEFAULT_MAX_PAYLOAD: usize = 48 * 1024;
 pub const DEFAULT_BUFFER_MAX_RECORDS: usize = 65_536;
 /// Byte companion to [`DEFAULT_BUFFER_MAX_RECORDS`].
 pub const DEFAULT_BUFFER_MAX_BYTES: usize = 8 * 1024 * 1024;
+
+/// Default spill-WAL disk cap: an order of magnitude beyond the RAM caps —
+/// hours of outage on a Raspberry-class device — while staying well inside
+/// an edge flash budget.
+pub const DEFAULT_SPILL_MAX_BYTES: usize = 64 * 1024 * 1024;
+/// Default spill-WAL segment rotation size.
+pub const DEFAULT_SPILL_SEGMENT_BYTES: usize = 1024 * 1024;
 
 impl Default for CaptureConfig {
     fn default() -> Self {
@@ -111,6 +137,9 @@ impl Default for CaptureConfig {
             keep_alive: Duration::from_secs(60),
             retry_timeout: Duration::from_secs(10),
             max_retries: 5,
+            spill_dir: None,
+            spill_max_bytes: DEFAULT_SPILL_MAX_BYTES,
+            spill_segment_bytes: DEFAULT_SPILL_SEGMENT_BYTES,
         }
     }
 }

@@ -36,6 +36,6 @@ pub use api::{CaptureError, CaptureSession, RecordSink, Task, VecSink, Workflow}
 pub use client::ProvLightClient;
 pub use config::{CaptureConfig, GroupPolicy};
 pub use server::ProvLightServer;
-pub use transmitter::{DisconnectionBuffer, Transmitter, TransmitterStats};
 pub use sim::{ProvLightSimConfig, SimProvLight};
 pub use translator::{DfAnalyzerTranslator, ProvDocumentTranslator, Translator};
+pub use transmitter::{DisconnectionBuffer, Transmitter, TransmitterStats};

@@ -54,7 +54,9 @@ impl ProvLightServer {
         topic_filter: &str,
         translator: Arc<Mutex<dyn Translator>>,
     ) -> Result<ProvLightServer, NetError> {
-        Self::start_parallel(bind, &[topic_filter.to_owned()], move |_| translator.clone())
+        Self::start_parallel(bind, &[topic_filter.to_owned()], move |_| {
+            translator.clone()
+        })
     }
 
     /// Binds the broker and starts one translator per topic filter (the

@@ -27,7 +27,8 @@ use std::collections::VecDeque;
 use std::time::Duration;
 
 /// Simulation configuration for the ProvLight client.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// (`Clone`-only since [`CaptureConfig`] grew an owned spill path.)
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProvLightSimConfig {
     /// Capture pipeline options (grouping, compression, binary, QoS).
     pub capture: CaptureConfig,
@@ -134,8 +135,25 @@ impl SimProvLight {
 
     /// Publishes one message batch; returns the workflow-thread resume
     /// time.
-    fn send_message(&mut self, mut now: SimTime, batch: &[Record], ctx: &mut SimCtx<'_>) -> SimTime {
-        let capture = self.cfg.capture;
+    fn send_message(
+        &mut self,
+        mut now: SimTime,
+        batch: &[Record],
+        ctx: &mut SimCtx<'_>,
+    ) -> SimTime {
+        // All the capture knobs this path reads are scalar; copy them out
+        // so the borrow does not pin `self` (CaptureConfig itself is no
+        // longer `Copy`).
+        let (binary, compression, send_buffer, max_inflight, qos) = {
+            let c = &self.cfg.capture;
+            (
+                c.binary,
+                c.compression,
+                c.send_buffer,
+                c.max_inflight,
+                c.qos,
+            )
+        };
 
         // Per-message publish CPU on the workflow thread.
         let publish_cpu = ctx
@@ -146,8 +164,8 @@ impl SimProvLight {
         now += publish_cpu;
 
         // Real payload bytes from the real codec.
-        let payload = if capture.binary {
-            Envelope::encoded_len(batch, capture.compression)
+        let payload = if binary {
+            Envelope::encoded_len(batch, compression)
         } else {
             records_to_json(batch, JsonStyle::Compact).len()
         };
@@ -156,14 +174,14 @@ impl SimProvLight {
         self.release_completed(now, ctx);
 
         // Bounded send buffer: block the workflow until space frees.
-        while self.buffered_bytes() + msg_bytes > capture.send_buffer && !self.pending.is_empty() {
+        while self.buffered_bytes() + msg_bytes > send_buffer && !self.pending.is_empty() {
             let front = self.pending.front().copied().expect("non-empty");
             now = now.max(front.serialized);
             self.release_completed(now, ctx);
         }
 
         // In-flight window: block until the oldest handshake completes.
-        while self.inflight.len() >= capture.max_inflight {
+        while self.inflight.len() >= max_inflight {
             let front = self.inflight.pop_front().expect("non-empty");
             now = now.max(front);
         }
@@ -178,13 +196,14 @@ impl SimProvLight {
         self.messages_sent += 1;
 
         // QoS handshakes run in background virtual time.
-        let broker_proc = Duration::from_secs_f64(
-            self.cfg.broker_service.as_secs_f64() / CLOUD_SPEED,
-        );
-        match capture.qos {
+        let broker_proc =
+            Duration::from_secs_f64(self.cfg.broker_service.as_secs_f64() / CLOUD_SPEED);
+        match qos {
             QoS::AtMostOnce => {}
             QoS::AtLeastOnce => {
-                let ack = ctx.downlink.transmit(tx.arrival + broker_proc, ACK_PACKET + 1);
+                let ack = ctx
+                    .downlink
+                    .transmit(tx.arrival + broker_proc, ACK_PACKET + 1);
                 let profile = ctx.meter.profile;
                 ctx.meter
                     .cpu
@@ -195,7 +214,9 @@ impl SimProvLight {
                 // PUBREC (downlink) -> PUBREL (uplink) -> PUBCOMP (downlink).
                 let pubrec = ctx.downlink.transmit(tx.arrival + broker_proc, ACK_PACKET);
                 let pubrel = ctx.uplink.transmit(pubrec.arrival, ACK_PACKET);
-                let pubcomp = ctx.downlink.transmit(pubrel.arrival + broker_proc, ACK_PACKET);
+                let pubcomp = ctx
+                    .downlink
+                    .transmit(pubrel.arrival + broker_proc, ACK_PACKET);
                 let profile = ctx.meter.profile;
                 ctx.meter
                     .cpu

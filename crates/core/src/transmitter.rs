@@ -40,12 +40,14 @@
 use crate::api::CaptureError;
 use crate::config::CaptureConfig;
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
-use mqtt_sn::net::UdpClient;
+use mqtt_sn::net::{entropy_seed, jitter_backoff, UdpClient};
 use mqtt_sn::{ClientConfig, ClientEvent, ClientState, NetError, QoS};
 use parking_lot::Mutex;
 use prov_codec::frame::Envelope;
 use prov_codec::json::{records_to_json, JsonStyle};
 use prov_model::Record;
+use prov_wal::{Wal, WalConfig};
+use rand::{rngs::StdRng, SeedableRng};
 use std::collections::{HashMap, VecDeque};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -84,8 +86,14 @@ const RECONNECT_ATTEMPT_TIMEOUT: Duration = Duration::from_secs(1);
 /// waits slightly longer so the thread always answers first.
 const FLUSH_DRAIN_BUDGET: Duration = Duration::from_secs(25);
 
-/// How long shutdown tries to deliver outstanding data before dropping it.
+/// How long shutdown tries to deliver outstanding data before dropping it
+/// (or, with a spill WAL configured, persisting it for the next process).
 const SHUTDOWN_GRACE: Duration = Duration::from_secs(2);
+
+/// Jitter fraction on the transmitter's reconnect backoff: after a gateway
+/// restart every disconnected device's timer would otherwise fire in
+/// lockstep (the reconnect stampede).
+const RECONNECT_JITTER: f64 = 0.25;
 
 /// Capture-side transport statistics — the client mirror of
 /// `ProvLightServer::stats()`.
@@ -109,6 +117,17 @@ pub struct TransmitterStats {
     pub records_dropped: u64,
     /// Records replayed out of the buffer after a reconnection.
     pub records_replayed: u64,
+    /// Records spilled from the full RAM buffer to the flash WAL
+    /// (cumulative, this process).
+    pub spilled_records: u64,
+    /// Payload bytes spilled to the flash WAL (cumulative, this process).
+    pub spill_bytes: u64,
+    /// Records recovered from the WAL at startup — a previous process's
+    /// unsent spill, replayed once connected.
+    pub recovered_records: u64,
+    /// Records the WAL itself dropped (disk-cap oldest-segment eviction,
+    /// unrecoverable corruption). A subset of `records_dropped`.
+    pub wal_drops: u64,
 }
 
 /// Lock-free shared cell behind [`TransmitterStats`].
@@ -122,6 +141,10 @@ struct StatsCell {
     buffered_high_water: AtomicU64,
     records_dropped: AtomicU64,
     records_replayed: AtomicU64,
+    spilled_records: AtomicU64,
+    spill_bytes: AtomicU64,
+    recovered_records: AtomicU64,
+    wal_drops: AtomicU64,
 }
 
 impl StatsCell {
@@ -135,6 +158,10 @@ impl StatsCell {
             buffered_high_water: self.buffered_high_water.load(Ordering::Relaxed),
             records_dropped: self.records_dropped.load(Ordering::Relaxed),
             records_replayed: self.records_replayed.load(Ordering::Relaxed),
+            spilled_records: self.spilled_records.load(Ordering::Relaxed),
+            spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
+            recovered_records: self.recovered_records.load(Ordering::Relaxed),
+            wal_drops: self.wal_drops.load(Ordering::Relaxed),
         }
     }
 }
@@ -170,17 +197,38 @@ impl DisconnectionBuffer {
         }
     }
 
+    /// Whether an envelope of this shape could ever be held — i.e. it does
+    /// not exceed a cap all by itself.
+    pub fn fits(&self, bytes: usize, records: usize) -> bool {
+        records <= self.max_records && bytes <= self.max_bytes
+    }
+
     /// Appends an envelope, evicting oldest-first to stay under both caps.
     /// Returns the number of records dropped (evicted envelopes, or the
     /// incoming one if it alone exceeds a cap).
     pub fn push_back(&mut self, payload: Vec<u8>, records: usize) -> usize {
-        if records > self.max_records || payload.len() > self.max_bytes {
+        if !self.fits(payload.len(), records) {
             // A single envelope larger than a cap can never be held —
             // reject it up front rather than evicting residents it could
             // never make room for.
             return records;
         }
-        let mut dropped = 0;
+        self.push_back_evicting(payload, records)
+            .iter()
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Appends an envelope (which must [`DisconnectionBuffer::fits`]),
+    /// returning the envelopes evicted oldest-first to make room — the
+    /// spill path hands them to the WAL instead of dropping them.
+    pub fn push_back_evicting(
+        &mut self,
+        payload: Vec<u8>,
+        records: usize,
+    ) -> Vec<(Vec<u8>, usize)> {
+        debug_assert!(self.fits(payload.len(), records));
+        let mut evicted = Vec::new();
         while !self.queue.is_empty()
             && (self.records + records > self.max_records
                 || self.bytes + payload.len() > self.max_bytes)
@@ -188,13 +236,13 @@ impl DisconnectionBuffer {
             if let Some((p, n)) = self.queue.pop_front() {
                 self.records -= n;
                 self.bytes -= p.len();
-                dropped += n;
+                evicted.push((p, n));
             }
         }
         self.records += records;
         self.bytes += payload.len();
         self.queue.push_back((payload, records));
-        dropped
+        evicted
     }
 
     /// Re-queues an envelope at the *front* (a replay that failed mid-way,
@@ -237,6 +285,188 @@ impl DisconnectionBuffer {
     }
 }
 
+/// The transmitter's resilience store: the in-RAM [`DisconnectionBuffer`]
+/// backed (when [`CaptureConfig::spill_dir`] is set) by a flash WAL, plus a
+/// small head queue for order-restoring re-pushes.
+///
+/// Age invariant, oldest → newest: `head` ≤ `wal` ≤ `ram`. New envelopes
+/// enter the RAM tail; when RAM overflows, its *oldest* envelopes move to
+/// the WAL tail (everything already in the WAL is older still, so global
+/// FIFO order holds); replay pops head-first, then disk, then RAM. Without
+/// a WAL this degrades to exactly the PR 3 RAM-only behaviour.
+struct SpillBuffer {
+    /// Envelopes pushed back to the very front (failed replay head,
+    /// recovered dead letters) — older than everything else.
+    head: VecDeque<(Vec<u8>, usize)>,
+    head_records: usize,
+    head_bytes: usize,
+    wal: Option<Wal>,
+    ram: DisconnectionBuffer,
+    /// Drops not tracked by the WAL's own counter (RAM-cap rejections
+    /// without a WAL, WAL append I/O failures).
+    local_drops: u64,
+    /// Portion of `wal.dropped_records()` already handed to the caller.
+    wal_drops_accounted: u64,
+}
+
+impl SpillBuffer {
+    /// Builds the store, opening (and recovering) the WAL when configured.
+    fn new(config: &CaptureConfig) -> std::io::Result<SpillBuffer> {
+        let wal = match &config.spill_dir {
+            Some(dir) => Some(Wal::open(WalConfig {
+                dir: dir.clone(),
+                segment_max_bytes: config.spill_segment_bytes.max(1) as u64,
+                max_total_bytes: config.spill_max_bytes.max(1) as u64,
+                sync_on_append: false,
+            })?),
+            None => None,
+        };
+        Ok(SpillBuffer {
+            head: VecDeque::new(),
+            head_records: 0,
+            head_bytes: 0,
+            wal,
+            ram: DisconnectionBuffer::new(config.buffer_max_records, config.buffer_max_bytes),
+            local_drops: 0,
+            wal_drops_accounted: 0,
+        })
+    }
+
+    fn wal_append(wal: &mut Wal, local_drops: &mut u64, payload: &[u8], records: usize) {
+        // An I/O failure loses this envelope; the WAL's own counter covers
+        // cap evictions, `local_drops` covers the disk giving out.
+        if wal.append(payload, records).is_err() {
+            *local_drops += records as u64;
+        }
+    }
+
+    /// Appends a new (newest) envelope. Overflow spills to the WAL when
+    /// one is configured; drops surface via [`SpillBuffer::drain_drops`].
+    fn push_back(&mut self, payload: Vec<u8>, records: usize) {
+        let Some(wal) = self.wal.as_mut() else {
+            self.local_drops += self.ram.push_back(payload, records) as u64;
+            return;
+        };
+        if !self.ram.fits(payload.len(), records) {
+            // The envelope can never live in RAM. Everything currently in
+            // RAM is older, so it must reach the WAL first to keep order.
+            while let Some((p, n)) = self.ram.pop_front() {
+                Self::wal_append(wal, &mut self.local_drops, &p, n);
+            }
+            Self::wal_append(wal, &mut self.local_drops, &payload, records);
+            return;
+        }
+        for (p, n) in self.ram.push_back_evicting(payload, records) {
+            Self::wal_append(wal, &mut self.local_drops, &p, n);
+        }
+    }
+
+    /// Re-queues an envelope at the very front (see
+    /// [`DisconnectionBuffer::push_front`] for why this never evicts).
+    fn push_front(&mut self, payload: Vec<u8>, records: usize) {
+        self.head_records += records;
+        self.head_bytes += payload.len();
+        self.head.push_front((payload, records));
+    }
+
+    /// Takes the oldest envelope: head queue, then disk, then RAM.
+    fn pop_front(&mut self) -> Option<(Vec<u8>, usize)> {
+        if let Some((p, n)) = self.head.pop_front() {
+            self.head_records -= n;
+            self.head_bytes -= p.len();
+            return Some((p, n));
+        }
+        if let Some(wal) = self.wal.as_mut() {
+            match wal.pop_front() {
+                Ok(Some(frame)) => return Some(frame),
+                Ok(None) => {}
+                // Transient I/O trouble establishing the reader (fd
+                // pressure, a momentary filesystem hiccup): the frames are
+                // still durable on disk, so end this replay round and let
+                // the next service pass retry. Never fall through to RAM —
+                // that would reorder newer envelopes ahead of the log.
+                // (Corruption inside a segment is handled by the WAL
+                // itself: the segment is skipped with its records counted
+                // in `dropped_records`.)
+                Err(_) => return None,
+            }
+        }
+        self.ram.pop_front()
+    }
+
+    /// Drops discovered since the last call (RAM rejections, WAL cap
+    /// evictions, I/O losses) — the caller folds these into
+    /// `records_dropped` exactly once.
+    fn drain_drops(&mut self) -> u64 {
+        let wal_total = self.wal.as_ref().map_or(0, |w| w.dropped_records());
+        let delta = wal_total - self.wal_drops_accounted;
+        self.wal_drops_accounted = wal_total;
+        delta + std::mem::take(&mut self.local_drops)
+    }
+
+    /// Moves everything still in RAM onto the WAL so a future process can
+    /// recover it (no-op without a WAL). Head-queue envelopes are appended
+    /// first: they are the oldest, but an append-only log can only take
+    /// them at its tail — so when the shutdown finds *both* durable frames
+    /// and a non-empty head (in-flight publishes dead-lettered while newer
+    /// capture was spilling, or a replay interrupted mid-drain), the next
+    /// process replays those head envelopes after the older frames. The
+    /// reordering is bounded by the in-flight window; delivery still
+    /// happens exactly once.
+    fn persist_for_shutdown(&mut self) {
+        let Some(wal) = self.wal.as_mut() else {
+            return;
+        };
+        while let Some((p, n)) = self.head.pop_front() {
+            self.head_records -= n;
+            self.head_bytes -= p.len();
+            Self::wal_append(wal, &mut self.local_drops, &p, n);
+        }
+        while let Some((p, n)) = self.ram.pop_front() {
+            Self::wal_append(wal, &mut self.local_drops, &p, n);
+        }
+        let _ = wal.sync();
+    }
+
+    fn has_wal(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    fn records(&self) -> usize {
+        self.head_records
+            + self.wal.as_ref().map_or(0, |w| w.records() as usize)
+            + self.ram.records()
+    }
+
+    fn bytes(&self) -> usize {
+        self.head_bytes + self.wal.as_ref().map_or(0, |w| w.bytes() as usize) + self.ram.bytes()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.head.is_empty() && self.wal.as_ref().is_none_or(Wal::is_empty) && self.ram.is_empty()
+    }
+
+    /// Records found durable on disk at startup.
+    fn recovered_records(&self) -> u64 {
+        self.wal.as_ref().map_or(0, Wal::recovered_records)
+    }
+
+    /// Cumulative records spilled to flash this process.
+    fn spilled_records(&self) -> u64 {
+        self.wal.as_ref().map_or(0, Wal::appended_records)
+    }
+
+    /// Cumulative payload bytes spilled to flash this process.
+    fn spilled_bytes(&self) -> u64 {
+        self.wal.as_ref().map_or(0, Wal::appended_bytes)
+    }
+
+    /// Cumulative records the WAL dropped (cap eviction, corruption).
+    fn wal_drops(&self) -> u64 {
+        self.wal.as_ref().map_or(0, |w| w.dropped_records())
+    }
+}
+
 /// Handle to the background transmitter thread.
 pub struct Transmitter {
     tx: Sender<Cmd>,
@@ -264,6 +494,11 @@ impl Transmitter {
         let mut client = UdpClient::connect(broker, client_config, timeout)?;
         let topic_id = client.register(&topic, timeout)?;
 
+        // Open (and recover) the spill WAL before the thread exists so a
+        // misconfigured spill directory fails the connect loudly instead
+        // of silently degrading to RAM-only buffering.
+        let buffer = SpillBuffer::new(&config).map_err(NetError::Io)?;
+
         // Bound the channel so a dead network eventually applies
         // backpressure instead of exhausting memory (the send-buffer role
         // of the simulation model).
@@ -272,11 +507,14 @@ impl Transmitter {
         let pool: BatchPool = Arc::new(Mutex::new(Vec::new()));
         let stats = Arc::new(StatsCell::default());
         stats.connected.store(true, Ordering::Relaxed);
+        stats
+            .recovered_records
+            .store(buffer.recovered_records(), Ordering::Relaxed);
         let thread = {
             let pool = Arc::clone(&pool);
             let stats = Arc::clone(&stats);
             std::thread::spawn(move || {
-                let link = Link::new(client, topic, topic_id, config, stats);
+                let link = Link::new(client, topic, topic_id, config, buffer, stats);
                 transmitter_loop(link, rx, pool);
             })
         };
@@ -423,10 +661,12 @@ struct Link {
     /// Broker forgot our registration (PUBACK `InvalidTopicId`): re-register
     /// on the next service pass instead of full reconnection.
     reregister: bool,
-    buffer: DisconnectionBuffer,
+    buffer: SpillBuffer,
     /// Record count per in-flight message id, so payloads recovered from
     /// the dead-letter queue keep accurate drop/replay accounting.
     inflight_records: HashMap<u16, usize>,
+    /// Backoff jitter source (see [`RECONNECT_JITTER`]).
+    rng: StdRng,
     stats: Arc<StatsCell>,
 }
 
@@ -436,6 +676,7 @@ impl Link {
         topic: String,
         topic_id: u16,
         config: CaptureConfig,
+        buffer: SpillBuffer,
         stats: Arc<StatsCell>,
     ) -> Link {
         Link {
@@ -443,11 +684,14 @@ impl Link {
             topic,
             topic_id,
             connected: true,
-            backoff: config.reconnect_initial_backoff.max(Duration::from_millis(1)),
+            backoff: config
+                .reconnect_initial_backoff
+                .max(Duration::from_millis(1)),
             next_attempt: Instant::now(),
             reregister: false,
-            buffer: DisconnectionBuffer::new(config.buffer_max_records, config.buffer_max_bytes),
+            buffer,
             inflight_records: HashMap::new(),
+            rng: StdRng::seed_from_u64(entropy_seed()),
             stats,
             config,
         }
@@ -460,12 +704,20 @@ impl Link {
                 .config
                 .reconnect_initial_backoff
                 .max(Duration::from_millis(1));
-            self.next_attempt = Instant::now() + self.backoff;
+            self.next_attempt =
+                Instant::now() + jitter_backoff(self.backoff, RECONNECT_JITTER, &mut self.rng);
         }
     }
 
-    /// Mirrors buffer gauges and connection state into the shared stats.
-    fn sync_gauges(&self) {
+    /// Mirrors buffer gauges and connection state into the shared stats,
+    /// folding in any drops the buffer discovered since the last sync.
+    fn sync_gauges(&mut self) {
+        let dropped = self.buffer.drain_drops();
+        if dropped > 0 {
+            self.stats
+                .records_dropped
+                .fetch_add(dropped, Ordering::Relaxed);
+        }
         let s = &self.stats;
         s.connected.store(self.connected, Ordering::Relaxed);
         s.buffered_records
@@ -474,6 +726,12 @@ impl Link {
             .store(self.buffer.bytes() as u64, Ordering::Relaxed);
         s.buffered_high_water
             .fetch_max(self.buffer.records() as u64, Ordering::Relaxed);
+        s.spilled_records
+            .store(self.buffer.spilled_records(), Ordering::Relaxed);
+        s.spill_bytes
+            .store(self.buffer.spilled_bytes(), Ordering::Relaxed);
+        s.wal_drops
+            .store(self.buffer.wal_drops(), Ordering::Relaxed);
     }
 
     /// Consumes queued client events and recovers dead-lettered payloads
@@ -565,8 +823,12 @@ impl Link {
                 self.replay();
             }
             Err(e) => {
-                let cap = self.config.reconnect_max_backoff.max(Duration::from_millis(1));
-                self.next_attempt = Instant::now() + self.backoff;
+                let cap = self
+                    .config
+                    .reconnect_max_backoff
+                    .max(Duration::from_millis(1));
+                self.next_attempt =
+                    Instant::now() + jitter_backoff(self.backoff, RECONNECT_JITTER, &mut self.rng);
                 self.backoff = if e.is_transient() {
                     (self.backoff * 2).min(cap)
                 } else {
@@ -671,17 +933,12 @@ impl Link {
     }
 
     fn buffer_payload(&mut self, payload: Vec<u8>, records: usize, front: bool) {
-        let dropped = if front {
+        if front {
             self.buffer.push_front(payload, records);
-            0
         } else {
-            self.buffer.push_back(payload, records)
-        };
-        if dropped > 0 {
-            self.stats
-                .records_dropped
-                .fetch_add(dropped as u64, Ordering::Relaxed);
+            self.buffer.push_back(payload, records);
         }
+        // Any drops (RAM or WAL eviction) surface through the gauge sync.
         self.sync_gauges();
     }
 
@@ -711,18 +968,25 @@ impl Link {
         }
     }
 
-    /// Final accounting when the thread exits with data still unsent:
-    /// buffered records plus in-flight envelopes never acknowledged count
-    /// as dropped — unconfirmed delivery is reported as loss rather than
-    /// silently presumed successful.
+    /// Final accounting when the thread exits with data still unsent.
+    /// With a spill WAL, buffered records are *persisted* for the next
+    /// process instead of dropped — only unacknowledged in-flight
+    /// envelopes (already popped from the log) count as lost. Without one,
+    /// the PR 3 contract holds: unconfirmed delivery is reported as loss
+    /// rather than silently presumed successful.
     fn account_shutdown_loss(&mut self) {
         self.absorb_events();
         let unconfirmed: usize = self.inflight_records.values().sum();
-        let lost = self.buffer.records() + unconfirmed;
+        let mut lost = unconfirmed as u64;
+        if self.buffer.has_wal() {
+            self.buffer.persist_for_shutdown();
+        } else {
+            lost += self.buffer.records() as u64;
+        }
         if lost > 0 {
             self.stats
                 .records_dropped
-                .fetch_add(lost as u64, Ordering::Relaxed);
+                .fetch_add(lost, Ordering::Relaxed);
         }
         self.sync_gauges();
     }
@@ -786,6 +1050,12 @@ fn pool_batch(pool: &BatchPool, batch: Vec<Record>) {
 
 fn transmitter_loop(mut link: Link, rx: Receiver<Cmd>, pool: BatchPool) {
     let mut pending = Coalescer::new(link.config.max_payload);
+    // A previous process's unsent spill recovered from the WAL replays
+    // ahead of any new capture — disk-first, original order.
+    if !link.buffer.is_empty() {
+        link.replay();
+        link.sync_gauges();
+    }
     loop {
         match rx.recv_timeout(Duration::from_millis(20)) {
             Ok(first) => {
@@ -901,11 +1171,12 @@ mod tests {
         let topic_id = client.register(topic, timeout).unwrap();
         let stats = Arc::new(StatsCell::default());
         stats.connected.store(true, Ordering::Relaxed);
+        let buffer = SpillBuffer::new(&config).unwrap();
         let thread = {
             let stats = Arc::clone(&stats);
             let topic = topic.to_owned();
             std::thread::spawn(move || {
-                let link = Link::new(client, topic, topic_id, config, stats);
+                let link = Link::new(client, topic, topic_id, config, buffer, stats);
                 transmitter_loop(link, rx, pool)
             })
         };
@@ -1018,7 +1289,10 @@ mod tests {
         handle.join().unwrap();
 
         let publishes = broker.stats().publishes_in;
-        assert!(publishes >= 2, "oversized envelope was not split ({publishes} publishes)");
+        assert!(
+            publishes >= 2,
+            "oversized envelope was not split ({publishes} publishes)"
+        );
         broker.shutdown();
     }
 

@@ -207,7 +207,8 @@ mod tests {
         // ProvLake, 0.5 s, 100 attrs at 1 Gbit: 2 × (46 connect + 46 RTT +
         // request CPU + serialize + think) ≈ 0.28–0.30 s ⇒ 56–60 %.
         let rtt = ONE_WAY_DELAY.as_secs_f64() * 2.0;
-        let per_msg = rtt + rtt
+        let per_msg = rtt
+            + rtt
             + PROVLAKE_REQUEST_CPU.as_secs_f64()
             + provlake_record_cpu(100).as_secs_f64()
             + PROVLAKE_SERVER_THINK.as_secs_f64();

@@ -34,11 +34,10 @@ impl ResourceMeter {
 
     /// Produces the end-of-run report for a run of `wall` virtual time.
     pub fn report(&self, wall: Duration) -> DeviceReport {
-        let avg_power_w = self.profile.power.average_power_w(
-            wall,
-            self.cpu.capture_busy(),
-            self.wire_bytes_tx,
-        );
+        let avg_power_w =
+            self.profile
+                .power
+                .average_power_w(wall, self.cpu.capture_busy(), self.wire_bytes_tx);
         let baseline_power_w = self.profile.power.average_power_w(wall, Duration::ZERO, 0);
         DeviceReport {
             wall,

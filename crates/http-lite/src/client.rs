@@ -142,7 +142,9 @@ mod tests {
         .unwrap();
         let mut client = HttpClient::new(server.local_addr(), false);
         for _ in 0..3 {
-            let resp = client.post("/ingest", "application/json", b"{}".to_vec()).unwrap();
+            let resp = client
+                .post("/ingest", "application/json", b"{}".to_vec())
+                .unwrap();
             assert_eq!(resp.status, 204);
         }
         assert_eq!(client.connections_opened, 3);

@@ -192,7 +192,9 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> 
         .next()
         .ok_or(HttpError::Malformed("missing path"))?
         .to_owned();
-    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing version"))?;
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed("unsupported version"));
     }
@@ -223,7 +225,9 @@ pub fn parse_response(buf: &[u8]) -> Result<Option<(Response, usize)>, HttpError
     let mut lines = head.lines();
     let status_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
     let mut parts = status_line.splitn(3, ' ');
-    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing version"))?;
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed("unsupported version"));
     }
@@ -303,9 +307,7 @@ mod tests {
         assert!(parse_request(b"GET /\r\n\r\n").is_err());
         assert!(parse_request(b"GET / HTTP/2.0\r\n\r\n").is_err());
         assert!(parse_request(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n").is_err());
-        assert!(
-            parse_request(b"GET / HTTP/1.1\r\nContent-Length: xyz\r\n\r\n").is_err()
-        );
+        assert!(parse_request(b"GET / HTTP/1.1\r\nContent-Length: xyz\r\n\r\n").is_err());
     }
 
     #[test]

@@ -122,7 +122,14 @@ mod tests {
     fn wire_bytes_match_real_message_model() {
         let (mut up, mut down) = links();
         let mut c = SimHttpClient::new("cloud:5000", true);
-        c.post(SimTime::ZERO, &mut up, &mut down, "/i", 1000, Duration::ZERO);
+        c.post(
+            SimTime::ZERO,
+            &mut up,
+            &mut down,
+            "/i",
+            1000,
+            Duration::ZERO,
+        );
         // Uplink must carry more than body (headers + TCP framing + SYN).
         assert!(up.stats().payload_bytes > 1000);
         assert!(down.stats().wire_bytes > 0);

@@ -485,7 +485,8 @@ impl Client {
             return Err(Error::BadState("invalid topic filter"));
         }
         let msg_id = self.alloc_msg_id();
-        self.pending_subscribe.insert(msg_id, (filter.to_owned(), qos));
+        self.pending_subscribe
+            .insert(msg_id, (filter.to_owned(), qos));
         self.last_tx = now;
         let packet = Packet::Subscribe {
             dup: false,
@@ -548,8 +549,7 @@ impl Client {
                 self.pending_control.remove(&msg_id);
                 if let Some(topic_name) = self.pending_register.remove(&msg_id) {
                     if code == ReturnCode::Accepted {
-                        self.registered_topics
-                            .insert(topic_name.clone(), topic_id);
+                        self.registered_topics.insert(topic_name.clone(), topic_id);
                         if let Some(old_id) = self.resume_pending.remove(&topic_name) {
                             self.retransmit_remapped(old_id, topic_id, now, &mut out);
                         }
@@ -612,10 +612,7 @@ impl Client {
                     // payload for replay after re-registration.
                     if let Some(f) = self.inflight.remove(&msg_id) {
                         self.dead_letters.push((msg_id, f.payload));
-                        out.push(Output::Event(ClientEvent::PublishRejected {
-                            msg_id,
-                            code,
-                        }));
+                        out.push(Output::Event(ClientEvent::PublishRejected { msg_id, code }));
                     }
                 } else if let Some(f) = self.inflight.get(&msg_id) {
                     if matches!(f.phase, OutPhase::Puback) {
@@ -671,7 +668,9 @@ impl Client {
                 QoS::ExactlyOnce => {
                     // Deliver on first receipt; suppress DUP re-deliveries
                     // until the PUBREL clears the id.
-                    if let std::collections::hash_map::Entry::Vacant(e) = self.inbound_qos2.entry(msg_id) {
+                    if let std::collections::hash_map::Entry::Vacant(e) =
+                        self.inbound_qos2.entry(msg_id)
+                    {
                         e.insert(());
                         out.push(Output::Event(ClientEvent::Message { topic, payload }));
                     }
@@ -723,8 +722,7 @@ impl Client {
         filters.sort_by(|a, b| a.0.cmp(&b.0));
         for (filter, qos) in filters {
             let msg_id = self.alloc_msg_id();
-            self.pending_subscribe
-                .insert(msg_id, (filter.clone(), qos));
+            self.pending_subscribe.insert(msg_id, (filter.clone(), qos));
             let packet = Packet::Subscribe {
                 dup: false,
                 qos,
@@ -781,13 +779,7 @@ impl Client {
 
     /// Remaps in-flight publishes from a pre-reconnect topic id to the
     /// freshly registered one and retransmits them with the DUP flag.
-    fn retransmit_remapped(
-        &mut self,
-        old_id: u16,
-        new_id: u16,
-        now: Nanos,
-        out: &mut Vec<Output>,
-    ) {
+    fn retransmit_remapped(&mut self, old_id: u16, new_id: u16, now: Nanos, out: &mut Vec<Output>) {
         let ids = self.inflight_in_publish_order(|f| f.topic == TopicRef::Id(old_id));
         for id in ids {
             if let Some(f) = self.inflight.get_mut(&id) {
@@ -1228,7 +1220,9 @@ mod tests {
             },
             s + 2,
         );
-        assert!(sends(&c.on_tick(3 * s)).iter().all(|p| !matches!(p, Packet::Connect { .. })));
+        assert!(sends(&c.on_tick(3 * s))
+            .iter()
+            .all(|p| !matches!(p, Packet::Connect { .. })));
     }
 
     #[test]
@@ -1242,10 +1236,7 @@ mod tests {
         assert_eq!(sends(&c.on_tick(s + 1)).len(), 1);
         assert_eq!(sends(&c.on_tick(2 * s + 2)).len(), 1);
         let out = c.on_tick(3 * s + 3);
-        assert!(matches!(
-            events(&out)[0],
-            ClientEvent::ConnectFailed(_)
-        ));
+        assert!(matches!(events(&out)[0], ClientEvent::ConnectFailed(_)));
         assert_eq!(c.state(), ClientState::Disconnected);
     }
 
@@ -1266,7 +1257,9 @@ mod tests {
         let s = 1_000_000_000u64;
         let out = c.on_tick(s + 1);
         let resent = sends(&out);
-        assert!(resent.iter().any(|p| matches!(p, Packet::Register { msg_id, .. } if *msg_id == reg_id)));
+        assert!(resent
+            .iter()
+            .any(|p| matches!(p, Packet::Register { msg_id, .. } if *msg_id == reg_id)));
         assert!(resent.iter().any(
             |p| matches!(p, Packet::Subscribe { msg_id, dup: true, .. } if *msg_id == sub_id)
         ));
@@ -1498,9 +1491,9 @@ mod tests {
             12,
         );
         assert!(c.resume_complete(), "rejection must not wedge resumption");
-        assert!(events(&out)
-            .iter()
-            .any(|e| matches!(e, ClientEvent::PublishRejected { msg_id, .. } if *msg_id == pub_id)));
+        assert!(events(&out).iter().any(
+            |e| matches!(e, ClientEvent::PublishRejected { msg_id, .. } if *msg_id == pub_id)
+        ));
         assert_eq!(c.inflight_len(), 0);
         assert_eq!(c.take_dead_letters(), vec![(pub_id, vec![5])]);
         assert_eq!(c.topic_id("gone/topic"), None);
@@ -1633,7 +1626,10 @@ mod tests {
         let s = 1_000_000_000u64;
         c.on_tick(2 * s); // PUBREL retry
         let out = c.on_tick(4 * s); // exhausted
-        assert_eq!(events(&out), vec![&ClientEvent::PublishFailed { msg_id: id }]);
+        assert_eq!(
+            events(&out),
+            vec![&ClientEvent::PublishFailed { msg_id: id }]
+        );
         // Replaying this payload as a fresh publish would double-deliver.
         assert!(c.take_dead_letters().is_empty());
     }

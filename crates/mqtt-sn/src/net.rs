@@ -11,6 +11,7 @@ use crate::client::{Client, ClientConfig, ClientEvent, Nanos, Output};
 use crate::packet::{Packet, QoS, TopicRef};
 use crate::Error;
 use parking_lot::Mutex;
+use rand::{rngs::StdRng, SeedableRng};
 use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
@@ -50,6 +51,31 @@ impl UdpBroker {
     /// [`UdpBroker::spawn_resuming`].
     pub fn snapshot(&self) -> Broker<SocketAddr> {
         self.broker.lock().clone()
+    }
+
+    /// Serializes the current broker state to `path` — checksummed and
+    /// written atomically (temp file + rename), so a crash mid-snapshot
+    /// leaves the previous file intact. The durable form of
+    /// [`UdpBroker::snapshot`]: call it periodically (or before a planned
+    /// restart) and resume with [`UdpBroker::spawn_from_file`].
+    pub fn snapshot_to_file(&self, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+        let bytes = self.broker.lock().encode_state();
+        prov_wal::snapshot::write_atomic(path, &bytes)
+    }
+
+    /// Binds and starts serving from a snapshot file written by
+    /// [`UdpBroker::snapshot_to_file`] — the restart path that survives
+    /// gateway *process death*, not just an in-process handover. Corrupt
+    /// or truncated snapshot files fail with
+    /// [`io::ErrorKind::InvalidData`] rather than silently starting empty.
+    pub fn spawn_from_file(
+        bind: impl ToSocketAddrs,
+        path: impl AsRef<std::path::Path>,
+    ) -> io::Result<UdpBroker> {
+        let bytes = prov_wal::snapshot::read(path)?;
+        let state = Broker::decode_state(&bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Self::spawn_resuming(bind, state)
     }
 
     fn spawn_inner(bind: impl ToSocketAddrs, state: Broker<SocketAddr>) -> io::Result<UdpBroker> {
@@ -207,7 +233,7 @@ impl std::fmt::Display for NetError {
 impl std::error::Error for NetError {}
 
 /// Exponential-backoff schedule for [`UdpClient::reconnect`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ReconnectPolicy {
     /// Delay before the second attempt (the first fires immediately).
     pub initial_backoff: Duration,
@@ -217,6 +243,11 @@ pub struct ReconnectPolicy {
     pub max_attempts: u32,
     /// Per-attempt budget for the CONNECT handshake + session resumption.
     pub attempt_timeout: Duration,
+    /// Jitter fraction in `[0, 1]`: each sleep is drawn uniformly from
+    /// `[(1 − jitter)·backoff, (1 + jitter)·backoff]`. A restarted gateway
+    /// otherwise sees every disconnected edge device's retry timer fire in
+    /// lockstep — the reconnect stampede; jitter spreads the herd.
+    pub jitter: f64,
 }
 
 impl Default for ReconnectPolicy {
@@ -226,8 +257,45 @@ impl Default for ReconnectPolicy {
             max_backoff: Duration::from_secs(5),
             max_attempts: 10,
             attempt_timeout: Duration::from_secs(2),
+            jitter: 0.25,
         }
     }
+}
+
+impl ReconnectPolicy {
+    /// Applies this policy's jitter to a backoff delay.
+    pub fn jittered(&self, backoff: Duration, rng: &mut impl rand::Rng) -> Duration {
+        jitter_backoff(backoff, self.jitter, rng)
+    }
+}
+
+/// Spreads `backoff` uniformly over `[(1 − frac)·b, (1 + frac)·b]`.
+/// `frac` is clamped to `[0, 1]`; `frac = 0` returns `backoff` unchanged.
+pub fn jitter_backoff(backoff: Duration, frac: f64, rng: &mut impl rand::Rng) -> Duration {
+    let frac = frac.clamp(0.0, 1.0);
+    if frac == 0.0 {
+        return backoff;
+    }
+    let unit: f64 = rng.gen(); // [0, 1)
+    let factor = 1.0 - frac + 2.0 * frac * unit;
+    Duration::from_nanos((backoff.as_nanos() as f64 * factor) as u64)
+}
+
+/// A cheap per-call entropy seed for backoff jitter: wall clock nanos mixed
+/// with a process-wide counter, so simultaneous callers (the stampede case)
+/// still draw distinct jitter streams. Not cryptographic.
+pub fn entropy_seed() -> u64 {
+    use std::sync::atomic::AtomicU64;
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    // splitmix-style avalanche so close timestamps diverge.
+    let mut z = nanos ^ COUNTER.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// A blocking MQTT-SN client over UDP.
@@ -310,7 +378,8 @@ impl UdpClient {
                 }
             }
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {}
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
             Err(e) => return Err(NetError::Io(e)),
         }
         let now = self.now();
@@ -382,13 +451,20 @@ impl UdpClient {
 
     /// Subscribes to a filter; returns the assigned topic id (0 for
     /// wildcard filters).
-    pub fn subscribe(&mut self, filter: &str, qos: QoS, timeout: Duration) -> Result<u16, NetError> {
+    pub fn subscribe(
+        &mut self,
+        filter: &str,
+        qos: QoS,
+        timeout: Duration,
+    ) -> Result<u16, NetError> {
         let now = self.now();
         let (msg_id, outputs) = self.client.subscribe(filter, qos, now)?;
         self.dispatch(outputs)?;
-        let e = self.wait_for(timeout, "SUBACK", |e| {
-            matches!(e, ClientEvent::Subscribed { msg_id: m, .. } if *m == msg_id)
-        })?;
+        let e = self.wait_for(
+            timeout,
+            "SUBACK",
+            |e| matches!(e, ClientEvent::Subscribed { msg_id: m, .. } if *m == msg_id),
+        )?;
         match e {
             ClientEvent::Subscribed { topic_id, .. } => Ok(topic_id),
             _ => unreachable!(),
@@ -405,7 +481,9 @@ impl UdpClient {
         qos: QoS,
     ) -> Result<u16, NetError> {
         let now = self.now();
-        let (msg_id, outputs) = self.client.publish(TopicRef::Id(topic_id), payload, qos, now)?;
+        let (msg_id, outputs) = self
+            .client
+            .publish(TopicRef::Id(topic_id), payload, qos, now)?;
         self.dispatch(outputs)?;
         Ok(msg_id)
     }
@@ -423,7 +501,9 @@ impl UdpClient {
         qos: QoS,
     ) -> Result<(u16, bool), Error> {
         let now = self.now();
-        let (msg_id, outputs) = self.client.publish(TopicRef::Id(topic_id), payload, qos, now)?;
+        let (msg_id, outputs) = self
+            .client
+            .publish(TopicRef::Id(topic_id), payload, qos, now)?;
         let sent = self.dispatch(outputs).is_ok();
         Ok((msg_id, sent))
     }
@@ -459,7 +539,9 @@ impl UdpClient {
 
     /// Waits for the next inbound application message.
     pub fn recv_message(&mut self, timeout: Duration) -> Result<(TopicRef, Vec<u8>), NetError> {
-        let e = self.wait_for(timeout, "message", |e| matches!(e, ClientEvent::Message { .. }))?;
+        let e = self.wait_for(timeout, "message", |e| {
+            matches!(e, ClientEvent::Message { .. })
+        })?;
         match e {
             ClientEvent::Message { topic, payload } => Ok((topic, payload)),
             _ => unreachable!(),
@@ -551,6 +633,7 @@ impl UdpClient {
     /// surfaced immediately). Returns the number of attempts on success.
     pub fn reconnect(&mut self, policy: &ReconnectPolicy) -> Result<u32, NetError> {
         let mut backoff = policy.initial_backoff;
+        let mut rng = StdRng::seed_from_u64(entropy_seed());
         let mut last: Option<NetError> = None;
         for attempt in 1..=policy.max_attempts.max(1) {
             match self.try_reconnect(policy.attempt_timeout) {
@@ -559,7 +642,7 @@ impl UdpClient {
                 Err(e) => last = Some(e),
             }
             if attempt < policy.max_attempts.max(1) {
-                std::thread::sleep(backoff);
+                std::thread::sleep(policy.jittered(backoff, &mut rng));
                 backoff = (backoff * 2).min(policy.max_backoff);
             }
         }
@@ -580,15 +663,20 @@ mod tests {
         let broker = UdpBroker::spawn("127.0.0.1:0", BrokerConfig::default()).unwrap();
         let addr = broker.local_addr();
 
-        let mut sub =
-            UdpClient::connect(addr, ClientConfig::new("subscriber"), timeout()).unwrap();
-        sub.subscribe("prov/#", QoS::ExactlyOnce, timeout()).unwrap();
+        let mut sub = UdpClient::connect(addr, ClientConfig::new("subscriber"), timeout()).unwrap();
+        sub.subscribe("prov/#", QoS::ExactlyOnce, timeout())
+            .unwrap();
 
         let mut publisher =
             UdpClient::connect(addr, ClientConfig::new("publisher"), timeout()).unwrap();
         let tid = publisher.register("prov/dev1", timeout()).unwrap();
         publisher
-            .publish(tid, b"hello provenance".to_vec(), QoS::ExactlyOnce, timeout())
+            .publish(
+                tid,
+                b"hello provenance".to_vec(),
+                QoS::ExactlyOnce,
+                timeout(),
+            )
             .unwrap();
 
         let (topic, payload) = sub.recv_message(timeout()).unwrap();
@@ -628,12 +716,15 @@ mod tests {
     #[test]
     fn qos0_publish_recycles_payload_buffer() {
         let broker = UdpBroker::spawn("127.0.0.1:0", BrokerConfig::default()).unwrap();
-        let mut c = UdpClient::connect(broker.local_addr(), ClientConfig::new("q0"), timeout())
-            .unwrap();
+        let mut c =
+            UdpClient::connect(broker.local_addr(), ClientConfig::new("q0"), timeout()).unwrap();
         let tid = c.register("t/q0", timeout()).unwrap();
         assert!(c.take_spare_payload().is_none());
-        c.publish(tid, vec![1, 2, 3], QoS::AtMostOnce, timeout()).unwrap();
-        let spare = c.take_spare_payload().expect("QoS 0 payload buffer returns to the pool");
+        c.publish(tid, vec![1, 2, 3], QoS::AtMostOnce, timeout())
+            .unwrap();
+        let spare = c
+            .take_spare_payload()
+            .expect("QoS 0 payload buffer returns to the pool");
         assert!(spare.is_empty() && spare.capacity() >= 3);
         broker.shutdown();
     }
@@ -644,12 +735,14 @@ mod tests {
         assert!(NetError::Io(io::Error::from(io::ErrorKind::ConnectionRefused)).is_transient());
         assert!(NetError::Io(io::Error::from(io::ErrorKind::ConnectionReset)).is_transient());
         assert!(!NetError::Io(io::Error::from(io::ErrorKind::PermissionDenied)).is_transient());
-        assert!(NetError::Protocol(Error::Rejected(crate::packet::ReturnCode::Congestion))
-            .is_transient());
-        assert!(!NetError::Protocol(Error::Rejected(
-            crate::packet::ReturnCode::NotSupported
-        ))
-        .is_transient());
+        assert!(
+            NetError::Protocol(Error::Rejected(crate::packet::ReturnCode::Congestion))
+                .is_transient()
+        );
+        assert!(
+            !NetError::Protocol(Error::Rejected(crate::packet::ReturnCode::NotSupported))
+                .is_transient()
+        );
         assert!(!NetError::Protocol(Error::BadState("x")).is_transient());
     }
 
@@ -660,8 +753,7 @@ mod tests {
 
         let mut sub = UdpClient::connect(addr, ClientConfig::new("rsub"), timeout()).unwrap();
         sub.subscribe("re/#", QoS::AtLeastOnce, timeout()).unwrap();
-        let mut publisher =
-            UdpClient::connect(addr, ClientConfig::new("rpub"), timeout()).unwrap();
+        let mut publisher = UdpClient::connect(addr, ClientConfig::new("rpub"), timeout()).unwrap();
         let tid = publisher.register("re/dev1", timeout()).unwrap();
         publisher
             .publish(tid, vec![1], QoS::AtLeastOnce, timeout())
@@ -715,12 +807,99 @@ mod tests {
                 max_backoff: Duration::from_millis(400),
                 max_attempts: 20,
                 attempt_timeout: Duration::from_millis(500),
+                ..ReconnectPolicy::default()
             })
             .unwrap();
-        assert!(attempts >= 2, "expected early attempts to fail, got {attempts}");
+        assert!(
+            attempts >= 2,
+            "expected early attempts to fail, got {attempts}"
+        );
         let broker = restarter.join().unwrap();
         assert_eq!(client.state(), crate::ClientState::Connected);
         broker.shutdown();
+    }
+
+    #[test]
+    fn jittered_backoff_stays_within_the_window() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let policy = ReconnectPolicy {
+            jitter: 0.25,
+            ..ReconnectPolicy::default()
+        };
+        let base = Duration::from_millis(1000);
+        let (lo, hi) = (Duration::from_millis(750), Duration::from_millis(1250));
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let d = policy.jittered(base, &mut rng);
+            assert!(d >= lo && d <= hi, "jitter out of window: {d:?}");
+            distinct.insert(d);
+        }
+        assert!(
+            distinct.len() > 100,
+            "jitter not spreading: {}",
+            distinct.len()
+        );
+        // frac = 0 disables jitter; out-of-range fractions are clamped.
+        assert_eq!(jitter_backoff(base, 0.0, &mut rng), base);
+        for _ in 0..100 {
+            let d = jitter_backoff(base, 7.5, &mut rng);
+            assert!(d <= Duration::from_millis(2000), "clamp failed: {d:?}");
+        }
+        // Two devices that disconnect at the same instant draw different
+        // jitter streams (the stampede case entropy_seed exists for).
+        assert_ne!(entropy_seed(), entropy_seed());
+    }
+
+    #[test]
+    fn broker_restarts_from_snapshot_file() {
+        let dir = std::env::temp_dir().join(format!("mqtt-sn-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broker.snap");
+
+        let broker = UdpBroker::spawn("127.0.0.1:0", BrokerConfig::default()).unwrap();
+        let addr = broker.local_addr();
+        let mut sub = UdpClient::connect(addr, ClientConfig::new("fsub"), timeout()).unwrap();
+        sub.subscribe("fs/#", QoS::AtLeastOnce, timeout()).unwrap();
+        let mut publisher = UdpClient::connect(addr, ClientConfig::new("fpub"), timeout()).unwrap();
+        let tid = publisher.register("fs/dev1", timeout()).unwrap();
+        publisher
+            .publish(tid, vec![1], QoS::AtLeastOnce, timeout())
+            .unwrap();
+        sub.recv_message(timeout()).unwrap();
+
+        // Persist to disk, kill the process's broker, restart FROM THE FILE.
+        broker.snapshot_to_file(&path).unwrap();
+        broker.shutdown();
+        let broker = UdpBroker::spawn_from_file(addr, &path).unwrap();
+
+        let policy = ReconnectPolicy {
+            initial_backoff: Duration::from_millis(50),
+            attempt_timeout: Duration::from_secs(1),
+            ..ReconnectPolicy::default()
+        };
+        sub.reconnect(&policy).unwrap();
+        publisher.reconnect(&policy).unwrap();
+        // Both the registration and the subscription survived the file trip.
+        let new_tid = publisher
+            .topic_id("fs/dev1")
+            .expect("registration persisted");
+        publisher
+            .publish(new_tid, vec![2], QoS::AtLeastOnce, timeout())
+            .unwrap();
+        let (_, payload) = sub.recv_message(timeout()).unwrap();
+        assert_eq!(payload, vec![2]);
+        broker.shutdown();
+
+        // A corrupt snapshot is refused, not silently started empty.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = UdpBroker::spawn_from_file("127.0.0.1:0", &path)
+            .err()
+            .expect("corrupt snapshot must be refused");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -767,7 +767,7 @@ mod tests {
         assert!(Packet::decode(&[3, 0xff, 0]).is_err()); // unknown type
         assert!(Packet::decode(&[5, 0x0c, 0]).is_err()); // declared 5, got 3
         assert!(Packet::decode(&[2, 0x05]).is_err()); // CONNACK missing code
-        // QoS bits 0b11 (QoS -1) rejected.
+                                                      // QoS bits 0b11 (QoS -1) rejected.
         let bad_pub = [8u8, 0x0c, 0x60, 0, 1, 0, 1, 0];
         assert!(Packet::decode(&bad_pub).is_err());
     }

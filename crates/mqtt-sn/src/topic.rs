@@ -123,6 +123,38 @@ impl TopicRegistry {
         self.by_id.len()
     }
 
+    /// `(id, name)` pairs in ascending id order (snapshot persistence).
+    pub fn entries(&self) -> Vec<(u16, &str)> {
+        let mut entries: Vec<(u16, &str)> = self
+            .by_id
+            .iter()
+            .map(|(id, name)| (*id, name.as_str()))
+            .collect();
+        entries.sort_unstable_by_key(|(id, _)| *id);
+        entries
+    }
+
+    /// The next id the registry would hand out (snapshot persistence).
+    pub fn next_id(&self) -> u16 {
+        self.next_id
+    }
+
+    /// Rebuilds a registry from persisted [`TopicRegistry::entries`] and
+    /// [`TopicRegistry::next_id`]. Later duplicates of an id or name win,
+    /// matching `HashMap` insert semantics.
+    pub fn from_entries<'a>(
+        next_id: u16,
+        entries: impl IntoIterator<Item = (u16, &'a str)>,
+    ) -> TopicRegistry {
+        let mut reg = TopicRegistry::new();
+        for (id, name) in entries {
+            reg.by_id.insert(id, name.to_owned());
+            reg.by_name.insert(name.to_owned(), id);
+        }
+        reg.next_id = if next_id == 0 { 1 } else { next_id };
+        reg
+    }
+
     /// True when no topics are registered.
     pub fn is_empty(&self) -> bool {
         self.by_id.is_empty()

@@ -72,10 +72,8 @@ impl TcpConnection {
     /// Returns the time the connection becomes usable.
     pub fn connect(&mut self, now: SimTime, uplink: &mut Link, downlink: &mut Link) -> SimTime {
         let syn = uplink.transmit(now, SYN_BYTES - uplink.spec().per_packet_overhead);
-        let syn_ack = downlink.transmit(
-            syn.arrival,
-            SYN_BYTES - downlink.spec().per_packet_overhead,
-        );
+        let syn_ack =
+            downlink.transmit(syn.arrival, SYN_BYTES - downlink.spec().per_packet_overhead);
         let established = syn_ack.arrival;
         self.established = Some(established);
         established
@@ -178,7 +176,14 @@ mod tests {
         let (mut up, mut down) = links();
         let mut conn = TcpConnection::new();
         let first = conn.request(SimTime::ZERO, &mut up, &mut down, 1000, 200, Duration::ZERO);
-        let second = conn.request(first.completed, &mut up, &mut down, 1000, 200, Duration::ZERO);
+        let second = conn.request(
+            first.completed,
+            &mut up,
+            &mut down,
+            1000,
+            200,
+            Duration::ZERO,
+        );
         let delta = (second.completed - first.completed).as_secs_f64();
         assert!((0.046..0.048).contains(&delta), "keep-alive RTT {delta}");
         assert_eq!(conn.exchanges, 2);

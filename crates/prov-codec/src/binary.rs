@@ -626,7 +626,8 @@ mod tests {
             Just(AttrValue::Null),
             any::<bool>().prop_map(AttrValue::Bool),
             any::<i64>().prop_map(AttrValue::Int),
-            any::<f64>().prop_filter("NaN breaks equality", |f| !f.is_nan())
+            any::<f64>()
+                .prop_filter("NaN breaks equality", |f| !f.is_nan())
                 .prop_map(AttrValue::Float),
             "[a-z]{0,8}".prop_map(AttrValue::from),
             proptest::collection::vec(any::<u8>(), 0..16).prop_map(AttrValue::Bytes),
@@ -637,7 +638,10 @@ mod tests {
     }
 
     fn arb_id() -> impl Strategy<Value = Id> {
-        prop_oneof![any::<u64>().prop_map(Id::Num), "[a-z0-9_]{1,12}".prop_map(Id::from)]
+        prop_oneof![
+            any::<u64>().prop_map(Id::Num),
+            "[a-z0-9_]{1,12}".prop_map(Id::from)
+        ]
     }
 
     fn arb_data() -> impl Strategy<Value = DataRecord> {

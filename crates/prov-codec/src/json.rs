@@ -267,9 +267,8 @@ impl<'a> Parser<'a> {
                             if self.pos + 4 >= self.bytes.len() {
                                 return Err(self.err("bad unicode escape"));
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                    .map_err(|_| self.err("bad unicode escape"))?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("bad unicode escape"))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.err("bad unicode escape"))?;
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
@@ -374,12 +373,7 @@ fn hex(bytes: &[u8]) -> String {
 }
 
 fn obj(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
-    JsonValue::Object(
-        pairs
-            .into_iter()
-            .map(|(k, v)| (k.to_owned(), v))
-            .collect(),
-    )
+    JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
 }
 
 fn data_to_json(d: &DataRecord, style: JsonStyle) -> JsonValue {
@@ -389,8 +383,12 @@ fn data_to_json(d: &DataRecord, style: JsonStyle) -> JsonValue {
             .map(|(k, v)| (k.to_string(), attr_to_json(v)))
             .collect(),
     );
-    let derivations =
-        JsonValue::Array(d.derivations.iter().map(|x| JsonValue::String(x.to_string())).collect());
+    let derivations = JsonValue::Array(
+        d.derivations
+            .iter()
+            .map(|x| JsonValue::String(x.to_string()))
+            .collect(),
+    );
     match style {
         JsonStyle::Compact => obj(vec![
             ("id", JsonValue::String(d.id.to_string())),
@@ -546,8 +544,7 @@ pub fn record_to_json(record: &Record, style: JsonStyle) -> JsonValue {
 /// Encodes a group of records as a JSON array string (the grouping format
 /// the ProvLake baseline posts in one HTTP request).
 pub fn records_to_json(records: &[Record], style: JsonStyle) -> String {
-    JsonValue::Array(records.iter().map(|r| record_to_json(r, style)).collect())
-        .to_string_compact()
+    JsonValue::Array(records.iter().map(|r| record_to_json(r, style)).collect()).to_string_compact()
 }
 
 fn json_to_attr(v: &JsonValue) -> AttrValue {
@@ -614,12 +611,10 @@ fn json_to_data(v: &JsonValue) -> Result<DataRecord, JsonError> {
 
 fn json_to_task(v: &JsonValue) -> Result<TaskRecord, JsonError> {
     let field = |k: &'static str| {
-        v.get(k)
-            .and_then(JsonValue::as_str)
-            .ok_or(JsonError {
-                offset: 0,
-                message: "task missing field",
-            })
+        v.get(k).and_then(JsonValue::as_str).ok_or(JsonError {
+            offset: 0,
+            message: "task missing field",
+        })
     };
     let status = match field("st")? {
         "running" => TaskStatus::Running,
@@ -771,7 +766,12 @@ mod tests {
     #[test]
     fn verbose_carries_prov_vocabulary() {
         let text = record_to_json(&sample(), JsonStyle::Verbose).to_string_compact();
-        for needle in ["@context", "prov:Activity", "prov:used", "prov:wasAssociatedWith"] {
+        for needle in [
+            "@context",
+            "prov:Activity",
+            "prov:used",
+            "prov:wasAssociatedWith",
+        ] {
             assert!(text.contains(needle), "missing {needle}");
         }
     }

@@ -3,8 +3,8 @@
 //! dirty from arbitrary earlier inputs.
 
 use proptest::prelude::*;
-use prov_codec::frame::Envelope;
 use prov_codec::compress::{compress, compress_into, compress_with, decompress, CompressScratch};
+use prov_codec::frame::Envelope;
 use prov_codec::{decode_batch, encode_batch, Encoder};
 use prov_model::{AttrValue, DataRecord, Id, Record, TaskRecord, TaskStatus};
 
@@ -23,7 +23,11 @@ fn arb_value() -> BoxedStrategy<AttrValue> {
 }
 
 fn arb_id() -> BoxedStrategy<Id> {
-    prop_oneof![any::<u64>().prop_map(Id::Num), "[a-z0-9_]{1,12}".prop_map(Id::from)].boxed()
+    prop_oneof![
+        any::<u64>().prop_map(Id::Num),
+        "[a-z0-9_]{1,12}".prop_map(Id::from)
+    ]
+    .boxed()
 }
 
 fn arb_data() -> BoxedStrategy<DataRecord> {

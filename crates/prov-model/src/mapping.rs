@@ -26,16 +26,17 @@ fn data_id(workflow: &Id, id: &Id) -> Id {
 /// first sight and adding the Table V relations.
 pub fn apply_record(doc: &mut ProvDocument, record: &Record) -> Result<(), ProvError> {
     match record {
-        Record::WorkflowBegin { workflow, time_ns } => {
-            doc.declare(
-                wf_id(workflow),
-                ElementKind::Agent,
-                vec![
-                    ("prov:type".into(), AttrValue::from("provlight:Workflow")),
-                    ("provlight:beginTime".into(), AttrValue::Int(*time_ns as i64)),
-                ],
-            )
-        }
+        Record::WorkflowBegin { workflow, time_ns } => doc.declare(
+            wf_id(workflow),
+            ElementKind::Agent,
+            vec![
+                ("prov:type".into(), AttrValue::from("provlight:Workflow")),
+                (
+                    "provlight:beginTime".into(),
+                    AttrValue::Int(*time_ns as i64),
+                ),
+            ],
+        ),
         Record::WorkflowEnd { workflow, time_ns } => doc.declare(
             wf_id(workflow),
             ElementKind::Agent,
@@ -53,7 +54,10 @@ pub fn apply_record(doc: &mut ProvDocument, record: &Record) -> Result<(), ProvE
                         "provlight:transformation".into(),
                         AttrValue::Str(task.transformation.to_string().into()),
                     ),
-                    ("provlight:startTime".into(), AttrValue::Int(task.time_ns as i64)),
+                    (
+                        "provlight:startTime".into(),
+                        AttrValue::Int(task.time_ns as i64),
+                    ),
                     ("provlight:status".into(), AttrValue::from("running")),
                 ],
             )?;

@@ -349,7 +349,8 @@ mod tests {
         let mut d = doc();
         d.relate(RelationKind::Used, "t1", "d1").unwrap();
         d.relate(RelationKind::WasGeneratedBy, "d1", "t1").unwrap();
-        d.relate(RelationKind::WasAssociatedWith, "t1", "wf").unwrap();
+        d.relate(RelationKind::WasAssociatedWith, "t1", "wf")
+            .unwrap();
         d.relate(RelationKind::WasAttributedTo, "d1", "wf").unwrap();
         assert_eq!(d.relations().len(), 4);
         d.validate().unwrap();
@@ -372,8 +373,12 @@ mod tests {
     #[test]
     fn redeclare_same_kind_merges_attributes() {
         let mut d = doc();
-        d.declare("d1", ElementKind::Entity, vec![("a".into(), AttrValue::Int(1))])
-            .unwrap();
+        d.declare(
+            "d1",
+            ElementKind::Entity,
+            vec![("a".into(), AttrValue::Int(1))],
+        )
+        .unwrap();
         assert_eq!(d.element(&Id::from("d1")).unwrap().attributes.len(), 1);
     }
 
@@ -422,7 +427,8 @@ mod tests {
     fn relations_from_to() {
         let mut d = doc();
         d.relate(RelationKind::Used, "t1", "d1").unwrap();
-        d.relate(RelationKind::WasAssociatedWith, "t1", "wf").unwrap();
+        d.relate(RelationKind::WasAssociatedWith, "t1", "wf")
+            .unwrap();
         assert_eq!(d.relations_from(&Id::from("t1")).count(), 2);
         assert_eq!(d.relations_to(&Id::from("d1")).count(), 1);
     }

@@ -485,11 +485,21 @@ mod tests {
         let s = fl_store();
         let q = Query::new(&s);
         let up = q
-            .lineage(&Id::Num(1), &Id::from("metrics2"), LineageDirection::Upstream, 10)
+            .lineage(
+                &Id::Num(1),
+                &Id::from("metrics2"),
+                LineageDirection::Upstream,
+                10,
+            )
             .unwrap();
         assert_eq!(up, vec![Id::from("hp2")]);
         let down = q
-            .lineage(&Id::Num(1), &Id::from("hp2"), LineageDirection::Downstream, 10)
+            .lineage(
+                &Id::Num(1),
+                &Id::from("hp2"),
+                LineageDirection::Downstream,
+                10,
+            )
             .unwrap();
         assert_eq!(down, vec![Id::from("metrics2")]);
     }
@@ -508,8 +518,9 @@ mod tests {
                     time_ns: 0,
                     status: TaskStatus::Running,
                 },
-                inputs: vec![DataRecord::new(format!("d{i}"), 1u64)
-                    .derived_from(format!("d{}", i - 1))],
+                inputs: vec![
+                    DataRecord::new(format!("d{i}"), 1u64).derived_from(format!("d{}", i - 1))
+                ],
             });
         }
         s.ingest(Record::TaskBegin {
@@ -547,7 +558,12 @@ mod tests {
             Err(QueryError::NotNumeric(_))
         ));
         assert!(matches!(
-            q.lineage(&Id::Num(1), &Id::from("nope"), LineageDirection::Upstream, 1),
+            q.lineage(
+                &Id::Num(1),
+                &Id::from("nope"),
+                LineageDirection::Upstream,
+                1
+            ),
             Err(QueryError::UnknownData(_))
         ));
     }
@@ -604,7 +620,8 @@ mod tests {
         // elapsed = 0.5, 0.6, 0.7, 0.8 -> mean 0.65
         assert!((mean - 0.65).abs() < 1e-9);
         assert_eq!(
-            q.mean_elapsed_s(&Id::Num(1), &Id::Str("none".into())).unwrap(),
+            q.mean_elapsed_s(&Id::Num(1), &Id::Str("none".into()))
+                .unwrap(),
             None
         );
     }

@@ -120,7 +120,10 @@ impl DataflowSpec {
             }
             for ds in t.inputs.iter().chain(&t.outputs) {
                 if !self.datasets.iter().any(|d| &d.tag == ds) {
-                    return Err(format!("transformation {} references unknown dataset {ds}", t.tag));
+                    return Err(format!(
+                        "transformation {} references unknown dataset {ds}",
+                        t.tag
+                    ));
                 }
             }
         }

@@ -159,7 +159,11 @@ impl ShardedStore {
             .iter()
             .flat_map(|s| {
                 let guard = s.read();
-                guard.workflow_ids().into_iter().cloned().collect::<Vec<_>>()
+                guard
+                    .workflow_ids()
+                    .into_iter()
+                    .cloned()
+                    .collect::<Vec<_>>()
             })
             .collect();
         ids.sort();
@@ -341,7 +345,9 @@ mod tests {
         store.ingest_batch(wf_records(7));
         let guard = store.read_for_data(&Id::Num(7), &Id::from("out")).unwrap();
         assert!(guard.data_by_id(&Id::Num(7), &Id::from("out")).is_some());
-        assert!(store.read_for_data(&Id::Num(7), &Id::from("nope")).is_none());
+        assert!(store
+            .read_for_data(&Id::Num(7), &Id::from("nope"))
+            .is_none());
     }
 
     #[test]
@@ -415,4 +421,3 @@ mod tests {
         assert_eq!(store.workflow_ids().len(), 32);
     }
 }
-

@@ -1,0 +1,117 @@
+//! Checksummed whole-state snapshot files, written atomically.
+//!
+//! The broker's restart persistence serializes its complete session and
+//! registry state into one blob; this module owns the file format:
+//!
+//! ```text
+//! file := magic:"PSNP", version:u8, pad:[u8;3], len:u64le, crc:u32le, payload[len]
+//! crc  := CRC32(payload)
+//! ```
+//!
+//! Writes go to a sibling temp file, are fsynced, then renamed over the
+//! target — a crash mid-write leaves the previous snapshot intact, never a
+//! half-written one.
+
+use crate::crc32;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: [u8; 4] = *b"PSNP";
+const VERSION: u8 = 1;
+const HEADER: usize = 4 + 1 + 3 + 8 + 4;
+
+fn invalid(what: &'static str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what)
+}
+
+/// Writes `payload` to `path` atomically (temp file + fsync + rename).
+pub fn write_atomic(path: impl AsRef<Path>, payload: &[u8]) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = Path::new(&tmp);
+    {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(tmp)?;
+        let mut header = [0u8; HEADER];
+        header[..4].copy_from_slice(&MAGIC);
+        header[4] = VERSION;
+        header[8..16].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+        header[16..20].copy_from_slice(&crc32(payload).to_le_bytes());
+        file.write_all(&header)?;
+        file.write_all(payload)?;
+        file.sync_all()?;
+    }
+    fs::rename(tmp, path)
+}
+
+/// Reads and validates a snapshot, returning the payload.
+/// Corruption (bad magic, short file, CRC mismatch) is
+/// [`io::ErrorKind::InvalidData`]; a missing file is `NotFound`.
+pub fn read(path: impl AsRef<Path>) -> io::Result<Vec<u8>> {
+    let mut file = File::open(path)?;
+    let mut header = [0u8; HEADER];
+    file.read_exact(&mut header)
+        .map_err(|_| invalid("snapshot header short"))?;
+    if header[..4] != MAGIC {
+        return Err(invalid("bad snapshot magic"));
+    }
+    if header[4] != VERSION {
+        return Err(invalid("unsupported snapshot version"));
+    }
+    let len = u64::from_le_bytes(header[8..16].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[16..20].try_into().unwrap());
+    let mut payload = Vec::new();
+    file.read_to_end(&mut payload)?;
+    if payload.len() as u64 != len {
+        return Err(invalid("snapshot length mismatch"));
+    }
+    if crc32(&payload) != crc {
+        return Err(invalid("snapshot CRC mismatch"));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_file(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("prov-snap-test-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let path = temp_file("roundtrip");
+        write_atomic(&path, b"broker state bytes").unwrap();
+        assert_eq!(read(&path).unwrap(), b"broker state bytes");
+        // Overwrite replaces atomically.
+        write_atomic(&path, b"newer").unwrap();
+        assert_eq!(read(&path).unwrap(), b"newer");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let path = temp_file("corrupt");
+        write_atomic(&path, &[7u8; 64]).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let err = read(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_not_found() {
+        let err = read(temp_file("missing-never-written")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

@@ -161,7 +161,13 @@ pub mod strategy {
 
         /// Builds recursive structures by applying `expand` up to `depth`
         /// times over the base strategy.
-        fn prop_recursive<R, F>(self, depth: u32, _size: u32, _branch: u32, expand: F) -> Recursive<Self::Value>
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _size: u32,
+            _branch: u32,
+            expand: F,
+        ) -> Recursive<Self::Value>
         where
             Self: Sized + 'static,
             Self::Value: 'static,
@@ -544,7 +550,9 @@ pub mod prelude {
     pub use crate::collection;
     pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Uniform choice among strategy arms (all arms must yield the same type).

@@ -201,7 +201,9 @@ mod tests {
         let deps: Vec<Vec<Id>> = records
             .iter()
             .filter_map(|r| match r {
-                Record::TaskBegin { task, .. } if task.transformation == Id::Str("train".into()) => {
+                Record::TaskBegin { task, .. }
+                    if task.transformation == Id::Str("train".into()) =>
+                {
                     Some(task.dependencies.clone())
                 }
                 _ => None,

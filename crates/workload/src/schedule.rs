@@ -91,8 +91,7 @@ fn make_values(fill: ValueFill, n: usize, rng: &mut StdRng, constant: i64) -> At
 pub fn generate(spec: &WorkloadSpec, workflow_id: u64, seed: u64) -> Schedule {
     let mut rng = StdRng::seed_from_u64(seed);
     let workflow = Id::Num(workflow_id);
-    let mut steps =
-        Vec::with_capacity(2 + spec.tasks * 3 + spec.chained_transformations);
+    let mut steps = Vec::with_capacity(2 + spec.tasks * 3 + spec.chained_transformations);
     let mut clock_ns: u64 = 0;
 
     steps.push(Step::Emit(Record::WorkflowBegin {

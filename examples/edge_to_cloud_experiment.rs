@@ -29,7 +29,7 @@ fn main() {
         System::DfAnalyzer,
         System::ProvLight { group: 0 },
     ] {
-        let mut scenario = Scenario::edge(system, spec);
+        let mut scenario = Scenario::edge(system.clone(), spec);
         scenario.reps = 5;
         let r = measure(&scenario);
         println!(

@@ -126,7 +126,10 @@ fn main() {
         );
         println!(
             "  loss per epoch: {:?}",
-            losses.iter().map(|(_, l)| (l * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+            losses
+                .iter()
+                .map(|(_, l)| (l * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
         );
     }
 

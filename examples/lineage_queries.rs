@@ -41,7 +41,13 @@ fn main() {
     println!("\n3 best accuracy values:");
     for (data, acc) in &best {
         let inputs = query.upstream_inputs(&wf, data).unwrap();
-        println!("  {data}: {acc:.4}  inputs: {:?}", inputs.iter().map(|(id, _)| id.to_string()).collect::<Vec<_>>());
+        println!(
+            "  {data}: {acc:.4}  inputs: {:?}",
+            inputs
+                .iter()
+                .map(|(id, _)| id.to_string())
+                .collect::<Vec<_>>()
+        );
     }
     assert_eq!(best.len(), 3);
     assert!(best[0].1 >= best[1].1);
@@ -60,8 +66,14 @@ fn main() {
     let upstream = query
         .lineage(&wf, &Id::from("model"), LineageDirection::Upstream, 16)
         .unwrap();
-    println!("\nmodel lineage (upstream): {:?}", upstream.iter().map(Id::to_string).collect::<Vec<_>>());
-    assert!(upstream.contains(&Id::from("hp")), "model must trace to hyperparameters");
+    println!(
+        "\nmodel lineage (upstream): {:?}",
+        upstream.iter().map(Id::to_string).collect::<Vec<_>>()
+    );
+    assert!(
+        upstream.contains(&Id::from("hp")),
+        "model must trace to hyperparameters"
+    );
 
     // Q4: what was derived from the hyperparameters?
     let downstream = query

@@ -58,7 +58,10 @@ fn main() {
     // 4. Wait for the translator to drain, then query like the paper's §I.
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while manager.store().stats().records < 8 {
-        assert!(std::time::Instant::now() < deadline, "records did not arrive");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "records did not arrive"
+        );
         std::thread::sleep(Duration::from_millis(20));
     }
 

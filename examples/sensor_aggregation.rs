@@ -126,10 +126,7 @@ fn main() {
         doc.relations().len(),
         prov_n.len()
     );
-    println!(
-        "{}",
-        prov_n.lines().take(8).collect::<Vec<_>>().join("\n")
-    );
+    println!("{}", prov_n.lines().take(8).collect::<Vec<_>>().join("\n"));
 
     manager.shutdown();
     println!("\nsensor_aggregation OK");

@@ -39,7 +39,9 @@ fn parse_args() -> Result<Args, String> {
             "--broker" => args.broker = take("--broker")?,
             "--tasks" => args.tasks = take("--tasks")?.parse().map_err(|_| "bad --tasks")?,
             "--attrs" => args.attrs = take("--attrs")?.parse().map_err(|_| "bad --attrs")?,
-            "--task-ms" => args.task_ms = take("--task-ms")?.parse().map_err(|_| "bad --task-ms")?,
+            "--task-ms" => {
+                args.task_ms = take("--task-ms")?.parse().map_err(|_| "bad --task-ms")?
+            }
             "--group" => args.group = take("--group")?.parse().map_err(|_| "bad --group")?,
             "--device" => args.device = take("--device")?,
             "--help" | "-h" => {
@@ -105,8 +107,11 @@ fn main() {
         }
         task.begin(vec![input]).expect("task.begin");
         std::thread::sleep(Duration::from_millis(args.task_ms));
-        task.end(vec![DataRecord::new(format!("out{t}"), args.device.as_str())
-            .derived_from(format!("in{t}"))])
+        task.end(vec![DataRecord::new(
+            format!("out{t}"),
+            args.device.as_str(),
+        )
+        .derived_from(format!("in{t}"))])
             .expect("task.end");
         prev = vec![Id::Num(t)];
     }

@@ -114,8 +114,10 @@ fn canon_of(stores: &[&Store]) -> Canon {
         }
         for t in store.tasks() {
             let data_ids = |idxs: &[usize]| {
-                let mut ids: Vec<String> =
-                    idxs.iter().map(|&d| store.data()[d].id.to_string()).collect();
+                let mut ids: Vec<String> = idxs
+                    .iter()
+                    .map(|&d| store.data()[d].id.to_string())
+                    .collect();
                 ids.sort();
                 ids
             };

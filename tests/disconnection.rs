@@ -223,8 +223,8 @@ fn buffer_caps_evict_oldest_with_accurate_drop_count() {
         buffer_max_records: cap,
         ..resilient_config()
     };
-    let client = ProvLightClient::connect(addr, "edge-device-2", "provlight/wf-cap/dev2", config)
-        .unwrap();
+    let client =
+        ProvLightClient::connect(addr, "edge-device-2", "provlight/wf-cap/dev2", config).unwrap();
     let session = client.session();
     let wf = session.workflow(2u64);
     wf.begin().unwrap();

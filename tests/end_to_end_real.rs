@@ -58,9 +58,7 @@ fn four_devices_capture_in_parallel() {
     let tasks = 5u64;
 
     let handles: Vec<_> = (1..=devices)
-        .map(|d| {
-            std::thread::spawn(move || run_device(d, broker, CaptureConfig::default(), tasks))
-        })
+        .map(|d| std::thread::spawn(move || run_device(d, broker, CaptureConfig::default(), tasks)))
         .collect();
     for h in handles {
         h.join().unwrap();

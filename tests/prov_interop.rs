@@ -3,9 +3,7 @@
 //! translator) into the store, the query layer, and the W3C PROV export —
 //! all without sockets, exercising the sans-io path across every crate.
 
-use provlight::core::translator::{
-    DfAnalyzerTranslator, ProvDocumentTranslator, Translator,
-};
+use provlight::core::translator::{DfAnalyzerTranslator, ProvDocumentTranslator, Translator};
 use provlight::mqtt_sn::broker::{Broker, BrokerConfig};
 use provlight::mqtt_sn::packet::{Packet, QoS, TopicRef};
 use provlight::prov_codec::frame::Envelope;
@@ -87,9 +85,13 @@ fn roundtrip_through_broker(records: Vec<Record>) -> Vec<Record> {
             }
         }
         // Complete the publisher-side QoS 2 handshake.
-        broker.on_packet(i as u64, publisher, Packet::PubRel {
-            msg_id: (i + 1) as u16,
-        });
+        broker.on_packet(
+            i as u64,
+            publisher,
+            Packet::PubRel {
+                msg_id: (i + 1) as u16,
+            },
+        );
     }
     received
 }

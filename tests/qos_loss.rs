@@ -59,9 +59,7 @@ impl LossyWorld {
         for o in outputs {
             match o {
                 Output::Send(p) => self.queue.push_back((true, p)),
-                Output::Event(ClientEvent::Message { payload, .. }) => {
-                    self.delivered.push(payload)
-                }
+                Output::Event(ClientEvent::Message { payload, .. }) => self.delivered.push(payload),
                 Output::Event(ClientEvent::PublishDone { msg_id }) => self.done.push(msg_id),
                 Output::Event(ClientEvent::PublishFailed { msg_id }) => self.failed.push(msg_id),
                 Output::Event(ClientEvent::Registered { topic_id, .. }) => {
@@ -151,7 +149,8 @@ impl LossyWorld {
             self.dispatch_client(outs);
             self.settle(10);
         }
-        self.registered.expect("registration must eventually succeed")
+        self.registered
+            .expect("registration must eventually succeed")
     }
 }
 
@@ -176,7 +175,11 @@ fn qos2_is_exactly_once_under_30pct_loss() {
         world.settle(500);
 
         assert!(world.failed.is_empty(), "seed {seed}: retries exhausted");
-        assert_eq!(world.done.len(), n as usize, "seed {seed}: all must complete");
+        assert_eq!(
+            world.done.len(),
+            n as usize,
+            "seed {seed}: all must complete"
+        );
         // Exactly once: every payload delivered, none duplicated.
         let mut payloads: Vec<u8> = world.delivered.iter().map(|p| p[0]).collect();
         payloads.sort_unstable();

@@ -74,7 +74,10 @@ fn table3_crossover_grouping_helps_at_gigabit_not_at_25kbit() {
     // 1 Gbit: group 50 brings ProvLake under the 3 % threshold.
     let g0 = t.cell("1Gbit group0 0.5s").unwrap().measured.mean();
     let g50 = t.cell("1Gbit group50 0.5s").unwrap().measured.mean();
-    assert!(g0 > 50.0 && g50 < 3.0, "grouping crossover lost: {g0} -> {g50}");
+    assert!(
+        g0 > 50.0 && g50 < 3.0,
+        "grouping crossover lost: {g0} -> {g50}"
+    );
     // 25 Kbit: still prohibitive (>43 %) at every grouping level.
     for group in [0, 10, 20, 50] {
         let v = t
@@ -90,7 +93,12 @@ fn table3_crossover_grouping_helps_at_gigabit_not_at_25kbit() {
 fn table8_provlight_flat_across_bandwidth() {
     let t = tables::table8(2);
     for cell in &t.cells {
-        assert!(cell.measured.mean() < 2.0, "{}: {:.2}", cell.label, cell.measured.mean());
+        assert!(
+            cell.measured.mean() < 2.0,
+            "{}: {:.2}",
+            cell.label,
+            cell.measured.mean()
+        );
     }
     // Bandwidth does not matter for the async pipeline: 1 Gbit and
     // 25 Kbit cells agree within 0.3 pp.
@@ -118,12 +126,21 @@ fn table8_provlight_flat_across_bandwidth() {
 fn table10_cloud_all_low_provlight_lowest() {
     let t = tables::table10(2);
     for cell in &t.cells {
-        assert!(cell.measured.mean() < 3.0, "{}: {:.2}", cell.label, cell.measured.mean());
+        assert!(
+            cell.measured.mean() < 3.0,
+            "{}: {:.2}",
+            cell.label,
+            cell.measured.mean()
+        );
     }
     for dur in ["0.5s", "1s", "3.5s", "5s"] {
         let p = t.cell(&format!("ProvLight {dur}")).unwrap().measured.mean();
         let pl = t.cell(&format!("ProvLake {dur}")).unwrap().measured.mean();
-        let df = t.cell(&format!("DfAnalyzer {dur}")).unwrap().measured.mean();
+        let df = t
+            .cell(&format!("DfAnalyzer {dur}"))
+            .unwrap()
+            .measured
+            .mean();
         assert!(p < df && df < pl, "{dur}: {p} / {df} / {pl}");
     }
 }
@@ -142,18 +159,30 @@ fn fig6_factors_match_paper_claims() {
     };
     // CPU: 5–7× less (we measure 7–8×; both baselines far above).
     let cpu_factor = get("Fig 6a", "ProvLake") / get("Fig 6a", "ProvLight");
-    assert!((4.0..10.0).contains(&cpu_factor), "cpu factor {cpu_factor:.1}");
+    assert!(
+        (4.0..10.0).contains(&cpu_factor),
+        "cpu factor {cpu_factor:.1}"
+    );
     // Memory: ~2× less.
     let mem_factor = get("Fig 6b", "ProvLake") / get("Fig 6b", "ProvLight");
-    assert!((1.5..2.5).contains(&mem_factor), "mem factor {mem_factor:.1}");
+    assert!(
+        (1.5..2.5).contains(&mem_factor),
+        "mem factor {mem_factor:.1}"
+    );
     // Network: ~2× less data.
     let net_factor = get("Fig 6c", "ProvLake") / get("Fig 6c", "ProvLight");
-    assert!((1.5..2.5).contains(&net_factor), "net factor {net_factor:.1}");
+    assert!(
+        (1.5..2.5).contains(&net_factor),
+        "net factor {net_factor:.1}"
+    );
     // Power: 2–3× lower overhead, ProvLight near the paper's 1.43 W.
     let p = get("Fig 6d", "ProvLight");
     assert!((1.40..1.47).contains(&p), "ProvLight power {p:.3}");
     let power_factor = get("Fig 6d'", "ProvLake") / get("Fig 6d'", "ProvLight");
-    assert!((1.8..3.5).contains(&power_factor), "power factor {power_factor:.1}");
+    assert!(
+        (1.8..3.5).contains(&power_factor),
+        "power factor {power_factor:.1}"
+    );
 }
 
 #[test]
@@ -165,7 +194,7 @@ fn overhead_decreases_with_task_duration_for_every_system() {
     ] {
         let mut prev = f64::MAX;
         for dur in [0.5, 1.0, 3.5, 5.0] {
-            let mut s = Scenario::edge(system, WorkloadSpec::table1(10, dur));
+            let mut s = Scenario::edge(system.clone(), WorkloadSpec::table1(10, dur));
             s.reps = 2;
             let v = measure(&s).overhead_pct.mean();
             assert!(v < prev, "{}: {dur}s = {v} !< {prev}", system.name());
