@@ -174,6 +174,84 @@ fn bench_mqtt(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // The same 64-device routing through the zero-alloc datagram path:
+    // pre-encoded wire in, recycled BrokerOutputs out.
+    g.bench_function("broker_route_64_topics_batched", |b| {
+        b.iter_batched(
+            || {
+                let mut broker: Broker<u32> = Broker::new(BrokerConfig::default());
+                let mut wires = Vec::new();
+                for dev in 0..64u32 {
+                    broker.on_packet(
+                        0,
+                        dev,
+                        Packet::Connect {
+                            clean_session: true,
+                            duration: 60,
+                            client_id: format!("dev{dev}"),
+                        },
+                    );
+                    let out = broker.on_packet(
+                        0,
+                        dev,
+                        Packet::Register {
+                            topic_id: 0,
+                            msg_id: 1,
+                            topic_name: format!("provlight/wf/dev{dev}"),
+                        },
+                    );
+                    if let Packet::RegAck { topic_id, .. } = out[0].1 {
+                        wires.push(
+                            Packet::Publish {
+                                dup: false,
+                                qos: QoS::AtMostOnce,
+                                retain: false,
+                                topic: TopicRef::Id(topic_id),
+                                msg_id: 0,
+                                payload: vec![1; 128],
+                            }
+                            .encode(),
+                        );
+                    }
+                }
+                broker.on_packet(
+                    0,
+                    999,
+                    Packet::Connect {
+                        clean_session: true,
+                        duration: 60,
+                        client_id: "translator".into(),
+                    },
+                );
+                broker.on_packet(
+                    0,
+                    999,
+                    Packet::Subscribe {
+                        dup: false,
+                        qos: QoS::AtMostOnce,
+                        msg_id: 2,
+                        topic: TopicRef::Name("provlight/#".into()),
+                    },
+                );
+                (broker, wires, mqtt_sn::broker::BrokerOutputs::new())
+            },
+            |(mut broker, wires, mut out)| {
+                broker.on_datagram_batch_into(
+                    1,
+                    wires
+                        .iter()
+                        .enumerate()
+                        .map(|(dev, w)| (dev as u32, w.as_slice())),
+                    &mut out,
+                );
+                out.emit(|to, bytes| {
+                    std::hint::black_box((to, bytes.len()));
+                });
+                (broker, wires, out)
+            },
+            BatchSize::SmallInput,
+        )
+    });
     g.finish();
 }
 

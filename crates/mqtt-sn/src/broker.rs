@@ -14,8 +14,11 @@
 //!   4-way handshake for QoS 2 subscribers.
 
 use crate::client::Nanos;
-use crate::packet::{Packet, QoS, ReturnCode, TopicRef};
+use crate::packet::{
+    encode_publish_into, publish_flags, Packet, PacketRef, PublishWire, QoS, ReturnCode, TopicRef,
+};
 use crate::topic::{filter_is_valid, topic_matches, TopicRegistry};
+use crate::Error;
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
 use std::time::Duration;
@@ -59,6 +62,232 @@ pub struct BrokerStats {
     pub retransmissions: u64,
     /// Outbound messages dropped after retry exhaustion.
     pub drops: u64,
+    /// Inbound datagrams that failed to decode (malformed or truncated).
+    pub decode_errors: u64,
+    /// Transient socket errors a transport binding backed off on.
+    pub io_errors: u64,
+}
+
+/// Caller-owned, recycled output buffer for the zero-allocation broker
+/// path: every outbound packet is encoded into one shared wire buffer and
+/// addressed by byte range, so a serve loop flushes with plain `send_to`
+/// calls and the steady state performs no per-packet heap traffic.
+///
+/// Fan-out sharing: when one PUBLISH routes to N subscribers the wire
+/// image is encoded **once**; the per-subscriber copies reference the same
+/// range with a 3-byte header patch (flags byte + message id) applied in
+/// [`BrokerOutputs::emit`] order, so QoS-downgraded or msg-id-bearing
+/// copies never re-encode the payload.
+#[derive(Debug, Default)]
+pub struct BrokerOutputs<A> {
+    wire: Vec<u8>,
+    sends: Vec<SendOp<A>>,
+}
+
+#[derive(Debug)]
+struct SendOp<A> {
+    to: A,
+    range: std::ops::Range<usize>,
+    patch: Option<PublishPatch>,
+}
+
+#[derive(Debug)]
+struct PublishPatch {
+    flags_at: usize,
+    msg_id_at: usize,
+    flags: u8,
+    msg_id: u16,
+}
+
+impl<A> BrokerOutputs<A> {
+    /// Creates an empty output buffer (allocates lazily on first use).
+    pub fn new() -> Self {
+        BrokerOutputs {
+            wire: Vec::new(),
+            sends: Vec::new(),
+        }
+    }
+
+    /// Resets for the next batch, retaining capacity.
+    pub fn clear(&mut self) {
+        self.wire.clear();
+        self.sends.clear();
+    }
+
+    /// Number of datagrams produced.
+    pub fn len(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// Whether no datagrams were produced.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty()
+    }
+
+    /// Applies pending header patches and yields `(destination, datagram)`
+    /// in production order. Safe to call repeatedly; patches are
+    /// idempotent and applied immediately before each datagram is yielded,
+    /// which is what makes sharing one wire image across subscribers with
+    /// distinct message ids correct.
+    pub fn emit(&mut self, mut f: impl FnMut(&A, &[u8])) {
+        for op in &self.sends {
+            if let Some(p) = &op.patch {
+                self.wire[p.flags_at] = p.flags;
+                self.wire[p.msg_id_at..p.msg_id_at + 2].copy_from_slice(&p.msg_id.to_be_bytes());
+            }
+            f(&op.to, &self.wire[op.range.clone()]);
+        }
+    }
+
+    /// Decodes every produced datagram back into an owned packet — a
+    /// test and simulator convenience, not a hot path.
+    pub fn packets(&mut self) -> Vec<(A, Packet)>
+    where
+        A: Clone,
+    {
+        let mut out = Vec::with_capacity(self.sends.len());
+        self.emit(|to, bytes| {
+            out.push((
+                to.clone(),
+                Packet::decode(bytes).expect("broker-encoded datagram decodes"),
+            ));
+        });
+        out
+    }
+}
+
+/// Where packet dispatch writes its outbound traffic: an owned
+/// `Vec<(A, Packet)>` for the legacy per-packet API and the simulators, or
+/// encoded wire ranges (with single-encode fan-out) for the gateway path.
+trait OutputSink<A> {
+    fn push(&mut self, to: A, packet: Packet);
+    fn push_publish(
+        &mut self,
+        to: A,
+        dup: bool,
+        qos: QoS,
+        topic_id: u16,
+        msg_id: u16,
+        payload: &[u8],
+    );
+}
+
+struct VecSink<'o, A>(&'o mut Vec<(A, Packet)>);
+
+impl<A> OutputSink<A> for VecSink<'_, A> {
+    fn push(&mut self, to: A, packet: Packet) {
+        self.0.push((to, packet));
+    }
+
+    fn push_publish(
+        &mut self,
+        to: A,
+        dup: bool,
+        qos: QoS,
+        topic_id: u16,
+        msg_id: u16,
+        payload: &[u8],
+    ) {
+        self.0.push((
+            to,
+            Packet::Publish {
+                dup,
+                qos,
+                retain: false,
+                topic: TopicRef::Id(topic_id),
+                msg_id,
+                payload: payload.to_vec(),
+            },
+        ));
+    }
+}
+
+struct WireSink<'o, A> {
+    out: &'o mut BrokerOutputs<A>,
+    /// Identity of the last publish wire image, for fan-out reuse. The
+    /// pointer is compared, never dereferenced; it stays meaningful
+    /// because a sink lives within a single dispatch call, during which
+    /// the payload slice is pinned.
+    cached: Option<CachedPublish>,
+}
+
+struct CachedPublish {
+    payload_ptr: *const u8,
+    payload_len: usize,
+    topic_id: u16,
+    dup: bool,
+    wire: PublishWire,
+}
+
+impl<'o, A> WireSink<'o, A> {
+    fn new(out: &'o mut BrokerOutputs<A>) -> Self {
+        WireSink { out, cached: None }
+    }
+}
+
+impl<A> OutputSink<A> for WireSink<'_, A> {
+    fn push(&mut self, to: A, packet: Packet) {
+        let start = self.out.wire.len();
+        packet.encode_into(&mut self.out.wire);
+        self.out.sends.push(SendOp {
+            to,
+            range: start..self.out.wire.len(),
+            patch: None,
+        });
+    }
+
+    fn push_publish(
+        &mut self,
+        to: A,
+        dup: bool,
+        qos: QoS,
+        topic_id: u16,
+        msg_id: u16,
+        payload: &[u8],
+    ) {
+        let topic = TopicRef::Id(topic_id);
+        if let Some(c) = &self.cached {
+            if c.payload_ptr == payload.as_ptr()
+                && c.payload_len == payload.len()
+                && c.topic_id == topic_id
+                && c.dup == dup
+            {
+                self.out.sends.push(SendOp {
+                    to,
+                    range: c.wire.start..c.wire.end,
+                    patch: Some(PublishPatch {
+                        flags_at: c.wire.flags_at,
+                        msg_id_at: c.wire.msg_id_at,
+                        flags: publish_flags(dup, qos, false, &topic),
+                        msg_id,
+                    }),
+                });
+                return;
+            }
+        }
+        let wire =
+            encode_publish_into(dup, qos, false, &topic, msg_id, payload, &mut self.out.wire);
+        // The first copy also records its header values as a patch: later
+        // copies patch the shared bytes in place, so every send must
+        // restore its own header for `emit` to stay repeatable.
+        self.out.sends.push(SendOp {
+            to,
+            range: wire.start..wire.end,
+            patch: Some(PublishPatch {
+                flags_at: wire.flags_at,
+                msg_id_at: wire.msg_id_at,
+                flags: publish_flags(dup, qos, false, &topic),
+                msg_id,
+            }),
+        });
+        self.cached = Some(CachedPublish {
+            payload_ptr: payload.as_ptr(),
+            payload_len: payload.len(),
+            topic_id,
+            dup,
+            wire,
+        });
+    }
 }
 
 /// Which acknowledgement an in-flight outbound message is waiting for.
@@ -152,7 +381,25 @@ pub struct Broker<A: Clone + Eq + Hash> {
     /// Insertion order of sessions, for deterministic fan-out.
     order: Vec<A>,
     stats: BrokerStats,
+    /// Bumped whenever sessions or subscriptions mutate; validates
+    /// `routes` entries.
+    route_epoch: u64,
+    /// Per-topic fan-out cache. Routing a PUBLISH in steady state is then
+    /// one hash lookup instead of a scan over every session's
+    /// subscription list.
+    routes: HashMap<u16, CachedRoute<A>>,
+    /// Recycled payload buffers for outbound QoS state and away-session
+    /// buffering, so steady-state QoS 1/2 forwarding stores its required
+    /// retransmission copy without allocating.
+    payload_pool: Vec<Vec<u8>>,
 }
+
+/// One cached fan-out route: the [`Broker::route_epoch`] it was computed
+/// at, plus the matching targets as (address, subscription QoS, away).
+type CachedRoute<A> = (u64, Vec<(A, QoS, bool)>);
+
+/// Upper bound on payload buffers retained for reuse.
+const MAX_POOLED_PAYLOADS: usize = 64;
 
 impl<A: Clone + Eq + Hash> Broker<A> {
     /// Creates an empty broker.
@@ -163,7 +410,17 @@ impl<A: Clone + Eq + Hash> Broker<A> {
             sessions: HashMap::new(),
             order: Vec::new(),
             stats: BrokerStats::default(),
+            route_epoch: 0,
+            routes: HashMap::new(),
+            payload_pool: Vec::new(),
         }
+    }
+
+    /// Invalidates every cached fan-out route; called on any mutation
+    /// that can change routing (session create/remove/migrate/state,
+    /// subscription change).
+    fn invalidate_routes(&mut self) {
+        self.route_epoch = self.route_epoch.wrapping_add(1);
     }
 
     /// Routing statistics.
@@ -171,8 +428,30 @@ impl<A: Clone + Eq + Hash> Broker<A> {
         &self.stats
     }
 
+    /// Folds transient socket-error counts observed by a transport
+    /// binding into the stats surface (see [`BrokerStats::io_errors`]).
+    pub fn note_io_errors(&mut self, n: u64) {
+        self.stats.io_errors += n;
+    }
+
+    fn pooled_copy(pool: &mut Vec<Vec<u8>>, payload: &[u8]) -> Vec<u8> {
+        let mut buf = pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(payload);
+        buf
+    }
+
+    fn reclaim_payload(pool: &mut Vec<Vec<u8>>, payload: Vec<u8>) {
+        if pool.len() < MAX_POOLED_PAYLOADS {
+            pool.push(payload);
+        }
+    }
+
     /// Access to the topic registry (e.g. to seed predefined topics).
+    /// Conservatively invalidates the fan-out route cache: remapping a
+    /// topic id changes which subscriptions a publish to it matches.
     pub fn registry_mut(&mut self) -> &mut TopicRegistry {
+        self.invalidate_routes();
         &mut self.registry
     }
 
@@ -193,22 +472,102 @@ impl<A: Clone + Eq + Hash> Broker<A> {
     }
 
     /// Handles one decoded packet from `from`, returning packets to send.
+    ///
+    /// The allocating per-packet API: a fresh output `Vec` with owned
+    /// packets (PUBLISH payloads cloned per subscriber). The simulators
+    /// and tests use it; transports on the hot path should prefer
+    /// [`Broker::on_datagram_into`] / [`Broker::on_packet_into`], which
+    /// run the same state machine through recycled buffers.
     pub fn on_packet(&mut self, now: Nanos, from: A, packet: Packet) -> Vec<(A, Packet)> {
+        let mut out = Vec::new();
+        self.dispatch(now, from, packet, &mut VecSink(&mut out));
+        out
+    }
+
+    /// Handles one decoded packet, encoding every output datagram into the
+    /// caller-owned (and recycled) `out` buffer: no output `Vec`, no
+    /// per-subscriber payload clone, single-encode fan-out.
+    pub fn on_packet_into(
+        &mut self,
+        now: Nanos,
+        from: A,
+        packet: Packet,
+        out: &mut BrokerOutputs<A>,
+    ) {
+        self.dispatch(now, from, packet, &mut WireSink::new(out));
+    }
+
+    /// Handles one raw datagram end to end: borrowed decode (PUBLISH
+    /// payloads are never copied into an owned `Vec`), state-machine
+    /// dispatch, and wire encoding into `out`. Decode failures are
+    /// counted in [`BrokerStats::decode_errors`] and returned.
+    pub fn on_datagram_into(
+        &mut self,
+        now: Nanos,
+        from: A,
+        datagram: &[u8],
+        out: &mut BrokerOutputs<A>,
+    ) -> Result<(), Error> {
+        let mut sink = WireSink::new(out);
+        match Packet::decode_borrowed(datagram) {
+            Ok(PacketRef::Publish {
+                qos,
+                topic,
+                msg_id,
+                payload,
+                ..
+            }) => {
+                if let Some(s) = self.sessions.get_mut(&from) {
+                    s.last_seen = now;
+                }
+                self.handle_publish(now, from, qos, topic, msg_id, payload, &mut sink);
+                Ok(())
+            }
+            Ok(PacketRef::Owned(p)) => {
+                self.dispatch(now, from, p, &mut sink);
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.decode_errors += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Batch variant of [`Broker::on_datagram_into`]: processes every
+    /// frame under one `&mut self` (one lock acquisition in a threaded
+    /// transport), returning the number of frames that failed to decode.
+    pub fn on_datagram_batch_into<'d>(
+        &mut self,
+        now: Nanos,
+        frames: impl IntoIterator<Item = (A, &'d [u8])>,
+        out: &mut BrokerOutputs<A>,
+    ) -> usize {
+        let mut decode_errors = 0;
+        for (from, datagram) in frames {
+            if self.on_datagram_into(now, from, datagram, out).is_err() {
+                decode_errors += 1;
+            }
+        }
+        decode_errors
+    }
+
+    fn dispatch<S: OutputSink<A>>(&mut self, now: Nanos, from: A, packet: Packet, sink: &mut S) {
         if let Some(s) = self.sessions.get_mut(&from) {
             s.last_seen = now;
         }
         match packet {
-            Packet::SearchGw { .. } => vec![(
+            Packet::SearchGw { .. } => sink.push(
                 from,
                 Packet::GwInfo {
                     gw_id: self.config.gw_id,
                 },
-            )],
+            ),
             Packet::Connect {
                 clean_session,
                 client_id,
                 ..
-            } => self.handle_connect(now, from, clean_session, client_id),
+            } => self.handle_connect(now, from, clean_session, client_id, sink),
             Packet::Register {
                 msg_id, topic_name, ..
             } => {
@@ -216,31 +575,30 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                     Some(id) => (id, ReturnCode::Accepted),
                     None => (0, ReturnCode::NotSupported),
                 };
-                vec![(
+                sink.push(
                     from,
                     Packet::RegAck {
                         topic_id,
                         msg_id,
                         code,
                     },
-                )]
+                );
             }
             Packet::Subscribe {
                 qos, msg_id, topic, ..
-            } => self.handle_subscribe(from, qos, msg_id, topic),
+            } => self.handle_subscribe(from, qos, msg_id, topic, sink),
             Packet::Unsubscribe { msg_id, topic } => {
+                self.invalidate_routes();
                 if let Some(session) = self.sessions.get_mut(&from) {
                     let name = match &topic {
-                        TopicRef::Name(n) => Some(n.clone()),
-                        TopicRef::Id(id) | TopicRef::Predefined(id) => {
-                            self.registry.name_of(*id).map(str::to_owned)
-                        }
+                        TopicRef::Name(n) => Some(n.as_str()),
+                        TopicRef::Id(id) | TopicRef::Predefined(id) => self.registry.name_of(*id),
                     };
                     if let Some(name) = name {
-                        session.subscriptions.retain(|(f, _)| f != &name);
+                        session.subscriptions.retain(|(f, _)| f != name);
                     }
                 }
-                vec![(from, Packet::UnsubAck { msg_id })]
+                sink.push(from, Packet::UnsubAck { msg_id });
             }
             Packet::Publish {
                 dup: _,
@@ -249,12 +607,12 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                 msg_id,
                 payload,
                 ..
-            } => self.handle_publish(now, from, qos, topic, msg_id, payload),
+            } => self.handle_publish(now, from, qos, topic, msg_id, &payload, sink),
             Packet::PubRel { msg_id } => {
                 if let Some(s) = self.sessions.get_mut(&from) {
                     s.inbound_qos2.remove(&msg_id);
                 }
-                vec![(from, Packet::PubComp { msg_id })]
+                sink.push(from, Packet::PubComp { msg_id });
             }
             Packet::PubAck { msg_id, .. } => {
                 if let Some(s) = self.sessions.get_mut(&from) {
@@ -262,10 +620,11 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                         s.outbound.get(&msg_id).map(|o| &o.phase),
                         Some(OutPhase::Puback)
                     ) {
-                        s.outbound.remove(&msg_id);
+                        if let Some(o) = s.outbound.remove(&msg_id) {
+                            Self::reclaim_payload(&mut self.payload_pool, o.payload);
+                        }
                     }
                 }
-                vec![]
             }
             Packet::PubRec { msg_id } => {
                 if let Some(s) = self.sessions.get_mut(&from) {
@@ -275,27 +634,28 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                         o.retries = 0;
                     }
                 }
-                vec![(from, Packet::PubRel { msg_id })]
+                sink.push(from, Packet::PubRel { msg_id });
             }
             Packet::PubComp { msg_id } => {
                 if let Some(s) = self.sessions.get_mut(&from) {
-                    s.outbound.remove(&msg_id);
+                    if let Some(o) = s.outbound.remove(&msg_id) {
+                        Self::reclaim_payload(&mut self.payload_pool, o.payload);
+                    }
                 }
-                vec![]
             }
             Packet::PingReq => {
                 // A sleeping client's PINGREQ triggers delivery of
                 // everything buffered while it slept, then the PINGRESP.
-                let mut out = match self.sessions.get(&from) {
-                    Some(s) if s.state == SessionState::Asleep => {
-                        self.deliver_buffered(now, from.clone())
-                    }
-                    _ => Vec::new(),
-                };
-                out.push((from, Packet::PingResp));
-                out
+                if matches!(
+                    self.sessions.get(&from).map(|s| s.state),
+                    Some(SessionState::Asleep)
+                ) {
+                    self.deliver_buffered(now, from.clone(), sink);
+                }
+                sink.push(from, Packet::PingResp);
             }
             Packet::Disconnect { duration } => {
+                self.invalidate_routes();
                 if let Some(s) = self.sessions.get_mut(&from) {
                     s.state = if duration.is_some() {
                         SessionState::Asleep
@@ -303,9 +663,9 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                         SessionState::Disconnected
                     };
                 }
-                vec![(from, Packet::Disconnect { duration: None })]
+                sink.push(from, Packet::Disconnect { duration: None });
             }
-            _ => vec![],
+            _ => {}
         }
     }
 
@@ -318,13 +678,15 @@ impl<A: Clone + Eq + Hash> Broker<A> {
     /// with subscriptions, QoS handshake state, and buffered messages
     /// intact, and everything buffered while the client was away is
     /// delivered right after the CONNACK.
-    fn handle_connect(
+    fn handle_connect<S: OutputSink<A>>(
         &mut self,
         now: Nanos,
         from: A,
         clean_session: bool,
         client_id: String,
-    ) -> Vec<(A, Packet)> {
+        sink: &mut S,
+    ) {
+        self.invalidate_routes();
         let connack = Packet::ConnAck {
             code: ReturnCode::Accepted,
         };
@@ -346,7 +708,8 @@ impl<A: Clone + Eq + Hash> Broker<A> {
             }
             self.sessions
                 .insert(from.clone(), Session::new(client_id, now));
-            return vec![(from, connack)];
+            sink.push(from, connack);
+            return;
         }
 
         let prior = self
@@ -392,19 +755,17 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                 self.sessions.insert(from.clone(), session);
             }
         }
-        let mut out = vec![(from.clone(), connack)];
-        out.extend(self.deliver_buffered(now, from));
-        out
+        sink.push(from.clone(), connack);
+        self.deliver_buffered(now, from, sink);
     }
 
     /// Delivers everything buffered for `to` while it was asleep or away,
     /// arming outbound QoS 1/2 state for each message.
-    fn deliver_buffered(&mut self, now: Nanos, to: A) -> Vec<(A, Packet)> {
+    fn deliver_buffered<S: OutputSink<A>>(&mut self, now: Nanos, to: A, sink: &mut S) {
         let buffered = match self.sessions.get_mut(&to) {
             Some(s) => std::mem::take(&mut s.buffered),
-            None => return Vec::new(),
+            None => return,
         };
-        let mut out = Vec::with_capacity(buffered.len());
         for (topic_id, payload, qos) in buffered {
             let session = self.sessions.get_mut(&to).expect("session exists");
             let msg_id = if qos == QoS::AtMostOnce {
@@ -412,12 +773,13 @@ impl<A: Clone + Eq + Hash> Broker<A> {
             } else {
                 session.alloc_msg_id()
             };
+            sink.push_publish(to.clone(), false, qos, topic_id, msg_id, &payload);
             if qos != QoS::AtMostOnce {
                 session.outbound.insert(
                     msg_id,
                     Outbound {
                         topic_id,
-                        payload: payload.clone(),
+                        payload,
                         qos,
                         phase: if qos == QoS::AtLeastOnce {
                             OutPhase::Puback
@@ -428,21 +790,11 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                         retries: 0,
                     },
                 );
+            } else {
+                Self::reclaim_payload(&mut self.payload_pool, payload);
             }
             self.stats.publishes_out += 1;
-            out.push((
-                to.clone(),
-                Packet::Publish {
-                    dup: false,
-                    qos,
-                    retain: false,
-                    topic: TopicRef::Id(topic_id),
-                    msg_id,
-                    payload,
-                },
-            ));
         }
-        out
     }
 
     /// Rebases per-session timestamps to zero. Used when a persisted
@@ -458,15 +810,17 @@ impl<A: Clone + Eq + Hash> Broker<A> {
         }
     }
 
-    fn handle_subscribe(
+    fn handle_subscribe<S: OutputSink<A>>(
         &mut self,
         from: A,
         qos: QoS,
         msg_id: u16,
         topic: TopicRef,
-    ) -> Vec<(A, Packet)> {
+        sink: &mut S,
+    ) {
+        self.invalidate_routes();
         let Some(session) = self.sessions.get_mut(&from) else {
-            return vec![(
+            sink.push(
                 from,
                 Packet::SubAck {
                     qos,
@@ -474,7 +828,8 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                     msg_id,
                     code: ReturnCode::NotSupported,
                 },
-            )];
+            );
+            return;
         };
         let (filter, topic_id, code) = match &topic {
             TopicRef::Name(name) => {
@@ -499,7 +854,7 @@ impl<A: Clone + Eq + Hash> Broker<A> {
             session.subscriptions.retain(|(f, _)| f != &filter);
             session.subscriptions.push((filter, qos));
         }
-        vec![(
+        sink.push(
             from,
             Packet::SubAck {
                 qos,
@@ -507,46 +862,47 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                 msg_id,
                 code,
             },
-        )]
+        );
     }
 
-    fn handle_publish(
+    #[allow(clippy::too_many_arguments)]
+    fn handle_publish<S: OutputSink<A>>(
         &mut self,
         now: Nanos,
         from: A,
         qos: QoS,
         topic: TopicRef,
         msg_id: u16,
-        payload: Vec<u8>,
-    ) -> Vec<(A, Packet)> {
+        payload: &[u8],
+        sink: &mut S,
+    ) {
         self.stats.publishes_in += 1;
-        let mut out = Vec::new();
 
         let topic_id = match topic {
             TopicRef::Id(id) | TopicRef::Predefined(id) => id,
             TopicRef::Name(_) => {
-                out.push((
+                sink.push(
                     from,
                     Packet::PubAck {
                         topic_id: 0,
                         msg_id,
                         code: ReturnCode::NotSupported,
                     },
-                ));
-                return out;
+                );
+                return;
             }
         };
-        let Some(topic_name) = self.registry.name_of(topic_id).map(str::to_owned) else {
-            out.push((
+        if self.registry.name_of(topic_id).is_none() {
+            sink.push(
                 from,
                 Packet::PubAck {
                     topic_id,
                     msg_id,
                     code: ReturnCode::InvalidTopicId,
                 },
-            ));
-            return out;
-        };
+            );
+            return;
+        }
 
         // QoS-level acknowledgments toward the publisher, with QoS 2
         // exactly-once forwarding.
@@ -554,14 +910,14 @@ impl<A: Clone + Eq + Hash> Broker<A> {
         match qos {
             QoS::AtMostOnce => {}
             QoS::AtLeastOnce => {
-                out.push((
+                sink.push(
                     from.clone(),
                     Packet::PubAck {
                         topic_id,
                         msg_id,
                         code: ReturnCode::Accepted,
                     },
-                ));
+                );
             }
             QoS::ExactlyOnce => {
                 let session = self
@@ -576,45 +932,72 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                     forward = false;
                     self.stats.duplicates_suppressed += 1;
                 }
-                out.push((from.clone(), Packet::PubRec { msg_id }));
+                sink.push(from.clone(), Packet::PubRec { msg_id });
             }
         }
         if !forward {
-            return out;
+            return;
         }
 
         // Fan out to matching subscribers in deterministic session order.
         // Sleeping subscribers and away durable subscribers (disconnected,
         // `clean_session = false`) get their messages buffered for delivery
         // on the next PINGREQ / reconnect.
-        let targets: Vec<(A, QoS, bool)> = self
-            .order
-            .iter()
-            .filter_map(|addr| {
-                let s = self.sessions.get(addr)?;
+        //
+        // Targets come from the per-topic route cache when its epoch is
+        // current — one hash lookup instead of matching every session's
+        // subscription list — and are rebuilt into the entry's recycled
+        // vector otherwise. The topic name stays borrowed from the
+        // registry (no per-publish `String`).
+        let epoch = self.route_epoch;
+        let (cached_epoch, targets) = self
+            .routes
+            .entry(topic_id)
+            .or_insert_with(|| (epoch.wrapping_sub(1), Vec::new()));
+        if *cached_epoch != epoch {
+            targets.clear();
+            let topic_name = self.registry.name_of(topic_id).expect("checked above");
+            for addr in &self.order {
+                let Some(s) = self.sessions.get(addr) else {
+                    continue;
+                };
                 if s.state == SessionState::Disconnected && !s.durable {
-                    return None;
+                    continue;
                 }
-                let best = s
+                let Some(best) = s
                     .subscriptions
                     .iter()
-                    .filter(|(f, _)| topic_matches(f, &topic_name))
+                    .filter(|(f, _)| topic_matches(f, topic_name))
                     .map(|(_, q)| *q)
-                    .max()?;
-                Some((addr.clone(), best.min(qos), s.state != SessionState::Active))
-            })
-            .collect();
+                    .max()
+                else {
+                    continue;
+                };
+                targets.push((addr.clone(), best, s.state != SessionState::Active));
+            }
+            *cached_epoch = epoch;
+        }
 
-        for (addr, sub_qos, away) in targets {
-            let session = self.sessions.get_mut(&addr).expect("session exists");
+        for (addr, best, away) in targets.iter() {
+            let (sub_qos, away) = ((*best).min(qos), *away);
+            // The common steady-state target — active subscriber,
+            // effective QoS 0 — needs no session state at all: no msg id,
+            // no retransmission copy, just the shared wire image.
+            if !away && sub_qos == QoS::AtMostOnce {
+                sink.push_publish(addr.clone(), false, sub_qos, topic_id, 0, payload);
+                self.stats.publishes_out += 1;
+                continue;
+            }
+            let session = self.sessions.get_mut(addr).expect("session exists");
             if away {
                 if session.buffered.len() >= self.config.max_buffered {
-                    session.buffered.pop_front();
+                    if let Some((_, old, _)) = session.buffered.pop_front() {
+                        Self::reclaim_payload(&mut self.payload_pool, old);
+                    }
                     self.stats.drops += 1;
                 }
-                session
-                    .buffered
-                    .push_back((topic_id, payload.clone(), sub_qos));
+                let owned = Self::pooled_copy(&mut self.payload_pool, payload);
+                session.buffered.push_back((topic_id, owned, sub_qos));
                 continue;
             }
             let fwd_msg_id = if sub_qos == QoS::AtMostOnce {
@@ -622,20 +1005,14 @@ impl<A: Clone + Eq + Hash> Broker<A> {
             } else {
                 session.alloc_msg_id()
             };
-            let packet = Packet::Publish {
-                dup: false,
-                qos: sub_qos,
-                retain: false,
-                topic: TopicRef::Id(topic_id),
-                msg_id: fwd_msg_id,
-                payload: payload.clone(),
-            };
+            sink.push_publish(addr.clone(), false, sub_qos, topic_id, fwd_msg_id, payload);
             if sub_qos != QoS::AtMostOnce {
+                let owned = Self::pooled_copy(&mut self.payload_pool, payload);
                 session.outbound.insert(
                     fwd_msg_id,
                     Outbound {
                         topic_id,
-                        payload: payload.clone(),
+                        payload: owned,
                         qos: sub_qos,
                         phase: if sub_qos == QoS::AtLeastOnce {
                             OutPhase::Puback
@@ -648,17 +1025,34 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                 );
             }
             self.stats.publishes_out += 1;
-            out.push((addr, packet));
         }
-        out
     }
 
     /// Drives outbound retransmissions. Call periodically.
+    ///
+    /// The allocating per-packet API; transports should prefer
+    /// [`Broker::on_tick_into`].
     pub fn on_tick(&mut self, now: Nanos) -> Vec<(A, Packet)> {
+        let mut out = Vec::new();
+        self.tick(now, &mut VecSink(&mut out));
+        out
+    }
+
+    /// Drives outbound retransmissions into a recycled output buffer.
+    pub fn on_tick_into(&mut self, now: Nanos, out: &mut BrokerOutputs<A>) {
+        self.tick(now, &mut WireSink::new(out));
+    }
+
+    fn tick<S: OutputSink<A>>(&mut self, now: Nanos, sink: &mut S) {
         let retry_ns = self.config.retry_timeout.as_nanos() as u64;
         let max_retries = self.config.max_retries;
-        let mut out = Vec::new();
-        for addr in self.order.clone() {
+        let mut ids: Vec<u16> = Vec::new();
+        for idx in 0..self.order.len() {
+            let addr = self.order[idx].clone();
+            // Disjoint field borrows: the pool and stats stay usable
+            // while the session is borrowed from `sessions`.
+            let pool = &mut self.payload_pool;
+            let stats = &mut self.stats;
             let Some(session) = self.sessions.get_mut(&addr) else {
                 continue;
             };
@@ -668,36 +1062,35 @@ impl<A: Clone + Eq + Hash> Broker<A> {
             if session.state == SessionState::Disconnected && session.durable {
                 continue;
             }
-            let mut ids: Vec<u16> = session.outbound.keys().copied().collect();
+            if session.outbound.is_empty() {
+                continue;
+            }
+            ids.clear();
+            ids.extend(session.outbound.keys().copied());
             ids.sort_unstable();
-            for id in ids {
+            for &id in &ids {
                 let o = session.outbound.get_mut(&id).expect("present");
                 if now.saturating_sub(o.last_sent) < retry_ns {
                     continue;
                 }
                 if o.retries >= max_retries {
-                    session.outbound.remove(&id);
-                    self.stats.drops += 1;
+                    if let Some(o) = session.outbound.remove(&id) {
+                        Self::reclaim_payload(pool, o.payload);
+                    }
+                    stats.drops += 1;
                     continue;
                 }
                 o.retries += 1;
                 o.last_sent = now;
-                self.stats.retransmissions += 1;
-                let packet = match o.phase {
-                    OutPhase::Puback | OutPhase::Pubrec => Packet::Publish {
-                        dup: true,
-                        qos: o.qos,
-                        retain: false,
-                        topic: TopicRef::Id(o.topic_id),
-                        msg_id: id,
-                        payload: o.payload.clone(),
-                    },
-                    OutPhase::Pubcomp => Packet::PubRel { msg_id: id },
-                };
-                out.push((addr.clone(), packet));
+                stats.retransmissions += 1;
+                match o.phase {
+                    OutPhase::Puback | OutPhase::Pubrec => {
+                        sink.push_publish(addr.clone(), true, o.qos, o.topic_id, id, &o.payload);
+                    }
+                    OutPhase::Pubcomp => sink.push(addr.clone(), Packet::PubRel { msg_id: id }),
+                }
             }
         }
-        out
     }
 }
 
@@ -826,7 +1219,8 @@ impl PersistAddr for u32 {
     }
 }
 
-const STATE_VERSION: u8 = 1;
+// v2 added decode_errors / io_errors to the persisted stats block.
+const STATE_VERSION: u8 = 2;
 
 fn qos_byte(q: QoS) -> u8 {
     match q {
@@ -867,6 +1261,8 @@ impl<A: PersistAddr> Broker<A> {
             self.stats.duplicates_suppressed,
             self.stats.retransmissions,
             self.stats.drops,
+            self.stats.decode_errors,
+            self.stats.io_errors,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -956,10 +1352,15 @@ impl<A: PersistAddr> Broker<A> {
         out
     }
 
-    /// Rebuilds a broker from [`Broker::encode_state`] bytes.
+    /// Rebuilds a broker from [`Broker::encode_state`] bytes. Version 1
+    /// snapshots (persisted before the stats block grew
+    /// `decode_errors`/`io_errors`) are migrated losslessly with the new
+    /// counters defaulting to zero, so a gateway upgrade does not discard
+    /// the durable sessions its snapshot file exists to preserve.
     pub fn decode_state(bytes: &[u8]) -> Result<Broker<A>, &'static str> {
         let r = &mut wire::Reader::new(bytes);
-        if r.u8()? != STATE_VERSION {
+        let version = r.u8()?;
+        if version != 1 && version != STATE_VERSION {
             return Err("unsupported broker snapshot version");
         }
         let config = BrokerConfig {
@@ -974,6 +1375,8 @@ impl<A: PersistAddr> Broker<A> {
             duplicates_suppressed: r.u64()?,
             retransmissions: r.u64()?,
             drops: r.u64()?,
+            decode_errors: if version >= 2 { r.u64()? } else { 0 },
+            io_errors: if version >= 2 { r.u64()? } else { 0 },
         };
         let next_id = r.u16()?;
         let n_topics = r.u32()?;
@@ -1069,6 +1472,9 @@ impl<A: PersistAddr> Broker<A> {
             sessions,
             order,
             stats,
+            route_epoch: 0,
+            routes: HashMap::new(),
+            payload_pool: Vec::new(),
         })
     }
 }
@@ -1800,12 +2206,324 @@ mod tests {
     }
 
     #[test]
+    fn v1_snapshot_migrates_with_zeroed_new_counters() {
+        let mut b = broker();
+        connect(&mut b, 1, "pub");
+        connect_durable(&mut b, 2, "sub");
+        let tid = register(&mut b, 1, "t/v1");
+        subscribe(&mut b, 2, "t/v1", QoS::AtLeastOnce);
+        b.on_packet(
+            0,
+            1,
+            Packet::Publish {
+                dup: false,
+                qos: QoS::AtLeastOnce,
+                retain: false,
+                topic: TopicRef::Id(tid),
+                msg_id: 3,
+                payload: vec![9],
+            },
+        );
+        assert_eq!(b.stats().decode_errors, 0);
+        assert_eq!(b.stats().io_errors, 0);
+
+        // Reconstruct the v1 wire form: version byte 1, and the stats
+        // block holding only the original five counters (the two new
+        // trailing u64s spliced out).
+        let v2 = b.encode_state();
+        let stats_at = 1 + 1 + 8 + 4 + 8; // version + config
+        let mut v1 = v2.clone();
+        v1[0] = 1;
+        v1.drain(stats_at + 5 * 8..stats_at + 7 * 8);
+
+        let restored = Broker::<Addr>::decode_state(&v1).expect("v1 snapshot accepted");
+        assert_eq!(restored.stats(), b.stats());
+        assert_eq!(restored.session_count(), b.session_count());
+        // Re-encoding a migrated snapshot produces the v2 form.
+        assert_eq!(restored.encode_state(), v2);
+    }
+
+    #[test]
+    fn predefined_topic_seeded_after_traffic_routes_fresh() {
+        // `registry_mut` conservatively invalidates the route cache, so a
+        // topic seeded mid-flight is routable immediately — no stale
+        // "unknown id" or empty route can be served from the cache.
+        let mut b = broker();
+        connect(&mut b, 1, "pub");
+        connect(&mut b, 2, "sub");
+        subscribe(&mut b, 2, "pre/#", QoS::AtMostOnce);
+        let publish = || Packet::Publish {
+            dup: false,
+            qos: QoS::AtMostOnce,
+            retain: false,
+            topic: TopicRef::Predefined(500),
+            msg_id: 0,
+            payload: vec![1],
+        };
+        // Unknown predefined id is rejected toward the publisher.
+        let out = b.on_packet(0, 1, publish());
+        assert!(matches!(
+            out[0].1,
+            Packet::PubAck {
+                code: ReturnCode::InvalidTopicId,
+                ..
+            }
+        ));
+        assert!(b.registry_mut().register_predefined(500, "pre/x"));
+        // An id collision is refused, never silently remapped (remapping
+        // would also require a route-cache invalidation to be correct).
+        assert!(!b.registry_mut().register_predefined(500, "pre/other"));
+        let out = b.on_packet(1, 1, publish());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 2, "seeded topic must route to the wildcard sub");
+    }
+
+    #[test]
     fn decode_state_rejects_corrupt_bytes() {
         let b = broker();
         let mut bytes = b.encode_state();
         assert!(Broker::<Addr>::decode_state(&bytes[..bytes.len() - 1]).is_err());
         bytes[0] = 99; // unknown version
         assert!(Broker::<Addr>::decode_state(&bytes).is_err());
+    }
+
+    /// Two brokers fed the same packet sequence — one through the
+    /// allocating `on_packet` API, one through the wire-encoding
+    /// `on_packet_into` path — must produce identical outputs and state.
+    #[test]
+    fn wire_path_matches_vec_path() {
+        let mut vec_b = broker();
+        let mut wire_b = broker();
+        let mut out = BrokerOutputs::new();
+
+        let mut feed = |vb: &mut Broker<Addr>, wb: &mut Broker<Addr>, from: Addr, p: Packet| {
+            let expect = vb.on_packet(7, from, p.clone());
+            out.clear();
+            wb.on_packet_into(7, from, p, &mut out);
+            assert_eq!(out.packets(), expect);
+        };
+
+        for (addr, id) in [(1, "pub"), (2, "s0"), (3, "s1"), (4, "s2")] {
+            feed(
+                &mut vec_b,
+                &mut wire_b,
+                addr,
+                Packet::Connect {
+                    clean_session: true,
+                    duration: 60,
+                    client_id: id.into(),
+                },
+            );
+        }
+        feed(
+            &mut vec_b,
+            &mut wire_b,
+            1,
+            Packet::Register {
+                topic_id: 0,
+                msg_id: 1,
+                topic_name: "t/eq".into(),
+            },
+        );
+        for (addr, qos) in [
+            (2, QoS::AtMostOnce),
+            (3, QoS::AtLeastOnce),
+            (4, QoS::ExactlyOnce),
+        ] {
+            feed(
+                &mut vec_b,
+                &mut wire_b,
+                addr,
+                Packet::Subscribe {
+                    dup: false,
+                    qos,
+                    msg_id: 2,
+                    topic: TopicRef::Name("t/eq".into()),
+                },
+            );
+        }
+        // A QoS 2 publish fanning out at three different effective QoS
+        // levels: the wire path encodes once and patches headers.
+        for msg_id in [10u16, 11] {
+            feed(
+                &mut vec_b,
+                &mut wire_b,
+                1,
+                Packet::Publish {
+                    dup: false,
+                    qos: QoS::ExactlyOnce,
+                    retain: false,
+                    topic: TopicRef::Id(1),
+                    msg_id,
+                    payload: vec![0xAB; 100],
+                },
+            );
+            feed(&mut vec_b, &mut wire_b, 1, Packet::PubRel { msg_id });
+        }
+        // Ticks retransmit the unacked QoS 1/2 forwards identically.
+        let expect = vec_b.on_tick(u64::MAX / 2);
+        out.clear();
+        wire_b.on_tick_into(u64::MAX / 2, &mut out);
+        assert_eq!(out.packets(), expect);
+        assert!(!expect.is_empty(), "expected retransmissions");
+        assert_eq!(wire_b.stats(), vec_b.stats());
+        assert_eq!(wire_b.encode_state(), vec_b.encode_state());
+    }
+
+    #[test]
+    fn datagram_path_decodes_and_counts_errors() {
+        let mut b = broker();
+        let mut out = BrokerOutputs::new();
+        b.on_datagram_into(
+            0,
+            1,
+            &Packet::Connect {
+                clean_session: true,
+                duration: 60,
+                client_id: "d".into(),
+            }
+            .encode(),
+            &mut out,
+        )
+        .unwrap();
+        assert!(matches!(out.packets()[0].1, Packet::ConnAck { .. }));
+
+        out.clear();
+        assert!(b.on_datagram_into(0, 1, b"\xff garbage", &mut out).is_err());
+        assert!(b.on_datagram_into(0, 1, &[], &mut out).is_err());
+        assert_eq!(b.stats().decode_errors, 2);
+        assert!(out.is_empty());
+
+        b.note_io_errors(3);
+        assert_eq!(b.stats().io_errors, 3);
+    }
+
+    #[test]
+    fn datagram_batch_processes_all_frames_and_reports_errors() {
+        let mut b = broker();
+        connect(&mut b, 1, "pub");
+        connect(&mut b, 2, "sub");
+        let tid = register(&mut b, 1, "t/batch");
+        subscribe(&mut b, 2, "t/batch", QoS::AtMostOnce);
+
+        let frames: Vec<Vec<u8>> = (0..4u8)
+            .map(|i| {
+                Packet::Publish {
+                    dup: false,
+                    qos: QoS::AtMostOnce,
+                    retain: false,
+                    topic: TopicRef::Id(tid),
+                    msg_id: 0,
+                    payload: vec![i],
+                }
+                .encode()
+            })
+            .collect();
+        let mut out = BrokerOutputs::new();
+        let errors = b.on_datagram_batch_into(
+            0,
+            frames
+                .iter()
+                .map(|f| (1u32, f.as_slice()))
+                .chain(std::iter::once((1u32, &b"junk"[..]))),
+            &mut out,
+        );
+        assert_eq!(errors, 1);
+        assert_eq!(b.stats().decode_errors, 1);
+        let delivered: Vec<u8> = out
+            .packets()
+            .iter()
+            .map(|(to, p)| {
+                assert_eq!(*to, 2);
+                match p {
+                    Packet::Publish { payload, .. } => payload[0],
+                    p => panic!("unexpected {p:?}"),
+                }
+            })
+            .collect();
+        assert_eq!(delivered, vec![0, 1, 2, 3]);
+    }
+
+    /// Fan-out to many subscribers shares one wire image: QoS 0 copies are
+    /// byte-identical, QoS 1 copies differ only in the patched header.
+    #[test]
+    fn fanout_shares_one_wire_image_with_patched_headers() {
+        let mut b = broker();
+        connect(&mut b, 1, "pub");
+        for addr in 2..6u32 {
+            connect(&mut b, addr, &format!("s{addr}"));
+        }
+        let tid = register(&mut b, 1, "t/fan");
+        for addr in 2..4u32 {
+            subscribe(&mut b, addr, "t/fan", QoS::AtMostOnce);
+        }
+        // Two QoS 1 subscribers get distinct msg ids via header patches.
+        for addr in 4..6u32 {
+            subscribe(&mut b, addr, "t/fan", QoS::AtLeastOnce);
+        }
+        let mut out = BrokerOutputs::new();
+        let wire = Packet::Publish {
+            dup: false,
+            qos: QoS::AtLeastOnce,
+            retain: false,
+            topic: TopicRef::Id(tid),
+            msg_id: 9,
+            payload: vec![0x42; 64],
+        }
+        .encode();
+        b.on_datagram_into(0, 1, &wire, &mut out).unwrap();
+
+        let packets = out.packets();
+        // PUBACK to the publisher + 4 forwards.
+        assert_eq!(packets.len(), 5);
+        let mut qos1_ids = Vec::new();
+        for (to, p) in &packets[1..] {
+            match p {
+                Packet::Publish {
+                    qos: QoS::AtMostOnce,
+                    msg_id: 0,
+                    payload,
+                    ..
+                } => {
+                    assert!(*to == 2 || *to == 3);
+                    assert_eq!(payload, &vec![0x42; 64]);
+                }
+                Packet::Publish {
+                    qos: QoS::AtLeastOnce,
+                    msg_id,
+                    payload,
+                    ..
+                } => {
+                    assert!(*to == 4 || *to == 5);
+                    assert_eq!(payload, &vec![0x42; 64]);
+                    qos1_ids.push(*msg_id);
+                }
+                p => panic!("unexpected {p:?}"),
+            }
+        }
+        // Message ids are allocated per subscriber session: both QoS 1
+        // copies carry id 1 here, patched over the QoS 0 image's id 0.
+        assert_eq!(qos1_ids, vec![1, 1]);
+        // emit() is repeatable: patches restore every copy's own header.
+        assert_eq!(out.packets(), packets);
+
+        // A second publish advances each subscriber's msg id to 2,
+        // proving the patch really is per-copy, not a stale shared value.
+        out.clear();
+        b.on_datagram_into(1, 1, &wire, &mut out).unwrap();
+        let ids: Vec<u16> = out
+            .packets()
+            .iter()
+            .filter_map(|(_, p)| match p {
+                Packet::Publish {
+                    qos: QoS::AtLeastOnce,
+                    msg_id,
+                    ..
+                } => Some(*msg_id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![2, 2]);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! messages are re-sent with the DUP flag until acknowledged or the retry
 //! budget is exhausted.
 
-use crate::packet::{Packet, QoS, ReturnCode, TopicRef};
+use crate::packet::{Packet, PacketRef, QoS, ReturnCode, TopicRef};
 use crate::Error;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -519,6 +519,38 @@ impl Client {
         self.connect_sent_at = None;
         self.pending_control.clear();
         vec![Output::Send(Packet::Disconnect { duration: None })]
+    }
+
+    /// Feeds one raw inbound datagram. PUBLISH payloads decode borrowed
+    /// and are copied once into a buffer from the spare-payload pool, so
+    /// a subscriber's steady-state receive path reuses the same backing
+    /// allocations instead of building a fresh `Vec` per message.
+    pub fn on_datagram(&mut self, datagram: &[u8], now: Nanos) -> Result<Vec<Output>, Error> {
+        match Packet::decode_borrowed(datagram)? {
+            PacketRef::Publish {
+                dup,
+                qos,
+                retain,
+                topic,
+                msg_id,
+                payload,
+            } => {
+                let mut owned = self.take_spare_payload().unwrap_or_default();
+                owned.extend_from_slice(payload);
+                Ok(self.on_packet(
+                    Packet::Publish {
+                        dup,
+                        qos,
+                        retain,
+                        topic,
+                        msg_id,
+                        payload: owned,
+                    },
+                    now,
+                ))
+            }
+            PacketRef::Owned(p) => Ok(self.on_packet(p, now)),
+        }
     }
 
     /// Feeds one inbound packet.

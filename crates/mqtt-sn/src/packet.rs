@@ -262,6 +262,126 @@ pub enum Packet {
     },
 }
 
+/// A decoded message whose PUBLISH payload borrows the datagram buffer.
+///
+/// The broker's per-subscriber fan-out makes PUBLISH the only message type
+/// whose decode cost scales with size; [`Packet::decode_borrowed`] parses it
+/// without copying the payload into an owned `Vec`, so a gateway can route a
+/// datagram straight from its receive buffer to its send buffer. Every
+/// other (control) message type is cold and decodes to the owned [`Packet`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PacketRef<'a> {
+    /// Application message, payload borrowed from the datagram.
+    Publish {
+        /// Retransmission flag.
+        dup: bool,
+        /// Delivery QoS.
+        qos: QoS,
+        /// Retain flag.
+        retain: bool,
+        /// Topic reference (PUBLISH only carries ids, never names).
+        topic: TopicRef,
+        /// Message id (0 for QoS 0).
+        msg_id: u16,
+        /// Application payload, borrowed from the input buffer.
+        payload: &'a [u8],
+    },
+    /// Any non-PUBLISH message, decoded owned.
+    Owned(Packet),
+}
+
+impl PacketRef<'_> {
+    /// Converts to an owned [`Packet`], copying the payload if borrowed.
+    pub fn into_owned(self) -> Packet {
+        match self {
+            PacketRef::Publish {
+                dup,
+                qos,
+                retain,
+                topic,
+                msg_id,
+                payload,
+            } => Packet::Publish {
+                dup,
+                qos,
+                retain,
+                topic,
+                msg_id,
+                payload: payload.to_vec(),
+            },
+            PacketRef::Owned(p) => p,
+        }
+    }
+}
+
+/// Byte positions of the patchable PUBLISH header fields inside a wire
+/// buffer, as produced by [`encode_publish_into`]. When a broker fans one
+/// message out to several subscribers the wire image differs only in the
+/// flags byte (effective QoS) and the message id — rewriting those three
+/// bytes in place replaces a full re-encode per subscriber.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PublishWire {
+    /// Start of the datagram within the buffer.
+    pub start: usize,
+    /// One past the end of the datagram.
+    pub end: usize,
+    /// Absolute offset of the flags byte.
+    pub flags_at: usize,
+    /// Absolute offset of the big-endian message id (2 bytes).
+    pub msg_id_at: usize,
+}
+
+/// The PUBLISH flags byte for the given delivery options.
+pub fn publish_flags(dup: bool, qos: QoS, retain: bool, topic: &TopicRef) -> u8 {
+    let mut flags = (qos.bits() << flag::QOS_SHIFT) | topic.type_bits();
+    if dup {
+        flags |= flag::DUP;
+    }
+    if retain {
+        flags |= flag::RETAIN;
+    }
+    flags
+}
+
+/// Appends a PUBLISH wire image to `out` without materializing a
+/// [`Packet`], returning the patchable field offsets. Bytes are identical
+/// to encoding the equivalent [`Packet::Publish`].
+pub fn encode_publish_into(
+    dup: bool,
+    qos: QoS,
+    retain: bool,
+    topic: &TopicRef,
+    msg_id: u16,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) -> PublishWire {
+    let start = out.len();
+    // type + flags + topic id + msg id + payload
+    let body_len = 6 + payload.len();
+    if body_len + 1 < 256 {
+        out.push((body_len + 1) as u8);
+    } else {
+        out.push(0x01);
+        out.extend_from_slice(&((body_len + 3) as u16).to_be_bytes());
+    }
+    out.push(msg_type::PUBLISH);
+    let flags_at = out.len();
+    out.push(publish_flags(dup, qos, retain, topic));
+    match topic {
+        TopicRef::Id(id) | TopicRef::Predefined(id) => push_u16(out, *id),
+        TopicRef::Name(_) => push_u16(out, 0),
+    }
+    let msg_id_at = out.len();
+    push_u16(out, msg_id);
+    out.extend_from_slice(payload);
+    PublishWire {
+        start,
+        end: out.len(),
+        flags_at,
+        msg_id_at,
+    }
+}
+
 fn push_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_be_bytes());
 }
@@ -460,6 +580,51 @@ impl Packet {
             buf.clear();
             self.encode_into(&mut buf);
             buf.len()
+        })
+    }
+
+    /// Parses one message, borrowing the PUBLISH payload from `buf`
+    /// instead of copying it. Control messages decode owned (they are
+    /// small and off the hot path). Accepts and rejects exactly the same
+    /// inputs as [`Packet::decode`].
+    pub fn decode_borrowed(buf: &[u8]) -> Result<PacketRef<'_>, Error> {
+        if buf.is_empty() {
+            return Err(Error::Malformed("empty datagram"));
+        }
+        let (declared, header) = if buf[0] == 0x01 {
+            if buf.len() < 3 {
+                return Err(Error::Malformed("truncated long length"));
+            }
+            (u16::from_be_bytes([buf[1], buf[2]]) as usize, 3)
+        } else {
+            (buf[0] as usize, 1)
+        };
+        if declared != buf.len() {
+            return Err(Error::Malformed("length mismatch"));
+        }
+        let body = &buf[header..];
+        if body.first() != Some(&msg_type::PUBLISH) {
+            return Packet::decode(buf).map(PacketRef::Owned);
+        }
+        let rest = &body[1..];
+        if rest.len() < 5 {
+            return Err(Error::Malformed("truncated body"));
+        }
+        let flags = rest[0];
+        let qos = QoS::from_bits((flags & flag::QOS_MASK) >> flag::QOS_SHIFT)?;
+        let topic_id = u16::from_be_bytes([rest[1], rest[2]]);
+        let topic = match flags & flag::TOPIC_TYPE_MASK {
+            0b00 => TopicRef::Id(topic_id),
+            0b01 => TopicRef::Predefined(topic_id),
+            _ => return Err(Error::Malformed("short topics not supported in PUBLISH")),
+        };
+        Ok(PacketRef::Publish {
+            dup: flags & flag::DUP != 0,
+            qos,
+            retain: flags & flag::RETAIN != 0,
+            topic,
+            msg_id: u16::from_be_bytes([rest[3], rest[4]]),
+            payload: &rest[5..],
         })
     }
 
@@ -785,6 +950,85 @@ mod tests {
         roundtrip(p);
     }
 
+    #[test]
+    fn decode_borrowed_matches_owned_decode() {
+        let publish = Packet::Publish {
+            dup: true,
+            qos: QoS::AtLeastOnce,
+            retain: true,
+            topic: TopicRef::Predefined(9),
+            msg_id: 77,
+            payload: vec![1, 2, 3],
+        };
+        let wire = publish.encode();
+        match Packet::decode_borrowed(&wire).unwrap() {
+            PacketRef::Publish { payload, .. } => assert_eq!(payload, &[1, 2, 3]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            Packet::decode_borrowed(&wire).unwrap().into_owned(),
+            publish
+        );
+
+        // Control traffic decodes owned, identically to Packet::decode.
+        let connect = Packet::Connect {
+            clean_session: false,
+            duration: 30,
+            client_id: "dev".into(),
+        }
+        .encode();
+        assert_eq!(
+            Packet::decode_borrowed(&connect).unwrap(),
+            PacketRef::Owned(Packet::decode(&connect).unwrap())
+        );
+
+        // Rejections match too.
+        assert!(Packet::decode_borrowed(&[]).is_err());
+        assert!(Packet::decode_borrowed(&[5, 0x0c, 0]).is_err());
+        let bad_qos = [8u8, 0x0c, 0x60, 0, 1, 0, 1, 0];
+        assert!(Packet::decode_borrowed(&bad_qos).is_err());
+    }
+
+    #[test]
+    fn encode_publish_into_matches_packet_encode_and_patches() {
+        for payload_len in [0usize, 4, 300] {
+            let payload = vec![0x5a; payload_len];
+            let p = Packet::Publish {
+                dup: false,
+                qos: QoS::AtLeastOnce,
+                retain: false,
+                topic: TopicRef::Id(12),
+                msg_id: 41,
+                payload: payload.clone(),
+            };
+            let mut wire = vec![0xEE; 3]; // pre-existing bytes must be preserved
+            let w = encode_publish_into(
+                false,
+                QoS::AtLeastOnce,
+                false,
+                &TopicRef::Id(12),
+                41,
+                &payload,
+                &mut wire,
+            );
+            assert_eq!(w.start, 3);
+            assert_eq!(&wire[w.start..w.end], p.encode().as_slice());
+
+            // Patching flags + msg id in place yields the re-encoded form.
+            let q = Packet::Publish {
+                dup: false,
+                qos: QoS::ExactlyOnce,
+                retain: false,
+                topic: TopicRef::Id(12),
+                msg_id: 42,
+                payload: payload.clone(),
+            };
+            wire[w.flags_at] = publish_flags(false, QoS::ExactlyOnce, false, &TopicRef::Id(12));
+            wire[w.msg_id_at..w.msg_id_at + 2].copy_from_slice(&42u16.to_be_bytes());
+            assert_eq!(&wire[w.start..w.end], q.encode().as_slice());
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -815,6 +1059,15 @@ mod tests {
         #[test]
         fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
             let _ = Packet::decode(&bytes);
+        }
+
+        #[test]
+        fn prop_decode_borrowed_equivalent(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            match (Packet::decode(&bytes), Packet::decode_borrowed(&bytes)) {
+                (Ok(p), Ok(r)) => prop_assert_eq!(p, r.into_owned()),
+                (Err(_), Err(_)) => {}
+                (p, r) => prop_assert!(false, "accept/reject divergence: {p:?} vs {r:?}"),
+            }
         }
 
         #[test]

@@ -127,6 +127,134 @@ fn steady_state_capture_path_allocates_zero_per_record() {
     assert!(total_bytes > 0);
 }
 
+/// Broker steady state: one QoS 1 publish fanning out to 8 QoS 0
+/// subscribers plus one QoS 1 subscriber (whose ack cycles the outbound
+/// state), end to end through the datagram path — borrowed decode, fan-out
+/// routing, single-encode wire output, pooled retransmission copy — must
+/// perform **zero** heap allocations per packet once buffers are warm.
+#[test]
+fn steady_state_broker_forwarding_allocates_zero_per_packet() {
+    use provlight::mqtt_sn::broker::{Broker, BrokerConfig, BrokerOutputs};
+    use provlight::mqtt_sn::packet::{Packet, PacketRef, QoS, TopicRef};
+
+    let mut broker: Broker<u32> = Broker::new(BrokerConfig::default());
+    let publisher = 0u32;
+    let qos1_sub = 9u32;
+    let setup = |b: &mut Broker<u32>, from: u32, p: Packet| b.on_packet(0, from, p);
+    for (addr, id) in (0..10u32).map(|a| (a, format!("c{a}"))) {
+        setup(
+            &mut broker,
+            addr,
+            Packet::Connect {
+                clean_session: true,
+                duration: 60,
+                client_id: id,
+            },
+        );
+    }
+    let out = broker.on_packet(
+        0,
+        publisher,
+        Packet::Register {
+            topic_id: 0,
+            msg_id: 1,
+            topic_name: "z/t".into(),
+        },
+    );
+    let tid = match out[0].1 {
+        Packet::RegAck { topic_id, .. } => topic_id,
+        ref p => panic!("unexpected {p:?}"),
+    };
+    for addr in 1..=8u32 {
+        setup(
+            &mut broker,
+            addr,
+            Packet::Subscribe {
+                dup: false,
+                qos: QoS::AtMostOnce,
+                msg_id: 2,
+                topic: TopicRef::Name("z/t".into()),
+            },
+        );
+    }
+    setup(
+        &mut broker,
+        qos1_sub,
+        Packet::Subscribe {
+            dup: false,
+            qos: QoS::AtLeastOnce,
+            msg_id: 2,
+            topic: TopicRef::Name("z/t".into()),
+        },
+    );
+
+    let publish_wire = Packet::Publish {
+        dup: false,
+        qos: QoS::AtLeastOnce,
+        retain: false,
+        topic: TopicRef::Id(tid),
+        msg_id: 7,
+        payload: vec![0x5c; 100],
+    }
+    .encode();
+    let mut out = BrokerOutputs::new();
+    let mut ack_wire = Vec::new();
+
+    // One full cycle: publish in, PUBACK + 9 forwards out, QoS 1
+    // subscriber acks its copy so outbound state drains.
+    let mut cycle = |broker: &mut Broker<u32>, out: &mut BrokerOutputs<u32>, now: u64| {
+        out.clear();
+        broker
+            .on_datagram_into(now, publisher, &publish_wire, out)
+            .unwrap();
+        let mut fwd_msg_id = 0u16;
+        let mut datagrams = 0usize;
+        out.emit(|to, bytes| {
+            datagrams += 1;
+            if *to == qos1_sub {
+                match Packet::decode_borrowed(bytes).expect("broker-encoded") {
+                    PacketRef::Publish { msg_id, .. } => fwd_msg_id = msg_id,
+                    p => panic!("unexpected {p:?}"),
+                }
+            }
+        });
+        assert_eq!(datagrams, 10, "PUBACK + 9 forwards");
+        ack_wire.clear();
+        Packet::PubAck {
+            topic_id: tid,
+            msg_id: fwd_msg_id,
+            code: provlight::mqtt_sn::ReturnCode::Accepted,
+        }
+        .encode_into(&mut ack_wire);
+        out.clear();
+        broker
+            .on_datagram_into(now, qos1_sub, &ack_wire, out)
+            .unwrap();
+        assert!(out.is_empty());
+    };
+
+    // Warmup: size the wire buffer, send list, fan-out scratch, payload
+    // pool, and per-session outbound map.
+    for i in 0..64u64 {
+        cycle(&mut broker, &mut out, i);
+    }
+
+    let iterations = 4096u64;
+    let before = allocations();
+    for i in 0..iterations {
+        cycle(&mut broker, &mut out, 64 + i);
+    }
+    let allocs = allocations() - before;
+    assert!(
+        allocs == 0,
+        "steady state performed {allocs} allocations over {iterations} packets \
+         ({:.4} allocs/packet); broker hot path must be allocation-free",
+        allocs as f64 / iterations as f64
+    );
+    assert_eq!(broker.stats().publishes_in, 64 + iterations);
+    assert_eq!(broker.stats().publishes_out, (64 + iterations) * 9);
+}
+
 /// The legacy allocating path, measured the same way, is decidedly not
 /// allocation-free — guarding against the zero assertion above passing
 /// vacuously (e.g. a broken counter).
