@@ -29,8 +29,9 @@ pub enum System {
         /// Messages grouped per transmission.
         group: usize,
     },
-    /// ProvLight with a full custom configuration (ablations).
-    ProvLightCustom(ProvLightSimConfig),
+    /// ProvLight with a full custom configuration (ablations). Boxed: the
+    /// config dwarfs every other variant.
+    ProvLightCustom(Box<ProvLightSimConfig>),
     /// ProvLake with a grouping count (the Table III axis).
     ProvLake {
         /// Messages grouped per request.
@@ -178,7 +179,7 @@ fn make_driver(system: System, seed: u64, jitter_frac: f64) -> Box<dyn CaptureDr
             Box::new(d)
         }
         System::ProvLightCustom(cfg) => {
-            let mut d = SimProvLight::new(cfg);
+            let mut d = SimProvLight::new(*cfg);
             d.set_jitter(Jitter::new(seed, jitter_frac));
             Box::new(d)
         }

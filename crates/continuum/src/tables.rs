@@ -361,19 +361,22 @@ pub fn ablation(reps: usize) -> Vec<(String, crate::experiment::ScenarioResult)>
     let variants: Vec<(String, System)> = vec![
         (
             "full (binary+compress+qos2)".into(),
-            System::ProvLightCustom(base.clone()),
+            System::ProvLightCustom(Box::new(base.clone())),
         ),
         (
             "no compression".into(),
-            System::ProvLightCustom(no_compression.clone()),
+            System::ProvLightCustom(Box::new(no_compression.clone())),
         ),
         (
             "json data model".into(),
-            System::ProvLightCustom(json_model),
+            System::ProvLightCustom(Box::new(json_model)),
         ),
-        ("qos 0".into(), System::ProvLightCustom(qos0)),
-        ("qos 1".into(), System::ProvLightCustom(qos1)),
-        ("grouped 50".into(), System::ProvLightCustom(grouped)),
+        ("qos 0".into(), System::ProvLightCustom(Box::new(qos0))),
+        ("qos 1".into(), System::ProvLightCustom(Box::new(qos1))),
+        (
+            "grouped 50".into(),
+            System::ProvLightCustom(Box::new(grouped)),
+        ),
     ];
 
     let mut rows: Vec<(String, crate::experiment::ScenarioResult)> = variants
@@ -393,11 +396,11 @@ pub fn ablation(reps: usize) -> Vec<(String, crate::experiment::ScenarioResult)>
     for (name, system) in [
         (
             "full, constant-fill payload".to_owned(),
-            System::ProvLightCustom(base),
+            System::ProvLightCustom(Box::new(base)),
         ),
         (
             "no compression, constant-fill".to_owned(),
-            System::ProvLightCustom(no_compression),
+            System::ProvLightCustom(Box::new(no_compression)),
         ),
     ] {
         let mut s = Scenario::edge(system, constant_spec);
@@ -405,6 +408,264 @@ pub fn ablation(reps: usize) -> Vec<(String, crate::experiment::ScenarioResult)>
         rows.push((name, measure(&s)));
     }
     rows
+}
+
+/// One backpressure counter under both overload arms.
+#[derive(Clone, Debug)]
+pub struct ResilienceRow {
+    /// Counter name.
+    pub label: &'static str,
+    /// Value with congestion signaling + client backpressure enabled.
+    pub signaling_on: u64,
+    /// Value with signaling disabled (buffer-then-drop ablation).
+    pub signaling_off: u64,
+}
+
+/// The resilience extension's counter table (no paper analogue): the same
+/// overload run twice, with end-to-end backpressure on and off.
+#[derive(Clone, Debug)]
+pub struct ResilienceResult {
+    /// Rows in presentation order.
+    pub rows: Vec<ResilienceRow>,
+}
+
+impl ResilienceResult {
+    /// Renders the table as aligned text (the bench harness output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== Resilience — overload counters, signaling on vs off\n");
+        let w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .max()
+            .unwrap_or(10)
+            .max(10);
+        out.push_str(&format!(
+            "{:w$}  {:>12}  {:>12}\n",
+            "counter",
+            "signaling on",
+            "signaling off",
+            w = w
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:w$}  {:>12}  {:>12}\n",
+                r.label,
+                r.signaling_on,
+                r.signaling_off,
+                w = w
+            ));
+        }
+        out
+    }
+
+    /// Finds a row by label.
+    pub fn row(&self, label: &str) -> Option<&ResilienceRow> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+}
+
+/// Counters from one overload arm.
+struct OverloadCounters {
+    published: u64,
+    broker_drops: u64,
+    client_drops: u64,
+    records_shed: u64,
+    congestion_rejects: u64,
+    advisories_sent: u64,
+    congestion_signals: u64,
+    paced_sends: u64,
+    backlog_high_water: u64,
+}
+
+/// One overload arm over real UDP: a durable QoS 2 subscriber goes away,
+/// a publisher keeps capturing past the broker's congestion watermarks,
+/// then the subscriber returns and everything drains.
+fn overload_counters(signal: bool) -> OverloadCounters {
+    use mqtt_sn::broker::BrokerConfig;
+    use mqtt_sn::net::{UdpBroker, UdpClient};
+    use mqtt_sn::{ClientConfig, QoS};
+    use provlight_core::{CaptureConfig, ProvLightClient};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let wait_until = |timeout: Duration, f: &mut dyn FnMut() -> bool| {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if f() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        false
+    };
+
+    let broker = UdpBroker::spawn(
+        "127.0.0.1:0",
+        BrokerConfig {
+            retry_timeout: Duration::from_millis(200),
+            max_retries: 10,
+            max_buffered: 8,
+            congestion_soft: 3,
+            congestion_hard: 6,
+            signal_congestion: signal,
+            ..BrokerConfig::default()
+        },
+    )
+    .expect("broker");
+    let addr = broker.local_addr();
+
+    let tag = if signal { "on" } else { "off" };
+    let sub_id = format!("resilience-sub-{tag}");
+    {
+        let mut config = ClientConfig::new(sub_id.clone());
+        config.clean_session = false;
+        let mut sub = UdpClient::connect(addr, config, Duration::from_secs(5)).expect("sub");
+        sub.subscribe("provlight/#", QoS::ExactlyOnce, Duration::from_secs(5))
+            .expect("subscribe");
+        sub.disconnect().expect("disconnect");
+    }
+
+    let client = ProvLightClient::connect(
+        addr,
+        &format!("resilience-pub-{tag}"),
+        &format!("provlight/resilience-{tag}/pub"),
+        CaptureConfig {
+            group: GroupPolicy::Immediate,
+            qos: QoS::ExactlyOnce,
+            max_payload: 1,
+            max_inflight: 1,
+            keep_alive: Duration::from_millis(200),
+            retry_timeout: Duration::from_millis(300),
+            max_retries: 20,
+            backpressure: signal,
+            ..CaptureConfig::default()
+        },
+    )
+    .expect("publisher");
+    let session = client.session();
+    let wf = session.workflow(1u64);
+    wf.begin().expect("wf begin");
+    let tasks = 19u64;
+    for t in 0..tasks {
+        let mut task = wf.task(t, 0u64, &[]);
+        task.begin(vec![]).expect("task begin");
+    }
+    let published = 1 + tasks;
+
+    if signal {
+        // Soft-advisory pacing alone slows the publisher below the
+        // backlog's growth into the hard watermark, so explicitly wait for
+        // the first hard reject (and the parked overflow) before letting
+        // the subscriber return.
+        wait_until(Duration::from_secs(15), &mut || {
+            broker.stats().congestion_rejects > 0
+                && client.stats().buffered_records >= published / 2
+        });
+    } else {
+        client.flush().expect("ablation flush");
+    }
+
+    // The subscriber returns (same durable session) and drains the
+    // backlog so the flush below can complete in both arms.
+    let stop = Arc::new(AtomicBool::new(false));
+    let pump = {
+        let stop = Arc::clone(&stop);
+        let mut config = ClientConfig::new(sub_id);
+        config.clean_session = false;
+        let mut sub = UdpClient::connect(addr, config, Duration::from_secs(5)).expect("resume");
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match sub.poll_event() {
+                    Ok(_) => {}
+                    Err(e) if e.is_transient() => std::thread::sleep(Duration::from_millis(10)),
+                    Err(_) => break,
+                }
+            }
+        })
+    };
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while client.flush().is_err() {
+        assert!(Instant::now() < deadline, "overload flush never completed");
+    }
+
+    let b = broker.stats();
+    let c = client.stats();
+    stop.store(true, Ordering::Relaxed);
+    pump.join().expect("pump thread");
+    client.shutdown();
+    broker.shutdown();
+    OverloadCounters {
+        published,
+        broker_drops: b.drops,
+        client_drops: c.records_dropped,
+        records_shed: c.records_shed,
+        congestion_rejects: b.congestion_rejects,
+        advisories_sent: b.advisories_sent,
+        congestion_signals: c.congestion_signals,
+        paced_sends: c.paced_sends,
+        backlog_high_water: b.backlog_high_water,
+    }
+}
+
+/// The resilience counter table: the overload experiment with end-to-end
+/// backpressure on vs. off. With signaling on, the broker rejects past the
+/// hard watermark and the publisher paces — nothing is dropped anywhere;
+/// with signaling off, the broker quietly sheds its oldest buffered
+/// messages (exactly accounted in its drop counter).
+pub fn resilience() -> ResilienceResult {
+    let on = overload_counters(true);
+    let off = overload_counters(false);
+    let rows = vec![
+        ResilienceRow {
+            label: "records published",
+            signaling_on: on.published,
+            signaling_off: off.published,
+        },
+        ResilienceRow {
+            label: "broker drops",
+            signaling_on: on.broker_drops,
+            signaling_off: off.broker_drops,
+        },
+        ResilienceRow {
+            label: "client drops",
+            signaling_on: on.client_drops,
+            signaling_off: off.client_drops,
+        },
+        ResilienceRow {
+            label: "records shed",
+            signaling_on: on.records_shed,
+            signaling_off: off.records_shed,
+        },
+        ResilienceRow {
+            label: "congestion rejects",
+            signaling_on: on.congestion_rejects,
+            signaling_off: off.congestion_rejects,
+        },
+        ResilienceRow {
+            label: "advisories sent",
+            signaling_on: on.advisories_sent,
+            signaling_off: off.advisories_sent,
+        },
+        ResilienceRow {
+            label: "congestion signals",
+            signaling_on: on.congestion_signals,
+            signaling_off: off.congestion_signals,
+        },
+        ResilienceRow {
+            label: "paced sends",
+            signaling_on: on.paced_sends,
+            signaling_off: off.paced_sends,
+        },
+        ResilienceRow {
+            label: "backlog high water",
+            signaling_on: on.backlog_high_water,
+            signaling_off: off.backlog_high_water,
+        },
+    ];
+    ResilienceResult { rows }
 }
 
 #[cfg(test)]
@@ -484,6 +745,34 @@ mod tests {
             net("full, constant-fill payload"),
             net("no compression, constant-fill")
         );
+    }
+
+    #[test]
+    fn resilience_counters_show_backpressure_win() {
+        let r = resilience();
+        let row = |label: &str| r.row(label).unwrap();
+        // With signaling on: no loss anywhere, and the control loop
+        // visibly engaged (rejects at the broker, signals at the client).
+        assert_eq!(row("broker drops").signaling_on, 0, "{r:?}");
+        assert_eq!(row("client drops").signaling_on, 0, "{r:?}");
+        assert!(row("congestion rejects").signaling_on > 0, "{r:?}");
+        assert!(row("congestion signals").signaling_on > 0, "{r:?}");
+        // With signaling off: the broker quietly drops past the cap and
+        // never rejects or advises.
+        assert!(row("broker drops").signaling_off > 0, "{r:?}");
+        assert_eq!(row("congestion rejects").signaling_off, 0, "{r:?}");
+        assert_eq!(row("advisories sent").signaling_off, 0, "{r:?}");
+        // Exact accounting in the ablation arm: the away session's cap is
+        // 8, so exactly published − 8 oldest messages are dropped.
+        assert_eq!(row("client drops").signaling_off, 0, "{r:?}");
+        assert_eq!(
+            row("broker drops").signaling_off,
+            row("records published").signaling_off - 8,
+            "buffer-then-drop must shed exactly past the session cap: {r:?}"
+        );
+        let text = r.render();
+        assert!(text.contains("signaling on"));
+        assert!(text.contains("broker drops"));
     }
 
     #[test]

@@ -34,6 +34,33 @@ impl GroupPolicy {
     }
 }
 
+/// A disk fault-injection hook for the spill WAL, cloneable into the
+/// transmitter thread. Equality is pointer identity (two configs are
+/// "equal" when they share the same hook instance), which keeps
+/// [`CaptureConfig`] comparable in tests without asking fault hooks to be.
+#[derive(Clone, Debug)]
+pub struct SpillFault(pub std::sync::Arc<dyn prov_wal::IoFault>);
+
+impl PartialEq for SpillFault {
+    fn eq(&self, other: &Self) -> bool {
+        std::sync::Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+impl Eq for SpillFault {}
+
+/// A datagram fault-injection hook for the transmitter's UDP link
+/// (see [`mqtt_sn::DatagramFault`]); same pointer-identity equality
+/// convention as [`SpillFault`].
+#[derive(Clone, Debug)]
+pub struct LinkFault(pub std::sync::Arc<dyn mqtt_sn::DatagramFault>);
+
+impl PartialEq for LinkFault {
+    fn eq(&self, other: &Self) -> bool {
+        std::sync::Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+impl Eq for LinkFault {}
+
 /// Capture pipeline configuration.
 ///
 /// Not `Copy` since the durability extension: [`CaptureConfig::spill_dir`]
@@ -102,6 +129,20 @@ pub struct CaptureConfig {
     /// WAL segment rotation size (smaller segments ⇒ finer-grained
     /// eviction and reclamation, more files).
     pub spill_segment_bytes: usize,
+    /// Respond to broker congestion signals (the advisory packet and
+    /// `Congestion` PUBACK codes) with adaptive pacing, deeper coalescing,
+    /// and low-priority shedding. `false` ignores the signals and restores
+    /// the pre-backpressure buffer-then-drop behaviour — the ablation arm
+    /// of the overload experiment.
+    pub backpressure: bool,
+    /// Disk fault-injection hook for the spill WAL (chaos testing only);
+    /// `None` in production.
+    pub spill_fault: Option<SpillFault>,
+    /// Datagram fault-injection hook for the transmitter's UDP link (chaos
+    /// testing only); `None` in production. Installed *after* the initial
+    /// connect + registration handshake, so a hostile plan cannot keep the
+    /// transmitter from ever starting.
+    pub datagram_fault: Option<LinkFault>,
 }
 
 /// Default coalescing high-water mark (bytes of pending records).
@@ -140,6 +181,9 @@ impl Default for CaptureConfig {
             spill_dir: None,
             spill_max_bytes: DEFAULT_SPILL_MAX_BYTES,
             spill_segment_bytes: DEFAULT_SPILL_SEGMENT_BYTES,
+            backpressure: true,
+            spill_fault: None,
+            datagram_fault: None,
         }
     }
 }

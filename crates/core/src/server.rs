@@ -45,6 +45,14 @@ pub struct ServerStats {
     /// once — comparable against the broker's delivered-publish count even
     /// when topics share a translator.
     pub messages_total: u64,
+    /// Buffered-message backlog across broker sessions at snapshot time.
+    /// Translators that fall behind ingestion inflate this, which drives
+    /// `congestion_level` — so translator lag propagates to gateway
+    /// publishers as pacing instead of silent buffer growth.
+    pub broker_backlog: u64,
+    /// Broker congestion level at snapshot time (0 clear / 1 soft /
+    /// 2 hard).
+    pub congestion_level: u8,
 }
 
 impl ProvLightServer {
@@ -159,6 +167,8 @@ impl ProvLightServer {
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
             translator_messages,
             messages_total,
+            broker_backlog: self.broker.backlog() as u64,
+            congestion_level: self.broker.congestion_level(),
         }
     }
 

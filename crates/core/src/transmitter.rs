@@ -41,7 +41,7 @@ use crate::api::CaptureError;
 use crate::config::CaptureConfig;
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError};
 use mqtt_sn::net::{entropy_seed, jitter_backoff, UdpClient};
-use mqtt_sn::{ClientConfig, ClientEvent, ClientState, NetError, QoS};
+use mqtt_sn::{ClientConfig, ClientEvent, ClientState, NetError, QoS, ReturnCode};
 use parking_lot::Mutex;
 use prov_codec::frame::Envelope;
 use prov_codec::json::{records_to_json, JsonStyle};
@@ -95,6 +95,17 @@ const SHUTDOWN_GRACE: Duration = Duration::from_secs(2);
 /// lockstep (the reconnect stampede).
 const RECONNECT_JITTER: f64 = 0.25;
 
+/// Envelope spacing under *soft* congestion (broker advisory level 1): the
+/// broker asked for headroom, so sends trickle out instead of bursting and
+/// new records coalesce more deeply behind the queue.
+const SOFT_PACE: Duration = Duration::from_millis(5);
+
+/// Hold-off under *hard* congestion (level 2, or a PUBACK `Congestion`
+/// rejection): everything queues, with one probe envelope per interval so
+/// the transmitter notices drain even if the broker's falling advisory is
+/// lost.
+const HARD_PACE: Duration = Duration::from_millis(50);
+
 /// Capture-side transport statistics — the client mirror of
 /// `ProvLightServer::stats()`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -128,6 +139,17 @@ pub struct TransmitterStats {
     /// Records the WAL itself dropped (disk-cap oldest-segment eviction,
     /// unrecoverable corruption). A subset of `records_dropped`.
     pub wal_drops: u64,
+    /// Congestion signals received from the broker: CONGESTION advisories
+    /// plus PUBACK `Congestion` rejections. Counted even with
+    /// [`CaptureConfig::backpressure`] off (the ablation arm observes
+    /// without reacting).
+    pub congestion_signals: u64,
+    /// Envelopes the adaptive pacing window deferred to the buffer instead
+    /// of putting on the wire while the broker reported congestion.
+    pub paced_sends: u64,
+    /// Low-priority (begin-edge) records shed under sustained hard
+    /// congestion. A subset of `records_dropped`.
+    pub records_shed: u64,
 }
 
 /// Lock-free shared cell behind [`TransmitterStats`].
@@ -145,6 +167,9 @@ struct StatsCell {
     spill_bytes: AtomicU64,
     recovered_records: AtomicU64,
     wal_drops: AtomicU64,
+    congestion_signals: AtomicU64,
+    paced_sends: AtomicU64,
+    records_shed: AtomicU64,
 }
 
 impl StatsCell {
@@ -162,6 +187,9 @@ impl StatsCell {
             spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
             recovered_records: self.recovered_records.load(Ordering::Relaxed),
             wal_drops: self.wal_drops.load(Ordering::Relaxed),
+            congestion_signals: self.congestion_signals.load(Ordering::Relaxed),
+            paced_sends: self.paced_sends.load(Ordering::Relaxed),
+            records_shed: self.records_shed.load(Ordering::Relaxed),
         }
     }
 }
@@ -318,6 +346,7 @@ impl SpillBuffer {
                 segment_max_bytes: config.spill_segment_bytes.max(1) as u64,
                 max_total_bytes: config.spill_max_bytes.max(1) as u64,
                 sync_on_append: false,
+                fault: config.spill_fault.as_ref().map(|f| f.0.clone()),
             })?),
             None => None,
         };
@@ -493,6 +522,12 @@ impl Transmitter {
         client_config.max_inflight = config.max_inflight.max(1);
         let mut client = UdpClient::connect(broker, client_config, timeout)?;
         let topic_id = client.register(&topic, timeout)?;
+        // Chaos hook goes in only after the handshake: the fault plan
+        // shapes steady-state traffic, not whether the transmitter can
+        // start at all.
+        if let Some(fault) = &config.datagram_fault {
+            client.set_fault(fault.0.clone());
+        }
 
         // Open (and recover) the spill WAL before the thread exists so a
         // misconfigured spill directory fails the connect loudly instead
@@ -668,6 +703,13 @@ struct Link {
     /// Backoff jitter source (see [`RECONNECT_JITTER`]).
     rng: StdRng,
     stats: Arc<StatsCell>,
+    /// Latest broker-advertised congestion level (0 clear / 1 soft /
+    /// 2 hard). Stays 0 when [`CaptureConfig::backpressure`] is off.
+    congestion_level: u8,
+    /// No envelope leaves before this instant while congested — the
+    /// adaptive pacing window. New sends queue behind the buffer instead,
+    /// which deepens coalescing and lets replay meter the drain.
+    pace_until: Instant,
 }
 
 impl Link {
@@ -693,8 +735,56 @@ impl Link {
             inflight_records: HashMap::new(),
             rng: StdRng::seed_from_u64(entropy_seed()),
             stats,
+            congestion_level: 0,
+            pace_until: Instant::now(),
             config,
         }
+    }
+
+    /// Folds a broker congestion signal into the pacing state. Signals are
+    /// always *counted*; they only change behaviour when
+    /// [`CaptureConfig::backpressure`] is on.
+    fn note_congestion(&mut self, level: u8) {
+        self.stats
+            .congestion_signals
+            .fetch_add(1, Ordering::Relaxed);
+        if !self.config.backpressure {
+            return;
+        }
+        self.congestion_level = level;
+        if level == 0 {
+            self.pace_until = Instant::now();
+        }
+    }
+
+    /// True while the pacing window forbids putting an envelope on the
+    /// wire.
+    fn paced(&self) -> bool {
+        self.congestion_level > 0 && Instant::now() < self.pace_until
+    }
+
+    /// Re-arms the pacing window after a send (or a rejection) under
+    /// congestion; a no-op at level 0.
+    fn arm_pace(&mut self) {
+        if self.congestion_level > 0 {
+            let spacing = if self.congestion_level >= 2 {
+                HARD_PACE
+            } else {
+                SOFT_PACE
+            };
+            self.pace_until = Instant::now() + spacing;
+        }
+    }
+
+    /// True when begin-edge records should be shed instead of queued: hard
+    /// congestion has persisted long enough to fill half the RAM buffer, so
+    /// the alternative to shedding is evicting arbitrary envelopes once the
+    /// cap is hit. End-edge records — task completion and outputs, the part
+    /// an operator cannot re-derive — always keep their place in the queue.
+    fn shedding(&self) -> bool {
+        self.config.backpressure
+            && self.congestion_level >= 2
+            && self.buffer.records() >= self.config.buffer_max_records / 2
     }
 
     fn mark_disconnected(&mut self) {
@@ -753,13 +843,32 @@ impl Link {
                     self.mark_disconnected();
                     failed.push(msg_id);
                 }
-                ClientEvent::PublishRejected { msg_id, .. } => {
-                    // Broker lost our registration (e.g. restarted without
-                    // persistence): recover via re-registration, no need
-                    // for a full reconnect.
-                    self.stats.publish_failures.fetch_add(1, Ordering::Relaxed);
-                    self.reregister = true;
+                ClientEvent::PublishRejected { msg_id, code } => {
+                    if code == ReturnCode::Congestion {
+                        // Hard backpressure: the broker refused the publish
+                        // to shed load, and the payload comes back through
+                        // the dead-letter queue below for paced replay.
+                        // Flow control, not a lost registration — never
+                        // re-register for it.
+                        self.note_congestion(2);
+                        self.arm_pace();
+                        if !self.config.backpressure {
+                            // Ablation arm: keep the legacy accounting
+                            // (every rejection is a publish failure) while
+                            // the signal itself is ignored.
+                            self.stats.publish_failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    } else {
+                        // Broker lost our registration (e.g. restarted
+                        // without persistence): recover via
+                        // re-registration, no need for a full reconnect.
+                        self.stats.publish_failures.fetch_add(1, Ordering::Relaxed);
+                        self.reregister = true;
+                    }
                     failed.push(msg_id);
+                }
+                ClientEvent::Congestion { level } => {
+                    self.note_congestion(level);
                 }
                 ClientEvent::PingTimeout | ClientEvent::Disconnected => {
                     self.mark_disconnected();
@@ -798,6 +907,11 @@ impl Link {
                     Err(_) => self.mark_disconnected(),
                 }
             }
+            // A backlog can exist while connected (congestion pacing, a
+            // recovered rejection): drain it as the pacing window allows.
+            if self.connected && !self.buffer.is_empty() {
+                self.replay();
+            }
         } else if Instant::now() >= self.next_attempt {
             self.attempt_reconnect();
         }
@@ -809,6 +923,11 @@ impl Link {
             Ok(()) => {
                 self.connected = true;
                 self.reregister = false;
+                // A fresh session starts from a clean congestion slate —
+                // the broker (possibly a different incarnation) will signal
+                // again if it is still overloaded.
+                self.congestion_level = 0;
+                self.pace_until = Instant::now();
                 self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
                 self.backoff = self
                     .config
@@ -843,10 +962,14 @@ impl Link {
     }
 
     /// Replays buffered envelopes in original order until the buffer
-    /// drains or the link fails again (the failed head returns to the
-    /// front).
+    /// drains, the pacing window closes, or the link fails again (the
+    /// failed head returns to the front).
     fn replay(&mut self) {
         while self.connected {
+            if self.paced() {
+                // Congestion metering: resume on a later service pass.
+                return;
+            }
             let Some((payload, records)) = self.buffer.pop_front() else {
                 return;
             };
@@ -869,8 +992,13 @@ impl Link {
             self.mark_disconnected();
         }
         // While a backlog exists, new envelopes must queue behind it —
-        // publishing them directly would reorder the stream.
-        if !self.connected || (!replaying && !self.buffer.is_empty()) {
+        // publishing them directly would reorder the stream. The pacing
+        // window routes new envelopes the same way, so congestion turns
+        // into deeper coalescing instead of wire pressure.
+        if !self.connected || (!replaying && (!self.buffer.is_empty() || self.paced())) {
+            if self.connected && !replaying && self.paced() {
+                self.stats.paced_sends.fetch_add(1, Ordering::Relaxed);
+            }
             self.buffer_payload(payload, records, replaying);
             return false;
         }
@@ -915,6 +1043,9 @@ impl Link {
                     self.stats.publish_failures.fetch_add(1, Ordering::Relaxed);
                     self.mark_disconnected();
                 }
+                // Meter the next envelope while the broker reports
+                // congestion (no-op at level 0).
+                self.arm_pace();
                 true
             }
             Err(_) => {
@@ -1039,6 +1170,31 @@ fn send_pending(link: &mut Link, pending: &mut Coalescer) {
     pending.clear();
 }
 
+/// Low-priority records under graceful degradation: begin edges announce
+/// work an operator can usually re-derive, while end edges carry completion
+/// status and outputs — the provenance that cannot be reconstructed.
+fn is_low_priority(record: &Record) -> bool {
+    matches!(
+        record,
+        Record::WorkflowBegin { .. } | Record::TaskBegin { .. }
+    )
+}
+
+/// Sheds begin-edge records from `batch` with exact accounting (counted in
+/// both `records_shed` and `records_dropped`). Called only while
+/// [`Link::shedding`] holds.
+fn shed_low_priority(link: &Link, batch: &mut Vec<Record>) {
+    let before = batch.len();
+    batch.retain(|r| !is_low_priority(r));
+    let shed = (before - batch.len()) as u64;
+    if shed > 0 {
+        link.stats.records_shed.fetch_add(shed, Ordering::Relaxed);
+        link.stats
+            .records_dropped
+            .fetch_add(shed, Ordering::Relaxed);
+    }
+}
+
 /// Returns a drained batch buffer to the shared pool.
 fn pool_batch(pool: &BatchPool, batch: Vec<Record>) {
     debug_assert!(batch.is_empty());
@@ -1068,6 +1224,9 @@ fn transmitter_loop(mut link: Link, rx: Receiver<Cmd>, pool: BatchPool) {
                 loop {
                     match next {
                         Some(Cmd::Publish(mut batch)) => {
+                            if link.shedding() {
+                                shed_low_priority(&link, &mut batch);
+                            }
                             let incoming: usize = batch.iter().map(Record::approx_size).sum();
                             if pending.would_overflow(incoming) {
                                 send_pending(&mut link, &mut pending);
@@ -1076,10 +1235,15 @@ fn transmitter_loop(mut link: Link, rx: Receiver<Cmd>, pool: BatchPool) {
                             pool_batch(&pool, batch);
                         }
                         Some(Cmd::PublishOne(record)) => {
-                            if pending.would_overflow(record.approx_size()) {
-                                send_pending(&mut link, &mut pending);
+                            if link.shedding() && is_low_priority(&record) {
+                                link.stats.records_shed.fetch_add(1, Ordering::Relaxed);
+                                link.stats.records_dropped.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                if pending.would_overflow(record.approx_size()) {
+                                    send_pending(&mut link, &mut pending);
+                                }
+                                pending.push(record);
                             }
-                            pending.push(record);
                         }
                         Some(other) => {
                             deferred = Some(other);
@@ -1416,5 +1580,113 @@ mod tests {
         assert_eq!(b.pop_front().unwrap().0, vec![2]);
         assert_eq!(b.pop_front().unwrap().0, vec![3]);
         assert!(b.pop_front().is_none());
+    }
+
+    fn test_link(broker: &UdpBroker, id: &str, config: CaptureConfig) -> Link {
+        let client = UdpClient::connect(
+            broker.local_addr(),
+            ClientConfig::new(id),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        let buffer = SpillBuffer::new(&config).unwrap();
+        Link::new(
+            client,
+            "provlight/test/pace".into(),
+            1,
+            config,
+            buffer,
+            Arc::new(StatsCell::default()),
+        )
+    }
+
+    #[test]
+    fn congestion_pacing_state_machine() {
+        let broker = UdpBroker::spawn("127.0.0.1:0", BrokerConfig::default()).unwrap();
+        // Tiny RAM cap so a single buffered record counts as pressure.
+        let config = CaptureConfig {
+            buffer_max_records: 2,
+            ..CaptureConfig::default()
+        };
+        let mut link = test_link(&broker, "pace", config);
+        assert!(!link.paced());
+
+        // A soft advisory alone does not block — the window arms on the
+        // next send, metering from that point on.
+        link.note_congestion(1);
+        assert!(!link.paced());
+        link.arm_pace();
+        assert!(link.paced());
+        assert!(!link.shedding(), "soft congestion never sheds");
+
+        // Hard congestion with a formed backlog sheds begin edges.
+        link.note_congestion(2);
+        link.buffer.push_back(vec![0u8; 4], 1);
+        assert!(link.shedding());
+
+        // The clear advisory reopens the window immediately.
+        link.note_congestion(0);
+        assert!(!link.paced());
+        assert!(!link.shedding());
+        assert_eq!(link.stats.congestion_signals.load(Ordering::Relaxed), 3);
+        broker.shutdown();
+    }
+
+    #[test]
+    fn backpressure_off_counts_signals_without_reacting() {
+        let broker = UdpBroker::spawn("127.0.0.1:0", BrokerConfig::default()).unwrap();
+        let config = CaptureConfig {
+            backpressure: false,
+            ..CaptureConfig::default()
+        };
+        let mut link = test_link(&broker, "ablation", config);
+        link.note_congestion(2);
+        link.arm_pace();
+        link.buffer.push_back(vec![0u8; 4], 1);
+        assert_eq!(link.congestion_level, 0, "the ablation arm never reacts");
+        assert!(!link.paced());
+        assert!(!link.shedding());
+        assert_eq!(
+            link.stats.congestion_signals.load(Ordering::Relaxed),
+            1,
+            "but the signal is still observable"
+        );
+        broker.shutdown();
+    }
+
+    #[test]
+    fn begin_edges_are_low_priority_and_shed_exactly() {
+        let begin = Record::TaskBegin {
+            task: TaskRecord {
+                id: Id::Num(7),
+                workflow: Id::Num(1),
+                transformation: Id::Num(0),
+                dependencies: vec![],
+                time_ns: 0,
+                status: TaskStatus::Running,
+            },
+            inputs: vec![],
+        };
+        let wf_begin = Record::WorkflowBegin {
+            workflow: Id::Num(1),
+            time_ns: 0,
+        };
+        let wf_end = Record::WorkflowEnd {
+            workflow: Id::Num(1),
+            time_ns: 1,
+        };
+        assert!(is_low_priority(&begin));
+        assert!(is_low_priority(&wf_begin));
+        assert!(!is_low_priority(&wf_end));
+        assert!(!is_low_priority(&record(1, 0)));
+
+        let broker = UdpBroker::spawn("127.0.0.1:0", BrokerConfig::default()).unwrap();
+        let link = test_link(&broker, "shed", CaptureConfig::default());
+        let mut batch = vec![begin, record(1, 0), wf_begin, wf_end];
+        shed_low_priority(&link, &mut batch);
+        assert_eq!(batch.len(), 2, "both end edges survive");
+        assert_eq!(link.stats.records_shed.load(Ordering::Relaxed), 2);
+        assert_eq!(link.stats.records_dropped.load(Ordering::Relaxed), 2);
+        broker.shutdown();
     }
 }

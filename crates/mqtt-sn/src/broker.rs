@@ -36,6 +36,22 @@ pub struct BrokerConfig {
     /// or away (durable session); the oldest message is dropped — and
     /// counted in [`BrokerStats::drops`] — when the cap is exceeded.
     pub max_buffered: usize,
+    /// Broker-wide backlog (buffered + unacknowledged outbound messages,
+    /// summed over every session) at which the broker advertises *soft*
+    /// congestion to publishers via [`Packet::CongestionAdvisory`] —
+    /// publishers should pace and coalesce, nothing is rejected yet.
+    pub congestion_soft: usize,
+    /// Broker-wide backlog at which congestion turns *hard*: QoS ≥ 1
+    /// publishes are rejected with [`ReturnCode::Congestion`] (counted in
+    /// [`BrokerStats::congestion_rejects`]) instead of buffered toward the
+    /// per-session drop cap. A single session reaching
+    /// [`BrokerConfig::max_buffered`] also trips this level.
+    pub congestion_hard: usize,
+    /// Master switch for backpressure signaling (advisories and
+    /// congestion rejects). `false` restores the pre-backpressure
+    /// buffer-then-drop behaviour — the ablation arm of the overload
+    /// experiment.
+    pub signal_congestion: bool,
 }
 
 impl Default for BrokerConfig {
@@ -45,6 +61,12 @@ impl Default for BrokerConfig {
             retry_timeout: Duration::from_secs(10),
             max_retries: 5,
             max_buffered: 4096,
+            // Soft well before any single session's drop cap so pacing
+            // starts while drops are still avoidable; hard at 2× the
+            // per-session cap means multiple subscribers are backed up.
+            congestion_soft: 2048,
+            congestion_hard: 8192,
+            signal_congestion: true,
         }
     }
 }
@@ -66,6 +88,17 @@ pub struct BrokerStats {
     pub decode_errors: u64,
     /// Transient socket errors a transport binding backed off on.
     pub io_errors: u64,
+    /// QoS ≥ 1 publishes rejected with [`ReturnCode::Congestion`] while
+    /// the backlog was past the hard watermark.
+    pub congestion_rejects: u64,
+    /// [`Packet::CongestionAdvisory`] packets sent to clients.
+    pub advisories_sent: u64,
+    /// High-water mark of the broker-wide backlog (buffered +
+    /// unacknowledged outbound messages across all sessions).
+    pub backlog_high_water: u64,
+    /// State snapshot encode/decode round-trips that failed (see
+    /// `UdpBroker::snapshot` in [`crate::net`]).
+    pub snapshot_failures: u64,
 }
 
 /// Caller-owned, recycled output buffer for the zero-allocation broker
@@ -335,7 +368,20 @@ struct Session {
     outbound: HashMap<u16, Outbound>,
     /// Publisher-side QoS 2 ids already forwarded, awaiting PUBREL.
     inbound_qos2: HashMap<u16, ()>,
+    /// Recently *completed* inbound QoS 2 ids (PUBREL processed), newest
+    /// last. Clearing dedup state at PUBREL alone is not enough on a
+    /// datagram transport: a delayed copy of the PUBLISH can arrive after
+    /// the handshake completes and would be re-forwarded as a new message.
+    /// Publishers allocate ids sequentially (wrapping at 65536), so a
+    /// legitimate reuse of an id is tens of thousands of handshakes away —
+    /// far beyond this window — while late duplicates land within a few.
+    completed_qos2: VecDeque<u16>,
     last_seen: Nanos,
+    /// Last congestion level advertised to this client, so advisories are
+    /// only sent on level changes. Transient (not persisted in
+    /// snapshots): a restarted broker simply re-advises on the next
+    /// publish.
+    advised_level: u8,
 }
 
 impl Session {
@@ -349,8 +395,27 @@ impl Session {
             next_msg_id: 1,
             outbound: HashMap::new(),
             inbound_qos2: HashMap::new(),
+            completed_qos2: VecDeque::new(),
             last_seen: now,
+            advised_level: 0,
         }
+    }
+
+    /// Moves a completed inbound QoS 2 id into the bounded
+    /// recently-completed window (evicting the oldest at capacity).
+    fn complete_inbound_qos2(&mut self, msg_id: u16) {
+        if self.inbound_qos2.remove(&msg_id).is_some() {
+            if self.completed_qos2.len() >= COMPLETED_QOS2_WINDOW {
+                self.completed_qos2.pop_front();
+            }
+            self.completed_qos2.push_back(msg_id);
+        }
+    }
+
+    /// A PUBLISH with this id is a duplicate: either mid-handshake
+    /// (awaiting PUBREL) or a late copy of a completed handshake.
+    fn inbound_qos2_dup(&self, msg_id: u16) -> bool {
+        self.inbound_qos2.contains_key(&msg_id) || self.completed_qos2.contains(&msg_id)
     }
 
     fn alloc_msg_id(&mut self) -> u16 {
@@ -432,6 +497,56 @@ impl<A: Clone + Eq + Hash> Broker<A> {
     /// binding into the stats surface (see [`BrokerStats::io_errors`]).
     pub fn note_io_errors(&mut self, n: u64) {
         self.stats.io_errors += n;
+    }
+
+    /// Records a failed state snapshot (see
+    /// [`BrokerStats::snapshot_failures`]); called by transport bindings
+    /// whose encode/decode round-trip did not survive.
+    pub fn note_snapshot_failure(&mut self) {
+        self.stats.snapshot_failures += 1;
+    }
+
+    /// Broker-wide backlog and the most-backed-up single session, both as
+    /// buffered + unacknowledged outbound message counts. O(sessions) —
+    /// no allocation, and session counts are tiny next to per-publish
+    /// encode work.
+    fn backlog_scan(&self) -> (usize, usize) {
+        let mut total = 0;
+        let mut worst = 0;
+        for s in self.sessions.values() {
+            let n = s.buffered.len() + s.outbound.len();
+            total += n;
+            worst = worst.max(n);
+        }
+        (total, worst)
+    }
+
+    /// Current broker-wide backlog: messages buffered for away/sleeping
+    /// sessions plus unacknowledged outbound QoS traffic. A slow
+    /// subscriber — e.g. a translator that stopped draining — shows up
+    /// here, which is how server-side lag propagates back to the gateway's
+    /// congestion signal.
+    pub fn backlog(&self) -> usize {
+        self.backlog_scan().0
+    }
+
+    fn level_from(&self, total: usize, worst_session: usize) -> u8 {
+        let session_soft = (self.config.max_buffered / 4).max(1) * 3;
+        if total >= self.config.congestion_hard || worst_session >= self.config.max_buffered {
+            2
+        } else if total >= self.config.congestion_soft || worst_session >= session_soft {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Current congestion level: 0 = clear, 1 = soft (publishers are
+    /// advised to pace), 2 = hard (QoS ≥ 1 publishes are rejected when
+    /// [`BrokerConfig::signal_congestion`] is on).
+    pub fn congestion_level(&self) -> u8 {
+        let (total, worst) = self.backlog_scan();
+        self.level_from(total, worst)
     }
 
     fn pooled_copy(pool: &mut Vec<Vec<u8>>, payload: &[u8]) -> Vec<u8> {
@@ -610,7 +725,7 @@ impl<A: Clone + Eq + Hash> Broker<A> {
             } => self.handle_publish(now, from, qos, topic, msg_id, &payload, sink),
             Packet::PubRel { msg_id } => {
                 if let Some(s) = self.sessions.get_mut(&from) {
-                    s.inbound_qos2.remove(&msg_id);
+                    s.complete_inbound_qos2(msg_id);
                 }
                 sink.push(from, Packet::PubComp { msg_id });
             }
@@ -723,6 +838,13 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                 session.state = SessionState::Active;
                 session.durable = true;
                 session.last_seen = now;
+                // New connection epoch: the completed-QoS2 window only
+                // guards against datagrams delayed within one epoch. A
+                // client restarted from scratch reuses msg_ids for new
+                // publishes, so the window must not outlive the epoch.
+                // (`inbound_qos2` — handshakes still open — is kept so DUP
+                // retransmissions of resumed exchanges still dedup.)
+                session.completed_qos2.clear();
                 // Unacked outbound messages retransmit promptly — with a
                 // fresh retry budget — toward the new address.
                 for o in session.outbound.values_mut() {
@@ -745,6 +867,8 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                 session.state = SessionState::Active;
                 session.durable = true;
                 session.last_seen = now;
+                // Same epoch reset as the migration arm above.
+                session.completed_qos2.clear();
             }
             None => {
                 if !self.sessions.contains_key(&from) {
@@ -904,6 +1028,53 @@ impl<A: Clone + Eq + Hash> Broker<A> {
             return;
         }
 
+        // End-to-end backpressure. Rising congestion is advertised to the
+        // publisher the moment its level changes, and past the hard
+        // watermark QoS ≥ 1 publishes are rejected with `Congestion` —
+        // the publisher re-buffers and paces instead of feeding buffers
+        // that are already shedding. QoS 0 is never rejected (there is no
+        // ack to carry the code); it keeps flowing toward the per-session
+        // drop cap.
+        let (total, worst) = self.backlog_scan();
+        self.stats.backlog_high_water = self.stats.backlog_high_water.max(total as u64);
+        if self.config.signal_congestion {
+            let level = self.level_from(total, worst);
+            let advised = self
+                .sessions
+                .get(&from)
+                .map(|s| s.advised_level)
+                .unwrap_or(0);
+            if advised != level {
+                if let Some(s) = self.sessions.get_mut(&from) {
+                    s.advised_level = level;
+                    self.stats.advisories_sent += 1;
+                    sink.push(from.clone(), Packet::CongestionAdvisory { level });
+                }
+            }
+            if level >= 2 && qos != QoS::AtMostOnce {
+                // A QoS 2 retransmission of a message already forwarded
+                // must complete its handshake normally — rejecting it
+                // would make the publisher replay a delivered message.
+                let qos2_dup = qos == QoS::ExactlyOnce
+                    && self
+                        .sessions
+                        .get(&from)
+                        .is_some_and(|s| s.inbound_qos2_dup(msg_id));
+                if !qos2_dup {
+                    self.stats.congestion_rejects += 1;
+                    sink.push(
+                        from,
+                        Packet::PubAck {
+                            topic_id,
+                            msg_id,
+                            code: ReturnCode::Congestion,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+
         // QoS-level acknowledgments toward the publisher, with QoS 2
         // exactly-once forwarding.
         let mut forward = true;
@@ -924,13 +1095,11 @@ impl<A: Clone + Eq + Hash> Broker<A> {
                     .sessions
                     .entry(from.clone())
                     .or_insert_with(|| Session::new(String::new(), now));
-                if let std::collections::hash_map::Entry::Vacant(e) =
-                    session.inbound_qos2.entry(msg_id)
-                {
-                    e.insert(());
-                } else {
+                if session.inbound_qos2_dup(msg_id) {
                     forward = false;
                     self.stats.duplicates_suppressed += 1;
+                } else {
+                    session.inbound_qos2.insert(msg_id, ());
                 }
                 sink.push(from.clone(), Packet::PubRec { msg_id });
             }
@@ -1044,6 +1213,27 @@ impl<A: Clone + Eq + Hash> Broker<A> {
     }
 
     fn tick<S: OutputSink<A>>(&mut self, now: Nanos, sink: &mut S) {
+        // Falling congestion is advertised on the tick: a paced publisher
+        // that stopped publishing would otherwise never learn that the
+        // pressure cleared. Rising congestion is advertised inline in
+        // `handle_publish`, so idle clients are never woken for bad news
+        // they can't act on.
+        if self.config.signal_congestion {
+            let (total, worst) = self.backlog_scan();
+            let level = self.level_from(total, worst);
+            for idx in 0..self.order.len() {
+                let addr = self.order[idx].clone();
+                let Some(session) = self.sessions.get_mut(&addr) else {
+                    continue;
+                };
+                if session.state == SessionState::Active && session.advised_level > level {
+                    session.advised_level = level;
+                    self.stats.advisories_sent += 1;
+                    sink.push(addr, Packet::CongestionAdvisory { level });
+                }
+            }
+        }
+
         let retry_ns = self.config.retry_timeout.as_nanos() as u64;
         let max_retries = self.config.max_retries;
         let mut ids: Vec<u16> = Vec::new();
@@ -1220,7 +1410,17 @@ impl PersistAddr for u32 {
 }
 
 // v2 added decode_errors / io_errors to the persisted stats block.
-const STATE_VERSION: u8 = 2;
+// v3 added the congestion watermarks to the config block and the
+// backpressure counters (congestion_rejects / advisories_sent /
+// backlog_high_water / snapshot_failures) to the stats block; v4 added the
+// per-session recently-completed inbound QoS 2 window.
+const STATE_VERSION: u8 = 4;
+
+/// How many completed inbound QoS 2 ids each session remembers to suppress
+/// late duplicate PUBLISHes (see [`Session::completed_qos2`]). 64 ids at
+/// 2 bytes each is negligible per session, yet orders of magnitude wider
+/// than any realistic retransmission/delay window.
+const COMPLETED_QOS2_WINDOW: usize = 64;
 
 fn qos_byte(q: QoS) -> u8 {
     match q {
@@ -1254,6 +1454,9 @@ impl<A: PersistAddr> Broker<A> {
         out.extend_from_slice(&(self.config.retry_timeout.as_nanos() as u64).to_le_bytes());
         out.extend_from_slice(&self.config.max_retries.to_le_bytes());
         out.extend_from_slice(&(self.config.max_buffered as u64).to_le_bytes());
+        out.extend_from_slice(&(self.config.congestion_soft as u64).to_le_bytes());
+        out.extend_from_slice(&(self.config.congestion_hard as u64).to_le_bytes());
+        out.push(self.config.signal_congestion as u8);
         // Stats.
         for v in [
             self.stats.publishes_in,
@@ -1263,6 +1466,10 @@ impl<A: PersistAddr> Broker<A> {
             self.stats.drops,
             self.stats.decode_errors,
             self.stats.io_errors,
+            self.stats.congestion_rejects,
+            self.stats.advisories_sent,
+            self.stats.backlog_high_water,
+            self.stats.snapshot_failures,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -1302,8 +1509,8 @@ impl<A: PersistAddr> Broker<A> {
             .chain(anonymous.iter().map(|(_, a)| *a))
             .collect();
         out.extend_from_slice(&(ordered.len() as u32).to_le_bytes());
-        for addr in ordered {
-            let s = &self.sessions[addr];
+        for addr in &ordered {
+            let s = &self.sessions[*addr];
             addr.encode_addr(&mut out);
             wire::put_str(&mut out, &s.client_id);
             out.push(match s.state {
@@ -1349,25 +1556,55 @@ impl<A: PersistAddr> Broker<A> {
                 out.extend_from_slice(&id.to_le_bytes());
             }
         }
+        // v4 appendix: per-session recently-completed inbound QoS 2
+        // windows, in session order, FIFO order preserved so eviction
+        // order survives a restart. An appendix (rather than a field
+        // inside each session block) keeps the v1–v3 session layout
+        // byte-stable.
+        out.extend_from_slice(&(ordered.len() as u32).to_le_bytes());
+        for addr in &ordered {
+            let s = &self.sessions[*addr];
+            out.extend_from_slice(&(s.completed_qos2.len() as u32).to_le_bytes());
+            for id in &s.completed_qos2 {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
         out
     }
 
-    /// Rebuilds a broker from [`Broker::encode_state`] bytes. Version 1
-    /// snapshots (persisted before the stats block grew
-    /// `decode_errors`/`io_errors`) are migrated losslessly with the new
-    /// counters defaulting to zero, so a gateway upgrade does not discard
-    /// the durable sessions its snapshot file exists to preserve.
+    /// Rebuilds a broker from [`Broker::encode_state`] bytes. Older
+    /// versions are migrated losslessly — v1 snapshots predate the
+    /// `decode_errors`/`io_errors` counters, v2 snapshots predate the
+    /// congestion watermarks and backpressure counters — with the missing
+    /// fields defaulting, so a gateway upgrade does not discard the
+    /// durable sessions its snapshot file exists to preserve.
     pub fn decode_state(bytes: &[u8]) -> Result<Broker<A>, &'static str> {
         let r = &mut wire::Reader::new(bytes);
         let version = r.u8()?;
-        if version != 1 && version != STATE_VERSION {
+        if !(1..=STATE_VERSION).contains(&version) {
             return Err("unsupported broker snapshot version");
         }
+        let defaults = BrokerConfig::default();
         let config = BrokerConfig {
             gw_id: r.u8()?,
             retry_timeout: Duration::from_nanos(r.u64()?),
             max_retries: r.u32()?,
             max_buffered: r.u64()? as usize,
+            congestion_soft: if version >= 3 {
+                r.u64()? as usize
+            } else {
+                defaults.congestion_soft
+            },
+            congestion_hard: if version >= 3 {
+                r.u64()? as usize
+            } else {
+                defaults.congestion_hard
+            },
+            signal_congestion: if version >= 3 {
+                r.u8()? != 0
+            } else {
+                defaults.signal_congestion
+            },
         };
         let stats = BrokerStats {
             publishes_in: r.u64()?,
@@ -1377,6 +1614,10 @@ impl<A: PersistAddr> Broker<A> {
             drops: r.u64()?,
             decode_errors: if version >= 2 { r.u64()? } else { 0 },
             io_errors: if version >= 2 { r.u64()? } else { 0 },
+            congestion_rejects: if version >= 3 { r.u64()? } else { 0 },
+            advisories_sent: if version >= 3 { r.u64()? } else { 0 },
+            backlog_high_water: if version >= 3 { r.u64()? } else { 0 },
+            snapshot_failures: if version >= 3 { r.u64()? } else { 0 },
         };
         let next_id = r.u16()?;
         let n_topics = r.u32()?;
@@ -1394,6 +1635,7 @@ impl<A: PersistAddr> Broker<A> {
         }
         let n_sessions = r.u32()?;
         let mut sessions = HashMap::with_capacity(n_sessions as usize);
+        let mut read_order: Vec<A> = Vec::with_capacity(n_sessions as usize);
         for _ in 0..n_sessions {
             let addr = A::decode_addr(r)?;
             let client_id = r.str()?;
@@ -1451,6 +1693,7 @@ impl<A: PersistAddr> Broker<A> {
             for _ in 0..n_inbound {
                 inbound_qos2.insert(r.u16()?, ());
             }
+            read_order.push(addr.clone());
             sessions.insert(
                 addr,
                 Session {
@@ -1462,9 +1705,26 @@ impl<A: PersistAddr> Broker<A> {
                     next_msg_id,
                     outbound,
                     inbound_qos2,
+                    completed_qos2: VecDeque::new(),
                     last_seen,
+                    advised_level: 0,
                 },
             );
+        }
+        // v4 appendix: recently-completed inbound QoS 2 windows, matched
+        // to sessions by encode order.
+        if version >= 4 {
+            let n_appendix = r.u32()?;
+            if n_appendix as usize != read_order.len() {
+                return Err("completed-qos2 appendix session count mismatch");
+            }
+            for addr in &read_order {
+                let n_completed = r.u32()?;
+                let s = sessions.get_mut(addr).ok_or("appendix session missing")?;
+                for _ in 0..n_completed {
+                    s.completed_qos2.push_back(r.u16()?);
+                }
+            }
         }
         Ok(Broker {
             config,
@@ -1636,6 +1896,55 @@ mod tests {
         // PUBREL completes the exchange.
         let out = b.on_packet(2, 1, Packet::PubRel { msg_id: 10 });
         assert!(matches!(out[0].1, Packet::PubComp { msg_id: 10 }));
+    }
+
+    #[test]
+    fn late_duplicate_publish_after_pubrel_is_suppressed() {
+        let mut b = broker();
+        connect(&mut b, 1, "pub");
+        connect(&mut b, 2, "sub");
+        let tid = register(&mut b, 1, "t");
+        subscribe(&mut b, 2, "t", QoS::AtMostOnce);
+        let publish = Packet::Publish {
+            dup: false,
+            qos: QoS::ExactlyOnce,
+            retain: false,
+            topic: TopicRef::Id(tid),
+            msg_id: 10,
+            payload: vec![1],
+        };
+        b.on_packet(0, 1, publish.clone());
+        b.on_packet(1, 1, Packet::PubRel { msg_id: 10 });
+
+        // A delayed copy arrives AFTER the handshake completed: it must
+        // not fan out as a fresh message, but still gets its PUBREC so the
+        // publisher's retransmission state machine can finish again.
+        let out = b.on_packet(2, 1, publish);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].1, Packet::PubRec { msg_id: 10 }));
+        assert_eq!(b.stats().publishes_out, 1);
+        assert_eq!(b.stats().duplicates_suppressed, 1);
+
+        // The recently-completed window survives a snapshot round-trip, so
+        // a late duplicate straddling a gateway restart is also caught.
+        let mut restored = Broker::<Addr>::decode_state(&b.encode_state()).unwrap();
+        let out = b.on_packet(3, 1, Packet::PubRel { msg_id: 10 });
+        assert!(matches!(out[0].1, Packet::PubComp { msg_id: 10 }));
+        let out = restored.on_packet(
+            3,
+            1,
+            Packet::Publish {
+                dup: true,
+                qos: QoS::ExactlyOnce,
+                retain: false,
+                topic: TopicRef::Id(tid),
+                msg_id: 10,
+                payload: vec![1],
+            },
+        );
+        assert!(matches!(out[0].1, Packet::PubRec { msg_id: 10 }));
+        assert_eq!(restored.stats().publishes_out, 1);
+        assert_eq!(restored.stats().duplicates_suppressed, 2);
     }
 
     #[test]
@@ -2206,7 +2515,7 @@ mod tests {
     }
 
     #[test]
-    fn v1_snapshot_migrates_with_zeroed_new_counters() {
+    fn old_snapshots_migrate_with_zeroed_new_counters() {
         let mut b = broker();
         connect(&mut b, 1, "pub");
         connect_durable(&mut b, 2, "sub");
@@ -2227,20 +2536,44 @@ mod tests {
         assert_eq!(b.stats().decode_errors, 0);
         assert_eq!(b.stats().io_errors, 0);
 
-        // Reconstruct the v1 wire form: version byte 1, and the stats
-        // block holding only the original five counters (the two new
-        // trailing u64s spliced out).
-        let v2 = b.encode_state();
-        let stats_at = 1 + 1 + 8 + 4 + 8; // version + config
-        let mut v1 = v2.clone();
-        v1[0] = 1;
-        v1.drain(stats_at + 5 * 8..stats_at + 7 * 8);
+        let v4 = b.encode_state();
+        let cfg_end = 1 + 1 + 8 + 4 + 8; // version + the v1 config fields
+        let cfg_extra = 8 + 8 + 1; // v3: congestion watermarks + signal flag
+        let stats_at = cfg_end + cfg_extra;
+        // The v4 appendix for this broker: session count + one (empty)
+        // completed-QoS2 window per session, at the very end.
+        let appendix = 4 + 4 * b.session_count();
 
+        // Reconstruct the v3 wire form: version byte 3, no appendix.
+        let mut v3 = v4.clone();
+        v3.truncate(v3.len() - appendix);
+        v3[0] = 3;
+        let restored = Broker::<Addr>::decode_state(&v3).expect("v3 snapshot accepted");
+        assert_eq!(restored.stats(), b.stats());
+        assert_eq!(restored.encode_state(), v4);
+
+        // The v2 wire form additionally predates the congestion config
+        // fields and the last four stats counters.
+        let mut v2 = v3.clone();
+        v2.drain(stats_at + 7 * 8..stats_at + 11 * 8);
+        v2.drain(cfg_end..stats_at);
+        v2[0] = 2;
+        let restored = Broker::<Addr>::decode_state(&v2).expect("v2 snapshot accepted");
+        assert_eq!(restored.stats(), b.stats());
+        assert_eq!(restored.encode_state(), v4);
+
+        // The v1 form additionally predates decode_errors / io_errors.
+        let mut v1 = v3.clone();
+        v1.drain(stats_at + 5 * 8..stats_at + 11 * 8);
+        v1.drain(cfg_end..stats_at);
+        v1[0] = 1;
         let restored = Broker::<Addr>::decode_state(&v1).expect("v1 snapshot accepted");
         assert_eq!(restored.stats(), b.stats());
         assert_eq!(restored.session_count(), b.session_count());
-        // Re-encoding a migrated snapshot produces the v2 form.
-        assert_eq!(restored.encode_state(), v2);
+        // Re-encoding a migrated snapshot produces the v4 form (the
+        // congestion config fields take their defaults, the completed
+        // windows start empty).
+        assert_eq!(restored.encode_state(), v4);
     }
 
     #[test]
@@ -2550,5 +2883,190 @@ mod tests {
                 ..
             } if topic_id == tid
         ));
+    }
+
+    /// A broker with tiny watermarks, a durable subscriber that went away,
+    /// and a publisher flooding it.
+    fn congested_broker(signal: bool) -> (Broker<Addr>, u16) {
+        let mut b = Broker::new(BrokerConfig {
+            congestion_soft: 2,
+            congestion_hard: 4,
+            signal_congestion: signal,
+            ..BrokerConfig::default()
+        });
+        connect(&mut b, 1, "pub");
+        connect_durable(&mut b, 2, "sub");
+        let tid = register(&mut b, 1, "t/cong");
+        subscribe(&mut b, 2, "t/cong", QoS::AtLeastOnce);
+        // The subscriber goes away; everything published now buffers.
+        b.on_packet(0, 2, Packet::Disconnect { duration: None });
+        (b, tid)
+    }
+
+    fn publish_qos1(b: &mut Broker<Addr>, tid: u16, msg_id: u16) -> Vec<(Addr, Packet)> {
+        b.on_packet(
+            0,
+            1,
+            Packet::Publish {
+                dup: false,
+                qos: QoS::AtLeastOnce,
+                retain: false,
+                topic: TopicRef::Id(tid),
+                msg_id,
+                payload: vec![1],
+            },
+        )
+    }
+
+    #[test]
+    fn congestion_advises_then_rejects_qos1() {
+        let (mut b, tid) = congested_broker(true);
+        let mut saw_advisory = false;
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        for i in 1..=8u16 {
+            for (to, p) in publish_qos1(&mut b, tid, i) {
+                assert_eq!(to, 1, "all responses go to the publisher");
+                match p {
+                    Packet::CongestionAdvisory { level } if level > 0 => saw_advisory = true,
+                    Packet::PubAck {
+                        code: ReturnCode::Accepted,
+                        ..
+                    } => accepted += 1,
+                    Packet::PubAck {
+                        code: ReturnCode::Congestion,
+                        ..
+                    } => rejected += 1,
+                    p => panic!("unexpected {p:?}"),
+                }
+            }
+        }
+        assert!(saw_advisory, "soft watermark must raise an advisory");
+        assert!(rejected > 0, "hard watermark must reject QoS 1 publishes");
+        assert_eq!(b.stats().congestion_rejects as u32, rejected);
+        assert!(b.stats().advisories_sent > 0);
+        assert!(b.stats().backlog_high_water >= 4);
+        // Exact accounting: every accepted publish is buffered, every
+        // rejected one bounced — nothing vanished.
+        assert_eq!(b.backlog() as u32, accepted);
+        assert_eq!(accepted + rejected, 8);
+    }
+
+    #[test]
+    fn congestion_clears_via_tick_advisory() {
+        let (mut b, tid) = congested_broker(true);
+        for i in 1..=8u16 {
+            publish_qos1(&mut b, tid, i);
+        }
+        assert_eq!(b.congestion_level(), 2);
+        // The subscriber comes back; the durable reconnect delivers its
+        // backlog, and acknowledging each message drains the broker.
+        let delivered = b.on_packet(
+            1,
+            2,
+            Packet::Connect {
+                clean_session: false,
+                duration: 60,
+                client_id: "sub".into(),
+            },
+        );
+        for (_, p) in delivered {
+            if let Packet::Publish { msg_id, .. } = p {
+                b.on_packet(
+                    2,
+                    2,
+                    Packet::PubAck {
+                        topic_id: tid,
+                        msg_id,
+                        code: ReturnCode::Accepted,
+                    },
+                );
+            }
+        }
+        assert_eq!(b.congestion_level(), 0);
+        // The next tick tells the (still-advised) publisher it cleared.
+        let out = b.on_tick(u64::MAX / 2);
+        assert!(
+            out.iter()
+                .any(|(to, p)| *to == 1 && matches!(p, Packet::CongestionAdvisory { level: 0 })),
+            "falling congestion must be advertised on the tick: {out:?}"
+        );
+    }
+
+    #[test]
+    fn signaling_disabled_restores_buffer_then_drop() {
+        let (mut b, tid) = congested_broker(false);
+        for i in 1..=8u16 {
+            for (_, p) in publish_qos1(&mut b, tid, i) {
+                assert!(
+                    matches!(
+                        p,
+                        Packet::PubAck {
+                            code: ReturnCode::Accepted,
+                            ..
+                        }
+                    ),
+                    "no advisories, no rejects with signaling off: {p:?}"
+                );
+            }
+        }
+        assert_eq!(b.stats().congestion_rejects, 0);
+        assert_eq!(b.stats().advisories_sent, 0);
+        // The high-water gauge still tracks, so overload is observable.
+        // (Sampled on publish entry, so the 8th publish observes 7.)
+        assert!(b.stats().backlog_high_water >= 7);
+    }
+
+    #[test]
+    fn hard_congestion_spares_qos2_duplicates() {
+        let (mut b, tid) = congested_broker(true);
+        // First QoS 2 publish while clear: accepted, forwarded (buffered).
+        let out = b.on_packet(
+            0,
+            1,
+            Packet::Publish {
+                dup: false,
+                qos: QoS::ExactlyOnce,
+                retain: false,
+                topic: TopicRef::Id(tid),
+                msg_id: 77,
+                payload: vec![2],
+            },
+        );
+        assert!(out
+            .iter()
+            .any(|(_, p)| matches!(p, Packet::PubRec { msg_id: 77 })));
+        // Flood until hard congestion.
+        for i in 1..=8u16 {
+            publish_qos1(&mut b, tid, i);
+        }
+        assert_eq!(b.congestion_level(), 2);
+        // A DUP retransmission of the already-forwarded QoS 2 message
+        // still completes the handshake; rejecting it would trigger a
+        // duplicate replay of a delivered message.
+        let out = b.on_packet(
+            1,
+            1,
+            Packet::Publish {
+                dup: true,
+                qos: QoS::ExactlyOnce,
+                retain: false,
+                topic: TopicRef::Id(tid),
+                msg_id: 77,
+                payload: vec![2],
+            },
+        );
+        assert!(
+            out.iter()
+                .any(|(_, p)| matches!(p, Packet::PubRec { msg_id: 77 })),
+            "QoS 2 dup must get PUBREC, not a congestion reject: {out:?}"
+        );
+        assert!(!out.iter().any(|(_, p)| matches!(
+            p,
+            Packet::PubAck {
+                code: ReturnCode::Congestion,
+                ..
+            }
+        )));
     }
 }

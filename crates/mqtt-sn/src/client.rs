@@ -12,7 +12,7 @@
 
 use crate::packet::{Packet, PacketRef, QoS, ReturnCode, TopicRef};
 use crate::Error;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
 /// Monotonic virtual or real time in nanoseconds.
@@ -121,6 +121,13 @@ pub enum ClientEvent {
     PingTimeout,
     /// Broker confirmed disconnect.
     Disconnected,
+    /// The broker advertised its congestion level (vendor
+    /// [`Packet::CongestionAdvisory`]): 0 = clear, 1 = soft (pace and
+    /// coalesce), 2 = hard (QoS ≥ 1 publishes are being rejected).
+    Congestion {
+        /// Advertised level.
+        level: u8,
+    },
 }
 
 /// What the state machine wants the caller to do.
@@ -178,6 +185,13 @@ pub struct Client {
     inflight: HashMap<u16, InFlight>,
     /// Inbound QoS 2 message ids between PUBLISH and PUBREL (dedup set).
     inbound_qos2: HashMap<u16, ()>,
+    /// Recently completed inbound QoS 2 ids (bounded FIFO, newest last): a
+    /// delayed duplicate PUBLISH arriving *after* its PUBREL cleared the
+    /// pending entry must still be suppressed, or a reordering link breaks
+    /// exactly-once delivery. Brokers allocate ids sequentially, so a
+    /// legitimate id reuse is ~65k handshakes away — far beyond this
+    /// window.
+    completed_qos2: VecDeque<u16>,
     /// Cleared payload buffers reclaimed from completed publishes, handed
     /// back to callers via [`Client::take_spare_payload`] so the publish
     /// path can run without per-message allocation.
@@ -205,6 +219,10 @@ pub struct Client {
 /// Upper bound on buffers retained for reuse.
 const MAX_SPARE_PAYLOADS: usize = 16;
 
+/// How many completed inbound QoS 2 ids are remembered to suppress late
+/// duplicate PUBLISHes (see [`Client::completed_qos2`]).
+const COMPLETED_QOS2_WINDOW: usize = 64;
+
 impl Client {
     /// Creates a disconnected client.
     pub fn new(config: ClientConfig) -> Self {
@@ -218,6 +236,7 @@ impl Client {
             pending_control: HashMap::new(),
             inflight: HashMap::new(),
             inbound_qos2: HashMap::new(),
+            completed_qos2: VecDeque::new(),
             spare_payloads: Vec::new(),
             registered_topics: HashMap::new(),
             pending_subscribe: HashMap::new(),
@@ -357,6 +376,13 @@ impl Client {
         self.pending_control.clear();
         self.pending_register.clear();
         self.resume_pending.clear();
+        // The completed-QoS2 window only guards against datagrams delayed
+        // *within* one connection epoch; across a reconnect it must reset,
+        // because a broker restarted with fresh state legitimately reuses
+        // msg_ids for new messages. `inbound_qos2` (handshakes still open)
+        // is kept: a persisted-state broker resumes those with DUP
+        // retransmissions that must still dedup.
+        self.completed_qos2.clear();
         let packet = Packet::Connect {
             clean_session: false,
             duration: self.config.keep_alive.as_secs().min(u16::MAX as u64) as u16,
@@ -699,11 +725,13 @@ impl Client {
                 }
                 QoS::ExactlyOnce => {
                     // Deliver on first receipt; suppress DUP re-deliveries
-                    // until the PUBREL clears the id.
-                    if let std::collections::hash_map::Entry::Vacant(e) =
-                        self.inbound_qos2.entry(msg_id)
-                    {
-                        e.insert(());
+                    // while the handshake is pending AND for the
+                    // recently-completed window (a delayed copy can arrive
+                    // after the PUBREL).
+                    let dup = self.inbound_qos2.contains_key(&msg_id)
+                        || self.completed_qos2.contains(&msg_id);
+                    if !dup {
+                        self.inbound_qos2.insert(msg_id, ());
                         out.push(Output::Event(ClientEvent::Message { topic, payload }));
                     }
                     self.last_tx = now;
@@ -711,7 +739,12 @@ impl Client {
                 }
             },
             Packet::PubRel { msg_id } => {
-                self.inbound_qos2.remove(&msg_id);
+                if self.inbound_qos2.remove(&msg_id).is_some() {
+                    if self.completed_qos2.len() >= COMPLETED_QOS2_WINDOW {
+                        self.completed_qos2.pop_front();
+                    }
+                    self.completed_qos2.push_back(msg_id);
+                }
                 self.last_tx = now;
                 out.push(Output::Send(Packet::PubComp { msg_id }));
             }
@@ -737,6 +770,9 @@ impl Client {
                     msg_id,
                     code: ReturnCode::Accepted,
                 }));
+            }
+            Packet::CongestionAdvisory { level } => {
+                out.push(Output::Event(ClientEvent::Congestion { level }));
             }
             _ => {}
         }
@@ -1187,6 +1223,59 @@ mod tests {
         // PUBREL clears the id and is answered with PUBCOMP.
         let out = c.on_packet(Packet::PubRel { msg_id: 77 }, 3);
         assert_eq!(sends(&out), vec![&Packet::PubComp { msg_id: 77 }]);
+    }
+
+    #[test]
+    fn late_duplicate_after_pubrel_is_still_suppressed() {
+        let mut c = connected_client();
+        let publish = Packet::Publish {
+            dup: false,
+            qos: QoS::ExactlyOnce,
+            retain: false,
+            topic: TopicRef::Id(3),
+            msg_id: 77,
+            payload: vec![5],
+        };
+        let out = c.on_packet(publish.clone(), 1);
+        assert_eq!(events(&out).len(), 1);
+        c.on_packet(Packet::PubRel { msg_id: 77 }, 2);
+
+        // A delayed copy of the PUBLISH arrives after the handshake
+        // completed (reordering link): no second Message event, but the
+        // PUBREC still goes out so the sender's handshake can re-finish.
+        let out = c.on_packet(publish, 3);
+        assert_eq!(events(&out).len(), 0, "late duplicate delivered twice");
+        assert_eq!(sends(&out), vec![&Packet::PubRec { msg_id: 77 }]);
+
+        // The window is bounded: after enough *other* completed
+        // handshakes, the oldest id ages out and can be legitimately
+        // reused for a brand-new message.
+        for id in 100..100 + COMPLETED_QOS2_WINDOW as u16 {
+            c.on_packet(
+                Packet::Publish {
+                    dup: false,
+                    qos: QoS::ExactlyOnce,
+                    retain: false,
+                    topic: TopicRef::Id(3),
+                    msg_id: id,
+                    payload: vec![1],
+                },
+                4,
+            );
+            c.on_packet(Packet::PubRel { msg_id: id }, 5);
+        }
+        let out = c.on_packet(
+            Packet::Publish {
+                dup: false,
+                qos: QoS::ExactlyOnce,
+                retain: false,
+                topic: TopicRef::Id(3),
+                msg_id: 77,
+                payload: vec![6],
+            },
+            6,
+        );
+        assert_eq!(events(&out).len(), 1, "evicted id blocked a new message");
     }
 
     #[test]

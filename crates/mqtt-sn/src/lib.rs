@@ -32,7 +32,9 @@ pub mod topic;
 
 pub use broker::{Broker, BrokerConfig};
 pub use client::{Client, ClientConfig, ClientEvent, ClientState};
-pub use net::{NetError, ReconnectPolicy, UdpBroker, UdpClient};
+pub use net::{
+    DatagramFate, DatagramFault, FaultDir, NetError, ReconnectPolicy, UdpBroker, UdpClient,
+};
 pub use packet::{Packet, QoS, ReturnCode, TopicRef};
 pub use topic::{topic_matches, TopicRegistry};
 

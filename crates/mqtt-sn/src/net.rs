@@ -19,6 +19,51 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Direction of a datagram crossing a faulted transport seam.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDir {
+    /// Arrived from the wire, about to be processed.
+    Inbound,
+    /// About to be written to the socket.
+    Outbound,
+}
+
+/// What a fault plan decided to do with one datagram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatagramFate {
+    /// Pass through untouched.
+    Deliver,
+    /// Drop silently — packet loss, or a partition when sustained.
+    Drop,
+    /// Deliver now and once more immediately after (duplication).
+    Duplicate,
+    /// Hold for the duration, then deliver. Later datagrams overtake a
+    /// held one, so reordering falls out of delay for free.
+    Delay(Duration),
+}
+
+/// The datagram fault-injection seam.
+///
+/// The trait lives here — next to the transports that consult it — rather
+/// than in the chaos crate, for the same layering reason as
+/// [`prov_wal::IoFault`]: `mqtt_sn` stays dependency-light while
+/// `prov-chaos` implements the trait from a seeded, deterministic plan.
+/// Production paths pass no fault and pay nothing; a faulted
+/// [`UdpBroker::spawn_with_faults`] / [`UdpClient::set_fault`] transport
+/// consults `fate` for every datagram in both directions.
+///
+/// Implementations are called from transport threads and must be
+/// `Send + Sync`; determinism (for reproducible chaos runs) is the
+/// implementor's contract, typically a seeded RNG behind a mutex.
+pub trait DatagramFault: Send + Sync + std::fmt::Debug {
+    /// Decides the fate of one datagram.
+    fn fate(&self, dir: FaultDir, datagram: &[u8]) -> DatagramFate;
+}
+
+/// Datagrams held back by a [`DatagramFate::Delay`], with their release
+/// deadlines.
+type HeldFrames = Vec<(Instant, SocketAddr, Vec<u8>)>;
+
 /// A broker bound to a UDP socket, served by a background thread.
 pub struct UdpBroker {
     local_addr: SocketAddr,
@@ -30,7 +75,19 @@ pub struct UdpBroker {
 impl UdpBroker {
     /// Binds and starts serving. Use `"127.0.0.1:0"` to pick a free port.
     pub fn spawn(bind: impl ToSocketAddrs, config: BrokerConfig) -> io::Result<UdpBroker> {
-        Self::spawn_inner(bind, Broker::new(config))
+        Self::spawn_inner(bind, Broker::new(config), None)
+    }
+
+    /// [`UdpBroker::spawn`] with a datagram fault-injection plan: every
+    /// inbound and outbound datagram's fate (deliver / drop / duplicate /
+    /// delay) is decided by `fault`. Chaos testing only — the faulted
+    /// paths allocate where the production serve loop does not.
+    pub fn spawn_with_faults(
+        bind: impl ToSocketAddrs,
+        config: BrokerConfig,
+        fault: Arc<dyn DatagramFault>,
+    ) -> io::Result<UdpBroker> {
+        Self::spawn_inner(bind, Broker::new(config), Some(fault))
     }
 
     /// Binds and starts serving from a persisted broker snapshot (see
@@ -44,7 +101,19 @@ impl UdpBroker {
         // The serving thread's monotonic clock restarts at zero; rebase the
         // snapshot's timers so retransmissions fire promptly.
         state.reset_clock();
-        Self::spawn_inner(bind, state)
+        Self::spawn_inner(bind, state, None)
+    }
+
+    /// [`UdpBroker::spawn_resuming`] with a datagram fault-injection plan —
+    /// lets a chaos harness keep the same fault schedule running across a
+    /// kill-and-restart of the gateway.
+    pub fn spawn_resuming_with_faults(
+        bind: impl ToSocketAddrs,
+        mut state: Broker<SocketAddr>,
+        fault: Arc<dyn DatagramFault>,
+    ) -> io::Result<UdpBroker> {
+        state.reset_clock();
+        Self::spawn_inner(bind, state, Some(fault))
     }
 
     /// Clones the full broker state for later resumption via
@@ -55,9 +124,20 @@ impl UdpBroker {
     /// rebuilding the per-session maps and buffers — happens outside the
     /// lock, so in-flight capture traffic is not stalled behind a deep
     /// clone of the whole gateway state.
-    pub fn snapshot(&self) -> Broker<SocketAddr> {
+    ///
+    /// A fresh encode that fails to decode means the broker's state
+    /// serialization is broken; the failure is surfaced as an error —
+    /// counted in [`BrokerStats::snapshot_failures`] — rather than a
+    /// panic inside whatever monitoring thread asked for the snapshot.
+    pub fn snapshot(&self) -> Result<Broker<SocketAddr>, Error> {
         let bytes = self.broker.lock().encode_state();
-        Broker::decode_state(&bytes).expect("fresh snapshot bytes decode")
+        match Broker::decode_state(&bytes) {
+            Ok(b) => Ok(b),
+            Err(e) => {
+                self.broker.lock().note_snapshot_failure();
+                Err(Error::Malformed(e))
+            }
+        }
     }
 
     /// Serializes the current broker state to `path` — checksummed and
@@ -85,7 +165,11 @@ impl UdpBroker {
         Self::spawn_resuming(bind, state)
     }
 
-    fn spawn_inner(bind: impl ToSocketAddrs, state: Broker<SocketAddr>) -> io::Result<UdpBroker> {
+    fn spawn_inner(
+        bind: impl ToSocketAddrs,
+        state: Broker<SocketAddr>,
+        fault: Option<Arc<dyn DatagramFault>>,
+    ) -> io::Result<UdpBroker> {
         let socket = UdpSocket::bind(bind)?;
         socket.set_read_timeout(Some(Duration::from_millis(10)))?;
         let local_addr = socket.local_addr()?;
@@ -95,7 +179,7 @@ impl UdpBroker {
         let thread = {
             let shutdown = Arc::clone(&shutdown);
             let broker = Arc::clone(&broker);
-            std::thread::spawn(move || serve(&socket, &broker, &shutdown))
+            std::thread::spawn(move || serve(&socket, &broker, &shutdown, fault.as_deref()))
         };
 
         Ok(UdpBroker {
@@ -116,9 +200,39 @@ impl UdpBroker {
         *self.broker.lock().stats()
     }
 
+    /// Current buffered-message backlog across all sessions — the input to
+    /// the congestion watermarks. A lagging subscriber (e.g. a slow
+    /// translator) shows up here first.
+    pub fn backlog(&self) -> usize {
+        self.broker.lock().backlog()
+    }
+
+    /// Current congestion level (0 clear / 1 soft / 2 hard) derived from
+    /// the backlog watermarks.
+    pub fn congestion_level(&self) -> u8 {
+        self.broker.lock().congestion_level()
+    }
+
     /// Stops the serving thread.
     pub fn shutdown(mut self) {
         self.stop();
+    }
+
+    /// Stops the serving thread and returns the broker's *final* state —
+    /// what a crash-consistent persistence layer would have observed at
+    /// the instant of death.
+    ///
+    /// This differs from [`UdpBroker::snapshot`]-then-[`shutdown`]
+    /// (`shutdown`: UdpBroker::shutdown) in one crucial way: a snapshot
+    /// taken while the serve loop is still running rolls back any QoS 2
+    /// handshake that completes between the snapshot and the shutdown, and
+    /// the resumed broker then re-delivers those publishes to subscribers
+    /// whose own dedup state has already been cleared — breaking
+    /// exactly-once downstream. Capturing state *after* the loop stops
+    /// closes that window, so kill/restart chaos harnesses use this.
+    pub fn shutdown_into_state(mut self) -> Result<Broker<SocketAddr>, Error> {
+        self.stop();
+        self.snapshot()
     }
 
     fn stop(&mut self) {
@@ -152,7 +266,12 @@ const SLOT: usize = 64 * 1024;
 /// recycled [`BrokerOutputs`] buffer, and the outbound datagrams are
 /// flushed after the lock is released. Steady state performs no per-packet
 /// heap allocation and no per-subscriber re-encode.
-fn serve(socket: &UdpSocket, broker: &Mutex<Broker<SocketAddr>>, shutdown: &AtomicBool) {
+fn serve(
+    socket: &UdpSocket,
+    broker: &Mutex<Broker<SocketAddr>>,
+    shutdown: &AtomicBool,
+    fault: Option<&dyn DatagramFault>,
+) {
     let start = Instant::now();
     let mut rbuf = vec![0u8; SERVE_BATCH * SLOT];
     // (datagram length, sender) for receive slot `i`.
@@ -160,6 +279,12 @@ fn serve(socket: &UdpSocket, broker: &Mutex<Broker<SocketAddr>>, shutdown: &Atom
     let mut out = BrokerOutputs::new();
     let mut pending_io_errors: u64 = 0;
     let mut last_tick = Instant::now();
+    // Chaos-mode state: datagrams held back by an injected delay (both
+    // directions) and the owned inbound batch after fate application.
+    // All empty — and the fault branches never taken — in production.
+    let mut held_in: HeldFrames = Vec::new();
+    let mut held_out: HeldFrames = Vec::new();
+    let mut chaos_in: Vec<(SocketAddr, Vec<u8>)> = Vec::new();
     // Whether the socket is still in non-blocking mode because a restore
     // after a batch drain failed. Left unrepaired, every "blocking" recv
     // below would return WouldBlock instantly and the loop would spin
@@ -213,8 +338,38 @@ fn serve(socket: &UdpSocket, broker: &Mutex<Broker<SocketAddr>>, shutdown: &Atom
             }
         }
         let tick_due = last_tick.elapsed() >= Duration::from_millis(100);
-        if frames.is_empty() && !tick_due && pending_io_errors == 0 {
+        let held_pending = !held_in.is_empty() || !held_out.is_empty();
+        if frames.is_empty() && !tick_due && pending_io_errors == 0 && !held_pending {
             continue;
+        }
+        if let Some(f) = fault {
+            // Decide each arrival's fate before the broker lock, and
+            // release datagrams whose injected delay has expired ahead of
+            // this wakeup's arrivals (a released frame is older than
+            // anything just read off the socket).
+            chaos_in.clear();
+            let now = Instant::now();
+            let mut i = 0;
+            while i < held_in.len() {
+                if held_in[i].0 <= now {
+                    let (_, from, bytes) = held_in.swap_remove(i);
+                    chaos_in.push((from, bytes));
+                } else {
+                    i += 1;
+                }
+            }
+            for (slot, &(len, from)) in frames.iter().enumerate() {
+                let datagram = &rbuf[slot * SLOT..slot * SLOT + len];
+                match f.fate(FaultDir::Inbound, datagram) {
+                    DatagramFate::Deliver => chaos_in.push((from, datagram.to_vec())),
+                    DatagramFate::Drop => {}
+                    DatagramFate::Duplicate => {
+                        chaos_in.push((from, datagram.to_vec()));
+                        chaos_in.push((from, datagram.to_vec()));
+                    }
+                    DatagramFate::Delay(dur) => held_in.push((now + dur, from, datagram.to_vec())),
+                }
+            }
         }
         let now_ns = start.elapsed().as_nanos() as Nanos;
         {
@@ -226,25 +381,64 @@ fn serve(socket: &UdpSocket, broker: &Mutex<Broker<SocketAddr>>, shutdown: &Atom
                 b.note_io_errors(pending_io_errors);
                 pending_io_errors = 0;
             }
-            b.on_datagram_batch_into(
-                now_ns,
-                frames
-                    .iter()
-                    .enumerate()
-                    .map(|(slot, &(len, from))| (from, &rbuf[slot * SLOT..slot * SLOT + len])),
-                &mut out,
-            );
+            if fault.is_some() {
+                b.on_datagram_batch_into(
+                    now_ns,
+                    chaos_in.iter().map(|(from, bytes)| (*from, &bytes[..])),
+                    &mut out,
+                );
+            } else {
+                b.on_datagram_batch_into(
+                    now_ns,
+                    frames
+                        .iter()
+                        .enumerate()
+                        .map(|(slot, &(len, from))| (from, &rbuf[slot * SLOT..slot * SLOT + len])),
+                    &mut out,
+                );
+            }
             if tick_due {
                 last_tick = Instant::now();
                 b.on_tick_into(now_ns, &mut out);
             }
         }
-        out.emit(|to, bytes| {
-            if socket.send_to(bytes, *to).is_err() {
-                pending_io_errors += 1;
-            }
-        });
+        out.emit(
+            |to, bytes| match fault.map(|f| f.fate(FaultDir::Outbound, bytes)) {
+                None | Some(DatagramFate::Deliver) => {
+                    if socket.send_to(bytes, *to).is_err() {
+                        pending_io_errors += 1;
+                    }
+                }
+                Some(DatagramFate::Drop) => {}
+                Some(DatagramFate::Duplicate) => {
+                    for _ in 0..2 {
+                        if socket.send_to(bytes, *to).is_err() {
+                            pending_io_errors += 1;
+                        }
+                    }
+                }
+                Some(DatagramFate::Delay(dur)) => {
+                    held_out.push((Instant::now() + dur, *to, bytes.to_vec()));
+                }
+            },
+        );
         out.clear();
+        if !held_out.is_empty() {
+            // Flush expired outbound delays; fate was already decided
+            // when the datagram was held, so these send unconditionally.
+            let now = Instant::now();
+            let mut i = 0;
+            while i < held_out.len() {
+                if held_out[i].0 <= now {
+                    let (_, to, bytes) = held_out.swap_remove(i);
+                    if socket.send_to(&bytes, to).is_err() {
+                        pending_io_errors += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
     }
 }
 
@@ -324,6 +518,14 @@ pub struct ReconnectPolicy {
     /// otherwise sees every disconnected edge device's retry timer fire in
     /// lockstep — the reconnect stampede; jitter spreads the herd.
     pub jitter: f64,
+    /// Overall wall-clock budget across all attempts, backoff sleeps
+    /// included. `max_attempts` alone bounds give-up only indirectly — the
+    /// worst case is `max_attempts × (attempt_timeout + max_backoff)`,
+    /// which balloons when either knob is raised. With a budget, each
+    /// attempt's timeout and each sleep are capped at the remaining
+    /// budget and the loop gives up once it is spent, so the caller gets
+    /// a predictable give-up window. `None` disables the budget.
+    pub max_elapsed: Option<Duration>,
 }
 
 impl Default for ReconnectPolicy {
@@ -334,6 +536,10 @@ impl Default for ReconnectPolicy {
             max_attempts: 10,
             attempt_timeout: Duration::from_secs(2),
             jitter: 0.25,
+            // Roomier than the default schedule's ~45 s worst case, so it
+            // only trips when something (a stuck attempt, a raised knob)
+            // would otherwise retry far past the point of usefulness.
+            max_elapsed: Some(Duration::from_secs(60)),
         }
     }
 }
@@ -384,6 +590,11 @@ pub struct UdpClient {
     /// Reused for every outbound packet so the publish path does not
     /// allocate a fresh wire buffer per datagram.
     write_buf: Vec<u8>,
+    /// Chaos seam (see [`UdpClient::set_fault`]); `None` in production.
+    fault: Option<Arc<dyn DatagramFault>>,
+    /// Datagrams held back by an injected delay, with release deadlines.
+    held_in: Vec<(Instant, Vec<u8>)>,
+    held_out: Vec<(Instant, Vec<u8>)>,
 }
 
 impl UdpClient {
@@ -403,6 +614,9 @@ impl UdpClient {
             start: Instant::now(),
             events: VecDeque::new(),
             write_buf: Vec::new(),
+            fault: None,
+            held_in: Vec::new(),
+            held_out: Vec::new(),
         };
         let outputs = c.client.connect(c.now());
         c.dispatch(outputs)?;
@@ -421,13 +635,22 @@ impl UdpClient {
         self.start.elapsed().as_nanos() as Nanos
     }
 
+    /// Installs a datagram fault-injection plan: every subsequent inbound
+    /// and outbound datagram's fate is decided by `fault` (see
+    /// [`DatagramFault`]). The plan survives reconnects — a chaos schedule
+    /// keeps applying across the very link flaps it induces. Chaos testing
+    /// only; the faulted paths allocate where production does not.
+    pub fn set_fault(&mut self, fault: Arc<dyn DatagramFault>) {
+        self.fault = Some(fault);
+    }
+
     fn dispatch(&mut self, outputs: Vec<Output>) -> Result<(), NetError> {
         for o in outputs {
             match o {
                 Output::Send(p) => {
                     self.write_buf.clear();
                     p.encode_into(&mut self.write_buf);
-                    self.socket.send(&self.write_buf)?;
+                    self.send_write_buf()?;
                     // The packet's payload buffer is done (the state machine
                     // keeps its own copy for QoS 1/2 retransmission) — feed
                     // it back to the pool so QoS 0 publishes recycle too.
@@ -441,18 +664,88 @@ impl UdpClient {
         Ok(())
     }
 
+    /// Sends `write_buf`, subject to the installed fault plan (if any).
+    fn send_write_buf(&mut self) -> Result<(), NetError> {
+        let fate = match &self.fault {
+            Some(f) => f.fate(FaultDir::Outbound, &self.write_buf),
+            None => DatagramFate::Deliver,
+        };
+        match fate {
+            DatagramFate::Deliver => {
+                self.socket.send(&self.write_buf)?;
+            }
+            DatagramFate::Drop => {}
+            DatagramFate::Duplicate => {
+                self.socket.send(&self.write_buf)?;
+                self.socket.send(&self.write_buf)?;
+            }
+            DatagramFate::Delay(dur) => {
+                self.held_out
+                    .push((Instant::now() + dur, self.write_buf.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases datagrams whose injected delay has expired: held outbound
+    /// frames are sent (their fate was decided when held), held inbound
+    /// frames are fed to the state machine.
+    fn release_held(&mut self) -> Result<(), NetError> {
+        let due = Instant::now();
+        let mut i = 0;
+        while i < self.held_out.len() {
+            if self.held_out[i].0 <= due {
+                let (_, bytes) = self.held_out.swap_remove(i);
+                self.socket.send(&bytes)?;
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < self.held_in.len() {
+            if self.held_in[i].0 <= due {
+                let (_, bytes) = self.held_in.swap_remove(i);
+                let now = self.now();
+                if let Ok(outputs) = self.client.on_datagram(&bytes, now) {
+                    self.dispatch(outputs)?;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
     /// Pumps the socket once (bounded by the socket read timeout) and runs
     /// timers. Surfaced events accumulate in the internal queue.
     pub fn pump(&mut self) -> Result<(), NetError> {
+        if self.fault.is_some() {
+            self.release_held()?;
+        }
         let mut buf = [0u8; 64 * 1024];
         match self.socket.recv(&mut buf) {
             Ok(n) => {
-                let now = self.now();
-                // Borrowed decode: inbound PUBLISH payloads are copied
-                // once into a pooled buffer, not a fresh Vec (malformed
-                // datagrams are dropped, as before).
-                if let Ok(outputs) = self.client.on_datagram(&buf[..n], now) {
-                    self.dispatch(outputs)?;
+                let fate = match &self.fault {
+                    Some(f) => f.fate(FaultDir::Inbound, &buf[..n]),
+                    None => DatagramFate::Deliver,
+                };
+                let deliveries = match fate {
+                    DatagramFate::Deliver => 1,
+                    DatagramFate::Drop => 0,
+                    DatagramFate::Duplicate => 2,
+                    DatagramFate::Delay(dur) => {
+                        self.held_in.push((Instant::now() + dur, buf[..n].to_vec()));
+                        0
+                    }
+                };
+                for _ in 0..deliveries {
+                    let now = self.now();
+                    // Borrowed decode: inbound PUBLISH payloads are copied
+                    // once into a pooled buffer, not a fresh Vec (malformed
+                    // datagrams are dropped, as before).
+                    if let Ok(outputs) = self.client.on_datagram(&buf[..n], now) {
+                        self.dispatch(outputs)?;
+                    }
                 }
             }
             Err(e)
@@ -708,19 +1001,44 @@ impl UdpClient {
     /// Reconnects with exponential backoff, distinguishing transient
     /// failures (partition, broker mid-restart — retried with a doubling
     /// delay) from fatal ones (protocol rejection, local configuration —
-    /// surfaced immediately). Returns the number of attempts on success.
+    /// surfaced immediately). Gives up when either `max_attempts` or the
+    /// overall `max_elapsed` budget is exhausted, whichever comes first.
+    /// Returns the number of attempts on success.
     pub fn reconnect(&mut self, policy: &ReconnectPolicy) -> Result<u32, NetError> {
+        let started = Instant::now();
         let mut backoff = policy.initial_backoff;
         let mut rng = StdRng::seed_from_u64(entropy_seed());
         let mut last: Option<NetError> = None;
         for attempt in 1..=policy.max_attempts.max(1) {
-            match self.try_reconnect(policy.attempt_timeout) {
+            // The first attempt always runs (possibly with a trimmed
+            // timeout); later ones only while budget remains.
+            let attempt_timeout = match policy.max_elapsed {
+                Some(budget) => {
+                    let remaining = budget.saturating_sub(started.elapsed());
+                    if attempt > 1 && remaining.is_zero() {
+                        break;
+                    }
+                    policy
+                        .attempt_timeout
+                        .min(remaining.max(Duration::from_millis(1)))
+                }
+                None => policy.attempt_timeout,
+            };
+            match self.try_reconnect(attempt_timeout) {
                 Ok(()) => return Ok(attempt),
                 Err(e) if !e.is_transient() => return Err(e),
                 Err(e) => last = Some(e),
             }
             if attempt < policy.max_attempts.max(1) {
-                std::thread::sleep(policy.jittered(backoff, &mut rng));
+                let mut sleep = policy.jittered(backoff, &mut rng);
+                if let Some(budget) = policy.max_elapsed {
+                    let remaining = budget.saturating_sub(started.elapsed());
+                    if remaining.is_zero() {
+                        break;
+                    }
+                    sleep = sleep.min(remaining);
+                }
+                std::thread::sleep(sleep);
                 backoff = (backoff * 2).min(policy.max_backoff);
             }
         }
@@ -839,7 +1157,7 @@ mod tests {
         sub.recv_message(timeout()).unwrap();
 
         // Kill the broker, preserving its state; rebind the same port.
-        let snapshot = broker.snapshot();
+        let snapshot = broker.snapshot().expect("snapshot round-trips");
         broker.shutdown();
         let broker = UdpBroker::spawn_resuming(addr, snapshot).unwrap();
 
@@ -870,7 +1188,7 @@ mod tests {
         let addr = broker.local_addr();
         let mut client = UdpClient::connect(addr, ClientConfig::new("bk"), timeout()).unwrap();
         client.register("bk/t", timeout()).unwrap();
-        let snapshot = broker.snapshot();
+        let snapshot = broker.snapshot().expect("snapshot round-trips");
         broker.shutdown();
 
         // Bring the broker back only after a delay: early attempts must
@@ -1083,7 +1401,7 @@ mod tests {
             std::thread::spawn(move || {
                 let mut snapshots = 0u32;
                 while !stop.load(Ordering::Relaxed) {
-                    let snap = broker.snapshot();
+                    let snap = broker.snapshot().expect("snapshot round-trips");
                     assert!(snap.session_count() >= 1);
                     snapshots += 1;
                 }
@@ -1126,5 +1444,92 @@ mod tests {
         .err()
         .expect("must fail");
         assert!(matches!(err, NetError::Timeout(_) | NetError::Io(_)));
+    }
+
+    #[test]
+    fn reconnect_gives_up_within_elapsed_budget() {
+        let broker = UdpBroker::spawn("127.0.0.1:0", BrokerConfig::default()).unwrap();
+        let mut client =
+            UdpClient::connect(broker.local_addr(), ClientConfig::new("budget"), timeout())
+                .unwrap();
+        broker.shutdown();
+        // Effectively unbounded attempts: without the elapsed budget this
+        // policy would retry for minutes against the dead address.
+        let budget = Duration::from_millis(400);
+        let policy = ReconnectPolicy {
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_millis(100),
+            max_attempts: u32::MAX,
+            attempt_timeout: Duration::from_millis(100),
+            jitter: 0.25,
+            max_elapsed: Some(budget),
+        };
+        let started = Instant::now();
+        let err = client
+            .reconnect(&policy)
+            .expect_err("no broker: must give up");
+        let elapsed = started.elapsed();
+        assert!(err.is_transient(), "gave up on a transient error: {err}");
+        // Pin the give-up window: never before the budget is spent, and
+        // not much after it (at most one trailing attempt's timeout, plus
+        // generous CI slack).
+        assert!(
+            elapsed >= budget,
+            "gave up after {elapsed:?}, budget {budget:?}"
+        );
+        assert!(
+            elapsed < budget + Duration::from_secs(2),
+            "kept retrying long past the budget: {elapsed:?}"
+        );
+    }
+
+    /// Scripted deterministic fault: drops every datagram (both
+    /// directions) whose index is in the configured drop list.
+    #[derive(Debug)]
+    struct DropNth {
+        next: std::sync::atomic::AtomicU64,
+        drop: Vec<u64>,
+    }
+
+    impl DatagramFault for DropNth {
+        fn fate(&self, dir: FaultDir, _datagram: &[u8]) -> DatagramFate {
+            if dir != FaultDir::Inbound {
+                return DatagramFate::Deliver;
+            }
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if self.drop.contains(&i) {
+                DatagramFate::Drop
+            } else {
+                DatagramFate::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn qos1_publish_survives_injected_datagram_loss() {
+        // Drop the broker's first sight of the PUBLISH (inbound datagram
+        // index 4: CONNECT, REGISTER ×2 clients... the exact index does
+        // not matter — drop a window and let retransmission win).
+        let fault = Arc::new(DropNth {
+            next: std::sync::atomic::AtomicU64::new(0),
+            drop: vec![4, 5],
+        });
+        let config = BrokerConfig {
+            retry_timeout: Duration::from_millis(200), // keep the test fast
+            ..BrokerConfig::default()
+        };
+        let broker = UdpBroker::spawn_with_faults("127.0.0.1:0", config, fault).unwrap();
+        let addr = broker.local_addr();
+        let mut sub = UdpClient::connect(addr, ClientConfig::new("sub"), timeout()).unwrap();
+        sub.subscribe("f/#", QoS::AtLeastOnce, timeout()).unwrap();
+        let mut pub_cfg = ClientConfig::new("pub");
+        pub_cfg.retry_timeout = Duration::from_millis(200);
+        let mut publisher = UdpClient::connect(addr, pub_cfg, timeout()).unwrap();
+        let tid = publisher.register("f/dev", timeout()).unwrap();
+        publisher
+            .publish(tid, b"lossy".to_vec(), QoS::AtLeastOnce, timeout())
+            .unwrap();
+        let (_, payload) = sub.recv_message(timeout()).unwrap();
+        assert_eq!(payload, b"lossy");
     }
 }

@@ -115,6 +115,9 @@ mod msg_type {
     pub const PINGREQ: u8 = 0x16;
     pub const PINGRESP: u8 = 0x17;
     pub const DISCONNECT: u8 = 0x18;
+    /// Vendor extension (spec reserves 0x1A..=0xFD): broker→client
+    /// congestion advisory carrying the current backpressure level.
+    pub const CONGESTION: u8 = 0x1E;
 }
 
 mod flag {
@@ -259,6 +262,17 @@ pub enum Packet {
     Disconnect {
         /// Sleep duration in seconds, if going to sleep.
         duration: Option<u16>,
+    },
+    /// Vendor extension (type `0x1E`, from the spec's reserved range):
+    /// broker→client advisory that the gateway's buffers are filling.
+    /// `level` 0 means congestion cleared, 1 means soft (publishers should
+    /// pace and coalesce), 2 means hard (QoS ≥ 1 publishes are being
+    /// rejected with [`ReturnCode::Congestion`]). Clients that don't
+    /// understand the type ignore it — advisory delivery is best-effort
+    /// and never required for correctness.
+    CongestionAdvisory {
+        /// Current congestion level (0 = clear, 1 = soft, 2 = hard).
+        level: u8,
     },
 }
 
@@ -566,6 +580,10 @@ impl Packet {
                     push_u16(b, *d);
                 }
             }
+            Packet::CongestionAdvisory { level } => {
+                b.push(msg_type::CONGESTION);
+                b.push(*level);
+            }
         }
     }
 
@@ -813,6 +831,10 @@ impl Packet {
                     Ok(Packet::Disconnect { duration: None })
                 }
             }
+            msg_type::CONGESTION => {
+                need(1)?;
+                Ok(Packet::CongestionAdvisory { level: rest[0] })
+            }
             _ => Err(Error::Malformed("unknown message type")),
         }
     }
@@ -893,6 +915,8 @@ mod tests {
         roundtrip(Packet::Disconnect {
             duration: Some(300),
         });
+        roundtrip(Packet::CongestionAdvisory { level: 0 });
+        roundtrip(Packet::CongestionAdvisory { level: 2 });
     }
 
     #[test]

@@ -1,0 +1,401 @@
+//! # prov-chaos
+//!
+//! Deterministic fault-injection plans for chaos testing the capture
+//! pipeline.
+//!
+//! The injection *seams* live in the crates they fault —
+//! [`mqtt_sn::net::DatagramFault`] for the UDP transports,
+//! [`prov_wal::IoFault`] for WAL and snapshot disk I/O — so those crates
+//! stay at the bottom of the dependency graph. This crate builds the
+//! *plans*: everything here is a pure function of a `u64` seed and the
+//! sequence of calls made against it, so a failing chaos run is replayed
+//! exactly by re-running with the printed seed.
+//!
+//! Two styles of plan:
+//!
+//! * [`FaultPlan`] — a seeded randomized schedule (drop / duplicate /
+//!   delay / partition on datagrams; ENOSPC / short-write / fsync-failure
+//!   on disk) for soak tests that want "a hostile world, reproducibly";
+//! * scripted injectors ([`FailNth`], [`ShortWriteOnce`]) that fire at an
+//!   exact operation index, for unit tests pinning one recovery path.
+
+use mqtt_sn::net::{DatagramFate, DatagramFault, FaultDir};
+use parking_lot::Mutex;
+use prov_wal::{IoFault, IoOp};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Raw `ENOSPC` (out of disk space), the canonical edge-device disk fault.
+/// `io::Error::from_raw_os_error(28)` maps to `ErrorKind::StorageFull` on
+/// Linux without needing the unstable kind constructor.
+pub fn enospc() -> io::Error {
+    io::Error::from_raw_os_error(28)
+}
+
+/// Knobs for a randomized [`FaultPlan`]. All probabilities are per-event
+/// in `[0, 1]`; the default is fully transparent (no faults).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlanConfig {
+    /// Per-datagram drop probability.
+    pub drop: f64,
+    /// Per-datagram duplication probability.
+    pub duplicate: f64,
+    /// Per-datagram delay probability; a delayed datagram is held for a
+    /// uniform duration in `[0, max_delay]`, so later traffic overtakes it
+    /// (reordering).
+    pub delay: f64,
+    /// Upper bound for injected delays.
+    pub max_delay: Duration,
+    /// Partition schedule in datagram counts: after every
+    /// `partition_every` delivered-or-faulted datagrams, the next
+    /// `partition_len` are dropped wholesale. `0` disables partitions.
+    pub partition_every: u64,
+    /// Length of each partition window (datagrams). See `partition_every`.
+    pub partition_len: u64,
+    /// Probability a WAL/snapshot write fails with ENOSPC before any byte.
+    pub enospc: f64,
+    /// Probability a WAL/snapshot write lands only a prefix (short write).
+    pub short_write: f64,
+    /// Probability an fsync or snapshot rename fails.
+    pub sync_fail: f64,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        FaultPlanConfig {
+            drop: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            max_delay: Duration::from_millis(20),
+            partition_every: 0,
+            partition_len: 0,
+            enospc: 0.0,
+            short_write: 0.0,
+            sync_fail: 0.0,
+        }
+    }
+}
+
+impl FaultPlanConfig {
+    /// A lossy, reordering link: a few percent of datagrams dropped,
+    /// duplicated, or delayed. No disk faults.
+    pub fn lossy_link() -> Self {
+        FaultPlanConfig {
+            drop: 0.05,
+            duplicate: 0.03,
+            delay: 0.05,
+            max_delay: Duration::from_millis(30),
+            ..FaultPlanConfig::default()
+        }
+    }
+
+    /// A flaky disk: occasional ENOSPC, short writes, and fsync failures.
+    /// No network faults.
+    pub fn flaky_disk() -> Self {
+        FaultPlanConfig {
+            enospc: 0.02,
+            short_write: 0.02,
+            sync_fail: 0.01,
+            ..FaultPlanConfig::default()
+        }
+    }
+
+    /// Everything at once: the lossy link, the flaky disk, and periodic
+    /// partition windows. The soak-test default.
+    pub fn hostile() -> Self {
+        FaultPlanConfig {
+            partition_every: 200,
+            partition_len: 25,
+            enospc: 0.02,
+            short_write: 0.02,
+            sync_fail: 0.01,
+            ..FaultPlanConfig::lossy_link()
+        }
+    }
+}
+
+/// A seeded randomized fault schedule implementing both injection seams.
+///
+/// Determinism contract: two plans built from the same seed and config
+/// produce identical decisions for identical call sequences. Decisions are
+/// a function of call *order*, so a plan shared across racing threads is
+/// deterministic per plan, not per thread — give each client its own plan
+/// (e.g. `seed ^ client_index`) when per-client replay matters.
+pub struct FaultPlan {
+    cfg: FaultPlanConfig,
+    seed: u64,
+    rng: Mutex<StdRng>,
+    datagrams: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Builds a plan from a seed and explicit knobs.
+    pub fn new(seed: u64, cfg: FaultPlanConfig) -> FaultPlan {
+        FaultPlan {
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            datagrams: AtomicU64::new(0),
+            seed,
+            cfg,
+        }
+    }
+
+    /// The seed this plan was built from (printed by harnesses on failure
+    /// so the schedule replays).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &FaultPlanConfig {
+        &self.cfg
+    }
+}
+
+impl std::fmt::Debug for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultPlan")
+            .field("seed", &self.seed)
+            .field("cfg", &self.cfg)
+            .field("datagrams", &self.datagrams.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl DatagramFault for FaultPlan {
+    fn fate(&self, _dir: FaultDir, _datagram: &[u8]) -> DatagramFate {
+        let n = self.datagrams.fetch_add(1, Ordering::Relaxed);
+        if self.cfg.partition_every > 0 && self.cfg.partition_len > 0 {
+            let cycle = self.cfg.partition_every + self.cfg.partition_len;
+            if n % cycle >= self.cfg.partition_every {
+                return DatagramFate::Drop;
+            }
+        }
+        let mut rng = self.rng.lock();
+        if rng.gen_bool(self.cfg.drop) {
+            return DatagramFate::Drop;
+        }
+        if rng.gen_bool(self.cfg.duplicate) {
+            return DatagramFate::Duplicate;
+        }
+        if rng.gen_bool(self.cfg.delay) {
+            let span = self.cfg.max_delay.as_millis().max(1) as u64;
+            let held = rng.gen_range(0..span + 1);
+            return DatagramFate::Delay(Duration::from_millis(held));
+        }
+        DatagramFate::Deliver
+    }
+}
+
+impl IoFault for FaultPlan {
+    fn before_write(&self, _op: IoOp, len: usize) -> io::Result<usize> {
+        let mut rng = self.rng.lock();
+        if rng.gen_bool(self.cfg.enospc) {
+            return Err(enospc());
+        }
+        if len > 1 && rng.gen_bool(self.cfg.short_write) {
+            // A strict prefix, so the caller always observes the injected
+            // WriteZero rather than an accidental full write.
+            return Ok(rng.gen_range(0..len as u64) as usize);
+        }
+        Ok(len)
+    }
+
+    fn before_op(&self, op: IoOp) -> io::Result<()> {
+        if matches!(op, IoOp::Sync | IoOp::SnapshotSync | IoOp::SnapshotRename) {
+            let mut rng = self.rng.lock();
+            if rng.gen_bool(self.cfg.sync_fail) {
+                return Err(io::Error::other("injected sync failure"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Scripted injector: the `nth` (0-based) occurrence of `op` fails — with
+/// ENOSPC for write hooks, a generic I/O error for operation hooks. All
+/// other operations pass through untouched.
+#[derive(Debug)]
+pub struct FailNth {
+    op: IoOp,
+    nth: u64,
+    seen: AtomicU64,
+}
+
+impl FailNth {
+    /// Fails the `nth` (0-based) occurrence of `op`.
+    pub fn new(op: IoOp, nth: u64) -> FailNth {
+        FailNth {
+            op,
+            nth,
+            seen: AtomicU64::new(0),
+        }
+    }
+
+    /// How many times `op` has been observed so far.
+    pub fn observed(&self) -> u64 {
+        self.seen.load(Ordering::Relaxed)
+    }
+
+    fn fires(&self, op: IoOp) -> bool {
+        op == self.op && self.seen.fetch_add(1, Ordering::Relaxed) == self.nth
+    }
+}
+
+impl IoFault for FailNth {
+    fn before_write(&self, op: IoOp, len: usize) -> io::Result<usize> {
+        if self.fires(op) {
+            return Err(enospc());
+        }
+        Ok(len)
+    }
+
+    fn before_op(&self, op: IoOp) -> io::Result<()> {
+        if self.fires(op) {
+            return Err(io::Error::other("injected operation failure"));
+        }
+        Ok(())
+    }
+}
+
+/// Scripted injector: the `nth` (0-based) write of `op` lands only its
+/// first `keep` bytes (clamped to a strict prefix), modelling a device
+/// dying mid-write. Every other operation passes through.
+#[derive(Debug)]
+pub struct ShortWriteOnce {
+    op: IoOp,
+    nth: u64,
+    keep: usize,
+    seen: AtomicU64,
+}
+
+impl ShortWriteOnce {
+    /// Short-writes the `nth` (0-based) occurrence of `op` to `keep` bytes.
+    pub fn new(op: IoOp, nth: u64, keep: usize) -> ShortWriteOnce {
+        ShortWriteOnce {
+            op,
+            nth,
+            keep,
+            seen: AtomicU64::new(0),
+        }
+    }
+}
+
+impl IoFault for ShortWriteOnce {
+    fn before_write(&self, op: IoOp, len: usize) -> io::Result<usize> {
+        if op == self.op && self.seen.fetch_add(1, Ordering::Relaxed) == self.nth {
+            return Ok(self.keep.min(len.saturating_sub(1)));
+        }
+        Ok(len)
+    }
+}
+
+/// Seeded pause-and-kill schedule: picks `kills` distinct checkpoint
+/// indices out of `rounds`, sorted ascending. Harnesses snapshot and
+/// restart the component under test at these points.
+pub fn kill_points(seed: u64, rounds: usize, kills: usize) -> Vec<usize> {
+    if rounds == 0 || kills == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6b69_6c6c_7074_7321);
+    let mut picks = std::collections::BTreeSet::new();
+    let kills = kills.min(rounds);
+    while picks.len() < kills {
+        picks.insert(rng.gen_range(0..rounds as u64) as usize);
+    }
+    picks.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_fate_sequence() {
+        let a = FaultPlan::new(42, FaultPlanConfig::hostile());
+        let b = FaultPlan::new(42, FaultPlanConfig::hostile());
+        for _ in 0..2_000 {
+            assert_eq!(
+                a.fate(FaultDir::Inbound, b"x"),
+                b.fate(FaultDir::Inbound, b"x")
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultPlan::new(1, FaultPlanConfig::hostile());
+        let b = FaultPlan::new(2, FaultPlanConfig::hostile());
+        let diverged =
+            (0..500).any(|_| a.fate(FaultDir::Inbound, b"x") != b.fate(FaultDir::Inbound, b"x"));
+        assert!(diverged);
+    }
+
+    #[test]
+    fn partition_windows_drop_wholesale() {
+        let plan = FaultPlan::new(
+            7,
+            FaultPlanConfig {
+                partition_every: 10,
+                partition_len: 5,
+                ..FaultPlanConfig::default()
+            },
+        );
+        let fates: Vec<_> = (0..30)
+            .map(|_| plan.fate(FaultDir::Inbound, b"x"))
+            .collect();
+        for (i, fate) in fates.iter().enumerate() {
+            let in_partition = (i as u64) % 15 >= 10;
+            if in_partition {
+                assert_eq!(*fate, DatagramFate::Drop, "datagram {i}");
+            } else {
+                assert_eq!(*fate, DatagramFate::Deliver, "datagram {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn transparent_plan_never_faults() {
+        let plan = FaultPlan::new(3, FaultPlanConfig::default());
+        for _ in 0..1_000 {
+            assert_eq!(plan.fate(FaultDir::Outbound, b"x"), DatagramFate::Deliver);
+        }
+        for _ in 0..100 {
+            assert_eq!(plan.before_write(IoOp::Append, 64).unwrap(), 64);
+            plan.before_op(IoOp::Sync).unwrap();
+        }
+    }
+
+    #[test]
+    fn fail_nth_fires_exactly_once_on_target_op() {
+        let fault = FailNth::new(IoOp::Append, 2);
+        assert_eq!(fault.before_write(IoOp::SegmentCreate, 10).unwrap(), 10);
+        assert_eq!(fault.before_write(IoOp::Append, 10).unwrap(), 10);
+        assert_eq!(fault.before_write(IoOp::Append, 10).unwrap(), 10);
+        let err = fault.before_write(IoOp::Append, 10).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+        assert_eq!(fault.before_write(IoOp::Append, 10).unwrap(), 10);
+    }
+
+    #[test]
+    fn short_write_once_grants_a_strict_prefix() {
+        let fault = ShortWriteOnce::new(IoOp::SnapshotWrite, 0, 5);
+        assert_eq!(fault.before_write(IoOp::SnapshotWrite, 12).unwrap(), 5);
+        assert_eq!(fault.before_write(IoOp::SnapshotWrite, 12).unwrap(), 12);
+        // keep >= len still yields a strict prefix.
+        let again = ShortWriteOnce::new(IoOp::Append, 0, 100);
+        assert_eq!(again.before_write(IoOp::Append, 8).unwrap(), 7);
+    }
+
+    #[test]
+    fn kill_points_are_deterministic_sorted_and_in_range() {
+        let a = kill_points(99, 50, 4);
+        let b = kill_points(99, 50, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        assert!(a.iter().all(|&p| p < 50));
+        assert!(kill_points(99, 0, 4).is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! The disk fault-injection seam.
+//!
+//! Every file operation the WAL and snapshot writer perform first consults
+//! an optional [`IoFault`] hook, so a test harness (the `prov-chaos` crate)
+//! can script ENOSPC, short writes, and fsync failures at exact points
+//! without touching the filesystem layer itself. Production code paths pass
+//! no hook and pay one `Option` branch.
+//!
+//! The trait lives here — not in `prov-chaos` — so this crate stays at the
+//! bottom of the dependency graph (std only) while the chaos crate builds
+//! deterministic seeded plans on top of it.
+
+use std::fmt::Debug;
+use std::io;
+
+/// Which file operation is about to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    /// A frame write into the active WAL segment (header + payload).
+    Append,
+    /// The segment-header write when rotation creates a fresh file.
+    SegmentCreate,
+    /// An `fsync` of the active WAL segment.
+    Sync,
+    /// The snapshot temp-file body write (header + payload).
+    SnapshotWrite,
+    /// The snapshot temp-file `fsync` before rename.
+    SnapshotSync,
+    /// The atomic rename publishing a snapshot.
+    SnapshotRename,
+}
+
+/// Scriptable disk faults. Implementations must be deterministic given
+/// their own state so a failing schedule replays from a seed.
+pub trait IoFault: Send + Sync + Debug {
+    /// Consulted before writing `len` bytes for `op`. Return `Ok(len)` to
+    /// let the full write through, `Ok(n)` with `n < len` to let only the
+    /// first `n` bytes reach the file before the device "fails" (a short
+    /// write — the caller then sees [`io::ErrorKind::WriteZero`]), or
+    /// `Err(e)` to fail outright before any byte lands (e.g. ENOSPC as
+    /// [`io::ErrorKind::StorageFull`]).
+    fn before_write(&self, op: IoOp, len: usize) -> io::Result<usize> {
+        let _ = op;
+        Ok(len)
+    }
+
+    /// Consulted before non-write operations (fsync, rename). Return an
+    /// error to fail the operation without running it.
+    fn before_op(&self, op: IoOp) -> io::Result<()> {
+        let _ = op;
+        Ok(())
+    }
+}
+
+/// Applies a hook decision to a buffered write: either the whole buffer is
+/// written, or the granted prefix is written and the injected error
+/// returned — exactly what a device running out of space mid-write does.
+pub(crate) fn faulted_write(
+    file: &mut impl io::Write,
+    fault: Option<&dyn IoFault>,
+    op: IoOp,
+    bufs: &[&[u8]],
+) -> io::Result<()> {
+    let total: usize = bufs.iter().map(|b| b.len()).sum();
+    let mut grant = match fault {
+        Some(f) => f.before_write(op, total)?,
+        None => total,
+    };
+    if grant >= total {
+        for buf in bufs {
+            file.write_all(buf)?;
+        }
+        return Ok(());
+    }
+    for buf in bufs {
+        let n = grant.min(buf.len());
+        file.write_all(&buf[..n])?;
+        grant -= n;
+        if grant == 0 {
+            break;
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::WriteZero,
+        "injected short write",
+    ))
+}

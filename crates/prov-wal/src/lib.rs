@@ -23,9 +23,11 @@
 //! The crate is dependency-free (std only) so both `provlight_core` and
 //! `mqtt_sn` can use it without layering cycles.
 
+pub mod fault;
 pub mod snapshot;
 pub mod wal;
 
+pub use fault::{IoFault, IoOp};
 pub use wal::{Wal, WalConfig};
 
 /// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the same

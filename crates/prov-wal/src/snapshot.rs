@@ -13,8 +13,9 @@
 //! half-written one.
 
 use crate::crc32;
+use crate::fault::{faulted_write, IoFault, IoOp};
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::path::Path;
 
 const MAGIC: [u8; 4] = *b"PSNP";
@@ -27,6 +28,18 @@ fn invalid(what: &'static str) -> io::Error {
 
 /// Writes `payload` to `path` atomically (temp file + fsync + rename).
 pub fn write_atomic(path: impl AsRef<Path>, payload: &[u8]) -> io::Result<()> {
+    write_atomic_with(path, payload, None)
+}
+
+/// [`write_atomic`] with a disk fault-injection hook: the temp-file write,
+/// its fsync, and the publishing rename each consult `fault` first. Any
+/// injected failure leaves the previous snapshot at `path` untouched — the
+/// property the chaos tests pin down.
+pub fn write_atomic_with(
+    path: impl AsRef<Path>,
+    payload: &[u8],
+    fault: Option<&dyn IoFault>,
+) -> io::Result<()> {
     let path = path.as_ref();
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
@@ -42,9 +55,14 @@ pub fn write_atomic(path: impl AsRef<Path>, payload: &[u8]) -> io::Result<()> {
         header[4] = VERSION;
         header[8..16].copy_from_slice(&(payload.len() as u64).to_le_bytes());
         header[16..20].copy_from_slice(&crc32(payload).to_le_bytes());
-        file.write_all(&header)?;
-        file.write_all(payload)?;
+        faulted_write(&mut file, fault, IoOp::SnapshotWrite, &[&header, payload])?;
+        if let Some(f) = fault {
+            f.before_op(IoOp::SnapshotSync)?;
+        }
         file.sync_all()?;
+    }
+    if let Some(f) = fault {
+        f.before_op(IoOp::SnapshotRename)?;
     }
     fs::rename(tmp, path)
 }

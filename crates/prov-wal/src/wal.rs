@@ -42,6 +42,7 @@
 //! `DisconnectionBuffer` this log backstops.
 
 use crate::crc32_update;
+use crate::fault::{faulted_write, IoFault, IoOp};
 use std::collections::VecDeque;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -76,6 +77,10 @@ pub struct WalConfig {
     /// surviving *process* death and broker outages; full power-loss
     /// durability costs an fsync per envelope and can be opted into.
     pub sync_on_append: bool,
+    /// Disk fault-injection hook ([`crate::fault::IoFault`]); `None` in
+    /// production. Consulted before every segment write/fsync so chaos
+    /// harnesses can script ENOSPC, short writes, and sync failures.
+    pub fault: Option<std::sync::Arc<dyn IoFault>>,
 }
 
 impl WalConfig {
@@ -86,6 +91,7 @@ impl WalConfig {
             segment_max_bytes: 1 << 20,
             max_total_bytes: 64 << 20,
             sync_on_append: false,
+            fault: None,
         }
     }
 }
@@ -345,10 +351,13 @@ impl Wal {
         header[8..12].copy_from_slice(&crc.to_le_bytes());
         let writer = self.writer.as_mut().expect("ensured above");
         let sync = self.cfg.sync_on_append;
+        let fault = self.cfg.fault.as_deref();
         let wrote = (|| {
-            writer.write_all(&header)?;
-            writer.write_all(payload)?;
+            faulted_write(writer, fault, IoOp::Append, &[&header, payload])?;
             if sync {
+                if let Some(f) = fault {
+                    f.before_op(IoOp::Sync)?;
+                }
                 writer.sync_data()?;
             }
             Ok(())
@@ -397,7 +406,20 @@ impl Wal {
         let mut header = [0u8; SEG_HEADER as usize];
         header[..4].copy_from_slice(&SEG_MAGIC);
         header[4] = SEG_VERSION;
-        file.write_all(&header)?;
+        if let Err(e) = faulted_write(
+            &mut file,
+            self.cfg.fault.as_deref(),
+            IoOp::SegmentCreate,
+            &[&header],
+        ) {
+            // A headerless (or short-headered) file is exactly what a crash
+            // between create and header-write leaves; recovery deletes it.
+            // Dropping the handle here means the next append rotates to a
+            // fresh sequence number instead of writing after the garbage.
+            drop(file);
+            let _ = fs::remove_file(&path);
+            return Err(e);
+        }
         self.writer = Some(file);
         self.segments.push_back(Segment {
             seq,
@@ -539,6 +561,9 @@ impl Wal {
     /// Flushes the active segment to disk (best effort on the cursor).
     pub fn sync(&mut self) -> io::Result<()> {
         if let Some(w) = self.writer.as_mut() {
+            if let Some(f) = self.cfg.fault.as_deref() {
+                f.before_op(IoOp::Sync)?;
+            }
             w.sync_data()?;
         }
         Ok(())

@@ -143,7 +143,7 @@ fn capture_survives_broker_outage_and_replays_in_order() {
     assert!(client.stats().connected);
 
     // Sever: kill the broker, preserving its state for the restart.
-    let snapshot = broker.snapshot();
+    let snapshot = broker.snapshot().expect("snapshot round-trips");
     broker.shutdown();
     assert!(
         wait_until(Duration::from_secs(10), || !client.stats().connected),
@@ -230,7 +230,7 @@ fn buffer_caps_evict_oldest_with_accurate_drop_count() {
     wf.begin().unwrap();
     client.flush().unwrap();
 
-    let snapshot = broker.snapshot();
+    let snapshot = broker.snapshot().expect("snapshot round-trips");
     broker.shutdown();
     assert!(
         wait_until(Duration::from_secs(10), || !client.stats().connected),
@@ -313,7 +313,7 @@ fn flush_during_outage_reports_backlog_then_recovers() {
     wf.begin().unwrap();
     client.flush().unwrap();
 
-    let snapshot = broker.snapshot();
+    let snapshot = broker.snapshot().expect("snapshot round-trips");
     broker.shutdown();
     assert!(wait_until(Duration::from_secs(10), || !client
         .stats()

@@ -155,7 +155,7 @@ fn outage_larger_than_ram_spills_to_flash_and_replays_exactly_once() {
     wf.begin().unwrap();
     client.flush().unwrap();
 
-    let snapshot = broker.snapshot();
+    let snapshot = broker.snapshot().expect("snapshot round-trips");
     broker.shutdown();
     assert!(
         wait_until(Duration::from_secs(10), || !client.stats().connected),
@@ -243,7 +243,7 @@ fn client_restart_recovers_unsent_spill() {
         wf.begin().unwrap();
         client.flush().unwrap();
 
-        let snapshot = broker.snapshot();
+        let snapshot = broker.snapshot().expect("snapshot round-trips");
         broker.shutdown();
         assert!(wait_until(Duration::from_secs(10), || !client
             .stats()
@@ -317,7 +317,7 @@ fn torn_wal_tail_is_truncated_and_durable_records_replay() {
         wf.begin().unwrap();
         client.flush().unwrap();
 
-        let snapshot = broker.snapshot();
+        let snapshot = broker.snapshot().expect("snapshot round-trips");
         broker.shutdown();
         assert!(wait_until(Duration::from_secs(10), || !client
             .stats()
@@ -410,7 +410,7 @@ fn spill_cap_eviction_counts_drops_exactly() {
     wf.begin().unwrap();
     client.flush().unwrap();
 
-    let snapshot = broker.snapshot();
+    let snapshot = broker.snapshot().expect("snapshot round-trips");
     broker.shutdown();
     assert!(wait_until(Duration::from_secs(10), || !client
         .stats()
