@@ -237,8 +237,9 @@ pub mod gate {
     }
 
     /// The standing floors. Future perf PRs extend this list alongside the
-    /// metrics they add to the tracked file.
-    const FLOORS: &[(&[&str], f64)] = &[
+    /// metrics they add to the tracked file; `provlight-lint`'s drift rule
+    /// cross-checks it against the tracked bench sections.
+    pub const FLOORS: &[(&[&str], f64)] = &[
         (&["speedup_coalesced_vs_immediate"], 2.0),
         (&["ingest", "scaling_sharded_1_to_4"], 2.0),
         (&["broker", "speedup_broker_batched_vs_per_packet"], 2.0),

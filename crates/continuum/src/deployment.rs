@@ -27,7 +27,10 @@ impl ProvenanceManager {
     /// device topic.
     pub fn start(bind: &str) -> Result<ProvenanceManager, mqtt_sn::net::NetError> {
         let store = shared_sharded();
-        let translator = Arc::new(Mutex::new(DfAnalyzerTranslator::new(store.clone())));
+        let translator = Arc::new(Mutex::with_rank(
+            parking_lot::rank::TRANSLATOR,
+            DfAnalyzerTranslator::new(store.clone()),
+        ));
         let server = ProvLightServer::start(bind, "provlight/#", translator)?;
         Ok(ProvenanceManager { server, store })
     }

@@ -88,7 +88,7 @@ impl ProvLightClient {
             Transmitter::start(broker, client_id.to_owned(), topic.to_owned(), config)?;
         Ok(ProvLightClient {
             sink: Arc::new(TransmitterSink {
-                grouper: Mutex::new(Grouper::new(group)),
+                grouper: Mutex::with_rank(parking_lot::rank::GROUPER, Grouper::new(group)),
                 transmitter,
             }),
         })

@@ -175,14 +175,18 @@ impl SimProvLight {
 
         // Bounded send buffer: block the workflow until space frees.
         while self.buffered_bytes() + msg_bytes > send_buffer && !self.pending.is_empty() {
-            let front = self.pending.front().copied().expect("non-empty");
+            let Some(front) = self.pending.front().copied() else {
+                break;
+            };
             now = now.max(front.serialized);
             self.release_completed(now, ctx);
         }
 
         // In-flight window: block until the oldest handshake completes.
         while self.inflight.len() >= max_inflight {
-            let front = self.inflight.pop_front().expect("non-empty");
+            let Some(front) = self.inflight.pop_front() else {
+                break;
+            };
             now = now.max(front);
         }
 

@@ -539,7 +539,7 @@ impl Transmitter {
         // of the simulation model).
         let capacity = 1024;
         let (tx, rx) = bounded::<Cmd>(capacity);
-        let pool: BatchPool = Arc::new(Mutex::new(Vec::new()));
+        let pool: BatchPool = Arc::new(Mutex::with_rank(parking_lot::rank::POOL, Vec::new()));
         let stats = Arc::new(StatsCell::default());
         stats.connected.store(true, Ordering::Relaxed);
         stats
@@ -643,6 +643,7 @@ impl Coalescer {
         }
     }
 
+    // lint: zero-alloc-begin
     fn push(&mut self, record: Record) {
         self.approx_bytes += record.approx_size();
         self.records.push(record);
@@ -653,6 +654,7 @@ impl Coalescer {
             self.push(r);
         }
     }
+    // lint: zero-alloc-end
 
     /// True when absorbing `incoming` more approx bytes would push the
     /// envelope past the hard wire-size ceiling; the pending records must be
@@ -1129,6 +1131,7 @@ impl Link {
 /// not bounded by the approx-size estimate the coalescer uses — the records
 /// are split in half and sent as separate envelopes.
 fn send_records(link: &mut Link, records: &[Record]) {
+    // lint: zero-alloc-begin
     if records.is_empty() {
         return;
     }
@@ -1154,11 +1157,13 @@ fn send_records(link: &mut Link, records: &[Record]) {
         return;
     }
     link.send_payload(payload, records.len(), false);
+    // lint: zero-alloc-end
 }
 
 /// Sends the coalesced pending records (see [`send_records`]) and resets the
 /// coalescer.
 fn send_pending(link: &mut Link, pending: &mut Coalescer) {
+    // lint: zero-alloc-begin
     if pending.is_empty() {
         return;
     }
@@ -1168,6 +1173,7 @@ fn send_pending(link: &mut Link, pending: &mut Coalescer) {
     send_records(link, &records);
     pending.records = records;
     pending.clear();
+    // lint: zero-alloc-end
 }
 
 /// Low-priority records under graceful degradation: begin edges announce
@@ -1617,6 +1623,9 @@ mod tests {
         assert!(!link.paced());
         link.arm_pace();
         assert!(link.paced());
+        // A send inside the window routes to the buffer and is metered.
+        assert!(!link.send_payload(vec![0u8; 4], 1, false));
+        assert_eq!(link.stats.paced_sends.load(Ordering::Relaxed), 1);
         assert!(!link.shedding(), "soft congestion never sheds");
 
         // Hard congestion with a formed backlog sheds begin edges.
@@ -1650,6 +1659,57 @@ mod tests {
             link.stats.congestion_signals.load(Ordering::Relaxed),
             1,
             "but the signal is still observable"
+        );
+        broker.shutdown();
+    }
+
+    #[test]
+    fn ablation_counts_congestion_rejection_as_publish_failure() {
+        // A zero hard-congestion threshold makes the broker reject every
+        // QoS >= 1 publish with `ReturnCode::Congestion`.
+        let broker = UdpBroker::spawn(
+            "127.0.0.1:0",
+            BrokerConfig {
+                congestion_soft: 0,
+                congestion_hard: 0,
+                ..BrokerConfig::default()
+            },
+        )
+        .unwrap();
+        let config = CaptureConfig {
+            backpressure: false,
+            ..CaptureConfig::default()
+        };
+        let mut client = UdpClient::connect(
+            broker.local_addr(),
+            ClientConfig::new("ablation-reject"),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        let topic = "provlight/test/reject";
+        let topic_id = client.register(topic, Duration::from_secs(5)).unwrap();
+        let buffer = SpillBuffer::new(&config).unwrap();
+        let mut link = Link::new(
+            client,
+            topic.into(),
+            topic_id,
+            config,
+            buffer,
+            Arc::new(StatsCell::default()),
+        );
+
+        assert!(link.send_payload(vec![0u8; 4], 1, false));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while link.stats.publish_failures.load(Ordering::Relaxed) == 0 && Instant::now() < deadline
+        {
+            let _ = link.client.pump();
+            link.absorb_events();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(
+            link.stats.publish_failures.load(Ordering::Relaxed),
+            1,
+            "ablation arm counts the congestion rejection as a publish failure"
         );
         broker.shutdown();
     }

@@ -901,7 +901,9 @@ impl Client {
         let mut control_ids: Vec<u16> = self.pending_control.keys().copied().collect();
         control_ids.sort_unstable();
         for id in control_ids {
-            let c = self.pending_control.get_mut(&id).expect("present");
+            let Some(c) = self.pending_control.get_mut(&id) else {
+                continue;
+            };
             if now.saturating_sub(c.last_sent) < retry_ns {
                 continue;
             }
@@ -934,7 +936,9 @@ impl Client {
         // msg id, which wraps).
         let ids = self.inflight_in_publish_order(|_| true);
         for id in ids {
-            let f = self.inflight.get_mut(&id).expect("present");
+            let Some(f) = self.inflight.get_mut(&id) else {
+                continue;
+            };
             if now.saturating_sub(f.last_sent) < retry_ns {
                 continue;
             }

@@ -174,7 +174,7 @@ impl UdpBroker {
         socket.set_read_timeout(Some(Duration::from_millis(10)))?;
         let local_addr = socket.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let broker = Arc::new(Mutex::new(state));
+        let broker = Arc::new(Mutex::with_rank(parking_lot::rank::BROKER, state));
 
         let thread = {
             let shutdown = Arc::clone(&shutdown);
@@ -626,7 +626,7 @@ impl UdpClient {
         .and_then(|e| match e {
             ClientEvent::Connected => Ok(()),
             ClientEvent::ConnectFailed(code) => Err(NetError::Protocol(Error::Rejected(code))),
-            _ => unreachable!(),
+            _ => Err(NetError::Timeout("CONNACK")),
         })?;
         Ok(c)
     }
@@ -816,7 +816,7 @@ impl UdpClient {
         })?;
         match e {
             ClientEvent::Registered { topic_id, .. } => Ok(topic_id),
-            _ => unreachable!(),
+            _ => Err(NetError::Timeout("REGACK")),
         }
     }
 
@@ -838,7 +838,7 @@ impl UdpClient {
         )?;
         match e {
             ClientEvent::Subscribed { topic_id, .. } => Ok(topic_id),
-            _ => unreachable!(),
+            _ => Err(NetError::Timeout("SUBACK")),
         }
     }
 
@@ -915,7 +915,7 @@ impl UdpClient {
         })?;
         match e {
             ClientEvent::Message { topic, payload } => Ok((topic, payload)),
-            _ => unreachable!(),
+            _ => Err(NetError::Timeout("message")),
         }
     }
 
@@ -987,7 +987,7 @@ impl UdpClient {
         .and_then(|e| match e {
             ClientEvent::Connected => Ok(()),
             ClientEvent::ConnectFailed(code) => Err(NetError::Protocol(Error::Rejected(code))),
-            _ => unreachable!(),
+            _ => Err(NetError::Timeout("reconnect CONNACK")),
         })?;
         while !self.client.resume_complete() {
             if Instant::now() >= deadline {

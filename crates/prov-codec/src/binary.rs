@@ -39,13 +39,10 @@ const TAG_TASK_END: u8 = 3;
 /// strings fall back to a byte-exact arena check.
 #[inline]
 fn first_word(bytes: &[u8]) -> u64 {
-    if bytes.len() >= 8 {
-        u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes"))
-    } else {
-        let mut tail = [0u8; 8];
-        tail[..bytes.len()].copy_from_slice(bytes);
-        u64::from_le_bytes(tail)
-    }
+    let mut word = [0u8; 8];
+    let n = bytes.len().min(8);
+    word[..n].copy_from_slice(&bytes[..n]);
+    u64::from_le_bytes(word)
 }
 
 /// Slot hash over the `(first_word, len)` key — one multiply plus a fold.

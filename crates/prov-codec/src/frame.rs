@@ -49,6 +49,7 @@ impl Envelope {
             static FRAME_SCRATCH: RefCell<(Vec<u8>, Vec<u8>)> =
                 const { RefCell::new((Vec::new(), Vec::new())) };
         }
+        // lint: zero-alloc-begin
         FRAME_SCRATCH.with(|cell| {
             let (raw, packed) = &mut *cell.borrow_mut();
             raw.clear();
@@ -70,6 +71,7 @@ impl Envelope {
             out.push(flags);
             out.extend_from_slice(payload);
         });
+        // lint: zero-alloc-end
     }
 
     /// Decodes a wire message.

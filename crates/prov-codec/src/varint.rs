@@ -134,7 +134,11 @@ impl<'a> Reader<'a> {
     /// Reads an f64 stored as little-endian bits.
     pub fn read_f64(&mut self) -> Result<f64, CodecError> {
         let bytes = self.read_bytes(8)?;
-        Ok(f64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        let mut word = [0u8; 8];
+        for (dst, src) in word.iter_mut().zip(bytes) {
+            *dst = *src;
+        }
+        Ok(f64::from_le_bytes(word))
     }
 }
 

@@ -1,0 +1,429 @@
+//! Cross-file drift checks: stats counters vs. test assertions, bench
+//! metrics vs. gate floors, `STATE_VERSION` vs. migration tests.
+//!
+//! These rules exist because the repo's invariants live in *pairs* of
+//! places — a counter and its assertion, a metric and its floor, a version
+//! constant and its migration test — and runtime testing cannot notice when
+//! one half of a pair is added without the other.
+
+use crate::config::{Config, Waiver};
+use crate::lexer::{line_of, Scan};
+use crate::rules::Violation;
+
+/// One scanned workspace file, root-relative.
+pub struct FileScan {
+    pub rel: String,
+    pub src: String,
+    pub scan: Scan,
+}
+
+impl FileScan {
+    /// Whether the whole file is test code (an integration-test or bench
+    /// tree), as opposed to a production file with embedded test regions.
+    fn is_test_file(&self) -> bool {
+        self.rel.starts_with("tests/")
+            || self.rel.contains("/tests/")
+            || self.rel.starts_with("benches/")
+            || self.rel.contains("/benches/")
+    }
+}
+
+/// The concatenated masked text of all test code in the workspace.
+fn test_corpus(files: &[FileScan]) -> String {
+    let mut corpus = String::new();
+    for f in files {
+        if f.is_test_file() {
+            corpus.push_str(&f.scan.masked);
+            corpus.push('\n');
+        } else {
+            for r in &f.scan.test_regions {
+                corpus.push_str(&f.scan.masked[r.clone()]);
+                corpus.push('\n');
+            }
+        }
+    }
+    corpus
+}
+
+fn waived(waivers: &[Waiver], key: &str) -> Option<String> {
+    waivers
+        .iter()
+        .find(|w| w.key == key)
+        .map(|w| w.reason.clone())
+}
+
+/// Whether `token` occurs in `haystack` with non-identifier characters on
+/// both sides.
+fn has_token(haystack: &str, token: &str) -> bool {
+    let mut search = 0;
+    while let Some(pos) = haystack[search..].find(token) {
+        let at = search + pos;
+        search = at + token.len();
+        // A `.field` probe is anchored by its own dot; bare tokens need a
+        // non-identifier character before them.
+        let before_ok = token.starts_with('.') || at == 0 || {
+            let b = haystack.as_bytes()[at - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        let after_ok = haystack
+            .as_bytes()
+            .get(at + token.len())
+            .is_none_or(|&b| !(b.is_ascii_alphanumeric() || b == b'_'));
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// `drift-stats`: every `pub` field of the configured `*Stats` structs must
+/// be read somewhere in test code (`.field` access), or carry a
+/// `Struct.field` waiver in `lints.toml`.
+pub fn stats(cfg: &Config, files: &[FileScan], out: &mut Vec<Violation>) {
+    if cfg.stats_structs.is_empty() {
+        return;
+    }
+    let corpus = test_corpus(files);
+    for name in &cfg.stats_structs {
+        let needle = format!("struct {name}");
+        let Some((file, def_at)) = files.iter().find_map(|f| {
+            let mut search = 0;
+            while let Some(pos) = f.scan.masked[search..].find(&needle) {
+                let at = search + pos;
+                search = at + needle.len();
+                // Word boundary after the name (`struct BrokerStatsExt`
+                // must not match `BrokerStats`).
+                let after = f.scan.masked.as_bytes().get(at + needle.len());
+                if after.is_none_or(|&b| !(b.is_ascii_alphanumeric() || b == b'_')) {
+                    return Some((f, at));
+                }
+            }
+            None
+        }) else {
+            out.push(Violation {
+                rule: "drift-stats",
+                file: "lints.toml".to_owned(),
+                line: 0,
+                message: format!("configured stats struct `{name}` not found in the workspace"),
+                waived: None,
+            });
+            continue;
+        };
+        let masked = &file.scan.masked;
+        let Some(body_open) = masked[def_at..].find('{').map(|p| def_at + p) else {
+            continue;
+        };
+        let body_end = crate::lexer::matching(masked.as_bytes(), body_open, b'{', b'}')
+            .unwrap_or(masked.len());
+        let body = &masked[body_open..body_end];
+        for (field, field_at) in pub_fields(body) {
+            let probe = format!(".{field}");
+            if has_token(&corpus, &probe) {
+                continue;
+            }
+            let key = format!("{name}.{field}");
+            let line = line_of(&file.src, body_open + field_at);
+            out.push(Violation {
+                rule: "drift-stats",
+                file: file.rel.clone(),
+                line,
+                message: format!("counter `{key}` is never asserted in any test"),
+                waived: waived(&cfg.waive_stats, &key),
+            });
+        }
+    }
+}
+
+/// Extracts `(field name, offset in body)` for each `pub <ident>:` field.
+fn pub_fields(body: &str) -> Vec<(String, usize)> {
+    let bytes = body.as_bytes();
+    let mut out = Vec::new();
+    let mut search = 0;
+    while let Some(pos) = body[search..].find("pub ") {
+        let at = search + pos;
+        search = at + 4;
+        if at > 0 {
+            let prev = bytes[at - 1];
+            if prev.is_ascii_alphanumeric() || prev == b'_' {
+                continue;
+            }
+        }
+        let rest = &body[at + 4..];
+        let name: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let after = rest.trim_start()[name.len()..].trim_start();
+        if after.starts_with(':') {
+            out.push((name, at));
+        }
+    }
+    out
+}
+
+/// `drift-bench`: every gate-worthy metric key in the tracked bench JSON
+/// must have a floor in the `FLOORS` table or a dotted-path waiver.
+pub fn bench(cfg: &Config, root: &std::path::Path, files: &[FileScan], out: &mut Vec<Violation>) {
+    let (Some(json_rel), Some(floors_rel)) = (&cfg.bench_json, &cfg.bench_floors) else {
+        return;
+    };
+    let Ok(json) = std::fs::read_to_string(root.join(json_rel)) else {
+        // A missing bench file is not drift — fresh checkouts have none.
+        return;
+    };
+    let floors_src = files
+        .iter()
+        .find(|f| &f.rel == floors_rel)
+        .map(|f| f.src.clone())
+        .or_else(|| std::fs::read_to_string(root.join(floors_rel)).ok());
+    let Some(floors_src) = floors_src else {
+        out.push(Violation {
+            rule: "drift-bench",
+            file: "lints.toml".to_owned(),
+            line: 0,
+            message: format!("bench_floors file `{floors_rel}` not found"),
+            waived: None,
+        });
+        return;
+    };
+    let floors = floor_paths(&floors_src);
+    for (path, line) in metric_paths(&json, &cfg.bench_metric_prefixes) {
+        if floors.contains(&path) {
+            continue;
+        }
+        out.push(Violation {
+            rule: "drift-bench",
+            file: json_rel.clone(),
+            line,
+            message: format!(
+                "bench metric `{path}` has no floor in `{floors_rel}` FLOORS — a regression \
+                 would go ungated"
+            ),
+            waived: waived(&cfg.waive_bench, &path),
+        });
+    }
+}
+
+/// Dotted paths (with 1-indexed lines) of numeric JSON keys whose leaf name
+/// starts with one of `prefixes`. A tiny structural scan — enough for the
+/// tracked bench file's flat object-of-objects shape.
+fn metric_paths(json: &str, prefixes: &[String]) -> Vec<(String, usize)> {
+    let bytes = json.as_bytes();
+    let mut stack: Vec<String> = Vec::new();
+    let mut pending: Option<String> = None;
+    let mut paths = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    if bytes[j] == b'\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                let s = &json[start..j.min(json.len())];
+                i = (j + 1).min(bytes.len());
+                let mut k = i;
+                while k < bytes.len() && bytes[k].is_ascii_whitespace() {
+                    k += 1;
+                }
+                if bytes.get(k) != Some(&b':') {
+                    continue;
+                }
+                i = k + 1;
+                let mut v = i;
+                while v < bytes.len() && bytes[v].is_ascii_whitespace() {
+                    v += 1;
+                }
+                if bytes.get(v) == Some(&b'{') {
+                    pending = Some(s.to_owned());
+                } else if prefixes.iter().any(|p| s.starts_with(p.as_str())) {
+                    let mut segs: Vec<&str> = stack
+                        .iter()
+                        .filter(|s| !s.is_empty())
+                        .map(|s| s.as_str())
+                        .collect();
+                    segs.push(s);
+                    paths.push((segs.join("."), line_of(json, start)));
+                }
+            }
+            b'{' => {
+                stack.push(pending.take().unwrap_or_default());
+                i += 1;
+            }
+            b'}' => {
+                stack.pop();
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    paths
+}
+
+/// Dotted paths declared in a `FLOORS` table of the shape
+/// `(&["section", "metric"], 2.0)`, parsed textually from the raw source.
+fn floor_paths(src: &str) -> Vec<String> {
+    let Some(at) = src.find("FLOORS") else {
+        return Vec::new();
+    };
+    let bytes = src.as_bytes();
+    // Anchor on the initializer's `=` — the first `[` after FLOORS is in
+    // the type annotation (`&[(&[&str], f64)]`), not the table.
+    let Some(eq) = src[at..].find('=').map(|p| at + p) else {
+        return Vec::new();
+    };
+    let Some(open) = src[eq..].find('[').map(|p| eq + p) else {
+        return Vec::new();
+    };
+    let end = crate::lexer::matching(bytes, open, b'[', b']').unwrap_or(src.len());
+    let body = &src[open + 1..end.saturating_sub(1)];
+    // Every inner `[...]` group's string literals form one dotted path.
+    let mut paths = Vec::new();
+    let mut groups: Vec<Vec<String>> = Vec::new();
+    let b = body.as_bytes();
+    let mut i = 0usize;
+    while i < b.len() {
+        match b[i] {
+            b'[' => {
+                groups.push(Vec::new());
+                i += 1;
+            }
+            b']' => {
+                if let Some(g) = groups.pop() {
+                    if !g.is_empty() {
+                        paths.push(g.join("."));
+                    }
+                }
+                i += 1;
+            }
+            b'"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != b'"' {
+                    if b[j] == b'\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                if let Some(g) = groups.last_mut() {
+                    g.push(body[start..j.min(body.len())].to_owned());
+                }
+                i = (j + 1).min(b.len());
+            }
+            _ => i += 1,
+        }
+    }
+    paths
+}
+
+/// `drift-state-version`: every `const STATE_VERSION` definition site must
+/// be referenced by test code, so a version bump cannot land without a
+/// migration test noticing.
+pub fn state_version(cfg: &Config, files: &[FileScan], out: &mut Vec<Violation>) {
+    if !cfg.check_state_version {
+        return;
+    }
+    let corpus = test_corpus(files);
+    let covered = has_token(&corpus, "STATE_VERSION");
+    for f in files {
+        if f.is_test_file() {
+            continue;
+        }
+        let masked = &f.scan.masked;
+        let mut search = 0;
+        while let Some(pos) = masked[search..].find("STATE_VERSION") {
+            let at = search + pos;
+            search = at + "STATE_VERSION".len();
+            if f.scan.in_test_region(at) {
+                continue;
+            }
+            // Only the definition site: `const STATE_VERSION`.
+            let line_start = masked[..at].rfind('\n').map_or(0, |p| p + 1);
+            if !masked[line_start..at].contains("const ") {
+                continue;
+            }
+            if !covered {
+                out.push(Violation {
+                    rule: "drift-state-version",
+                    file: f.rel.clone(),
+                    line: line_of(&f.src, at),
+                    message: "`STATE_VERSION` definition has no migration test referencing it"
+                        .to_owned(),
+                    waived: None,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn fs(rel: &str, src: &str) -> FileScan {
+        FileScan {
+            rel: rel.to_owned(),
+            src: src.to_owned(),
+            scan: scan(src),
+        }
+    }
+
+    #[test]
+    fn unasserted_stats_field_is_flagged() {
+        let def = "pub struct FooStats {\n    pub hits: u64,\n    pub misses: u64,\n}\n";
+        let test = "#[test]\nfn t() { assert_eq!(s.hits, 1); }\n";
+        let files = vec![fs("src/a.rs", def), fs("tests/t.rs", test)];
+        let cfg = Config {
+            stats_structs: vec!["FooStats".into()],
+            ..Config::default()
+        };
+        let mut out = Vec::new();
+        stats(&cfg, &files, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("FooStats.misses"));
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn metric_and_floor_paths_line_up() {
+        let json = "{\n  \"speedup_a\": 2.5,\n  \"ingest\": {\n    \"scaling_b\": 3.0,\n    \"note\": \"x\"\n  }\n}\n";
+        let prefixes = vec!["speedup_".to_owned(), "scaling_".to_owned()];
+        let got = metric_paths(json, &prefixes);
+        let paths: Vec<&str> = got.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, vec!["speedup_a", "ingest.scaling_b"]);
+
+        let floors = "pub const FLOORS: &[(&[&str], f64)] = &[\n    (&[\"speedup_a\"], 2.0),\n    (&[\"ingest\", \"scaling_b\"], 2.0),\n];\n";
+        assert_eq!(floor_paths(floors), vec!["speedup_a", "ingest.scaling_b"]);
+    }
+
+    #[test]
+    fn state_version_needs_a_test_reference() {
+        let prod = "pub const STATE_VERSION: u8 = 4;\n";
+        let cfg = Config {
+            check_state_version: true,
+            ..Config::default()
+        };
+        let mut out = Vec::new();
+        state_version(&cfg, &[fs("src/a.rs", prod)], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "drift-state-version");
+
+        let test = "#[test]\nfn migrates() { assert!(STATE_VERSION >= 4); }\n";
+        let mut out2 = Vec::new();
+        state_version(
+            &cfg,
+            &[fs("src/a.rs", prod), fs("tests/m.rs", test)],
+            &mut out2,
+        );
+        assert!(out2.is_empty(), "{out2:?}");
+    }
+}

@@ -1,0 +1,440 @@
+//! A minimal Rust surface lexer for textual lint rules.
+//!
+//! Lint rules match tokens in source text, so the one job of this module is
+//! to make that matching *honest*: a `.unwrap()` inside a string literal, a
+//! doc comment, or a `#[cfg(test)]` module is not a violation. The lexer
+//! produces a **masked** copy of the source — comment and literal contents
+//! blanked to spaces, newlines preserved so byte offsets and line numbers
+//! stay aligned with the original — plus the `lint:` directives found in
+//! comments and the byte ranges of test-only code.
+//!
+//! This is deliberately not a full parser. It understands exactly as much
+//! Rust as the rules need: line/block comments (nested), string / raw
+//! string / byte string / char literals, lifetimes, attributes, and brace
+//! matching. That subset is stable across editions and keeps the linter
+//! dependency-free.
+
+use std::ops::Range;
+
+/// One `lint:` directive extracted from a comment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Directive {
+    /// 1-indexed line the comment starts on.
+    pub line: usize,
+    /// Byte offset of the comment opener in the source.
+    pub offset: usize,
+    /// Directive text after the `lint:` marker, trimmed.
+    pub text: String,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Source with comment bodies and literal contents blanked to spaces.
+    /// Same byte length as the input; newlines are preserved.
+    pub masked: String,
+    /// Every `lint:` directive, in source order.
+    pub directives: Vec<Directive>,
+    /// Byte ranges covering `#[cfg(test)]` items and `#[test]` functions.
+    pub test_regions: Vec<Range<usize>>,
+}
+
+impl Scan {
+    /// Whether `offset` falls inside test-only code.
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions.iter().any(|r| r.contains(&offset))
+    }
+}
+
+/// 1-indexed line number of a byte offset.
+pub fn line_of(src: &str, offset: usize) -> usize {
+    src.as_bytes()[..offset.min(src.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// Lexes `src` into a [`Scan`].
+pub fn scan(src: &str) -> Scan {
+    let bytes = src.as_bytes();
+    let mut masked = Vec::with_capacity(bytes.len());
+    let mut directives = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Blanks `bytes[from..to]` into `masked`, preserving newlines, and
+    // harvests any `lint:` directive from the skipped comment text.
+    let blank = |masked: &mut Vec<u8>,
+                 directives: &mut Vec<Directive>,
+                 line: &mut usize,
+                 from: usize,
+                 to: usize,
+                 comment: bool| {
+        if comment {
+            let text = &src[from..to];
+            if let Some(pos) = text.find("lint:") {
+                let rest = text[pos + "lint:".len()..].trim();
+                // Strip a trailing block-comment closer.
+                let rest = rest.strip_suffix("*/").map_or(rest, str::trim_end);
+                directives.push(Directive {
+                    line: *line,
+                    offset: from,
+                    text: rest.to_owned(),
+                });
+            }
+        }
+        for &b in &bytes[from..to] {
+            if b == b'\n' {
+                masked.push(b'\n');
+                *line += 1;
+            } else {
+                masked.push(b' ');
+            }
+        }
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = src[i..].find('\n').map_or(bytes.len(), |n| i + n);
+                blank(&mut masked, &mut directives, &mut line, i, end, true);
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comments, as Rust allows.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                blank(&mut masked, &mut directives, &mut line, i, j, true);
+                i = j;
+            }
+            b'"' => {
+                let end = skip_string(bytes, i);
+                masked.push(b'"');
+                blank(
+                    &mut masked,
+                    &mut directives,
+                    &mut line,
+                    i + 1,
+                    end - 1,
+                    false,
+                );
+                masked.push(b'"');
+                i = end;
+            }
+            b'r' | b'b' if is_raw_or_byte_literal(bytes, i) => {
+                let (open, end) = skip_raw_or_byte(bytes, i);
+                masked.extend_from_slice(&bytes[i..open]);
+                blank(&mut masked, &mut directives, &mut line, open, end, false);
+                i = end;
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    masked.push(b'\'');
+                    blank(
+                        &mut masked,
+                        &mut directives,
+                        &mut line,
+                        i + 1,
+                        end - 1,
+                        false,
+                    );
+                    masked.push(b'\'');
+                    i = end;
+                } else {
+                    // A lifetime / loop label: keep the tick.
+                    masked.push(b'\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                if b == b'\n' {
+                    line += 1;
+                }
+                masked.push(b);
+                i += 1;
+            }
+        }
+    }
+
+    let masked = String::from_utf8(masked).unwrap_or_default();
+    let test_regions = find_test_regions(&masked);
+    Scan {
+        masked,
+        directives,
+        test_regions,
+    }
+}
+
+/// Returns the index just past a `"`-delimited string starting at `i`.
+fn skip_string(bytes: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Whether `i` starts a raw string (`r"`, `r#"`), byte string (`b"`), or
+/// raw byte string (`br#"`) literal rather than a plain identifier.
+fn is_raw_or_byte_literal(bytes: &[u8], i: usize) -> bool {
+    // Not a literal when the r/b is the tail of an identifier (`attr"..."`
+    // cannot occur; `var"` is not Rust; but `number_of_rs` followed by
+    // something must not confuse us — require a non-ident char before).
+    if i > 0 {
+        let prev = bytes[i - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) == Some(&b'"') {
+            return true; // b"..."
+        }
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&b'"');
+    }
+    false
+}
+
+/// Returns `(content start, index past the literal)` for the raw/byte
+/// string starting at `i`. For `b"..."` the content is scanned with escape
+/// handling; raw forms scan to `"` followed by the opener's `#` count.
+fn skip_raw_or_byte(bytes: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        let mut hashes = 0usize;
+        while bytes.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        let open = j + 1; // past the opening quote
+        let mut k = open;
+        while k < bytes.len() {
+            if bytes[k] == b'"' && bytes[k + 1..].iter().take(hashes).all(|&h| h == b'#') {
+                return (open, k + 1 + hashes);
+            }
+            k += 1;
+        }
+        (open, k)
+    } else {
+        // b"..."
+        let end = skip_string(bytes, j);
+        (j + 1, end)
+    }
+}
+
+/// Returns the index past a char literal starting at `i`, or `None` when
+/// the tick is a lifetime / loop label.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i + 1)? {
+        b'\\' => {
+            // Escape: scan to the closing tick.
+            let mut j = i + 2;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'\'' => return Some(j + 1),
+                    _ => j += 1,
+                }
+            }
+            None
+        }
+        _ => {
+            // `'x'` is a char literal; `'x` (no closing tick right after
+            // one scalar) is a lifetime. Multi-byte scalars: find the next
+            // tick within 4 bytes.
+            let mut j = i + 2;
+            while j < (i + 6).min(bytes.len()) {
+                if bytes[j] == b'\'' {
+                    return Some(j + 1);
+                }
+                if !is_utf8_continuation(bytes[j]) && j > i + 2 {
+                    break;
+                }
+                j += 1;
+            }
+            None
+        }
+    }
+}
+
+fn is_utf8_continuation(b: u8) -> bool {
+    b & 0b1100_0000 == 0b1000_0000
+}
+
+/// Finds the byte ranges of `#[cfg(test)]` items and `#[test]` functions in
+/// masked source (so attribute text inside strings cannot confuse it).
+fn find_test_regions(masked: &str) -> Vec<Range<usize>> {
+    let bytes = masked.as_bytes();
+    let mut regions: Vec<Range<usize>> = Vec::new();
+    let mut search = 0usize;
+    while let Some(pos) = masked[search..].find("#[") {
+        let attr_start = search + pos;
+        let Some(attr_end) = matching(bytes, attr_start + 1, b'[', b']') else {
+            break;
+        };
+        let attr = &masked[attr_start..attr_end];
+        search = attr_end;
+        if !(attr.contains("cfg(test)")
+            || attr.contains("cfg(all(test")
+            || attr.contains("cfg(any(test")
+            || attr == "#[test]"
+            || attr.starts_with("#[test ")
+            || attr.contains("tokio::test"))
+        {
+            continue;
+        }
+        // The attribute applies to the next item: skip further attributes,
+        // then take everything to the end of the item (matched `{...}` or
+        // the terminating `;`).
+        let mut j = attr_end;
+        loop {
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'#') && bytes.get(j + 1) == Some(&b'[') {
+                match matching(bytes, j + 1, b'[', b']') {
+                    Some(e) => j = e,
+                    None => break,
+                }
+            } else {
+                break;
+            }
+        }
+        let mut end = j;
+        while end < bytes.len() {
+            match bytes[end] {
+                b'{' => {
+                    end = matching(bytes, end, b'{', b'}').unwrap_or(bytes.len());
+                    break;
+                }
+                b';' => {
+                    end += 1;
+                    break;
+                }
+                _ => end += 1,
+            }
+        }
+        // Coalesce: an inner `#[test]` already inside a `#[cfg(test)]` mod
+        // extends nothing.
+        if let Some(last) = regions.last_mut() {
+            if last.contains(&attr_start) {
+                if end > last.end {
+                    last.end = end;
+                }
+                if end > search {
+                    search = end;
+                }
+                continue;
+            }
+        }
+        if end > search {
+            search = end;
+        }
+        regions.push(attr_start..end);
+    }
+    regions
+}
+
+/// Index just past the bracket pair opening at `open` (which must hold the
+/// `open_b` byte). `None` when unbalanced.
+pub fn matching(bytes: &[u8], open: usize, open_b: u8, close_b: u8) -> Option<usize> {
+    debug_assert_eq!(bytes.get(open), Some(&open_b));
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        if bytes[i] == open_b {
+            depth += 1;
+        } else if bytes[i] == close_b {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i + 1);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let x = \"panic!\"; // .unwrap() here\nlet y = 1;";
+        let s = scan(src);
+        assert_eq!(s.masked.len(), src.len());
+        assert!(!s.masked.contains("panic!"));
+        assert!(!s.masked.contains(".unwrap()"));
+        assert!(s.masked.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked_lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) { let s = r#\"unreachable!()\"#; let c = '\\''; }";
+        let s = scan(src);
+        assert!(!s.masked.contains("unreachable!"));
+        assert!(s.masked.contains("fn f<'a>"));
+        assert_eq!(s.masked.len(), src.len());
+    }
+
+    #[test]
+    fn directives_are_harvested_with_lines() {
+        let src =
+            "fn a() {}\n// lint: zero-alloc-begin\nfn b() {}\n// lint:allow(no-panic): init only\n";
+        let s = scan(src);
+        assert_eq!(s.directives.len(), 2);
+        assert_eq!(s.directives[0].line, 2);
+        assert_eq!(s.directives[0].text, "zero-alloc-begin");
+        assert_eq!(s.directives[1].line, 4);
+        assert_eq!(s.directives[1].text, "allow(no-panic): init only");
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { y.unwrap(); }\n}\n";
+        let s = scan(src);
+        assert_eq!(s.test_regions.len(), 1);
+        let prod = src.find("x.unwrap").unwrap();
+        let test = src.find("y.unwrap").unwrap();
+        assert!(!s.in_test_region(prod));
+        assert!(s.in_test_region(test));
+    }
+
+    #[test]
+    fn standalone_test_fn_is_a_region() {
+        let src = "#[test]\nfn t() { a.unwrap(); }\nfn prod() { b.unwrap(); }\n";
+        let s = scan(src);
+        assert!(s.in_test_region(src.find("a.unwrap").unwrap()));
+        assert!(!s.in_test_region(src.find("b.unwrap").unwrap()));
+    }
+}

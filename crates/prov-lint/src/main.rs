@@ -1,0 +1,71 @@
+//! `provlight-lint` — the CI entry point.
+//!
+//! Usage: `provlight-lint [ROOT]`. With no argument the tool walks up from
+//! the current directory to the nearest `lints.toml`. Exit status is 0 when
+//! every finding is waived, 1 on unwaived violations, 2 on usage or I/O
+//! errors — so CI distinguishes "the code is bad" from "the gate is
+//! broken".
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let root = match args.next() {
+        Some(arg) if arg == "--help" || arg == "-h" => {
+            eprintln!("usage: provlight-lint [ROOT]   # ROOT holds lints.toml");
+            return ExitCode::from(0);
+        }
+        Some(arg) => PathBuf::from(arg),
+        None => match find_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("provlight-lint: no lints.toml found walking up from the current dir");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let report = match prov_lint::lint_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("provlight-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut unwaived = 0usize;
+    for v in report.unwaived() {
+        unwaived += 1;
+        println!("{} {}:{} {}", v.rule, v.file, v.line, v.message);
+    }
+
+    let tally = report.waiver_tally();
+    let waived_total: usize = tally.iter().map(|(_, n)| n).sum();
+    println!(
+        "provlight-lint: {} files, {} violation(s), {} waived",
+        report.files, unwaived, waived_total
+    );
+    for (rule, n) in &tally {
+        println!("  waived {rule}: {n}");
+    }
+
+    if unwaived > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::from(0)
+    }
+}
+
+/// Nearest ancestor directory containing `lints.toml`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("lints.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Test corpus keeping the clean fixture drift-free: every stats counter
+//! and the state version are referenced here.
+
+pub fn covers(s: &CleanStats) {
+    assert_eq!(s.ticks, 0);
+    assert_eq!(STATE_VERSION, 1);
+}

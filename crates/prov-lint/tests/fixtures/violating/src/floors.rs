@@ -1,0 +1,4 @@
+//! Bench-floor fixture: `speedup_floored` is gated, `speedup_orphaned`
+//! is not.
+
+pub const FLOORS: &[(&[&str], f64)] = &[(&["speedup_floored"], 2.0)];

@@ -1,0 +1,13 @@
+//! Zero-alloc fixture: an allocation idiom inside the annotated region.
+
+pub fn cold() -> Vec<u8> {
+    Vec::new()
+}
+
+// lint: zero-alloc-begin
+pub fn hot(out: &mut Vec<u8>) {
+    out.extend_from_slice(b"ok");
+    let copy = out.to_vec();
+    drop(copy);
+}
+// lint: zero-alloc-end

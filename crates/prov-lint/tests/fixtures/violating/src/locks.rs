@@ -1,0 +1,22 @@
+//! Lock-order fixture: a rank inversion and a blocking send under the
+//! outer lock; `ordered` shows the compliant shape.
+
+pub fn inverted(outer: &Lock, inner: &Lock) {
+    let i = inner.lock();
+    let o = outer.lock();
+    drop(o);
+    drop(i);
+}
+
+pub fn send_under_lock(outer: &Lock, socket: &Socket, buf: &[u8]) {
+    let g = outer.lock();
+    socket.send(buf);
+    drop(g);
+}
+
+pub fn ordered(outer: &Lock, inner: &Lock) {
+    let o = outer.lock();
+    let i = inner.lock();
+    drop(i);
+    drop(o);
+}

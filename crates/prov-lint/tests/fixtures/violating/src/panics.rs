@@ -1,0 +1,27 @@
+//! Panic-rule fixture: one raw violation, one waived call, one
+//! reason-less directive, and test-region / string-literal exemptions.
+
+pub fn raw(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn waived(x: Option<u32>) -> u32 {
+    // lint:allow(no-panic): fixture: caller guarantees Some
+    x.expect("present")
+}
+
+// lint:allow(no-panic)
+pub fn reasonless() {}
+
+pub fn not_code() -> &'static str {
+    "panic! inside a string literal is not a finding"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_are_exempt() {
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+    }
+}

@@ -1,0 +1,24 @@
+//! Stats-drift fixture: `hits` is asserted in the embedded test region,
+//! `misses` in the integration-test tree, `orphaned` nowhere, and
+//! `waived_field` carries a `lints.toml` waiver.
+
+pub struct GadgetStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub orphaned: u64,
+    pub waived_field: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn embedded_regions_count_as_test_corpus() {
+        let s = super::GadgetStats {
+            hits: 1,
+            misses: 0,
+            orphaned: 0,
+            waived_field: 0,
+        };
+        assert_eq!(s.hits, 1);
+    }
+}

@@ -1,0 +1,3 @@
+//! State-version fixture: a bump with no migration test anywhere.
+
+pub const STATE_VERSION: u8 = 9;

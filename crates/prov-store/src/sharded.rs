@@ -68,7 +68,9 @@ impl ShardedStore {
         let n = shards.max(1).next_power_of_two();
         ShardedStore {
             shards: (0..n)
-                .map(|_| RwLock::new(Store::with_retention(retention)))
+                .map(|_| {
+                    RwLock::with_rank(parking_lot::rank::SHARD, Store::with_retention(retention))
+                })
                 .collect(),
         }
     }
@@ -345,6 +347,10 @@ mod tests {
         store.ingest_batch(wf_records(7));
         let guard = store.read_for_data(&Id::Num(7), &Id::from("out")).unwrap();
         assert!(guard.data_by_id(&Id::Num(7), &Id::from("out")).is_some());
+        // Release before probing again: `read_for_data` scans every shard,
+        // and re-entering a held shard's lock trips the order tracker (a
+        // reader re-acquiring under a waiting writer can deadlock).
+        drop(guard);
         assert!(store
             .read_for_data(&Id::Num(7), &Id::from("nope"))
             .is_none());

@@ -30,6 +30,20 @@ pub mod wal;
 pub use fault::{IoFault, IoOp};
 pub use wal::{Wal, WalConfig};
 
+/// Copies up to `N` leading bytes of `b` into a zero-padded array.
+///
+/// The panic-free alternative to `b[..N].try_into().unwrap()` for decoding
+/// fixed-width integers out of framed headers: callers have already
+/// length-checked the buffer, and a short slice yields zero-padded bytes
+/// that fail the frame's CRC check instead of aborting the process.
+pub fn le_bytes<const N: usize>(b: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    for (dst, src) in out.iter_mut().zip(b) {
+        *dst = *src;
+    }
+    out
+}
+
 /// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the same
 /// checksum Ethernet, gzip, and most WAL implementations use.
 pub fn crc32(data: &[u8]) -> u32 {

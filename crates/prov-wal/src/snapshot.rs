@@ -12,8 +12,8 @@
 //! target — a crash mid-write leaves the previous snapshot intact, never a
 //! half-written one.
 
-use crate::crc32;
 use crate::fault::{faulted_write, IoFault, IoOp};
+use crate::{crc32, le_bytes};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read};
 use std::path::Path;
@@ -81,8 +81,8 @@ pub fn read(path: impl AsRef<Path>) -> io::Result<Vec<u8>> {
     if header[4] != VERSION {
         return Err(invalid("unsupported snapshot version"));
     }
-    let len = u64::from_le_bytes(header[8..16].try_into().unwrap());
-    let crc = u32::from_le_bytes(header[16..20].try_into().unwrap());
+    let len = u64::from_le_bytes(le_bytes(&header[8..16]));
+    let crc = u32::from_le_bytes(le_bytes(&header[16..20]));
     let mut payload = Vec::new();
     file.read_to_end(&mut payload)?;
     if payload.len() as u64 != len {

@@ -41,8 +41,8 @@
 //! same oldest-first/exact-accounting contract as the in-RAM
 //! `DisconnectionBuffer` this log backstops.
 
-use crate::crc32_update;
 use crate::fault::{faulted_write, IoFault, IoOp};
+use crate::{crc32_update, le_bytes};
 use std::collections::VecDeque;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -223,9 +223,9 @@ fn scan_segment(path: &Path) -> io::Result<Option<Vec<FrameSpan>>> {
         let mut fh = [0u8; FRAME_HEADER as usize];
         file.seek(SeekFrom::Start(off))?;
         file.read_exact(&mut fh)?;
-        let len = u32::from_le_bytes(fh[0..4].try_into().unwrap());
-        let records = u32::from_le_bytes(fh[4..8].try_into().unwrap());
-        let crc = u32::from_le_bytes(fh[8..12].try_into().unwrap());
+        let len = u32::from_le_bytes(le_bytes(&fh[0..4]));
+        let records = u32::from_le_bytes(le_bytes(&fh[4..8]));
+        let crc = u32::from_le_bytes(le_bytes(&fh[8..12]));
         if len > MAX_FRAME_PAYLOAD || off + FRAME_HEADER + len as u64 > file_len {
             break; // corrupt length or truncated payload
         }
@@ -245,14 +245,21 @@ fn scan_segment(path: &Path) -> io::Result<Option<Vec<FrameSpan>>> {
     Ok(Some(frames))
 }
 
+/// An internal-invariant failure surfaced as an I/O error instead of a
+/// panic: the WAL sits on the capture path, where aborting the process
+/// would lose exactly the data the log exists to protect.
+fn invariant(what: &str) -> io::Error {
+    io::Error::other(format!("wal invariant violated: {what}"))
+}
+
 fn read_cursor(path: &Path) -> Option<(u64, u64)> {
     let bytes = fs::read(path).ok()?;
     if bytes.len() != 24 || bytes[..4] != CURSOR_MAGIC {
         return None;
     }
-    let seq = u64::from_le_bytes(bytes[4..12].try_into().unwrap());
-    let off = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
-    let crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+    let seq = u64::from_le_bytes(le_bytes(&bytes[4..12]));
+    let off = u64::from_le_bytes(le_bytes(&bytes[12..20]));
+    let crc = u32::from_le_bytes(le_bytes(&bytes[20..24]));
     let state = crc32_update(!0, &bytes[4..20]) ^ !0;
     (crc == state).then_some((seq, off))
 }
@@ -343,13 +350,16 @@ impl Wal {
             return Ok(records as u64);
         }
         self.ensure_writable_segment(frame_bytes)?;
+        // lint: zero-alloc-begin
         let records32 = u32::try_from(records).unwrap_or(u32::MAX);
         let crc = frame_crc(records32, payload);
         let mut header = [0u8; FRAME_HEADER as usize];
         header[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
         header[4..8].copy_from_slice(&records32.to_le_bytes());
         header[8..12].copy_from_slice(&crc.to_le_bytes());
-        let writer = self.writer.as_mut().expect("ensured above");
+        let Some(writer) = self.writer.as_mut() else {
+            return Err(invariant("writer present after segment rotation"));
+        };
         let sync = self.cfg.sync_on_append;
         let fault = self.cfg.fault.as_deref();
         let wrote = (|| {
@@ -367,22 +377,28 @@ impl Wal {
             // bookkeeping offsets from the file: roll the segment back to
             // its last intact frame, or seal it so the next append rotates
             // to a fresh file instead of writing after the garbage.
-            let back = self.segments.back_mut().expect("ensured above");
-            let rolled = writer
-                .set_len(back.size)
-                .and_then(|()| writer.seek(SeekFrom::Start(back.size)).map(|_| ()));
-            if rolled.is_err() {
-                back.writable = false;
+            if let Some(back) = self.segments.back_mut() {
+                let rolled = writer
+                    .set_len(back.size)
+                    .and_then(|()| writer.seek(SeekFrom::Start(back.size)).map(|_| ()));
+                if rolled.is_err() {
+                    back.writable = false;
+                    self.writer = None;
+                }
+            } else {
                 self.writer = None;
             }
             return Err(e);
         }
-        let back = self.segments.back_mut().expect("ensured above");
+        let Some(back) = self.segments.back_mut() else {
+            return Err(invariant("segment present after successful append"));
+        };
         back.size += frame_bytes;
         back.records += records as u64;
         self.total_records += records as u64;
         self.appended_records += records as u64;
         self.appended_bytes += payload.len() as u64;
+        // lint: zero-alloc-end
         Ok(self.evict_over_cap())
     }
 
@@ -435,7 +451,9 @@ impl Wal {
     fn evict_over_cap(&mut self) -> u64 {
         let mut dropped = 0;
         while self.disk_bytes() > self.cfg.max_total_bytes && self.segments.len() > 1 {
-            let seg = self.segments.pop_front().expect("len > 1");
+            let Some(seg) = self.segments.pop_front() else {
+                break;
+            };
             if matches!(self.reader, Some((seq, _)) if seq == seg.seq) {
                 self.reader = None;
             }
@@ -466,14 +484,16 @@ impl Wal {
                 file.seek(SeekFrom::Start(read_off))?;
                 self.reader = Some((seq, file));
             }
-            let file = &mut self.reader.as_mut().expect("just ensured").1;
+            let Some((_, file)) = self.reader.as_mut() else {
+                return Err(invariant("segment reader open for the front segment"));
+            };
             let mut fh = [0u8; FRAME_HEADER as usize];
             file.seek(SeekFrom::Start(read_off))?;
             let frame = (|| -> io::Result<Option<(Vec<u8>, u32)>> {
                 file.read_exact(&mut fh)?;
-                let len = u32::from_le_bytes(fh[0..4].try_into().unwrap());
-                let records = u32::from_le_bytes(fh[4..8].try_into().unwrap());
-                let crc = u32::from_le_bytes(fh[8..12].try_into().unwrap());
+                let len = u32::from_le_bytes(le_bytes(&fh[0..4]));
+                let records = u32::from_le_bytes(le_bytes(&fh[4..8]));
+                let crc = u32::from_le_bytes(le_bytes(&fh[8..12]));
                 if len > MAX_FRAME_PAYLOAD {
                     return Ok(None);
                 }
@@ -486,7 +506,9 @@ impl Wal {
             })();
             match frame {
                 Ok(Some((payload, records))) => {
-                    let front = self.segments.front_mut().expect("still present");
+                    let Some(front) = self.segments.front_mut() else {
+                        return Err(invariant("front segment present after frame read"));
+                    };
                     front.read_off += FRAME_HEADER + payload.len() as u64;
                     front.records = front.records.saturating_sub(records as u64);
                     self.total_records = self.total_records.saturating_sub(records as u64);

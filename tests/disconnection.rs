@@ -159,7 +159,8 @@ fn capture_survives_broker_outage_and_replays_in_order() {
     }
     assert!(
         wait_until(Duration::from_secs(10), || {
-            client.stats().buffered_records > 0
+            let s = client.stats();
+            s.buffered_records > 0 && s.buffered_bytes > 0
         }),
         "outage records never reached the buffer"
     );
@@ -200,6 +201,7 @@ fn capture_survives_broker_outage_and_replays_in_order() {
     assert!(stats.reconnects >= 1, "no reconnect recorded: {stats:?}");
     assert_eq!(stats.records_dropped, 0, "{stats:?}");
     assert_eq!(stats.buffered_records, 0, "{stats:?}");
+    assert_eq!(stats.buffered_bytes, 0, "{stats:?}");
     assert!(stats.buffered_high_water > 0, "{stats:?}");
     assert!(stats.records_replayed > 0, "{stats:?}");
 
