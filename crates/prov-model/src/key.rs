@@ -50,6 +50,44 @@ impl<'a> Borrow<dyn IdPairKey + 'a> for (Id, Id) {
     }
 }
 
+/// A named borrowed `(workflow, id)` probe for maps keyed by the owned
+/// pair.
+///
+/// Functionally identical to probing with `&(&Id, &Id) as &dyn IdPairKey`,
+/// but spelled inline at the call site:
+///
+/// ```
+/// # use prov_model::key::PairProbe;
+/// # use prov_model::Id;
+/// # use std::collections::HashMap;
+/// # let mut map: HashMap<(Id, Id), usize> = HashMap::new();
+/// # map.insert((Id::Num(1), Id::Num(2)), 7);
+/// # let (wf, id) = (Id::Num(1), Id::Num(2));
+/// let hit = map.get(PairProbe(&wf, &id).key());
+/// # assert_eq!(hit, Some(&7));
+/// ```
+///
+/// The traversal engine resolves derivation edges and pending forward
+/// references through these probes, so a lookup hit clones zero `Id`s.
+#[derive(Clone, Copy, Debug)]
+pub struct PairProbe<'a>(pub &'a Id, pub &'a Id);
+
+impl<'a> PairProbe<'a> {
+    /// This probe as the trait-object key hash maps accept.
+    pub fn key(&self) -> &(dyn IdPairKey + 'a) {
+        self
+    }
+}
+
+impl IdPairKey for PairProbe<'_> {
+    fn k0(&self) -> &Id {
+        self.0
+    }
+    fn k1(&self) -> &Id {
+        self.1
+    }
+}
+
 impl Hash for dyn IdPairKey + '_ {
     fn hash<H: Hasher>(&self, state: &mut H) {
         // Must match `#[derive(Hash)]` for `(Id, Id)`: parts in order.
@@ -151,6 +189,21 @@ mod tests {
         assert_eq!(map.get(probe), Some(&42));
         let miss: &dyn IdPairKey = &(&wf, &Id::Num(4));
         assert_eq!(map.get(miss), None);
+    }
+
+    #[test]
+    fn pair_probe_matches_owned_tuple() {
+        let mut map: HashMap<(Id, Id), usize> = HashMap::new();
+        map.insert((Id::from("wf"), Id::from("d3")), 9);
+        let wf = Id::from("wf");
+        let id = Id::from("d3");
+        assert_eq!(map.get(PairProbe(&wf, &id).key()), Some(&9));
+        assert_eq!(map.get(PairProbe(&wf, &Id::Num(0)).key()), None);
+        // Hashes agree with the owned tuple, so probe and stored key land
+        // in the same bucket.
+        let owned = (wf.clone(), id.clone());
+        let owned_dyn: &dyn IdPairKey = &owned;
+        assert_eq!(hash_of(owned_dyn), hash_of(PairProbe(&wf, &id).key()));
     }
 
     #[test]

@@ -15,10 +15,12 @@
 //!   per-workflow shards with independent locks, plus the grouped batch
 //!   router that parallel translators feed (one lock per shard per
 //!   envelope);
-//! * [`query`] — the query layer that answers the paper's §I motivating
-//!   questions (e.g. *"retrieve the hyperparameters with the 3 best
-//!   accuracy values"*, *"elapsed time and training loss per epoch"*),
-//!   plus lineage traversals (`wasDerivedFrom` chains);
+//! * [`query`] — the composable traversal engine: queries built from
+//!   path steps, filters, and cycle-guarded closure operators, executed
+//!   through paginated [`Cursor`]s that run concurrently with live
+//!   sharded ingest, plus the [`query::Query`] facade answering the
+//!   paper's §I motivating questions (e.g. *"retrieve the hyperparameters
+//!   with the 3 best accuracy values"*);
 //! * PROV-DM export via [`store::Store::to_prov_document`] for
 //!   interoperability (§IV-A).
 
@@ -28,7 +30,10 @@ pub mod sharded;
 pub mod smallset;
 pub mod store;
 
-pub use query::{LineageDirection, QueryError};
+pub use query::{
+    Cmp, Cursor, CursorOpts, Filter, Hit, LineageDirection, Page, Path, Query, QueryError,
+    QueryStats, SnapshotMode, Step,
+};
 pub use schema::{AttrType, AttributeDef, DataflowSpec, DatasetSpec, TransformationSpec};
 pub use sharded::{shared_sharded, ShardRouter, ShardedStore, SharedShardedStore};
 pub use smallset::SmallSet;

@@ -1,7 +1,30 @@
-//! The query layer.
+//! The query layer: a composable lineage traversal engine.
 //!
-//! Implements the analyses the paper motivates in §I for Federated
-//! Learning training:
+//! Queries are *composed*, not hand-coded: a [`Path`] names a source (a
+//! data node or an attribute column) and a sequence of steps — single
+//! hops along provenance edges, cycle-guarded closure operators
+//! ([`Path::upstream`] / [`Path::downstream`]), and declarative
+//! [`Filter`]s — and a [`Cursor`] executes it in pages of bounded work,
+//! so million-node lineages stream in bounded memory and, against a
+//! [`ShardedStore`](crate::sharded::ShardedStore), never hold a shard
+//! read lock for longer than one page
+//! ([`ShardedStore::open_cursor`](crate::sharded::ShardedStore::open_cursor)).
+//!
+//! ```
+//! use prov_store::query::{Cmp, Filter, Path};
+//!
+//! // "Which downstream artifacts of `raw` (within 8 hops) reached
+//! //  accuracy above 0.9?"
+//! let path = Path::from_data("raw").downstream(8).keep(Filter::Attr {
+//!     name: "accuracy".into(),
+//!     cmp: Cmp::Gt,
+//!     threshold: 0.9,
+//! });
+//! # let _ = path;
+//! ```
+//!
+//! The [`Query`] facade keeps the original one-call API — the analyses
+//! the paper motivates in §I for Federated Learning training:
 //!
 //! * *"What are the elapsed time and the training loss in the latest epoch
 //!   for each hyperparameter combination?"* → [`Query::task_metrics`] /
@@ -9,9 +32,24 @@
 //! * *"Retrieve the hyperparameters which obtained the 3 best accuracy
 //!   values"* → [`Query::top_k_by_attr`] + [`Query::upstream_inputs`];
 //!
-//! plus generic lineage traversal over `wasDerivedFrom` chains.
+//! — each method now a thin wrapper that composes a [`Path`] and drains a
+//! [`Cursor`]. Task-table reports (`tasks`, `task_metrics`, …) remain
+//! direct per-workflow list projections: they are O(tasks-of-workflow)
+//! reads with no traversal to compose.
 
-use crate::store::{Column, DataIdx, Store, TaskRow};
+pub mod cursor;
+pub mod filter;
+pub mod path;
+pub mod step;
+pub mod traverse;
+
+pub use cursor::{Cursor, CursorOpts, Hit, Page, SnapshotMode};
+pub use filter::{Cmp, Filter};
+pub use path::{Path, Source};
+pub use step::{Edge, Step};
+pub use traverse::QueryStats;
+
+use crate::store::{DataIdx, Store, TaskRow};
 use prov_model::{AttrValue, Id};
 use std::sync::Arc;
 
@@ -81,10 +119,45 @@ pub struct Query<'a> {
     store: &'a Store,
 }
 
+/// Facade drains run synchronously over an already-borrowed store, so
+/// they use an unbounded budget (no lock to release) and a larger page.
+fn drain_opts() -> CursorOpts {
+    CursorOpts {
+        page_size: 4096,
+        max_work: usize::MAX,
+        snapshot: SnapshotMode::Live,
+    }
+}
+
 impl<'a> Query<'a> {
     /// Wraps a store.
     pub fn new(store: &'a Store) -> Self {
         Query { store }
+    }
+
+    /// Opens a paginated cursor over a composed path (the engine's native
+    /// entry point; the methods below are one-call conveniences).
+    pub fn cursor(
+        &self,
+        workflow: &Id,
+        path: &Path,
+        opts: CursorOpts,
+    ) -> Result<Cursor, QueryError> {
+        Cursor::open(self.store, workflow, path, opts)
+    }
+
+    /// Runs a path to completion, returning raw `(row index, value)`
+    /// items in traversal order.
+    fn drain(&self, workflow: &Id, path: &Path) -> Result<Vec<(DataIdx, Option<f64>)>, QueryError> {
+        let mut cursor = Cursor::open(self.store, workflow, path, drain_opts())?;
+        let mut items = Vec::new();
+        loop {
+            let (page, done) = cursor.next_index_page(self.store);
+            items.extend(page);
+            if done {
+                return Ok(items);
+            }
+        }
     }
 
     fn workflow_tasks(&self, workflow: &Id) -> Result<Vec<&'a TaskRow>, QueryError> {
@@ -125,7 +198,8 @@ impl<'a> Query<'a> {
     }
 
     /// The k data items with the best (highest or lowest) values of a
-    /// numeric attribute. Returns `(data id, value)` sorted best-first.
+    /// numeric attribute. Returns `(data id, value)` sorted best-first;
+    /// ties resolve to the earlier column entry.
     pub fn top_k_by_attr(
         &self,
         workflow: &Id,
@@ -133,24 +207,25 @@ impl<'a> Query<'a> {
         k: usize,
         highest: bool,
     ) -> Result<Vec<(Id, f64)>, QueryError> {
-        let col = self
-            .store
-            .column(workflow, attr)
-            .ok_or_else(|| QueryError::NotNumeric(attr.to_owned()))?;
-        let Column::Numeric(values) = col else {
-            return Err(QueryError::NotNumeric(attr.to_owned()));
-        };
-        let mut rows: Vec<(DataIdx, f64)> = values.clone();
-        rows.sort_by(|a, b| {
-            let ord = a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal);
-            if highest {
-                ord.reverse()
-            } else {
-                ord
+        let items = self.drain(workflow, &Path::over_attr(attr))?;
+        // k-bounded selection instead of sorting the whole column: `best`
+        // stays sorted best-first; a candidate is placed after every entry
+        // at least as good, which reproduces the stable sort's tie order.
+        let mut best: Vec<(DataIdx, f64)> = Vec::with_capacity(k.min(items.len()));
+        for (idx, value) in items {
+            let v = value.unwrap_or(f64::NAN);
+            let pos = best
+                .iter()
+                .take_while(|(_, b)| if highest { *b >= v } else { *b <= v })
+                .count();
+            if pos < k {
+                if best.len() == k {
+                    best.pop();
+                }
+                best.insert(pos, (idx, v));
             }
-        });
-        rows.truncate(k);
-        Ok(rows
+        }
+        Ok(best
             .into_iter()
             .map(|(i, v)| (self.store.data()[i].id.clone(), v))
             .collect())
@@ -163,22 +238,16 @@ impl<'a> Query<'a> {
         workflow: &Id,
         attr: &str,
     ) -> Result<Vec<(u64, f64)>, QueryError> {
-        let col = self
-            .store
-            .column(workflow, attr)
-            .ok_or_else(|| QueryError::NotNumeric(attr.to_owned()))?;
-        let Column::Numeric(values) = col else {
-            return Err(QueryError::NotNumeric(attr.to_owned()));
-        };
-        let mut series: Vec<(u64, f64)> = values
-            .iter()
-            .map(|&(idx, v)| {
+        let items = self.drain(workflow, &Path::over_attr(attr))?;
+        let mut series: Vec<(u64, f64)> = items
+            .into_iter()
+            .map(|(idx, v)| {
                 let row = &self.store.data()[idx];
                 let t = row
                     .generated_by
                     .and_then(|ti| self.store.tasks()[ti].end_ns)
                     .unwrap_or(0);
-                (t, v)
+                (t, v.unwrap_or(f64::NAN))
             })
             .collect();
         series.sort_by_key(|&(t, _)| t);
@@ -187,6 +256,7 @@ impl<'a> Query<'a> {
 
     /// Walks the derivation graph from `data` in the given direction,
     /// returning reachable data ids in BFS order (excluding the start).
+    /// Cycle-safe: self-referential or mutually derived data terminates.
     pub fn lineage(
         &self,
         workflow: &Id,
@@ -194,52 +264,15 @@ impl<'a> Query<'a> {
         direction: LineageDirection,
         max_depth: usize,
     ) -> Result<Vec<Id>, QueryError> {
-        let (start, _) = self
-            .store
-            .data_by_id(workflow, data)
-            .ok_or_else(|| QueryError::UnknownData(data.clone()))?;
-
-        // Precompute a reverse index for downstream traversal.
-        let rows = self.store.data();
-        let mut out = Vec::new();
-        let mut visited = vec![false; rows.len()];
-        visited[start] = true;
-        let mut frontier = vec![start];
-        let mut depth = 0;
-        while !frontier.is_empty() && depth < max_depth {
-            let mut next = Vec::new();
-            for &i in &frontier {
-                match direction {
-                    LineageDirection::Upstream => {
-                        for src in &rows[i].derivations {
-                            if let Some((j, _)) = self.store.data_by_id(workflow, src) {
-                                if !visited[j] {
-                                    visited[j] = true;
-                                    out.push(rows[j].id.clone());
-                                    next.push(j);
-                                }
-                            }
-                        }
-                    }
-                    LineageDirection::Downstream => {
-                        let my_id = &rows[i].id;
-                        for (j, row) in rows.iter().enumerate() {
-                            if row.workflow == *workflow
-                                && !visited[j]
-                                && row.derivations.contains(my_id)
-                            {
-                                visited[j] = true;
-                                out.push(row.id.clone());
-                                next.push(j);
-                            }
-                        }
-                    }
-                }
-            }
-            frontier = next;
-            depth += 1;
-        }
-        Ok(out)
+        let path = match direction {
+            LineageDirection::Upstream => Path::from_data(data.clone()).upstream(max_depth),
+            LineageDirection::Downstream => Path::from_data(data.clone()).downstream(max_depth),
+        };
+        Ok(self
+            .drain(workflow, &path)?
+            .into_iter()
+            .map(|(i, _)| self.store.data()[i].id.clone())
+            .collect())
     }
 
     /// For a data item (e.g. the epoch metrics with best accuracy),
@@ -250,20 +283,12 @@ impl<'a> Query<'a> {
         workflow: &Id,
         data: &Id,
     ) -> Result<Vec<DataAttributes>, QueryError> {
-        let (idx, row) = self
-            .store
-            .data_by_id(workflow, data)
-            .ok_or_else(|| QueryError::UnknownData(data.clone()))?;
-        let _ = idx;
-        let Some(task_idx) = row.generated_by else {
-            return Ok(Vec::new());
-        };
-        let task = &self.store.tasks()[task_idx];
-        Ok(task
-            .inputs
-            .iter()
-            .map(|&di| {
-                let d = &self.store.data()[di];
+        let path = Path::from_data(data.clone()).generated_from();
+        Ok(self
+            .drain(workflow, &path)?
+            .into_iter()
+            .map(|(i, _)| {
+                let d = &self.store.data()[i];
                 (d.id.clone(), d.attributes.clone())
             })
             .collect())
@@ -272,34 +297,32 @@ impl<'a> Query<'a> {
     /// Summary statistics over a numeric attribute (dashboard queries:
     /// "loss range across the run", "mean accuracy so far").
     pub fn attr_stats(&self, workflow: &Id, attr: &str) -> Result<AttrStats, QueryError> {
-        let col = self
-            .store
-            .column(workflow, attr)
-            .ok_or_else(|| QueryError::NotNumeric(attr.to_owned()))?;
-        let Column::Numeric(values) = col else {
-            return Err(QueryError::NotNumeric(attr.to_owned()));
-        };
-        if values.is_empty() {
+        let items = self.drain(workflow, &Path::over_attr(attr))?;
+        if items.is_empty() {
             return Err(QueryError::NotNumeric(attr.to_owned()));
         }
         let mut min = f64::MAX;
         let mut max = f64::MIN;
         let mut sum = 0.0;
-        for &(_, v) in values {
+        for &(_, v) in &items {
+            let v = v.unwrap_or(f64::NAN);
             min = min.min(v);
             max = max.max(v);
             sum += v;
         }
         Ok(AttrStats {
-            count: values.len(),
+            count: items.len(),
             min,
             max,
-            mean: sum / values.len() as f64,
+            mean: sum / items.len() as f64,
         })
     }
 
     /// Data items whose numeric attribute satisfies a predicate —
-    /// e.g. "epochs with accuracy above 0.9".
+    /// e.g. "epochs with accuracy above 0.9". Declarative comparisons can
+    /// run inside the engine instead ([`Filter::Attr`] via
+    /// [`Path::keep`]); this form accepts arbitrary captured closures and
+    /// therefore applies them to the engine's output pages.
     pub fn filter_data_by<F>(
         &self,
         workflow: &Id,
@@ -309,17 +332,13 @@ impl<'a> Query<'a> {
     where
         F: Fn(f64) -> bool,
     {
-        let col = self
-            .store
-            .column(workflow, attr)
-            .ok_or_else(|| QueryError::NotNumeric(attr.to_owned()))?;
-        let Column::Numeric(values) = col else {
-            return Err(QueryError::NotNumeric(attr.to_owned()));
-        };
-        Ok(values
-            .iter()
-            .filter(|(_, v)| predicate(*v))
-            .map(|&(i, v)| (self.store.data()[i].id.clone(), v))
+        let items = self.drain(workflow, &Path::over_attr(attr))?;
+        Ok(items
+            .into_iter()
+            .filter_map(|(i, v)| {
+                let v = v?;
+                predicate(v).then(|| (self.store.data()[i].id.clone(), v))
+            })
             .collect())
     }
 
@@ -423,6 +442,29 @@ mod tests {
         let best = q.top_k_by_attr(&Id::Num(1), "loss", 1, false).unwrap();
         assert_eq!(best[0].0, Id::from("metrics3"));
         assert!((best[0].1 - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_ties_keep_column_order() {
+        let mut s = Store::new();
+        for i in 0..4u64 {
+            s.ingest(Record::TaskBegin {
+                task: TaskRecord {
+                    id: Id::Num(i),
+                    workflow: Id::Num(1),
+                    transformation: Id::Num(0),
+                    dependencies: vec![],
+                    time_ns: 0,
+                    status: TaskStatus::Running,
+                },
+                inputs: vec![DataRecord::new(format!("d{i}"), 1u64).with_attr("score", 1.0)],
+            });
+        }
+        let q = Query::new(&s);
+        let top = q.top_k_by_attr(&Id::Num(1), "score", 2, true).unwrap();
+        // All tied: the earlier column entries win, in order.
+        assert_eq!(top[0].0, Id::from("d0"));
+        assert_eq!(top[1].0, Id::from("d1"));
     }
 
     #[test]
@@ -543,6 +585,194 @@ mod tests {
             .lineage(&Id::Num(1), &Id::from("d3"), LineageDirection::Upstream, 10)
             .unwrap();
         assert_eq!(up_all, vec![Id::from("d2"), Id::from("d1"), Id::from("d0")]);
+    }
+
+    #[test]
+    fn cyclic_lineage_terminates() {
+        // Regression: the legacy recursive walk looped forever on cycles.
+        let mut s = Store::new();
+        let task = |id: u64| TaskRecord {
+            id: Id::Num(id),
+            workflow: Id::Num(1),
+            transformation: Id::Num(0),
+            dependencies: vec![],
+            time_ns: 0,
+            status: TaskStatus::Running,
+        };
+        // Self-loop: ouro <- ouro.
+        s.ingest(Record::TaskBegin {
+            task: task(0),
+            inputs: vec![DataRecord::new("ouro", 1u64).derived_from("ouro")],
+        });
+        // Mutual cycle through a forward reference: a <- b (b not yet
+        // ingested), then b <- a.
+        s.ingest(Record::TaskBegin {
+            task: task(1),
+            inputs: vec![DataRecord::new("a", 1u64).derived_from("b")],
+        });
+        s.ingest(Record::TaskBegin {
+            task: task(2),
+            inputs: vec![DataRecord::new("b", 1u64).derived_from("a")],
+        });
+        let q = Query::new(&s);
+        for dir in [LineageDirection::Upstream, LineageDirection::Downstream] {
+            let from_self = q
+                .lineage(&Id::Num(1), &Id::from("ouro"), dir, usize::MAX)
+                .unwrap();
+            assert!(from_self.is_empty(), "self-loop reaches nothing new");
+            let from_a = q
+                .lineage(&Id::Num(1), &Id::from("a"), dir, usize::MAX)
+                .unwrap();
+            assert_eq!(from_a, vec![Id::from("b")], "cycle visits b once");
+        }
+    }
+
+    #[test]
+    fn composed_path_filters_downstream_closure() {
+        let s = fl_store();
+        let q = Query::new(&s);
+        // hp2 -> downstream closure -> keep accuracy > 0.8.
+        let path = Path::from_data("hp2").downstream(8).keep(Filter::Attr {
+            name: "accuracy".into(),
+            cmp: Cmp::Gt,
+            threshold: 0.8,
+        });
+        let mut cursor = q.cursor(&Id::Num(1), &path, CursorOpts::default()).unwrap();
+        let page = cursor.next_page(&s);
+        assert!(page.done);
+        assert_eq!(page.hits.len(), 1);
+        assert_eq!(page.hits[0].id, Id::from("metrics2"));
+        // The filter attached the matched value.
+        assert!((page.hits[0].value.unwrap() - 0.82).abs() < 1e-12);
+        // Stats counted real work and pages.
+        let stats = cursor.stats();
+        assert!(stats.steps_evaluated > 0);
+        assert_eq!(stats.pages, 1);
+        assert_eq!(stats.shards_visited, 0, "direct store: no shard locks");
+    }
+
+    #[test]
+    fn cursor_paginates_and_resumes() {
+        let mut s = Store::new();
+        // A root with 100 direct products.
+        s.ingest(Record::TaskBegin {
+            task: TaskRecord {
+                id: Id::Num(0),
+                workflow: Id::Num(1),
+                transformation: Id::Num(0),
+                dependencies: vec![],
+                time_ns: 0,
+                status: TaskStatus::Running,
+            },
+            inputs: vec![DataRecord::new("root", 1u64)],
+        });
+        for i in 0..100u64 {
+            s.ingest(Record::TaskBegin {
+                task: TaskRecord {
+                    id: Id::Num(i + 1),
+                    workflow: Id::Num(1),
+                    transformation: Id::Num(0),
+                    dependencies: vec![],
+                    time_ns: 0,
+                    status: TaskStatus::Running,
+                },
+                inputs: vec![DataRecord::new(format!("p{i}"), 1u64).derived_from("root")],
+            });
+        }
+        let path = Path::from_data("root").downstream(1);
+        let opts = CursorOpts {
+            page_size: 7,
+            ..CursorOpts::default()
+        };
+        let mut cursor = Cursor::open(&s, &Id::Num(1), &path, opts).unwrap();
+        let mut seen = Vec::new();
+        let mut pages = 0;
+        loop {
+            let page = cursor.next_page(&s);
+            assert!(page.hits.len() <= 7);
+            let done = page.done;
+            seen.extend(page.hits.into_iter().map(|h| h.id));
+            pages += 1;
+            if done {
+                break;
+            }
+            assert!(pages < 1000, "cursor must terminate");
+        }
+        assert_eq!(seen.len(), 100, "every product exactly once");
+        assert_eq!(cursor.stats().pages as usize, pages);
+        assert!(cursor.is_done());
+        // Further pages stay empty and done.
+        assert!(cursor.next_page(&s).hits.is_empty());
+    }
+
+    #[test]
+    fn at_open_snapshot_hides_later_rows() {
+        let mut s = Store::new();
+        let task = |id: u64| TaskRecord {
+            id: Id::Num(id),
+            workflow: Id::Num(1),
+            transformation: Id::Num(0),
+            dependencies: vec![],
+            time_ns: 0,
+            status: TaskStatus::Running,
+        };
+        s.ingest(Record::TaskBegin {
+            task: task(0),
+            inputs: vec![
+                DataRecord::new("root", 1u64),
+                DataRecord::new("old", 1u64).derived_from("root"),
+            ],
+        });
+        let path = Path::from_data("root").downstream(8);
+        let mut pinned = Cursor::open(
+            &s,
+            &Id::Num(1),
+            &path,
+            CursorOpts {
+                snapshot: SnapshotMode::AtOpen,
+                ..CursorOpts::default()
+            },
+        )
+        .unwrap();
+        // Ingest a new product after the cursor opened.
+        s.ingest(Record::TaskBegin {
+            task: task(1),
+            inputs: vec![DataRecord::new("new", 1u64).derived_from("root")],
+        });
+        let page = pinned.next_page(&s);
+        assert!(page.done);
+        let ids: Vec<_> = page.hits.iter().map(|h| &h.id).collect();
+        assert_eq!(ids, vec![&Id::from("old")], "post-open row invisible");
+        // A live cursor opened now sees both.
+        let mut live = Cursor::open(
+            &s,
+            &Id::Num(1),
+            &path,
+            CursorOpts {
+                snapshot: SnapshotMode::Live,
+                ..CursorOpts::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(live.next_page(&s).hits.len(), 2);
+    }
+
+    #[test]
+    fn used_by_and_generated_from_hops() {
+        let s = fl_store();
+        // hp2 --used_by--> task 2 --outputs--> metrics2.
+        let q = Query::new(&s);
+        let path = Path::from_data("hp2").used_by();
+        let mut c = q.cursor(&Id::Num(1), &path, CursorOpts::default()).unwrap();
+        let page = c.next_page(&s);
+        assert_eq!(page.hits.len(), 1);
+        assert_eq!(page.hits[0].id, Id::from("metrics2"));
+        // metrics2 --generated_from--> hp2.
+        let path = Path::from_data("metrics2").generated_from();
+        let mut c = q.cursor(&Id::Num(1), &path, CursorOpts::default()).unwrap();
+        let page = c.next_page(&s);
+        assert_eq!(page.hits.len(), 1);
+        assert_eq!(page.hits[0].id, Id::from("hp2"));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! write lock **once per envelope** — not once per record — so translators
 //! working on different workflows proceed fully in parallel.
 
+use crate::query::{Cursor, CursorOpts, Page, Path, QueryError};
 use crate::store::{RecordRetention, Store, StoreStats};
 use parking_lot::RwLock;
 use prov_model::{Id, ProvDocument, Record};
@@ -144,6 +145,37 @@ impl ShardedStore {
     pub fn ingest_batch(&self, records: impl IntoIterator<Item = Record>) {
         let mut batch: Vec<Record> = records.into_iter().collect();
         ShardRouter::new().route(self, &mut batch);
+    }
+
+    /// Opens a query cursor against the shard holding `workflow`.
+    ///
+    /// The shard read lock is taken only for the duration of this call
+    /// (resolving the path source and, under
+    /// [`SnapshotMode::AtOpen`](crate::query::SnapshotMode), pinning the
+    /// snapshot horizon). Advance the cursor with
+    /// [`ShardedStore::next_page`], which re-acquires the lock per page —
+    /// translators ingesting into the same shard interleave between
+    /// pages. See the [`cursor`](crate::query::cursor) module docs for
+    /// the read-consistency contract.
+    pub fn open_cursor(
+        &self,
+        workflow: &Id,
+        path: &Path,
+        opts: CursorOpts,
+    ) -> Result<Cursor, QueryError> {
+        let guard = self.read(workflow);
+        let mut cursor = Cursor::open(&guard, workflow, path, opts)?;
+        cursor.note_shard_visit();
+        Ok(cursor)
+    }
+
+    /// Produces the cursor's next page, holding the shard read lock only
+    /// while the page is built (at most
+    /// [`CursorOpts::max_work`](crate::query::CursorOpts) work units).
+    pub fn next_page(&self, cursor: &mut Cursor) -> Page {
+        let guard = self.read(cursor.workflow());
+        cursor.note_shard_visit();
+        cursor.next_page(&guard)
     }
 
     /// Aggregate ingestion statistics across all shards.

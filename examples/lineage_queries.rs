@@ -9,7 +9,7 @@
 //! ```
 
 use provlight::prov_model::Id;
-use provlight::prov_store::query::{LineageDirection, Query};
+use provlight::prov_store::query::{Cmp, CursorOpts, Filter, LineageDirection, Path, Query};
 use provlight::prov_store::store::Store;
 use provlight::workload::fl::{fl_capture_stream, FlConfig};
 use std::time::Duration;
@@ -82,7 +82,40 @@ fn main() {
     println!("hp downstream reach: {} data items", downstream.len());
     assert!(downstream.len() >= config.epochs);
 
-    // Q5: PROV-DM export for interoperability (paper §IV-A).
+    // Q5: the same question as Q1+Q3 but *composed* — one path through
+    // the traversal engine instead of two facade calls: everything
+    // transitively derived from the hyperparameters whose accuracy beat
+    // 0.8, paged through a cursor.
+    let path = Path::from_data("hp")
+        .downstream(usize::MAX)
+        .keep(Filter::Attr {
+            name: "accuracy".into(),
+            cmp: Cmp::Gt,
+            threshold: 0.8,
+        });
+    let mut cursor = query.cursor(&wf, &path, CursorOpts::default()).unwrap();
+    let mut good_models = Vec::new();
+    loop {
+        let page = cursor.next_page(&store);
+        good_models.extend(page.hits);
+        if page.done {
+            break;
+        }
+    }
+    println!(
+        "\ncomposed query (hp ⇒ downstream* ⇒ accuracy > 0.8): {} hits \
+         in {} page(s), {} traversal steps",
+        good_models.len(),
+        cursor.stats().pages,
+        cursor.stats().steps_evaluated
+    );
+    for hit in &good_models {
+        println!("  {}: accuracy {:.4}", hit.id, hit.value.unwrap());
+    }
+    assert!(!good_models.is_empty());
+    assert!(good_models.iter().all(|h| h.value.unwrap() > 0.8));
+
+    // Q6: PROV-DM export for interoperability (paper §IV-A).
     let doc = store.to_prov_document();
     doc.validate().unwrap();
     println!(
