@@ -99,6 +99,37 @@ pub struct BrokerStats {
     /// State snapshot encode/decode round-trips that failed (see
     /// `UdpBroker::snapshot` in [`crate::net`]).
     pub snapshot_failures: u64,
+    /// Publishes this shard forwarded into a cross-shard ring (sharded
+    /// gateway: the publish was accepted here, but some subscribers live
+    /// on other shards). Zero on an unsharded broker.
+    pub cross_shard_forwards: u64,
+    /// High-water occupancy observed across this shard's outbound
+    /// cross-shard forwarding rings, measured after each enqueue. Zero on
+    /// an unsharded broker.
+    pub forward_ring_high_water: u64,
+}
+
+impl BrokerStats {
+    /// Field-wise merge for sharded gateways: counters add, high-water
+    /// marks take the maximum across shards (a per-shard watermark summed
+    /// over shards would report a backlog no single lock ever saw).
+    pub fn merge(&mut self, other: &BrokerStats) {
+        self.publishes_in += other.publishes_in;
+        self.publishes_out += other.publishes_out;
+        self.duplicates_suppressed += other.duplicates_suppressed;
+        self.retransmissions += other.retransmissions;
+        self.drops += other.drops;
+        self.decode_errors += other.decode_errors;
+        self.io_errors += other.io_errors;
+        self.congestion_rejects += other.congestion_rejects;
+        self.advisories_sent += other.advisories_sent;
+        self.backlog_high_water = self.backlog_high_water.max(other.backlog_high_water);
+        self.snapshot_failures += other.snapshot_failures;
+        self.cross_shard_forwards += other.cross_shard_forwards;
+        self.forward_ring_high_water = self
+            .forward_ring_high_water
+            .max(other.forward_ring_high_water);
+    }
 }
 
 /// Caller-owned, recycled output buffer for the zero-allocation broker
@@ -462,6 +493,11 @@ pub struct Broker<A: Clone + Eq + Hash> {
     /// buffering, so steady-state QoS 1/2 forwarding stores its required
     /// retransmission copy without allocating.
     payload_pool: Vec<Vec<u8>>,
+    /// Whether the most recent datagram handed to
+    /// [`Broker::on_datagram_routed`] carried a PUBLISH that was accepted
+    /// for fan-out (first receipt, valid topic, not congestion-rejected).
+    /// Transient — never persisted.
+    last_publish_forwarded: bool,
 }
 
 /// One cached fan-out route: the [`Broker::route_epoch`] it was computed
@@ -483,6 +519,7 @@ impl<A: Clone + Eq + Hash> Broker<A> {
             route_epoch: 0,
             routes: HashMap::new(),
             payload_pool: Vec::new(),
+            last_publish_forwarded: false,
         }
     }
 
@@ -509,6 +546,24 @@ impl<A: Clone + Eq + Hash> Broker<A> {
     /// whose encode/decode round-trip did not survive.
     pub fn note_snapshot_failure(&mut self) {
         self.stats.snapshot_failures += 1;
+    }
+
+    /// Records one publish forwarded into a cross-shard ring whose
+    /// post-enqueue occupancy was `ring_depth` (see
+    /// [`BrokerStats::cross_shard_forwards`] /
+    /// [`BrokerStats::forward_ring_high_water`]). Called by the sharded
+    /// transport while it still holds this shard's lock.
+    pub fn note_cross_shard_forward(&mut self, ring_depth: u64) {
+        self.stats.cross_shard_forwards += 1;
+        self.stats.forward_ring_high_water = self.stats.forward_ring_high_water.max(ring_depth);
+    }
+
+    /// Folds drops that happened outside the state machine (a full
+    /// inbound or forwarding ring in the sharded transport) into this
+    /// shard's [`BrokerStats::drops`], keeping the no-silent-loss
+    /// accounting exact.
+    pub fn note_ring_drops(&mut self, n: u64) {
+        self.stats.drops += n;
     }
 
     /// Broker-wide backlog and the most-backed-up single session, both as
@@ -654,6 +709,91 @@ impl<A: Clone + Eq + Hash> Broker<A> {
             }
         }
         // lint: zero-alloc-end
+    }
+
+    /// [`Broker::on_datagram_into`] plus a routing verdict for sharded
+    /// transports: `Ok(true)` when the datagram carried a PUBLISH that
+    /// this broker accepted for fan-out (first receipt, valid topic id,
+    /// not congestion-rejected) — exactly the cases a sharded front must
+    /// also forward to the other shards' subscribers. QoS 2 duplicates
+    /// and rejected publishes return `Ok(false)`, so a message can never
+    /// cross the shard boundary twice.
+    pub fn on_datagram_routed(
+        &mut self,
+        now: Nanos,
+        from: A,
+        datagram: &[u8],
+        out: &mut BrokerOutputs<A>,
+    ) -> Result<bool, Error> {
+        // lint: zero-alloc-begin
+        self.last_publish_forwarded = false;
+        self.on_datagram_into(now, from, datagram, out)?;
+        Ok(self.last_publish_forwarded)
+        // lint: zero-alloc-end
+    }
+
+    /// Delivers a publish owned by another shard to this shard's matching
+    /// subscribers: same fan-out, buffering, and QoS machinery as a local
+    /// publish, minus the publisher-side accounting and acknowledgments
+    /// (the owning shard already counted `publishes_in` and ran the
+    /// QoS 1/2 handshake). `qos` is the publish QoS; each delivery is
+    /// capped at the subscriber's granted QoS as usual.
+    pub fn deliver_forwarded(
+        &mut self,
+        now: Nanos,
+        topic_id: u16,
+        qos: QoS,
+        payload: &[u8],
+        out: &mut BrokerOutputs<A>,
+    ) {
+        // lint: zero-alloc-begin
+        if self.registry.name_of(topic_id).is_none() {
+            // The sending shard resolved the id against the shared
+            // registry; an unknown id here means the local mirror is
+            // behind, and delivering to no one is the only safe option.
+            return;
+        }
+        let (total, _) = self.backlog_scan();
+        self.stats.backlog_high_water = self.stats.backlog_high_water.max(total as u64);
+        let mut sink = WireSink::new(out);
+        self.fan_out(now, topic_id, qos, payload, &mut sink);
+        // lint: zero-alloc-end
+    }
+
+    /// Mirrors a topic assignment made by an authoritative shared
+    /// registry (sharded gateway) into this broker's local registry; see
+    /// [`TopicRegistry::mirror`]. Invalidates the route cache on success
+    /// — a new id can change which subscriptions a publish matches.
+    pub fn mirror_topic(&mut self, id: u16, name: &str) -> bool {
+        if self.registry.mirror(id, name) {
+            self.invalidate_routes();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `id` resolves in this broker's local topic registry.
+    pub fn topic_known(&self, id: u16) -> bool {
+        self.registry.name_of(id).is_some()
+    }
+
+    /// Collects the subscription filters of every fan-out-eligible
+    /// session (deduplicated) into `into`, clearing it first. The sharded
+    /// router uses this per-shard union to decide which shards a publish
+    /// must be forwarded to.
+    pub fn collect_subscription_filters(&self, into: &mut Vec<String>) {
+        into.clear();
+        for s in self.sessions.values() {
+            if s.state == SessionState::Disconnected && !s.durable {
+                continue;
+            }
+            for (filter, _) in &s.subscriptions {
+                if !into.iter().any(|f| f == filter) {
+                    into.push(filter.clone());
+                }
+            }
+        }
     }
 
     /// Batch variant of [`Broker::on_datagram_into`]: processes every
@@ -1130,16 +1270,31 @@ impl<A: Clone + Eq + Hash> Broker<A> {
             return;
         }
 
-        // Fan out to matching subscribers in deterministic session order.
-        // Sleeping subscribers and away durable subscribers (disconnected,
-        // `clean_session = false`) get their messages buffered for delivery
-        // on the next PINGREQ / reconnect.
-        //
-        // Targets come from the per-topic route cache when its epoch is
-        // current — one hash lookup instead of matching every session's
-        // subscription list — and are rebuilt into the entry's recycled
-        // vector otherwise. The topic name stays borrowed from the
-        // registry (no per-publish `String`).
+        self.last_publish_forwarded = true;
+        self.fan_out(now, topic_id, qos, payload, sink);
+    }
+
+    /// Fans one accepted publish out to every matching local subscriber in
+    /// deterministic session order. Sleeping subscribers and away durable
+    /// subscribers (disconnected, `clean_session = false`) get their
+    /// messages buffered for delivery on the next PINGREQ / reconnect.
+    ///
+    /// Targets come from the per-topic route cache when its epoch is
+    /// current — one hash lookup instead of matching every session's
+    /// subscription list — and are rebuilt into the entry's recycled
+    /// vector otherwise. The topic name stays borrowed from the
+    /// registry (no per-publish `String`).
+    ///
+    /// Shared by [`Broker::handle_publish`] (local publisher) and
+    /// [`Broker::deliver_forwarded`] (publish owned by another shard).
+    fn fan_out<S: OutputSink<A>>(
+        &mut self,
+        now: Nanos,
+        topic_id: u16,
+        qos: QoS,
+        payload: &[u8],
+        sink: &mut S,
+    ) {
         let epoch = self.route_epoch;
         let (cached_epoch, targets) = self
             .routes
@@ -1445,8 +1600,10 @@ impl PersistAddr for u32 {
 // v3 added the congestion watermarks to the config block and the
 // backpressure counters (congestion_rejects / advisories_sent /
 // backlog_high_water / snapshot_failures) to the stats block; v4 added the
-// per-session recently-completed inbound QoS 2 window.
-const STATE_VERSION: u8 = 4;
+// per-session recently-completed inbound QoS 2 window; v5 added the
+// sharded-gateway counters (cross_shard_forwards /
+// forward_ring_high_water) to the stats block.
+const STATE_VERSION: u8 = 5;
 
 /// How many completed inbound QoS 2 ids each session remembers to suppress
 /// late duplicate PUBLISHes (see [`Session::completed_qos2`]). 64 ids at
@@ -1502,6 +1659,8 @@ impl<A: PersistAddr> Broker<A> {
             self.stats.advisories_sent,
             self.stats.backlog_high_water,
             self.stats.snapshot_failures,
+            self.stats.cross_shard_forwards,
+            self.stats.forward_ring_high_water,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -1650,6 +1809,8 @@ impl<A: PersistAddr> Broker<A> {
             advisories_sent: if version >= 3 { r.u64()? } else { 0 },
             backlog_high_water: if version >= 3 { r.u64()? } else { 0 },
             snapshot_failures: if version >= 3 { r.u64()? } else { 0 },
+            cross_shard_forwards: if version >= 5 { r.u64()? } else { 0 },
+            forward_ring_high_water: if version >= 5 { r.u64()? } else { 0 },
         };
         let next_id = r.u16()?;
         let n_topics = r.u32()?;
@@ -1767,6 +1928,7 @@ impl<A: PersistAddr> Broker<A> {
             route_epoch: 0,
             routes: HashMap::new(),
             payload_pool: Vec::new(),
+            last_publish_forwarded: false,
         })
     }
 }
@@ -2568,9 +2730,9 @@ mod tests {
         assert_eq!(b.stats().decode_errors, 0);
         assert_eq!(b.stats().io_errors, 0);
 
-        let v4 = b.encode_state();
+        let v5 = b.encode_state();
         assert_eq!(
-            v4[0], STATE_VERSION,
+            v5[0], STATE_VERSION,
             "bumping STATE_VERSION requires extending this migration test"
         );
         let cfg_end = 1 + 1 + 8 + 4 + 8; // version + the v1 config fields
@@ -2580,23 +2742,34 @@ mod tests {
         // completed-QoS2 window per session, at the very end.
         let appendix = 4 + 4 * b.session_count();
 
-        // Reconstruct the v3 wire form: version byte 3, no appendix.
+        // Reconstruct the v4 wire form: version byte 4, stats block
+        // without the two v5 sharded-gateway counters.
+        let mut v4 = v5.clone();
+        v4.drain(stats_at + 11 * 8..stats_at + 13 * 8);
+        v4[0] = 4;
+        let restored = Broker::<Addr>::decode_state(&v4).expect("v4 snapshot accepted");
+        assert_eq!(restored.stats(), b.stats());
+        assert_eq!(restored.stats().cross_shard_forwards, 0);
+        assert_eq!(restored.stats().forward_ring_high_water, 0);
+        assert_eq!(restored.encode_state(), v5);
+
+        // The v3 wire form additionally predates the appendix.
         let mut v3 = v4.clone();
         v3.truncate(v3.len() - appendix);
         v3[0] = 3;
         let restored = Broker::<Addr>::decode_state(&v3).expect("v3 snapshot accepted");
         assert_eq!(restored.stats(), b.stats());
-        assert_eq!(restored.encode_state(), v4);
+        assert_eq!(restored.encode_state(), v5);
 
         // The v2 wire form additionally predates the congestion config
-        // fields and the last four stats counters.
+        // fields and the four v3 stats counters.
         let mut v2 = v3.clone();
         v2.drain(stats_at + 7 * 8..stats_at + 11 * 8);
         v2.drain(cfg_end..stats_at);
         v2[0] = 2;
         let restored = Broker::<Addr>::decode_state(&v2).expect("v2 snapshot accepted");
         assert_eq!(restored.stats(), b.stats());
-        assert_eq!(restored.encode_state(), v4);
+        assert_eq!(restored.encode_state(), v5);
 
         // The v1 form additionally predates decode_errors / io_errors.
         let mut v1 = v3.clone();
@@ -2606,10 +2779,10 @@ mod tests {
         let restored = Broker::<Addr>::decode_state(&v1).expect("v1 snapshot accepted");
         assert_eq!(restored.stats(), b.stats());
         assert_eq!(restored.session_count(), b.session_count());
-        // Re-encoding a migrated snapshot produces the v4 form (the
+        // Re-encoding a migrated snapshot produces the v5 form (the
         // congestion config fields take their defaults, the completed
-        // windows start empty).
-        assert_eq!(restored.encode_state(), v4);
+        // windows start empty, the sharded counters are zero).
+        assert_eq!(restored.encode_state(), v5);
 
         // The v3-added counter itself: counted, persisted, and restored in
         // the current wire form.
@@ -2618,6 +2791,17 @@ mod tests {
         let restored =
             Broker::<Addr>::decode_state(&b.encode_state()).expect("current snapshot accepted");
         assert_eq!(restored.stats().snapshot_failures, 1);
+
+        // The v5-added counters: counted, persisted, and restored in the
+        // current wire form.
+        b.note_cross_shard_forward(3);
+        b.note_cross_shard_forward(1);
+        assert_eq!(b.stats().cross_shard_forwards, 2);
+        assert_eq!(b.stats().forward_ring_high_water, 3);
+        let restored =
+            Broker::<Addr>::decode_state(&b.encode_state()).expect("current snapshot accepted");
+        assert_eq!(restored.stats().cross_shard_forwards, 2);
+        assert_eq!(restored.stats().forward_ring_high_water, 3);
     }
 
     #[test]

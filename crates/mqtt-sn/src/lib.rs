@@ -16,9 +16,14 @@
 //! * [`broker`] — a *sans-io* broker (the paper uses Eclipse RSMB):
 //!   sessions, topic registry, subscription matching, QoS 2 exactly-once
 //!   inbound handling, and outbound QoS state machines per subscriber;
+//! * [`router`] / [`shard`] — the sharded-gateway layer: client→shard
+//!   placement, the shared topic registry with an epoch-invalidated
+//!   topic→shard-mask cache, and the bounded lock-free forwarding rings
+//!   that carry pre-encoded publishes across shard boundaries;
 //! * [`net`] — bindings of the sans-io cores to real `std::net::UdpSocket`s
-//!   (threaded broker, blocking client) so the library is usable outside
-//!   the simulator.
+//!   (threaded single-lock broker, N-shard broker with per-shard serve
+//!   loops, blocking client) so the library is usable outside the
+//!   simulator.
 //!
 //! The same state machines drive both the real sockets and the
 //! discrete-event simulator used for the paper's experiments; QoS
@@ -28,14 +33,19 @@ pub mod broker;
 pub mod client;
 pub mod net;
 pub mod packet;
+pub mod router;
+pub mod shard;
 pub mod topic;
 
 pub use broker::{Broker, BrokerConfig};
 pub use client::{Client, ClientConfig, ClientEvent, ClientState};
 pub use net::{
-    DatagramFate, DatagramFault, FaultDir, NetError, ReconnectPolicy, UdpBroker, UdpClient,
+    DatagramFate, DatagramFault, FaultDir, NetError, ReconnectPolicy, ShardedUdpBroker, UdpBroker,
+    UdpClient,
 };
 pub use packet::{Packet, QoS, ReturnCode, TopicRef};
+pub use router::{shard_for_client, SharedRouter};
+pub use shard::{ForwardFabric, ForwardFrame, ForwardRing};
 pub use topic::{topic_matches, TopicRegistry};
 
 /// Protocol errors.

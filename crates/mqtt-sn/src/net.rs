@@ -6,16 +6,19 @@
 //! make the library usable outside the simulator — the integration tests
 //! exercise full QoS 2 capture over loopback UDP.
 
-use crate::broker::{Broker, BrokerConfig, BrokerOutputs, BrokerStats};
+use crate::broker::{wire, Broker, BrokerConfig, BrokerOutputs, BrokerStats};
 use crate::client::{Client, ClientConfig, ClientEvent, Nanos, Output};
-use crate::packet::{Packet, QoS, TopicRef};
+use crate::packet::{msg_type, Packet, PacketRef, QoS, TopicRef};
+use crate::router::{shard_for_client, shard_for_key, SharedRouter};
+use crate::shard::{ForwardFabric, ForwardFrame};
 use crate::Error;
+use crossbeam::queue::ArrayQueue;
 use parking_lot::Mutex;
 use rand::{rngs::StdRng, SeedableRng};
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -438,6 +441,837 @@ fn serve(
                     i += 1;
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded gateway
+// ---------------------------------------------------------------------------
+
+/// Slots per shard ingress ring and per directed cross-shard forwarding
+/// ring. Bounded memory: a full ring is an accounted drop, never a block.
+const SHARD_RING: usize = 1024;
+
+/// Magic prefix of a sharded snapshot file (all-shards-atomic layout).
+const SHARDED_SNAPSHOT_MAGIC: &[u8; 4] = b"PVSH";
+/// Version byte of the sharded snapshot container format.
+const SHARDED_SNAPSHOT_VERSION: u8 = 1;
+
+/// One inbound datagram routed to a shard: the sender plus the bytes in
+/// a recycled buffer.
+#[derive(Debug)]
+struct IngressFrame {
+    from: SocketAddr,
+    buf: Vec<u8>,
+}
+
+/// Bounded SPSC handoff from the routing front to one shard's serve
+/// loop. Frames recycle through the companion free ring, so the steady
+/// state moves datagrams from the socket to a shard without allocating.
+#[derive(Debug)]
+struct IngressRing {
+    data: ArrayQueue<IngressFrame>,
+    free: ArrayQueue<IngressFrame>,
+    /// Datagrams the front could not enqueue (ring or pool exhausted);
+    /// the owning shard folds these into [`BrokerStats::drops`].
+    drops: AtomicU64,
+    /// Transient socket errors observed by the front; the owning shard
+    /// folds these into [`BrokerStats::io_errors`].
+    io_errors: AtomicU64,
+}
+
+impl IngressRing {
+    fn new(cap: usize) -> IngressRing {
+        let ring = IngressRing {
+            data: ArrayQueue::new(cap),
+            free: ArrayQueue::new(cap),
+            drops: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+        };
+        for _ in 0..cap {
+            let _ = ring.free.push(IngressFrame {
+                from: SocketAddr::from(([0, 0, 0, 0], 0)),
+                buf: Vec::new(),
+            });
+        }
+        ring
+    }
+
+    /// Front side: copies `bytes` into a recycled frame and enqueues it.
+    /// A full ring is backpressure on one overloaded shard — the
+    /// datagram is dropped and accounted, the front keeps serving the
+    /// other shards.
+    fn push(&self, from: SocketAddr, bytes: &[u8]) {
+        // lint: zero-alloc-begin
+        let Some(mut frame) = self.free.pop() else {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        frame.from = from;
+        frame.buf.clear();
+        frame.buf.extend_from_slice(bytes);
+        if let Err(frame) = self.data.push(frame) {
+            let _ = self.free.push(frame);
+            self.drops.fetch_add(1, Ordering::Relaxed);
+        }
+        // lint: zero-alloc-end
+    }
+}
+
+/// An N-shard gateway over one UDP socket: a routing front thread plus
+/// one serve loop per shard.
+///
+/// The front owns the socket's receive side and dispatches each datagram
+/// to the shard that owns its sender (client-id hash, sniffed from
+/// CONNECT — see [`shard_for_client`]). Each shard runs an independent
+/// [`Broker`] behind its own lock, so publishes from clients on
+/// different shards are processed genuinely in parallel; a publish whose
+/// subscribers live on other shards crosses through the lock-free
+/// [`ForwardFabric`] as a pre-encoded wire image. Topic-id assignment is
+/// serialized through the [`SharedRouter`] (control plane only); the
+/// per-publish hot path reads a cached, epoch-invalidated topic→shard
+/// bitmask and never takes a global lock.
+pub struct ShardedUdpBroker {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    brokers: Arc<Vec<Mutex<Broker<SocketAddr>>>>,
+    router: Arc<SharedRouter>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ShardedUdpBroker {
+    /// Binds and starts serving with `shards` shards (clamped to 1..=64).
+    /// Use `"127.0.0.1:0"` to pick a free port.
+    pub fn spawn(
+        bind: impl ToSocketAddrs,
+        shards: usize,
+        config: BrokerConfig,
+    ) -> io::Result<ShardedUdpBroker> {
+        let shards = shards.clamp(1, 64);
+        let states = (0..shards).map(|_| Broker::new(config.clone())).collect();
+        Self::spawn_inner(bind, states, SharedRouter::new(shards), None)
+    }
+
+    /// [`ShardedUdpBroker::spawn`] with a datagram fault-injection plan.
+    /// Inbound fates are decided once, at the routing front (before the
+    /// datagram reaches any shard); outbound fates are decided by the
+    /// sending shard's serve loop. Chaos testing only.
+    pub fn spawn_with_faults(
+        bind: impl ToSocketAddrs,
+        shards: usize,
+        config: BrokerConfig,
+        fault: Arc<dyn DatagramFault>,
+    ) -> io::Result<ShardedUdpBroker> {
+        let shards = shards.clamp(1, 64);
+        let states = (0..shards).map(|_| Broker::new(config.clone())).collect();
+        Self::spawn_inner(bind, states, SharedRouter::new(shards), Some(fault))
+    }
+
+    /// Binds and starts serving from a sharded snapshot file written by
+    /// [`ShardedUdpBroker::snapshot_to_file`]. The shard count comes
+    /// from the file. Every per-shard section must decode before any
+    /// shard starts serving: a partial or corrupt file fails with
+    /// [`io::ErrorKind::InvalidData`] and no thread is spawned, rather
+    /// than resuming a gateway with some shards silently empty.
+    pub fn spawn_from_file(
+        bind: impl ToSocketAddrs,
+        path: impl AsRef<std::path::Path>,
+    ) -> io::Result<ShardedUdpBroker> {
+        Self::spawn_from_file_inner(bind, path, None)
+    }
+
+    /// [`ShardedUdpBroker::spawn_from_file`] with a fault plan — lets a
+    /// chaos harness keep its fault schedule running across a
+    /// kill-and-restart of the sharded gateway.
+    pub fn spawn_from_file_with_faults(
+        bind: impl ToSocketAddrs,
+        path: impl AsRef<std::path::Path>,
+        fault: Arc<dyn DatagramFault>,
+    ) -> io::Result<ShardedUdpBroker> {
+        Self::spawn_from_file_inner(bind, path, Some(fault))
+    }
+
+    fn spawn_from_file_inner(
+        bind: impl ToSocketAddrs,
+        path: impl AsRef<std::path::Path>,
+        fault: Option<Arc<dyn DatagramFault>>,
+    ) -> io::Result<ShardedUdpBroker> {
+        let invalid = |e: &'static str| io::Error::new(io::ErrorKind::InvalidData, e);
+        let bytes = prov_wal::snapshot::read(path)?;
+        let mut r = wire::Reader::new(&bytes);
+        let mut magic = [0u8; 4];
+        for b in &mut magic {
+            *b = r.u8().map_err(invalid)?;
+        }
+        if &magic != SHARDED_SNAPSHOT_MAGIC {
+            return Err(invalid("not a sharded snapshot"));
+        }
+        if r.u8().map_err(invalid)? != SHARDED_SNAPSHOT_VERSION {
+            return Err(invalid("unknown sharded snapshot version"));
+        }
+        let shards = r.u8().map_err(invalid)? as usize;
+        if !(1..=64).contains(&shards) {
+            return Err(invalid("implausible shard count"));
+        }
+        let next_id = r.u16().map_err(invalid)?;
+        let entry_count = r.u32().map_err(invalid)?;
+        let mut entries = Vec::with_capacity(entry_count.min(1 << 16) as usize);
+        for _ in 0..entry_count {
+            let id = r.u16().map_err(invalid)?;
+            let name = r.str().map_err(invalid)?;
+            entries.push((id, name));
+        }
+        // Decode every shard section before any shard starts serving.
+        let mut states = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let section = r.bytes().map_err(invalid)?;
+            let mut state = Broker::decode_state(&section).map_err(invalid)?;
+            state.reset_clock();
+            states.push(state);
+        }
+        let router = SharedRouter::new(shards);
+        router.seed_registry(next_id, entries.iter().map(|(id, n)| (*id, n.as_str())));
+        Self::spawn_inner(bind, states, router, fault)
+    }
+
+    fn spawn_inner(
+        bind: impl ToSocketAddrs,
+        states: Vec<Broker<SocketAddr>>,
+        router: SharedRouter,
+        fault: Option<Arc<dyn DatagramFault>>,
+    ) -> io::Result<ShardedUdpBroker> {
+        let shards = states.len().max(1);
+        let socket = UdpSocket::bind(bind)?;
+        socket.set_read_timeout(Some(Duration::from_millis(10)))?;
+        let local_addr = socket.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        // One Vec holds every shard's mutex: equal-rank broker locks are
+        // acquired in index order, which inside a single allocation is
+        // ascending address order — the pattern the debug lock-rank
+        // tracker accepts for same-rank siblings.
+        let brokers: Arc<Vec<Mutex<Broker<SocketAddr>>>> = Arc::new(
+            states
+                .into_iter()
+                .map(|s| Mutex::with_rank(parking_lot::rank::BROKER, s))
+                .collect(),
+        );
+        let router = Arc::new(router);
+        let fabric = Arc::new(ForwardFabric::new(shards, SHARD_RING));
+        let ingress: Arc<Vec<IngressRing>> =
+            Arc::new((0..shards).map(|_| IngressRing::new(SHARD_RING)).collect());
+        // Seed the router's per-shard filter unions from restored
+        // sessions, so forwarding works before any new subscription.
+        {
+            let mut filters = Vec::new();
+            for (i, b) in brokers.iter().enumerate() {
+                b.lock().collect_subscription_filters(&mut filters);
+                if !filters.is_empty() {
+                    router.set_filters(i, &filters);
+                }
+            }
+        }
+        let mut threads = Vec::with_capacity(shards + 1);
+        for idx in 0..shards {
+            let wsock = socket.try_clone()?;
+            let brokers = Arc::clone(&brokers);
+            let router = Arc::clone(&router);
+            let fabric = Arc::clone(&fabric);
+            let ingress = Arc::clone(&ingress);
+            let shutdown = Arc::clone(&shutdown);
+            let fault = fault.clone();
+            threads.push(std::thread::spawn(move || {
+                serve_shard(
+                    idx,
+                    &wsock,
+                    &brokers[idx],
+                    &router,
+                    &fabric,
+                    &ingress[idx],
+                    &shutdown,
+                    fault.as_deref(),
+                )
+            }));
+        }
+        {
+            let shutdown = Arc::clone(&shutdown);
+            let ingress = Arc::clone(&ingress);
+            threads.push(std::thread::spawn(move || {
+                route_front(&socket, &ingress, &shutdown, fault.as_deref())
+            }));
+        }
+        Ok(ShardedUdpBroker {
+            local_addr,
+            shutdown,
+            brokers,
+            router,
+            threads,
+        })
+    }
+
+    /// The bound address (to hand to clients).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of shards serving.
+    pub fn shards(&self) -> usize {
+        self.brokers.len()
+    }
+
+    /// Seeds a predefined topic (fixed id, agreed out of band) into the
+    /// shared registry and every shard's local mirror. Returns false on
+    /// an id or name conflict.
+    pub fn register_predefined(&self, id: u16, name: &str) -> bool {
+        if !self.router.register_predefined(id, name) {
+            return false;
+        }
+        for broker in self.brokers.iter() {
+            broker.lock().mirror_topic(id, name);
+        }
+        true
+    }
+
+    /// Merged routing statistics across all shards: counters sum,
+    /// high-water marks take the per-shard maximum.
+    pub fn stats(&self) -> BrokerStats {
+        let mut merged = BrokerStats::default();
+        for broker in self.brokers.iter() {
+            merged.merge(broker.lock().stats());
+        }
+        merged
+    }
+
+    /// Per-shard routing statistics, indexed by shard.
+    pub fn shard_stats(&self) -> Vec<BrokerStats> {
+        self.brokers.iter().map(|b| *b.lock().stats()).collect()
+    }
+
+    /// Total buffered-message backlog across all shards.
+    pub fn backlog(&self) -> usize {
+        self.brokers.iter().map(|b| b.lock().backlog()).sum()
+    }
+
+    /// Per-shard buffered-message backlog, indexed by shard — the
+    /// observability feed for spotting one hot shard behind a merged
+    /// total that still looks healthy.
+    pub fn shard_backlogs(&self) -> Vec<usize> {
+        self.brokers.iter().map(|b| b.lock().backlog()).collect()
+    }
+
+    /// Worst congestion level over all shards (0 clear / 1 soft /
+    /// 2 hard): admission control must react to the hottest shard, not
+    /// the average.
+    pub fn congestion_level(&self) -> u8 {
+        self.brokers
+            .iter()
+            .map(|b| b.lock().congestion_level())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The shard that owns `client_id` under this gateway's placement.
+    pub fn shard_of(&self, client_id: &str) -> usize {
+        shard_for_client(client_id, self.brokers.len())
+    }
+
+    /// Serializes all shards to `path` as one atomic snapshot file:
+    /// every shard's broker lock is held (in index order) across the
+    /// whole encode, so the per-shard sections are a single consistent
+    /// cut — no shard's section can contain a publish whose cross-shard
+    /// forward is missing from another's.
+    pub fn snapshot_to_file(&self, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+        let (next_id, entries) = self.router.registry_snapshot();
+        let mut out = Vec::new();
+        out.extend_from_slice(SHARDED_SNAPSHOT_MAGIC);
+        out.push(SHARDED_SNAPSHOT_VERSION);
+        out.push(self.brokers.len() as u8);
+        out.extend_from_slice(&next_id.to_le_bytes());
+        out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        for (id, name) in &entries {
+            out.extend_from_slice(&id.to_le_bytes());
+            wire::put_str(&mut out, name);
+        }
+        {
+            let guards: Vec<_> = self.brokers.iter().map(|b| b.lock()).collect();
+            for guard in &guards {
+                wire::put_bytes(&mut out, &guard.encode_state());
+            }
+        }
+        prov_wal::snapshot::write_atomic(path, &out)
+    }
+
+    /// Stops every serve thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// Stops every serve thread, then snapshots the final state to
+    /// `path` — the sharded analogue of
+    /// [`UdpBroker::shutdown_into_state`]: capturing after the loops
+    /// stop closes the window where an in-flight QoS 2 handshake
+    /// completes between snapshot and shutdown and gets re-delivered on
+    /// resume.
+    pub fn shutdown_to_file(mut self, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+        self.stop();
+        self.snapshot_to_file(path)
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ShardedUdpBroker {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl UdpBroker {
+    /// Sharded variant of [`UdpBroker::spawn`]: the same socket-facing
+    /// contract served by `shards` parallel broker shards. See
+    /// [`ShardedUdpBroker`].
+    pub fn spawn_sharded(
+        bind: impl ToSocketAddrs,
+        shards: usize,
+        config: BrokerConfig,
+    ) -> io::Result<ShardedUdpBroker> {
+        ShardedUdpBroker::spawn(bind, shards, config)
+    }
+}
+
+/// The message-type byte of an MQTT-SN datagram (handles both 1- and
+/// 3-byte length headers) — enough for the front to route on without a
+/// full decode.
+fn peek_type(buf: &[u8]) -> Option<u8> {
+    match buf.first() {
+        Some(0x01) => buf.get(3).copied(),
+        Some(_) => buf.get(1).copied(),
+        None => None,
+    }
+}
+
+/// Fallback placement for a sender whose CONNECT the front never saw:
+/// hash the transport address.
+fn addr_shard(addr: &SocketAddr, shards: usize) -> usize {
+    let mut key = [0u8; 18];
+    let len = match addr {
+        SocketAddr::V4(a) => {
+            key[..4].copy_from_slice(&a.ip().octets());
+            key[4..6].copy_from_slice(&a.port().to_le_bytes());
+            6
+        }
+        SocketAddr::V6(a) => {
+            key[..16].copy_from_slice(&a.ip().octets());
+            key[16..18].copy_from_slice(&a.port().to_le_bytes());
+            18
+        }
+    };
+    shard_for_key(&key[..len], shards)
+}
+
+/// Routes one deliverable datagram to its owner shard. CONNECT pins the
+/// sender's placement by client-id hash (so a durable session
+/// reconnecting from a new address lands on the shard holding its
+/// state); everything else follows the pinned placement, falling back
+/// to an address hash for senders that never connected.
+fn dispatch_frame(
+    placement: &mut HashMap<SocketAddr, usize>,
+    ingress: &[IngressRing],
+    from: SocketAddr,
+    bytes: &[u8],
+) {
+    let shards = ingress.len();
+    let shard = if peek_type(bytes) == Some(msg_type::CONNECT) {
+        let s = match Packet::decode(bytes) {
+            Ok(Packet::Connect { client_id, .. }) => shard_for_client(&client_id, shards),
+            _ => addr_shard(&from, shards),
+        };
+        placement.insert(from, s);
+        s
+    } else {
+        match placement.get(&from) {
+            Some(&s) => s,
+            None => addr_shard(&from, shards),
+        }
+    };
+    ingress[shard].push(from, bytes);
+}
+
+/// Applies the inbound fault fate (chaos only) and dispatches.
+fn route_in(
+    placement: &mut HashMap<SocketAddr, usize>,
+    ingress: &[IngressRing],
+    from: SocketAddr,
+    bytes: &[u8],
+    fault: Option<&dyn DatagramFault>,
+    held_in: &mut HeldFrames,
+) {
+    match fault.map(|f| f.fate(FaultDir::Inbound, bytes)) {
+        None | Some(DatagramFate::Deliver) => dispatch_frame(placement, ingress, from, bytes),
+        Some(DatagramFate::Drop) => {}
+        Some(DatagramFate::Duplicate) => {
+            dispatch_frame(placement, ingress, from, bytes);
+            dispatch_frame(placement, ingress, from, bytes);
+        }
+        Some(DatagramFate::Delay(dur)) => {
+            held_in.push((Instant::now() + dur, from, bytes.to_vec()))
+        }
+    }
+}
+
+/// The routing front: owns the socket's receive side, sniffs CONNECTs
+/// for client→shard placement, applies inbound chaos fates once, and
+/// hands each datagram to its shard's ingress ring. No broker lock is
+/// ever taken here — the front stays responsive even when one shard is
+/// saturated.
+fn route_front(
+    socket: &UdpSocket,
+    ingress: &[IngressRing],
+    shutdown: &AtomicBool,
+    fault: Option<&dyn DatagramFault>,
+) {
+    let mut rbuf = vec![0u8; SLOT];
+    let mut placement: HashMap<SocketAddr, usize> = HashMap::new();
+    let mut held_in: HeldFrames = Vec::new();
+    let mut nonblocking = false;
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        if nonblocking {
+            if socket.set_nonblocking(false).is_ok() {
+                nonblocking = false;
+            } else {
+                ingress[0].io_errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        // Release expired injected delays ahead of this wakeup's
+        // arrivals (a released frame is older than anything just read).
+        if !held_in.is_empty() {
+            let now = Instant::now();
+            let mut i = 0;
+            while i < held_in.len() {
+                if held_in[i].0 <= now {
+                    let (_, from, bytes) = held_in.swap_remove(i);
+                    dispatch_frame(&mut placement, ingress, from, &bytes);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        match socket.recv_from(&mut rbuf) {
+            Ok((len, from)) => {
+                route_in(
+                    &mut placement,
+                    ingress,
+                    from,
+                    &rbuf[..len],
+                    fault,
+                    &mut held_in,
+                );
+                // A wake usually means a burst: drain it without
+                // blocking, dispatching as we go.
+                if socket.set_nonblocking(true).is_ok() {
+                    nonblocking = true;
+                    let mut budget = SERVE_BATCH - 1;
+                    while budget > 0 {
+                        match socket.recv_from(&mut rbuf) {
+                            Ok((len, from)) => {
+                                budget -= 1;
+                                route_in(
+                                    &mut placement,
+                                    ingress,
+                                    from,
+                                    &rbuf[..len],
+                                    fault,
+                                    &mut held_in,
+                                );
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(_) => {
+                                ingress[0].io_errors.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                    }
+                    if socket.set_nonblocking(false).is_ok() {
+                        nonblocking = false;
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => {
+                ingress[0].io_errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// Per-datagram routing info prefetched *before* the shard's broker lock
+/// is taken: for a PUBLISH, the topic id, QoS, payload span within the
+/// frame, and the cross-shard subscriber mask.
+type PubPrep = Option<(u16, QoS, usize, usize, u64)>;
+
+/// Pre-lock routing peek for one inbound datagram. Resolves topic names
+/// through the shared router (control packets only — a write lock per
+/// *new* name), prefetches the shard mask for publishes (shared read),
+/// and flags packets that can change this shard's subscription-filter
+/// union. Runs with **no** broker lock held, preserving the
+/// router-before-broker lock order.
+fn route_prep(
+    frame: &IngressFrame,
+    router: &SharedRouter,
+    mirrors: &mut Vec<(u16, String)>,
+    known: &HashSet<u16>,
+    filters_dirty: &mut bool,
+) -> PubPrep {
+    let bytes = &frame.buf[..];
+    match peek_type(bytes) {
+        Some(msg_type::PUBLISH) => {
+            if let Ok(PacketRef::Publish {
+                qos,
+                topic: TopicRef::Id(id) | TopicRef::Predefined(id),
+                payload,
+                ..
+            }) = Packet::decode_borrowed(bytes)
+            {
+                let mask = router.shard_mask(id);
+                let at = payload.as_ptr() as usize - bytes.as_ptr() as usize;
+                Some((id, qos, at, payload.len(), mask))
+            } else {
+                None
+            }
+        }
+        Some(msg_type::REGISTER) => {
+            if let Ok(PacketRef::Owned(Packet::Register { topic_name, .. })) =
+                Packet::decode_borrowed(bytes)
+            {
+                if let Some(id) = router.resolve(&topic_name) {
+                    if !known.contains(&id) {
+                        mirrors.push((id, topic_name));
+                    }
+                }
+            }
+            None
+        }
+        Some(msg_type::SUBSCRIBE) => {
+            *filters_dirty = true;
+            if let Ok(PacketRef::Owned(Packet::Subscribe {
+                topic: TopicRef::Name(name),
+                ..
+            })) = Packet::decode_borrowed(bytes)
+            {
+                // A concrete-name subscription assigns a topic id in the
+                // SUBACK; route the assignment through the shared
+                // registry so every shard agrees on it. Wildcard filters
+                // assign nothing.
+                if crate::topic::name_is_valid(&name) {
+                    if let Some(id) = router.resolve(&name) {
+                        if !known.contains(&id) {
+                            mirrors.push((id, name));
+                        }
+                    }
+                }
+            }
+            None
+        }
+        Some(msg_type::UNSUBSCRIBE) | Some(msg_type::CONNECT) | Some(msg_type::DISCONNECT) => {
+            *filters_dirty = true;
+            None
+        }
+        _ => None,
+    }
+}
+
+/// One shard's serve loop: drain the ingress ring and the incoming
+/// forwarding rings, prefetch routing decisions with no lock held,
+/// process everything under a **single** acquisition of this shard's
+/// broker lock (cross-shard ring pushes are lock-free, so they happen
+/// inside it), then flush the socket after unlock.
+#[allow(clippy::too_many_arguments)]
+fn serve_shard(
+    idx: usize,
+    socket: &UdpSocket,
+    broker: &Mutex<Broker<SocketAddr>>,
+    router: &SharedRouter,
+    fabric: &ForwardFabric,
+    ingress: &IngressRing,
+    shutdown: &AtomicBool,
+    fault: Option<&dyn DatagramFault>,
+) {
+    let start = Instant::now();
+    let mut out = BrokerOutputs::new();
+    let mut batch: Vec<IngressFrame> = Vec::with_capacity(SERVE_BATCH);
+    let mut pubinfo: Vec<PubPrep> = Vec::with_capacity(SERVE_BATCH);
+    let mut mirrors: Vec<(u16, String)> = Vec::new();
+    let mut fwd_in: Vec<(usize, ForwardFrame)> = Vec::new();
+    let mut filters: Vec<String> = Vec::new();
+    let mut fwd_scratch: Vec<u8> = Vec::new();
+    // Topic ids already mirrored into this shard's registry — lets the
+    // pre-lock phase skip re-mirroring without peeking broker state.
+    let mut known: HashSet<u16> = HashSet::new();
+    let mut pending_io_errors: u64 = 0;
+    let mut last_tick = Instant::now();
+    let mut held_out: HeldFrames = Vec::new();
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        batch.clear();
+        pubinfo.clear();
+        mirrors.clear();
+        while batch.len() < SERVE_BATCH {
+            match ingress.data.pop() {
+                Some(frame) => batch.push(frame),
+                None => break,
+            }
+        }
+        // Forwarded publishes from every other shard, producers visited
+        // in ascending index order; bounded per wakeup like the batch.
+        for from in 0..fabric.shards() {
+            if from == idx {
+                continue;
+            }
+            let ring = fabric.ring(from, idx);
+            while fwd_in.len() < SERVE_BATCH {
+                match ring.recv() {
+                    Some(frame) => fwd_in.push((from, frame)),
+                    None => break,
+                }
+            }
+        }
+        let tick_due = last_tick.elapsed() >= Duration::from_millis(100);
+        let ring_drops = ingress.drops.swap(0, Ordering::Relaxed);
+        pending_io_errors += ingress.io_errors.swap(0, Ordering::Relaxed);
+        if batch.is_empty()
+            && fwd_in.is_empty()
+            && !tick_due
+            && ring_drops == 0
+            && pending_io_errors == 0
+            && held_out.is_empty()
+        {
+            // Nothing to do: the front owns the blocking recv, so this
+            // loop paces itself.
+            std::thread::sleep(Duration::from_micros(200));
+            continue;
+        }
+        // Pre-lock routing phase: router reads/writes finish (and the
+        // router lock is *released*) before the broker lock is taken.
+        let mut filters_dirty = false;
+        for frame in &batch {
+            pubinfo.push(route_prep(
+                frame,
+                router,
+                &mut mirrors,
+                &known,
+                &mut filters_dirty,
+            ));
+        }
+        for (_, frame) in &fwd_in {
+            if !known.contains(&frame.topic_id) {
+                if let Some(name) = router.name_of(frame.topic_id) {
+                    mirrors.push((frame.topic_id, name));
+                }
+            }
+        }
+        let now_ns = start.elapsed().as_nanos() as Nanos;
+        {
+            let mut b = broker.lock();
+            if pending_io_errors > 0 {
+                b.note_io_errors(pending_io_errors);
+                pending_io_errors = 0;
+            }
+            if ring_drops > 0 {
+                b.note_ring_drops(ring_drops);
+            }
+            for (id, name) in mirrors.drain(..) {
+                if b.mirror_topic(id, &name) {
+                    known.insert(id);
+                }
+            }
+            for (i, frame) in batch.iter().enumerate() {
+                let routed = b.on_datagram_routed(now_ns, frame.from, &frame.buf, &mut out);
+                if let (Ok(true), Some((tid, qos, at, len, mask))) = (routed, pubinfo[i]) {
+                    // First receipt of a publish this shard accepted:
+                    // encode once and fan the image into the rings of
+                    // every shard with a matching subscription.
+                    let payload = &frame.buf[at..at + len];
+                    let outcome = fabric.forward(idx, mask, tid, qos, payload, &mut fwd_scratch);
+                    for _ in 0..outcome.forwards {
+                        b.note_cross_shard_forward(outcome.max_depth);
+                    }
+                    if outcome.drops > 0 {
+                        b.note_ring_drops(outcome.drops);
+                    }
+                }
+            }
+            for (_, frame) in &fwd_in {
+                b.deliver_forwarded(now_ns, frame.topic_id, frame.qos, frame.payload(), &mut out);
+            }
+            if tick_due {
+                last_tick = Instant::now();
+                b.on_tick_into(now_ns, &mut out);
+            }
+            if filters_dirty {
+                b.collect_subscription_filters(&mut filters);
+            }
+        }
+        // Publish the new filter union *before* flushing SUBACKs: a
+        // client that publishes the instant its SUBACK arrives must
+        // already be visible in every other shard's mask.
+        if filters_dirty {
+            router.set_filters(idx, &filters);
+        }
+        out.emit(
+            |to, bytes| match fault.map(|f| f.fate(FaultDir::Outbound, bytes)) {
+                None | Some(DatagramFate::Deliver) => {
+                    if socket.send_to(bytes, *to).is_err() {
+                        pending_io_errors += 1;
+                    }
+                }
+                Some(DatagramFate::Drop) => {}
+                Some(DatagramFate::Duplicate) => {
+                    for _ in 0..2 {
+                        if socket.send_to(bytes, *to).is_err() {
+                            pending_io_errors += 1;
+                        }
+                    }
+                }
+                Some(DatagramFate::Delay(dur)) => {
+                    held_out.push((Instant::now() + dur, *to, bytes.to_vec()));
+                }
+            },
+        );
+        out.clear();
+        if !held_out.is_empty() {
+            let now = Instant::now();
+            let mut i = 0;
+            while i < held_out.len() {
+                if held_out[i].0 <= now {
+                    let (_, to, bytes) = held_out.swap_remove(i);
+                    if socket.send_to(&bytes, to).is_err() {
+                        pending_io_errors += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        // Recycle every frame so the next wakeup allocates nothing.
+        for (from, frame) in fwd_in.drain(..) {
+            fabric.ring(from, idx).recycle(frame);
+        }
+        for frame in batch.drain(..) {
+            let _ = ingress.free.push(frame);
         }
     }
 }
@@ -1531,5 +2365,206 @@ mod tests {
             .unwrap();
         let (_, payload) = sub.recv_message(timeout()).unwrap();
         assert_eq!(payload, b"lossy");
+    }
+
+    /// A client id hashing to a different shard than `other`, by probing
+    /// `base0`, `base1`, ... — placement is pure, so the probe is cheap.
+    fn client_on_other_shard(base: &str, other: &str, shards: usize) -> String {
+        for i in 0..256 {
+            let candidate = format!("{base}{i}");
+            if shard_for_client(&candidate, shards) != shard_for_client(other, shards) {
+                return candidate;
+            }
+        }
+        panic!("no client id off {other}'s shard in 256 probes");
+    }
+
+    /// Like [`client_on_other_shard`] but for co-located placement.
+    fn client_on_same_shard(base: &str, other: &str, shards: usize) -> String {
+        for i in 0..256 {
+            let candidate = format!("{base}{i}");
+            if shard_for_client(&candidate, shards) == shard_for_client(other, shards) {
+                return candidate;
+            }
+        }
+        panic!("no client id on {other}'s shard in 256 probes");
+    }
+
+    #[test]
+    fn sharded_gateway_forwards_across_shards() {
+        let gw = UdpBroker::spawn_sharded("127.0.0.1:0", 4, BrokerConfig::default()).unwrap();
+        assert_eq!(gw.shards(), 4);
+        let addr = gw.local_addr();
+
+        let mut sub = UdpClient::connect(addr, ClientConfig::new("collector"), timeout()).unwrap();
+        sub.subscribe("sh/#", QoS::AtLeastOnce, timeout()).unwrap();
+
+        let pub_id = client_on_other_shard("xdev", "collector", 4);
+        let mut publisher =
+            UdpClient::connect(addr, ClientConfig::new(pub_id.clone()), timeout()).unwrap();
+        let tid = publisher.register("sh/dev", timeout()).unwrap();
+        publisher
+            .publish(tid, b"edge-record".to_vec(), QoS::AtLeastOnce, timeout())
+            .unwrap();
+        let (topic, payload) = sub.recv_message(timeout()).unwrap();
+        assert_eq!(payload, b"edge-record");
+        assert_eq!(topic, TopicRef::Id(tid));
+
+        let merged = gw.stats();
+        assert_eq!(merged.publishes_in, 1);
+        assert_eq!(merged.publishes_out, 1);
+        assert_eq!(merged.cross_shard_forwards, 1);
+        assert!(merged.forward_ring_high_water >= 1);
+        assert_eq!(merged.drops, 0);
+        // The split is visible per shard: the publisher's shard took the
+        // publish in, the collector's shard fanned it out.
+        let per_shard = gw.shard_stats();
+        assert_eq!(per_shard[gw.shard_of(&pub_id)].publishes_in, 1);
+        assert_eq!(per_shard[gw.shard_of("collector")].publishes_out, 1);
+        assert_ne!(gw.shard_of(&pub_id), gw.shard_of("collector"));
+        gw.shutdown();
+    }
+
+    #[test]
+    fn sharded_gateway_same_shard_skips_the_fabric() {
+        let gw = ShardedUdpBroker::spawn("127.0.0.1:0", 4, BrokerConfig::default()).unwrap();
+        let addr = gw.local_addr();
+        let mut sub = UdpClient::connect(addr, ClientConfig::new("localsub"), timeout()).unwrap();
+        sub.subscribe("loc/#", QoS::AtLeastOnce, timeout()).unwrap();
+        let pub_id = client_on_same_shard("locdev", "localsub", 4);
+        let mut publisher = UdpClient::connect(addr, ClientConfig::new(pub_id), timeout()).unwrap();
+        let tid = publisher.register("loc/dev", timeout()).unwrap();
+        publisher
+            .publish(tid, vec![7], QoS::AtLeastOnce, timeout())
+            .unwrap();
+        let (_, payload) = sub.recv_message(timeout()).unwrap();
+        assert_eq!(payload, vec![7]);
+        let merged = gw.stats();
+        assert_eq!(merged.publishes_in, 1);
+        assert_eq!(merged.publishes_out, 1);
+        assert_eq!(
+            merged.cross_shard_forwards, 0,
+            "co-located delivery must never touch the forwarding fabric"
+        );
+        gw.shutdown();
+    }
+
+    #[test]
+    fn sharded_gateway_qos2_exactly_once_across_shards() {
+        let gw = ShardedUdpBroker::spawn("127.0.0.1:0", 4, BrokerConfig::default()).unwrap();
+        let addr = gw.local_addr();
+        let mut sub = UdpClient::connect(addr, ClientConfig::new("q2sub"), timeout()).unwrap();
+        sub.subscribe("q2/#", QoS::ExactlyOnce, timeout()).unwrap();
+        let pub_id = client_on_other_shard("q2dev", "q2sub", 4);
+        let mut publisher = UdpClient::connect(addr, ClientConfig::new(pub_id), timeout()).unwrap();
+        let tid = publisher.register("q2/dev", timeout()).unwrap();
+        for seq in 0..4u8 {
+            publisher
+                .publish(tid, vec![seq], QoS::ExactlyOnce, timeout())
+                .unwrap();
+        }
+        for seq in 0..4u8 {
+            let (_, payload) = sub.recv_message(timeout()).unwrap();
+            assert_eq!(payload, vec![seq], "cross-shard QoS 2 must stay in order");
+        }
+        let merged = gw.stats();
+        assert_eq!(merged.publishes_in, 4);
+        assert_eq!(merged.publishes_out, 4);
+        assert_eq!(merged.cross_shard_forwards, 4);
+        assert_eq!(merged.duplicates_suppressed, 0);
+        gw.shutdown();
+    }
+
+    #[test]
+    fn sharded_gateway_restarts_from_one_atomic_snapshot_file() {
+        let dir = std::env::temp_dir().join(format!("mqtt-sn-shsnap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gateway.snap");
+
+        let gw = ShardedUdpBroker::spawn("127.0.0.1:0", 4, BrokerConfig::default()).unwrap();
+        let addr = gw.local_addr();
+        let mut sub = UdpClient::connect(addr, ClientConfig::new("psub"), timeout()).unwrap();
+        sub.subscribe("ps/#", QoS::AtLeastOnce, timeout()).unwrap();
+        let pub_id = client_on_other_shard("psdev", "psub", 4);
+        let mut publisher = UdpClient::connect(addr, ClientConfig::new(pub_id), timeout()).unwrap();
+        let tid = publisher.register("ps/dev1", timeout()).unwrap();
+        publisher
+            .publish(tid, vec![1], QoS::AtLeastOnce, timeout())
+            .unwrap();
+        sub.recv_message(timeout()).unwrap();
+
+        // Stop all shards, persist one file, restart from it.
+        gw.shutdown_to_file(&path).unwrap();
+        let gw = ShardedUdpBroker::spawn_from_file(addr, &path).unwrap();
+        assert_eq!(gw.shards(), 4, "shard count comes from the file");
+
+        let policy = ReconnectPolicy {
+            initial_backoff: Duration::from_millis(50),
+            attempt_timeout: Duration::from_secs(1),
+            ..ReconnectPolicy::default()
+        };
+        sub.reconnect(&policy).unwrap();
+        publisher.reconnect(&policy).unwrap();
+        // Registration, subscription, AND the shared-registry id
+        // assignment all survived the file trip: a cross-shard publish
+        // still routes.
+        let new_tid = publisher
+            .topic_id("ps/dev1")
+            .expect("registration persisted");
+        assert_eq!(
+            new_tid, tid,
+            "shared registry ids are stable across restart"
+        );
+        publisher
+            .publish(new_tid, vec![2], QoS::AtLeastOnce, timeout())
+            .unwrap();
+        let (_, payload) = sub.recv_message(timeout()).unwrap();
+        assert_eq!(payload, vec![2]);
+        // One forward before the restart (persisted with the stats) plus
+        // one after: the counter survives the file trip.
+        assert_eq!(gw.stats().cross_shard_forwards, 2);
+        gw.shutdown();
+
+        // A corrupt file is refused outright — no shard starts.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ShardedUdpBroker::spawn_from_file("127.0.0.1:0", &path)
+            .err()
+            .expect("corrupt sharded snapshot must be refused");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // So is a truncated one (a partial per-shard section).
+        let good = {
+            let mut b = std::fs::read(&path).unwrap();
+            let last = b.len() - 1;
+            b[last] ^= 0xFF; // undo the corruption
+            b
+        };
+        std::fs::write(&path, &good[..good.len() - 3]).unwrap();
+        let err = ShardedUdpBroker::spawn_from_file("127.0.0.1:0", &path)
+            .err()
+            .expect("truncated sharded snapshot must be refused");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // And a single-broker snapshot is not mistaken for a sharded one.
+        let single = UdpBroker::spawn("127.0.0.1:0", BrokerConfig::default()).unwrap();
+        single.snapshot_to_file(&path).unwrap();
+        single.shutdown();
+        let err = ShardedUdpBroker::spawn_from_file("127.0.0.1:0", &path)
+            .err()
+            .expect("wrong container format must be refused");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_gateway_merges_congestion_as_the_hottest_shard() {
+        let gw = ShardedUdpBroker::spawn("127.0.0.1:0", 2, BrokerConfig::default()).unwrap();
+        assert_eq!(gw.congestion_level(), 0);
+        assert_eq!(gw.backlog(), 0);
+        assert_eq!(gw.shard_backlogs(), vec![0, 0]);
+        gw.shutdown();
     }
 }

@@ -94,8 +94,10 @@ impl TopicRef {
     }
 }
 
-/// Message-type bytes (MQTT-SN v1.2 §5.2.2).
-mod msg_type {
+/// Message-type bytes (MQTT-SN v1.2 §5.2.2). Crate-visible so the
+/// sharded gateway front can route on the type byte without a full
+/// decode.
+pub(crate) mod msg_type {
     pub const ADVERTISE: u8 = 0x00;
     pub const SEARCHGW: u8 = 0x01;
     pub const GWINFO: u8 = 0x02;

@@ -29,19 +29,25 @@ const UNRANKED: u32 = u32::MAX;
 /// outermost first. Keep the two lists in sync: the static lint checks
 /// source order by receiver name, this module checks runtime order by rank.
 pub mod rank {
-    /// Gateway broker state (`mqtt-sn`).
-    pub const BROKER: u32 = 0;
+    /// Sharded-gateway routing table (`mqtt-sn::router`): shared topic
+    /// registry + topic→shard-mask cache. Acquired (and released) by a
+    /// shard's serve loop *before* its broker lock, never inside it.
+    pub const ROUTER: u32 = 0;
+    /// Gateway broker state (`mqtt-sn`); in a sharded gateway every
+    /// per-shard broker lock shares this rank and siblings are swept in
+    /// ascending address order.
+    pub const BROKER: u32 = 1;
     /// Server-side translator (`core::server`, `continuum`).
-    pub const TRANSLATOR: u32 = 1;
+    pub const TRANSLATOR: u32 = 2;
     /// Legacy single-store handle (`prov-store::store`).
-    pub const STORE: u32 = 2;
+    pub const STORE: u32 = 3;
     /// One shard of a `ShardedStore`; siblings share the rank and are
     /// ordered by address.
-    pub const SHARD: u32 = 3;
+    pub const SHARD: u32 = 4;
     /// Capture-side record grouper (`core::client`).
-    pub const GROUPER: u32 = 4;
+    pub const GROUPER: u32 = 5;
     /// Transmitter batch pool (`core::transmitter`).
-    pub const POOL: u32 = 5;
+    pub const POOL: u32 = 6;
 }
 
 #[cfg(debug_assertions)]

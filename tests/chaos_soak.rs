@@ -22,7 +22,8 @@ use prov_chaos::{kill_points, FaultPlan, FaultPlanConfig};
 use provlight::core::client::ProvLightClient;
 use provlight::core::config::{CaptureConfig, GroupPolicy, LinkFault, SpillFault};
 use provlight::mqtt_sn::broker::BrokerConfig;
-use provlight::mqtt_sn::net::{UdpBroker, UdpClient};
+use provlight::mqtt_sn::net::{ShardedUdpBroker, UdpBroker, UdpClient};
+use provlight::mqtt_sn::router::shard_for_client;
 use provlight::mqtt_sn::{ClientConfig, ClientEvent, QoS};
 use provlight::prov_codec::frame::Envelope;
 use provlight::prov_model::{Id, Record};
@@ -304,11 +305,10 @@ fn soak(seed: u64) {
     }
 }
 
-#[test]
-fn chaos_soak_seed_matrix_no_silent_loss() {
-    // Fixed default matrix; a single failing schedule can be replayed with
-    // PROVLIGHT_CHAOS_SEED=<seed>.
-    let seeds: Vec<u64> = match std::env::var("PROVLIGHT_CHAOS_SEED") {
+/// Fixed default matrix; a single failing schedule can be replayed with
+/// `PROVLIGHT_CHAOS_SEED=<seed>`.
+fn seed_matrix() -> Vec<u64> {
+    match std::env::var("PROVLIGHT_CHAOS_SEED") {
         Ok(s) => {
             let s = s.trim().to_lowercase();
             let parsed = match s.strip_prefix("0x") {
@@ -318,8 +318,12 @@ fn chaos_soak_seed_matrix_no_silent_loss() {
             vec![parsed.expect("PROVLIGHT_CHAOS_SEED must be a u64 (decimal or 0x-hex)")]
         }
         Err(_) => vec![0x0C4A_0501, 0x0C4A_0502],
-    };
-    for seed in seeds {
+    }
+}
+
+#[test]
+fn chaos_soak_seed_matrix_no_silent_loss() {
+    for seed in seed_matrix() {
         let outcome = std::panic::catch_unwind(|| soak(seed));
         if let Err(e) = outcome {
             eprintln!(
@@ -327,6 +331,138 @@ fn chaos_soak_seed_matrix_no_silent_loss() {
                  PROVLIGHT_CHAOS_SEED={seed:#x} cargo test --test chaos_soak"
             );
             std::panic::resume_unwind(e);
+        }
+    }
+}
+
+/// Picks a client id of the form `{base}{n}` that the gateway's client
+/// hash places on a shard other than `avoid`.
+fn client_off_shard(base: &str, avoid: usize, shards: usize) -> String {
+    (0..256)
+        .map(|n| format!("{base}{n}"))
+        .find(|id| shard_for_client(id, shards) != avoid)
+        .expect("256 probes never left the shard")
+}
+
+/// One cross-shard chaos run: publisher and subscriber on different
+/// shards of a 4-shard gateway, datagram drop/duplicate/delay injected
+/// at the routing front and on every shard's outbound path.
+///
+/// QoS 2 must be exactly-once end to end — every injected duplicate and
+/// every retransmission deduplicated even though delivery crosses the
+/// forwarding fabric. QoS 1 must be at-least-once with zero silent loss.
+fn cross_shard_soak(seed: u64, qos: QoS) {
+    const SHARDS: usize = 4;
+    const MESSAGES: usize = 32;
+
+    let plan = Arc::new(FaultPlan::new(
+        seed,
+        FaultPlanConfig {
+            drop: 0.05,
+            duplicate: 0.05,
+            delay: 0.05,
+            max_delay: Duration::from_millis(10),
+            ..FaultPlanConfig::default()
+        },
+    ));
+    let broker = ShardedUdpBroker::spawn_with_faults(
+        "127.0.0.1:0",
+        SHARDS,
+        BrokerConfig {
+            retry_timeout: Duration::from_millis(150),
+            max_retries: 30,
+            ..BrokerConfig::default()
+        },
+        plan,
+    )
+    .unwrap();
+    let addr = broker.local_addr();
+
+    let sub_id = "xshard-sub";
+    let sub_shard = shard_for_client(sub_id, SHARDS);
+    let pub_id = client_off_shard("xshard-pub", sub_shard, SHARDS);
+
+    let mut fast = ClientConfig::new(sub_id);
+    fast.retry_timeout = Duration::from_millis(200);
+    fast.max_retries = 30;
+    let mut sub = UdpClient::connect(addr, fast, Duration::from_secs(10)).unwrap();
+    sub.subscribe("xshard/#", qos, Duration::from_secs(10))
+        .unwrap();
+
+    let mut fast = ClientConfig::new(pub_id);
+    fast.retry_timeout = Duration::from_millis(200);
+    fast.max_retries = 30;
+    let mut publisher = UdpClient::connect(addr, fast, Duration::from_secs(10)).unwrap();
+    let tid = publisher
+        .register("xshard/data", Duration::from_secs(10))
+        .unwrap();
+    for seq in 0..MESSAGES {
+        publisher
+            .publish(tid, vec![seq as u8], qos, Duration::from_secs(10))
+            .unwrap_or_else(|e| panic!("publish {seq} failed for seed {seed:#x}: {e}"));
+    }
+
+    // Delay faults can reorder delivery, so collect until the full set
+    // has arrived (at-least-once), then drain the grace window for late
+    // duplicates.
+    let mut arrivals: Vec<u8> = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while arrivals.iter().collect::<HashSet<_>>().len() < MESSAGES {
+        assert!(
+            Instant::now() < deadline,
+            "lost traffic for seed {seed:#x} ({qos:?}): {} unique of {MESSAGES} \
+             (merged stats {:?})",
+            arrivals.iter().collect::<HashSet<_>>().len(),
+            broker.stats(),
+        );
+        if let Ok((_, payload)) = sub.recv_message(Duration::from_millis(250)) {
+            assert_eq!(payload.len(), 1);
+            arrivals.push(payload[0]);
+        }
+    }
+    let grace = Instant::now() + Duration::from_millis(500);
+    while Instant::now() < grace {
+        if let Ok((_, payload)) = sub.recv_message(Duration::from_millis(100)) {
+            arrivals.push(payload[0]);
+        }
+    }
+
+    if qos == QoS::ExactlyOnce {
+        // Exactly once: dedup must hold across the fabric hop, so the
+        // duplicates the fault plan injected never reach the app.
+        assert_eq!(
+            arrivals.len(),
+            MESSAGES,
+            "duplicate delivery at QoS 2 for seed {seed:#x}: {arrivals:?} \
+             (merged stats {:?})",
+            broker.stats(),
+        );
+    }
+
+    // Every accepted publish crossed the fabric exactly once on first
+    // receipt; only injected wire duplicates can push the count higher,
+    // and at QoS 2 the publisher-shard dedup stops even those.
+    let stats = broker.stats();
+    assert!(
+        stats.cross_shard_forwards >= MESSAGES as u64,
+        "cross-shard traffic missing for seed {seed:#x}: {stats:?}"
+    );
+    assert_eq!(stats.decode_errors, 0);
+    broker.shutdown();
+}
+
+#[test]
+fn cross_shard_chaos_seed_matrix_exactly_once() {
+    for seed in seed_matrix() {
+        for qos in [QoS::AtLeastOnce, QoS::ExactlyOnce] {
+            let outcome = std::panic::catch_unwind(|| cross_shard_soak(seed, qos));
+            if let Err(e) = outcome {
+                eprintln!(
+                    "cross-shard chaos FAILED for seed {seed:#x} ({qos:?}) — reproduce \
+                     with PROVLIGHT_CHAOS_SEED={seed:#x} cargo test --test chaos_soak"
+                );
+                std::panic::resume_unwind(e);
+            }
         }
     }
 }
